@@ -1,0 +1,12 @@
+//! Regenerates Figure 1: IPC vs instruction-window size for SpecINT under
+//! the six Table 1 memory subsystems.
+use dkip_bench::FigureArgs;
+use dkip_model::config::BaselineConfig;
+use dkip_sim::experiments::figure_window_scaling;
+use dkip_trace::Suite;
+fn main() {
+    let args = FigureArgs::from_env();
+    let windows = BaselineConfig::figure1_window_sizes();
+    let fig = figure_window_scaling(Suite::Int, &args.benchmarks(Suite::Int), &windows, args.budget);
+    println!("{}", fig.render());
+}

@@ -1,0 +1,12 @@
+//! Regenerates Figure 2: IPC vs instruction-window size for SpecFP under
+//! the six Table 1 memory subsystems.
+use dkip_bench::FigureArgs;
+use dkip_model::config::BaselineConfig;
+use dkip_sim::experiments::figure_window_scaling;
+use dkip_trace::Suite;
+fn main() {
+    let args = FigureArgs::from_env();
+    let windows = BaselineConfig::figure1_window_sizes();
+    let fig = figure_window_scaling(Suite::Fp, &args.benchmarks(Suite::Fp), &windows, args.budget);
+    println!("{}", fig.render());
+}

@@ -1,0 +1,9 @@
+//! Regenerates Figure 9: IPC of R10-64, R10-256, KILO-1024 and D-KIP-2048.
+use dkip_bench::FigureArgs;
+use dkip_sim::experiments::figure9_comparison;
+use dkip_trace::Suite;
+fn main() {
+    let args = FigureArgs::from_env();
+    let fig = figure9_comparison(&args.benchmarks(Suite::Int), &args.benchmarks(Suite::Fp), args.budget);
+    println!("{}", fig.render());
+}

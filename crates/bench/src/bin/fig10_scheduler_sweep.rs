@@ -1,0 +1,10 @@
+//! Regenerates Figure 10: impact of CP/MP scheduling policy and queue sizes
+//! on SpecFP.
+use dkip_bench::FigureArgs;
+use dkip_sim::experiments::figure10_scheduler_sweep;
+use dkip_trace::Suite;
+fn main() {
+    let args = FigureArgs::from_env();
+    let fig = figure10_scheduler_sweep(&args.benchmarks(Suite::Fp), args.budget);
+    println!("{}", fig.render());
+}

@@ -1,0 +1,10 @@
+//! Regenerates Figure 12: impact of the L2 cache size on SpecFP.
+use dkip_bench::FigureArgs;
+use dkip_sim::experiments::figure_cache_sweep;
+use dkip_sim::figure11_l2_sizes_kb;
+use dkip_trace::Suite;
+fn main() {
+    let args = FigureArgs::from_env();
+    let fig = figure_cache_sweep(Suite::Fp, &args.benchmarks(Suite::Fp), &figure11_l2_sizes_kb(), args.budget);
+    println!("{}", fig.render());
+}

@@ -1,0 +1,9 @@
+//! Regenerates Figure 14: maximum LLIB instructions and registers, SpecFP.
+use dkip_bench::FigureArgs;
+use dkip_sim::experiments::figure_llib_occupancy;
+use dkip_trace::Suite;
+fn main() {
+    let args = FigureArgs::from_env();
+    let fig = figure_llib_occupancy(Suite::Fp, &args.benchmarks(Suite::Fp), args.budget);
+    println!("{}", fig.render());
+}

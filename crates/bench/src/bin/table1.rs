@@ -1,0 +1,4 @@
+//! Regenerates Table 1 (memory-subsystem configurations).
+fn main() {
+    println!("{}", dkip_sim::experiments::table1().render());
+}

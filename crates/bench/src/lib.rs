@@ -1,0 +1,91 @@
+//! Benchmark harness regenerating every table and figure of the D-KIP
+//! paper.
+//!
+//! Two kinds of targets live here:
+//!
+//! * **Figure binaries** (`src/bin/fig*.rs`, `table*.rs`) — each prints the
+//!   rows/series of one paper artefact using the drivers in
+//!   `dkip_sim::experiments`. Run them with, e.g.,
+//!   `cargo run -p dkip-bench --release --bin fig09_comparison`.
+//!   Every binary accepts two optional positional arguments: the
+//!   per-benchmark instruction budget and `full` to use the complete
+//!   benchmark suite instead of the fast representative subset.
+//! * **Criterion benches** (`benches/`) — component microbenchmarks and one
+//!   timed end-to-end simulation per core family.
+//!
+//! The helper functions here parse the common command-line arguments.
+
+#![warn(missing_docs)]
+
+use dkip_trace::{Benchmark, Suite};
+
+/// Default per-benchmark instruction budget for the figure binaries.
+pub const DEFAULT_BUDGET: u64 = 10_000;
+
+/// Parsed command line of a figure binary.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct FigureArgs {
+    /// Instructions per benchmark per configuration.
+    pub budget: u64,
+    /// Whether to run the full 26-benchmark suite.
+    pub full_suite: bool,
+}
+
+impl FigureArgs {
+    /// Parses `[budget] [full]` from `std::env::args`.
+    #[must_use]
+    pub fn from_env() -> Self {
+        let mut budget = DEFAULT_BUDGET;
+        let mut full_suite = false;
+        for arg in std::env::args().skip(1) {
+            if arg == "full" {
+                full_suite = true;
+            } else if let Ok(n) = arg.parse::<u64>() {
+                budget = n;
+            }
+        }
+        FigureArgs { budget, full_suite }
+    }
+
+    /// The benchmark list to use for `suite`.
+    #[must_use]
+    pub fn benchmarks(&self, suite: Suite) -> Vec<Benchmark> {
+        if self.full_suite {
+            match suite {
+                Suite::Int => Benchmark::spec_int(),
+                Suite::Fp => Benchmark::spec_fp(),
+            }
+        } else {
+            Benchmark::representative()
+                .into_iter()
+                .filter(|b| b.suite() == suite)
+                .collect()
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn representative_subset_is_split_by_suite() {
+        let args = FigureArgs {
+            budget: 1000,
+            full_suite: false,
+        };
+        assert!(!args.benchmarks(Suite::Int).is_empty());
+        assert!(!args.benchmarks(Suite::Fp).is_empty());
+        assert!(args.benchmarks(Suite::Int).iter().all(|b| b.suite() == Suite::Int));
+    }
+
+    #[test]
+    fn full_suite_selects_all_benchmarks() {
+        let args = FigureArgs {
+            budget: 1000,
+            full_suite: true,
+        };
+        assert_eq!(args.benchmarks(Suite::Int).len(), 12);
+        assert_eq!(args.benchmarks(Suite::Fp).len(), 14);
+    }
+}

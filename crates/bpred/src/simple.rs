@@ -1,0 +1,101 @@
+//! Degenerate static predictors used as bounds and in tests.
+
+use crate::{BranchPredictor, PredStats};
+
+/// Predicts every branch taken.
+#[derive(Debug, Clone, Copy, Default)]
+pub struct AlwaysTaken {
+    stats: PredStats,
+}
+
+impl AlwaysTaken {
+    /// Creates the predictor.
+    #[must_use]
+    pub fn new() -> Self {
+        Self::default()
+    }
+}
+
+impl BranchPredictor for AlwaysTaken {
+    fn predict(&mut self, _pc: u64) -> bool {
+        self.stats.predictions += 1;
+        true
+    }
+
+    fn update(&mut self, _pc: u64, taken: bool, predicted: bool) {
+        if taken != predicted {
+            self.stats.mispredictions += 1;
+        }
+    }
+
+    fn predictions(&self) -> u64 {
+        self.stats.predictions
+    }
+
+    fn mispredictions(&self) -> u64 {
+        self.stats.mispredictions
+    }
+}
+
+/// Predicts every branch not taken.
+#[derive(Debug, Clone, Copy, Default)]
+pub struct StaticNotTaken {
+    stats: PredStats,
+}
+
+impl StaticNotTaken {
+    /// Creates the predictor.
+    #[must_use]
+    pub fn new() -> Self {
+        Self::default()
+    }
+}
+
+impl BranchPredictor for StaticNotTaken {
+    fn predict(&mut self, _pc: u64) -> bool {
+        self.stats.predictions += 1;
+        false
+    }
+
+    fn update(&mut self, _pc: u64, taken: bool, predicted: bool) {
+        if taken != predicted {
+            self.stats.mispredictions += 1;
+        }
+    }
+
+    fn predictions(&self) -> u64 {
+        self.stats.predictions
+    }
+
+    fn mispredictions(&self) -> u64 {
+        self.stats.mispredictions
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn always_taken_counts_mispredictions_on_not_taken_branches() {
+        let mut p = AlwaysTaken::new();
+        for i in 0..10u64 {
+            let guess = p.predict(0x10);
+            p.update(0x10, i % 2 == 0, guess);
+        }
+        assert_eq!(p.predictions(), 10);
+        assert_eq!(p.mispredictions(), 5);
+        assert!((p.mispredict_rate() - 0.5).abs() < 1e-12);
+    }
+
+    #[test]
+    fn not_taken_is_the_mirror_image() {
+        let mut p = StaticNotTaken::new();
+        for _ in 0..4 {
+            let guess = p.predict(0x10);
+            assert!(!guess);
+            p.update(0x10, true, guess);
+        }
+        assert_eq!(p.mispredictions(), 4);
+    }
+}

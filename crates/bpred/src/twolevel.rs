@@ -1,0 +1,216 @@
+//! Classical two-bit-counter predictors: bimodal and gshare.
+
+use crate::{BranchPredictor, PredStats};
+
+/// A saturating two-bit counter.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+struct TwoBit(u8);
+
+impl TwoBit {
+    const WEAKLY_NOT_TAKEN: TwoBit = TwoBit(1);
+
+    fn predict(self) -> bool {
+        self.0 >= 2
+    }
+
+    fn update(&mut self, taken: bool) {
+        if taken {
+            self.0 = (self.0 + 1).min(3);
+        } else {
+            self.0 = self.0.saturating_sub(1);
+        }
+    }
+}
+
+/// A per-PC table of two-bit saturating counters.
+#[derive(Debug, Clone)]
+pub struct BimodalPredictor {
+    table: Vec<TwoBit>,
+    mask: usize,
+    stats: PredStats,
+}
+
+impl BimodalPredictor {
+    /// Creates a bimodal predictor with `2^index_bits` counters.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `index_bits` is zero or larger than 28.
+    #[must_use]
+    pub fn new(index_bits: u32) -> Self {
+        assert!((1..=28).contains(&index_bits), "index_bits must be in 1..=28");
+        let size = 1usize << index_bits;
+        BimodalPredictor {
+            table: vec![TwoBit::WEAKLY_NOT_TAKEN; size],
+            mask: size - 1,
+            stats: PredStats::default(),
+        }
+    }
+
+    fn index(&self, pc: u64) -> usize {
+        ((pc >> 2) as usize) & self.mask
+    }
+}
+
+impl BranchPredictor for BimodalPredictor {
+    fn predict(&mut self, pc: u64) -> bool {
+        self.stats.predictions += 1;
+        self.table[self.index(pc)].predict()
+    }
+
+    fn update(&mut self, pc: u64, taken: bool, predicted: bool) {
+        if taken != predicted {
+            self.stats.mispredictions += 1;
+        }
+        let idx = self.index(pc);
+        self.table[idx].update(taken);
+    }
+
+    fn predictions(&self) -> u64 {
+        self.stats.predictions
+    }
+
+    fn mispredictions(&self) -> u64 {
+        self.stats.mispredictions
+    }
+}
+
+/// A gshare predictor: global history XORed with the PC indexes a table of
+/// two-bit counters.
+#[derive(Debug, Clone)]
+pub struct GsharePredictor {
+    table: Vec<TwoBit>,
+    mask: usize,
+    history: u64,
+    history_bits: u32,
+    stats: PredStats,
+}
+
+impl GsharePredictor {
+    /// Creates a gshare predictor with `2^index_bits` counters and
+    /// `index_bits` bits of global history.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `index_bits` is zero or larger than 28.
+    #[must_use]
+    pub fn new(index_bits: u32) -> Self {
+        assert!((1..=28).contains(&index_bits), "index_bits must be in 1..=28");
+        let size = 1usize << index_bits;
+        GsharePredictor {
+            table: vec![TwoBit::WEAKLY_NOT_TAKEN; size],
+            mask: size - 1,
+            history: 0,
+            history_bits: index_bits,
+            stats: PredStats::default(),
+        }
+    }
+
+    fn index(&self, pc: u64) -> usize {
+        (((pc >> 2) ^ self.history) as usize) & self.mask
+    }
+}
+
+impl BranchPredictor for GsharePredictor {
+    fn predict(&mut self, pc: u64) -> bool {
+        self.stats.predictions += 1;
+        self.table[self.index(pc)].predict()
+    }
+
+    fn update(&mut self, pc: u64, taken: bool, predicted: bool) {
+        if taken != predicted {
+            self.stats.mispredictions += 1;
+        }
+        let idx = self.index(pc);
+        self.table[idx].update(taken);
+        self.history = ((self.history << 1) | u64::from(taken)) & ((1 << self.history_bits) - 1);
+    }
+
+    fn predictions(&self) -> u64 {
+        self.stats.predictions
+    }
+
+    fn mispredictions(&self) -> u64 {
+        self.stats.mispredictions
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn two_bit_counter_saturates() {
+        let mut c = TwoBit::WEAKLY_NOT_TAKEN;
+        assert!(!c.predict());
+        c.update(true);
+        c.update(true);
+        c.update(true);
+        c.update(true);
+        assert!(c.predict());
+        assert_eq!(c.0, 3);
+        c.update(false);
+        assert!(c.predict(), "strongly taken tolerates one not-taken");
+        c.update(false);
+        c.update(false);
+        c.update(false);
+        assert!(!c.predict());
+        assert_eq!(c.0, 0);
+    }
+
+    #[test]
+    fn bimodal_learns_biased_branches() {
+        let mut p = BimodalPredictor::new(12);
+        let mut wrong_late = 0;
+        for i in 0..1000u64 {
+            let guess = p.predict(0x800);
+            if i > 10 && !guess {
+                wrong_late += 1;
+            }
+            p.update(0x800, true, guess);
+        }
+        assert_eq!(wrong_late, 0);
+    }
+
+    #[test]
+    fn bimodal_cannot_learn_alternation() {
+        let mut p = BimodalPredictor::new(12);
+        for i in 0..1000u64 {
+            let taken = i % 2 == 0;
+            let guess = p.predict(0x900);
+            p.update(0x900, taken, guess);
+        }
+        assert!(p.mispredict_rate() > 0.4, "alternation defeats a two-bit counter");
+    }
+
+    #[test]
+    fn gshare_learns_alternation_through_history() {
+        let mut p = GsharePredictor::new(12);
+        for i in 0..2000u64 {
+            let taken = i % 2 == 0;
+            let guess = p.predict(0x900);
+            p.update(0x900, taken, guess);
+        }
+        assert!(p.mispredict_rate() < 0.1, "rate={}", p.mispredict_rate());
+    }
+
+    #[test]
+    fn distinct_pcs_use_distinct_bimodal_counters() {
+        let mut p = BimodalPredictor::new(12);
+        // Train 0x1000 taken and 0x2000 not taken; both become predictable.
+        for _ in 0..100 {
+            let g1 = p.predict(0x1000);
+            p.update(0x1000, true, g1);
+            let g2 = p.predict(0x2000);
+            p.update(0x2000, false, g2);
+        }
+        assert!(p.predict(0x1000));
+        assert!(!p.predict(0x2000));
+    }
+
+    #[test]
+    #[should_panic(expected = "index_bits")]
+    fn oversized_tables_are_rejected() {
+        let _ = GsharePredictor::new(40);
+    }
+}

@@ -1,0 +1,213 @@
+//! The Memory Processor (MP).
+//!
+//! The Memory Processor executes low-locality instructions after their
+//! long-latency operands become available. The paper models it as a simple
+//! Future-File machine (Smith & Pleszkun) with a small reservation-station
+//! queue that is in-order by default (Table 3) and may optionally be a small
+//! out-of-order queue (Figure 10). Because this reproduction is timing-only,
+//! the Future File itself is represented by readiness bookkeeping: an
+//! instruction inserted into the MP carries the number of operands that are
+//! still unavailable, and the surrounding processor satisfies them as loads
+//! return and older MP instructions complete.
+
+use dkip_model::config::MemoryProcessorConfig;
+use dkip_model::OpClass;
+use dkip_ooo::{FunctionalUnits, IssueQueue, MemPorts};
+use std::cmp::Reverse;
+use std::collections::{BinaryHeap, HashMap};
+
+/// One integer or floating-point Memory Processor.
+#[derive(Debug)]
+pub struct MemoryProcessor {
+    queue: IssueQueue,
+    fus: FunctionalUnits,
+    /// Outstanding operand counts for instructions still waiting in the
+    /// queue.
+    pending: HashMap<u64, u8>,
+    /// Completion events (cycle, seq).
+    completions: BinaryHeap<Reverse<(u64, u64)>>,
+    /// Instructions currently inside the MP (inserted, not yet completed).
+    occupancy: usize,
+    peak_occupancy: usize,
+    total_executed: u64,
+}
+
+impl MemoryProcessor {
+    /// Creates a Memory Processor from its configuration.
+    #[must_use]
+    pub fn new(config: &MemoryProcessorConfig) -> Self {
+        MemoryProcessor {
+            queue: IssueQueue::new(config.queue_capacity, config.sched),
+            fus: FunctionalUnits::new(config.fu),
+            pending: HashMap::new(),
+            completions: BinaryHeap::new(),
+            occupancy: 0,
+            peak_occupancy: 0,
+            total_executed: 0,
+        }
+    }
+
+    /// Whether another instruction can be inserted from the LLIB.
+    #[must_use]
+    pub fn has_space(&self) -> bool {
+        self.queue.has_space()
+    }
+
+    /// Number of instructions currently inside the MP (waiting or
+    /// executing).
+    #[must_use]
+    pub fn occupancy(&self) -> usize {
+        self.occupancy
+    }
+
+    /// Peak occupancy observed.
+    #[must_use]
+    pub fn peak_occupancy(&self) -> usize {
+        self.peak_occupancy
+    }
+
+    /// Total instructions executed by this MP.
+    #[must_use]
+    pub fn total_executed(&self) -> u64 {
+        self.total_executed
+    }
+
+    /// Starts a new cycle (refreshes functional-unit availability).
+    pub fn begin_cycle(&mut self) {
+        self.fus.begin_cycle();
+    }
+
+    /// Inserts an instruction with `unavailable` operands still missing.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the queue is full.
+    pub fn insert(&mut self, seq: u64, class: OpClass, unavailable: u8) {
+        self.queue.insert(seq, class, unavailable == 0);
+        if unavailable > 0 {
+            self.pending.insert(seq, unavailable);
+        }
+        self.occupancy += 1;
+        self.peak_occupancy = self.peak_occupancy.max(self.occupancy);
+    }
+
+    /// Satisfies one outstanding operand of `seq` (a load value arrived or
+    /// an older MP instruction completed). Unknown sequence numbers are
+    /// ignored.
+    pub fn satisfy(&mut self, seq: u64) {
+        if let Some(count) = self.pending.get_mut(&seq) {
+            *count = count.saturating_sub(1);
+            if *count == 0 {
+                self.pending.remove(&seq);
+                self.queue.mark_ready(seq);
+            }
+        }
+    }
+
+    /// Selects up to `width` ready instructions to start executing this
+    /// cycle, honouring the scheduling policy, this MP's functional units
+    /// and the shared Address Processor memory ports.
+    pub fn select(&mut self, width: usize, ports: &mut MemPorts) -> Vec<(u64, OpClass)> {
+        self.queue.select(width, &mut self.fus, ports)
+    }
+
+    /// Schedules the completion of an issued instruction.
+    pub fn schedule_completion(&mut self, seq: u64, at_cycle: u64) {
+        self.completions.push(Reverse((at_cycle, seq)));
+    }
+
+    /// Drains the instructions whose execution finishes at or before `now`.
+    pub fn drain_completed(&mut self, now: u64) -> Vec<u64> {
+        let mut done = Vec::new();
+        while let Some(&Reverse((cycle, seq))) = self.completions.peek() {
+            if cycle > now {
+                break;
+            }
+            self.completions.pop();
+            self.occupancy -= 1;
+            self.total_executed += 1;
+            done.push(seq);
+        }
+        done
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use dkip_model::config::SchedPolicy;
+
+    fn mp(sched: SchedPolicy, cap: usize) -> MemoryProcessor {
+        let mut cfg = MemoryProcessorConfig::paper_default();
+        cfg.sched = sched;
+        cfg.queue_capacity = cap;
+        MemoryProcessor::new(&cfg)
+    }
+
+    #[test]
+    fn ready_instructions_issue_and_complete() {
+        let mut mp = mp(SchedPolicy::InOrder, 4);
+        let mut ports = MemPorts::new(2);
+        mp.insert(1, OpClass::FpAdd, 0);
+        mp.insert(2, OpClass::FpAdd, 0);
+        let issued = mp.select(4, &mut ports);
+        assert_eq!(issued.len(), 2);
+        mp.schedule_completion(1, 10);
+        mp.schedule_completion(2, 12);
+        assert!(mp.drain_completed(9).is_empty());
+        assert_eq!(mp.drain_completed(12), vec![1, 2]);
+        assert_eq!(mp.total_executed(), 2);
+        assert_eq!(mp.occupancy(), 0);
+    }
+
+    #[test]
+    fn in_order_mp_blocks_behind_a_waiting_head() {
+        let mut mp = mp(SchedPolicy::InOrder, 4);
+        let mut ports = MemPorts::new(2);
+        mp.insert(5, OpClass::IntAlu, 1);
+        mp.insert(6, OpClass::IntAlu, 0);
+        assert!(mp.select(4, &mut ports).is_empty(), "head is waiting for an operand");
+        mp.satisfy(5);
+        let issued = mp.select(4, &mut ports);
+        assert_eq!(issued.len(), 2, "both issue once the head is satisfied");
+    }
+
+    #[test]
+    fn out_of_order_mp_bypasses_a_waiting_head() {
+        let mut mp = mp(SchedPolicy::OutOfOrder, 4);
+        let mut ports = MemPorts::new(2);
+        mp.insert(5, OpClass::IntAlu, 2);
+        mp.insert(6, OpClass::IntAlu, 0);
+        let issued = mp.select(4, &mut ports);
+        assert_eq!(issued, vec![(6, OpClass::IntAlu)]);
+        mp.satisfy(5);
+        assert!(mp.select(4, &mut ports).is_empty(), "still one operand missing");
+        mp.satisfy(5);
+        assert_eq!(mp.select(4, &mut ports).len(), 1);
+    }
+
+    #[test]
+    fn occupancy_and_peak_are_tracked() {
+        let mut mp = mp(SchedPolicy::InOrder, 8);
+        for seq in 0..5 {
+            mp.insert(seq, OpClass::FpMul, 0);
+        }
+        assert_eq!(mp.occupancy(), 5);
+        assert_eq!(mp.peak_occupancy(), 5);
+        let mut ports = MemPorts::new(2);
+        let issued = mp.select(8, &mut ports);
+        for (seq, _) in issued {
+            mp.schedule_completion(seq, 1);
+        }
+        mp.drain_completed(1);
+        assert!(mp.occupancy() < 5);
+        assert_eq!(mp.peak_occupancy(), 5);
+    }
+
+    #[test]
+    fn satisfy_on_unknown_seq_is_harmless() {
+        let mut mp = mp(SchedPolicy::InOrder, 2);
+        mp.satisfy(99);
+        assert_eq!(mp.occupancy(), 0);
+    }
+}

@@ -1,0 +1,995 @@
+//! The full Decoupled KILO-Instruction Processor pipeline (Figure 8 of the
+//! paper).
+//!
+//! The pipeline chains three engines:
+//!
+//! 1. the out-of-order **Cache Processor** — fetch, rename, small issue
+//!    queues, an **Aging-ROB** whose head reaches the **Analyze** stage a
+//!    fixed number of cycles after decode;
+//! 2. the FIFO **Low-Locality Instruction Buffers** (one integer, one FP)
+//!    with their banked **LLRF** register storage; and
+//! 3. the in-order (by default) **Memory Processors** fed by the LLIBs and
+//!    by the **Address Processor**'s load-value FIFO.
+//!
+//! The Analyze stage classifies each instruction using the **LLBV**: an
+//! instruction with a long-latency source drains to the LLIB, everything
+//! else completes in the Cache Processor. Checkpoints taken at Analyze
+//! provide recovery for branches that resolve in a Memory Processor.
+
+use crate::address_processor::AddressProcessor;
+use crate::checkpoint::CheckpointStack;
+use crate::llbv::{Llbv, LowLocalityWriter};
+use crate::llib::{Llib, LlibEntry, SourceState};
+use crate::llrf::Llrf;
+use crate::memory_processor::MemoryProcessor;
+use dkip_bpred::{BranchPredictor, PredictorKind};
+use dkip_mem::{AccessLevel, MemoryHierarchy};
+use dkip_model::config::{DkipConfig, MemoryHierarchyConfig};
+use dkip_model::{ArchReg, MicroOp, OpClass, RegClass, SimStats};
+use dkip_ooo::lsq::FORWARD_LATENCY;
+use dkip_ooo::{FunctionalUnits, IssueQueue, Rob, RobEntry};
+use dkip_trace::{Benchmark, TraceGenerator};
+use std::cmp::Reverse;
+use std::collections::{BinaryHeap, HashMap, HashSet, VecDeque};
+
+/// Metadata kept for every instruction that left the Cache Processor as low
+/// locality (parked in an LLIB, executing in a Memory Processor, or a
+/// long-latency load owned by the Address Processor).
+#[derive(Debug, Clone)]
+struct LowMeta {
+    op: MicroOp,
+    epoch: u64,
+    queue: RegClass,
+    predicted_taken: bool,
+    mispredicted: bool,
+}
+
+/// The Decoupled KILO-Instruction Processor.
+#[derive(Debug)]
+pub struct DkipProcessor {
+    cfg: DkipConfig,
+    predictor: Box<dyn BranchPredictor>,
+    cycle: u64,
+
+    // Cache Processor.
+    rob: Rob,
+    cp_int_iq: IssueQueue,
+    cp_fp_iq: IssueQueue,
+    cp_fus: FunctionalUnits,
+    cp_completions: BinaryHeap<Reverse<(u64, u64)>>,
+    cp_consumers: HashMap<u64, Vec<u64>>,
+    last_writer: HashMap<ArchReg, u64>,
+    /// Loads that issued in the CP and were discovered to miss to memory.
+    cp_long_latency_loads: HashSet<u64>,
+
+    // Low-locality machinery.
+    llbv: Llbv,
+    llib_int: Llib,
+    llib_fp: Llib,
+    llrf_int: Llrf,
+    llrf_fp: Llrf,
+    checkpoints: CheckpointStack,
+    analyzed_since_checkpoint: u64,
+
+    // Memory Processors and Address Processor.
+    mp_int: MemoryProcessor,
+    mp_fp: MemoryProcessor,
+    ap: AddressProcessor,
+    low_meta: HashMap<u64, LowMeta>,
+    /// Producer (MP instruction) → consumers inserted in an MP waiting on it.
+    mp_consumers: HashMap<u64, Vec<u64>>,
+    /// Long-latency load → consumers inserted in an MP waiting on its value.
+    load_waiters: HashMap<u64, Vec<u64>>,
+    completed_mp: HashSet<u64>,
+
+    // Front end.
+    fetch_queue: VecDeque<MicroOp>,
+    unresolved_mispredicts: VecDeque<u64>,
+    fetch_resume_at: u64,
+    refill_boundary: u64,
+
+    stats: SimStats,
+}
+
+impl DkipProcessor {
+    /// Builds a D-KIP from its configuration and a memory hierarchy.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the configuration is invalid.
+    #[must_use]
+    pub fn new(cfg: DkipConfig, mem: MemoryHierarchy) -> Self {
+        cfg.validate().expect("invalid D-KIP configuration");
+        let cp = &cfg.cache_processor;
+        DkipProcessor {
+            predictor: PredictorKind::Perceptron.build(),
+            cycle: 0,
+            rob: Rob::new(cp.rob_capacity),
+            cp_int_iq: IssueQueue::new(cp.int_iq_capacity, cp.sched),
+            cp_fp_iq: IssueQueue::new(cp.fp_iq_capacity, cp.sched),
+            cp_fus: FunctionalUnits::new(cp.fu),
+            cp_completions: BinaryHeap::new(),
+            cp_consumers: HashMap::new(),
+            last_writer: HashMap::new(),
+            cp_long_latency_loads: HashSet::new(),
+            llbv: Llbv::new(),
+            llib_int: Llib::new(cfg.llib.capacity),
+            llib_fp: Llib::new(cfg.llib.capacity),
+            llrf_int: Llrf::new(&cfg.llib),
+            llrf_fp: Llrf::new(&cfg.llib),
+            checkpoints: CheckpointStack::new(cfg.checkpoint.stack_entries),
+            analyzed_since_checkpoint: 0,
+            mp_int: MemoryProcessor::new(&cfg.memory_processor),
+            mp_fp: MemoryProcessor::new(&cfg.memory_processor),
+            ap: AddressProcessor::new(&cfg.address_processor, mem),
+            low_meta: HashMap::new(),
+            mp_consumers: HashMap::new(),
+            load_waiters: HashMap::new(),
+            completed_mp: HashSet::new(),
+            fetch_queue: VecDeque::new(),
+            unresolved_mispredicts: VecDeque::new(),
+            fetch_resume_at: 0,
+            refill_boundary: u64::MAX,
+            stats: SimStats::new(),
+            cfg,
+        }
+    }
+
+    /// The configuration of this processor.
+    #[must_use]
+    pub fn config(&self) -> &DkipConfig {
+        &self.cfg
+    }
+
+    /// Current cycle.
+    #[must_use]
+    pub fn cycle(&self) -> u64 {
+        self.cycle
+    }
+
+
+    /// A one-line snapshot of the main pipeline state, for debugging and
+    /// the examples' progress output.
+    #[must_use]
+    pub fn debug_state(&self) -> String {
+        let head = self.rob.head().map(|e| {
+            format!(
+                "seq={} {} issued={} completed={} pending={} age={}",
+                e.op.seq,
+                e.op.class,
+                e.issued,
+                e.completed,
+                e.pending_srcs,
+                self.cycle.saturating_sub(e.dispatch_cycle)
+            )
+        });
+        format!(
+            "cycle={} committed={} rob={} head=[{}] iq_int={} iq_fp={} llib={}L/{}F mp={}L/{}F chkpt={} llbv={} lsq={}",
+            self.cycle,
+            self.stats.committed,
+            self.rob.len(),
+            head.unwrap_or_else(|| "empty".to_owned()),
+            self.cp_int_iq.len(),
+            self.cp_fp_iq.len(),
+            self.llib_int.len(),
+            self.llib_fp.len(),
+            self.mp_int.occupancy(),
+            self.mp_fp.occupancy(),
+            self.checkpoints.len(),
+            self.llbv.marked_count(),
+            self.ap.lsq().occupancy(),
+        )
+    }
+
+    /// Runs until `max_instrs` instructions have committed (or a safety
+    /// cycle bound is reached) and returns the accumulated statistics.
+    pub fn run(&mut self, trace: &mut dyn Iterator<Item = MicroOp>, max_instrs: u64) -> SimStats {
+        let cycle_cap = self
+            .cycle
+            .saturating_add(max_instrs.saturating_mul(2000).max(1_000_000));
+        while self.stats.committed < max_instrs && self.cycle < cycle_cap {
+            self.tick(trace);
+        }
+        self.finalize_stats();
+        self.stats.clone()
+    }
+
+    /// Advances the whole machine by one cycle.
+    pub fn tick(&mut self, trace: &mut dyn Iterator<Item = MicroOp>) {
+        self.cycle += 1;
+        self.cp_fus.begin_cycle();
+        self.mp_int.begin_cycle();
+        self.mp_fp.begin_cycle();
+        let arrived_loads = self.ap.begin_cycle(self.cycle);
+        for load in arrived_loads {
+            self.handle_load_value_arrival(load);
+        }
+        self.drain_mp_completions();
+        self.mp_issue();
+        self.llib_to_mp_transfer();
+        self.cp_writeback();
+        self.analyze();
+        self.cp_issue();
+        self.cp_dispatch();
+        self.fetch(trace);
+    }
+
+    fn finalize_stats(&mut self) {
+        self.stats.cycles = self.cycle;
+        let mem = self.ap.mem_stats();
+        self.stats.l1_hits = mem.l1_hits;
+        self.stats.l2_hits = mem.l2_hits;
+        self.stats.mem_accesses = mem.memory_accesses;
+        self.stats.llib_int_peak_instrs = self.llib_int.peak() as u64;
+        self.stats.llib_fp_peak_instrs = self.llib_fp.peak() as u64;
+        self.stats.llrf_int_peak_regs = self.llrf_int.peak() as u64;
+        self.stats.llrf_fp_peak_regs = self.llrf_fp.peak() as u64;
+        self.stats.checkpoints_taken = self.checkpoints.taken();
+        self.stats.checkpoint_recoveries = self.checkpoints.recoveries();
+    }
+
+    fn queue_class(op: &MicroOp) -> RegClass {
+        if op.class.is_fp() || op.dst.map(|d| d.class()) == Some(RegClass::Fp) {
+            RegClass::Fp
+        } else {
+            RegClass::Int
+        }
+    }
+
+    // ------------------------------------------------------------------
+    // Long-latency load values arriving at the Address Processor.
+    // ------------------------------------------------------------------
+    fn handle_load_value_arrival(&mut self, load_seq: u64) {
+        // The load itself retires now (it was removed from the Aging-ROB at
+        // Analyze and handed to the AP).
+        if let Some(meta) = self.low_meta.remove(&load_seq) {
+            self.stats.committed += 1;
+            self.stats.low_locality_instrs += 1;
+            self.checkpoints.complete_instruction(meta.epoch);
+            self.ap.lsq_mut().retire_load(load_seq);
+        } else if self.cp_long_latency_loads.remove(&load_seq) {
+            // The value returned before the load reached the Analyze stage
+            // (common for accesses merged into an already-outstanding miss).
+            // The load then behaves like a late Cache Processor completion:
+            // consumers still inside the CP wake up normally and the Analyze
+            // stage commits it as an ordinary executed load.
+            self.complete_cp_instruction(load_seq);
+        }
+        if let Some(waiters) = self.load_waiters.remove(&load_seq) {
+            for consumer in waiters {
+                let queue = self.low_meta.get(&consumer).map(|m| m.queue);
+                match queue {
+                    Some(RegClass::Int) => self.mp_int.satisfy(consumer),
+                    Some(RegClass::Fp) => self.mp_fp.satisfy(consumer),
+                    None => {}
+                }
+            }
+        }
+    }
+
+    // ------------------------------------------------------------------
+    // Memory Processor completion and issue.
+    // ------------------------------------------------------------------
+    fn drain_mp_completions(&mut self) {
+        let mut done = self.mp_int.drain_completed(self.cycle);
+        done.extend(self.mp_fp.drain_completed(self.cycle));
+        for seq in done {
+            self.handle_mp_completion(seq);
+        }
+    }
+
+    fn handle_mp_completion(&mut self, seq: u64) {
+        let Some(meta) = self.low_meta.remove(&seq) else { return };
+        self.completed_mp.insert(seq);
+        self.stats.committed += 1;
+        self.stats.low_locality_instrs += 1;
+        self.checkpoints.complete_instruction(meta.epoch);
+        if meta.op.class.is_mem() {
+            match meta.op.class {
+                OpClass::Load => self.ap.lsq_mut().retire_load(seq),
+                OpClass::Store => self.ap.lsq_mut().retire_store(seq),
+                _ => {}
+            }
+        }
+        if meta.op.is_conditional_branch() {
+            let taken = meta.op.branch.expect("conditional branch").taken;
+            self.stats.cond_branches += 1;
+            self.predictor.update(meta.op.pc, taken, meta.predicted_taken);
+            if meta.mispredicted {
+                self.stats.branch_mispredicts += 1;
+                if self.unresolved_mispredicts.front() == Some(&seq) {
+                    self.unresolved_mispredicts.pop_front();
+                    // Recovery past the Cache Processor uses the checkpoint
+                    // stack: pay the refill penalty plus the checkpoint
+                    // restore penalty.
+                    self.checkpoints.recover();
+                    self.fetch_resume_at =
+                        self.cycle + self.cfg.cache_processor.mispredict_penalty + self.cfg.checkpoint.recovery_penalty;
+                    self.refill_boundary = seq;
+                }
+            }
+        }
+        // Wake MP consumers of this value.
+        if let Some(waiters) = self.mp_consumers.remove(&seq) {
+            for consumer in waiters {
+                let queue = self.low_meta.get(&consumer).map(|m| m.queue);
+                match queue {
+                    Some(RegClass::Int) => self.mp_int.satisfy(consumer),
+                    Some(RegClass::Fp) => self.mp_fp.satisfy(consumer),
+                    None => {}
+                }
+            }
+        }
+    }
+
+    fn mp_issue(&mut self) {
+        let width = self.cfg.memory_processor.decode_width;
+        for class in [RegClass::Int, RegClass::Fp] {
+            let selected = match class {
+                RegClass::Int => self.mp_int.select(width, self.ap.ports_mut()),
+                RegClass::Fp => self.mp_fp.select(width, self.ap.ports_mut()),
+            };
+            for (seq, op_class) in selected {
+                let latency = if op_class.is_mem() {
+                    let addr = self
+                        .low_meta
+                        .get(&seq)
+                        .and_then(|m| m.op.mem_addr)
+                        .expect("memory op has an address");
+                    let outcome = self.ap.access(addr, op_class.is_store(), self.cycle);
+                    if op_class.is_store() {
+                        1
+                    } else {
+                        outcome.latency
+                    }
+                } else {
+                    op_class.exec_latency()
+                };
+                match class {
+                    RegClass::Int => self.mp_int.schedule_completion(seq, self.cycle + latency.max(1)),
+                    RegClass::Fp => self.mp_fp.schedule_completion(seq, self.cycle + latency.max(1)),
+                }
+            }
+        }
+    }
+
+    // ------------------------------------------------------------------
+    // LLIB → MP transfer.
+    // ------------------------------------------------------------------
+    fn llib_to_mp_transfer(&mut self) {
+        for class in [RegClass::Int, RegClass::Fp] {
+            for _ in 0..self.cfg.llib.extraction_rate {
+                let (llib, mp, llrf) = match class {
+                    RegClass::Int => (&mut self.llib_int, &mut self.mp_int, &mut self.llrf_int),
+                    RegClass::Fp => (&mut self.llib_fp, &mut self.mp_fp, &mut self.llrf_fp),
+                };
+                let Some(head) = llib.head() else { break };
+                if !mp.has_space() {
+                    break;
+                }
+                // The paper's transfer rule: the head may move once the
+                // long-latency load it directly depends on has completed;
+                // other instructions move without additional checks.
+                if let Some(load) = head.blocking_load() {
+                    if !self.ap.load_value_ready(load) {
+                        break;
+                    }
+                }
+                let entry = llib.pop().expect("head exists");
+                if let Some(slot) = entry.llrf_slot {
+                    llrf.free(slot);
+                }
+                let seq = entry.op.seq;
+                let mut unavailable = 0u8;
+                for source in entry.sources.iter().flatten() {
+                    match source {
+                        SourceState::Ready => {}
+                        SourceState::WaitsForLoad(load) => {
+                            if !self.ap.load_value_ready(*load) {
+                                unavailable += 1;
+                                self.load_waiters.entry(*load).or_default().push(seq);
+                            }
+                        }
+                        SourceState::WaitsForMp(producer) => {
+                            if !self.completed_mp.contains(producer) && self.low_meta.contains_key(producer) {
+                                unavailable += 1;
+                                self.mp_consumers.entry(*producer).or_default().push(seq);
+                            }
+                        }
+                    }
+                }
+                mp.insert(seq, entry.op.class, unavailable);
+            }
+        }
+    }
+
+    // ------------------------------------------------------------------
+    // Cache Processor: writeback, analyze, issue, dispatch, fetch.
+    // ------------------------------------------------------------------
+    fn cp_writeback(&mut self) {
+        while let Some(&Reverse((cycle, seq))) = self.cp_completions.peek() {
+            if cycle > self.cycle {
+                break;
+            }
+            self.cp_completions.pop();
+            self.complete_cp_instruction(seq);
+        }
+    }
+
+    fn complete_cp_instruction(&mut self, seq: u64) {
+        let (is_cond, taken, predicted, mispredicted, pc) = {
+            let Some(entry) = self.rob.get_mut(seq) else { return };
+            entry.completed = true;
+            (
+                entry.op.is_conditional_branch(),
+                entry.op.branch.map(|b| b.taken).unwrap_or(false),
+                entry.predicted_taken,
+                entry.mispredicted,
+                entry.op.pc,
+            )
+        };
+        if is_cond {
+            self.stats.cond_branches += 1;
+            self.predictor.update(pc, taken, predicted);
+            if mispredicted {
+                self.stats.branch_mispredicts += 1;
+                if self.unresolved_mispredicts.front() == Some(&seq) {
+                    self.unresolved_mispredicts.pop_front();
+                    self.fetch_resume_at = self.cycle + self.cfg.cache_processor.mispredict_penalty;
+                    self.refill_boundary = seq;
+                }
+            }
+        }
+        if let Some(waiters) = self.cp_consumers.remove(&seq) {
+            for consumer in waiters {
+                self.wake_cp_consumer(consumer);
+            }
+        }
+    }
+
+    fn wake_cp_consumer(&mut self, seq: u64) {
+        let Some(entry) = self.rob.get_mut(seq) else { return };
+        if entry.pending_srcs == 0 {
+            return;
+        }
+        entry.pending_srcs -= 1;
+        if entry.pending_srcs == 0 && !entry.issued {
+            match entry.queue_class {
+                RegClass::Int => self.cp_int_iq.mark_ready(seq),
+                RegClass::Fp => self.cp_fp_iq.mark_ready(seq),
+            }
+        }
+    }
+
+    /// The Analyze stage: classify up to `analyze width` aged instructions
+    /// from the head of the Aging-ROB.
+    #[allow(clippy::too_many_lines)]
+    fn analyze(&mut self) {
+        let mut stalled = false;
+        for _ in 0..self.cfg.cache_processor.widths.commit {
+            let Some(head) = self.rob.head() else { break };
+            // The Aging-ROB: instructions reach Analyze a fixed number of
+            // cycles after decode.
+            if self.cycle < head.dispatch_cycle + self.cfg.cache_processor.rob_timer {
+                break;
+            }
+            let seq = head.op.seq;
+            let completed = head.completed;
+            let issued = head.issued;
+            let is_load = head.op.is_load();
+            let long_latency_load = self.cp_long_latency_loads.contains(&seq);
+            let has_long_latency_src = head.op.sources().any(|r| self.llbv.is_long_latency(r));
+
+            if completed {
+                // High execution locality: executed in the Cache Processor.
+                let entry = self.rob.pop_head().expect("head exists");
+                if let Some(dst) = entry.op.dst {
+                    self.llbv.clear(dst);
+                }
+                match entry.op.class {
+                    OpClass::Load => self.ap.lsq_mut().retire_load(seq),
+                    OpClass::Store => self.ap.lsq_mut().retire_store(seq),
+                    _ => {}
+                }
+                self.stats.committed += 1;
+                self.stats.high_locality_instrs += 1;
+                self.analyzed_since_checkpoint += 1;
+                continue;
+            }
+
+            if is_load && long_latency_load {
+                // A load that issued in the CP and missed to main memory:
+                // the Address Processor owns it from here on.
+                let Some(epoch) = self.ensure_checkpoint(seq) else {
+                    stalled = true;
+                    break;
+                };
+                let entry = self.rob.pop_head().expect("head exists");
+                self.cp_long_latency_loads.remove(&seq);
+                if let Some(dst) = entry.op.dst {
+                    self.llbv.mark(dst, LowLocalityWriter::Load(seq));
+                }
+                self.checkpoints.register_instruction(epoch);
+                self.low_meta.insert(
+                    seq,
+                    LowMeta {
+                        op: entry.op,
+                        epoch,
+                        queue: RegClass::Int,
+                        predicted_taken: false,
+                        mispredicted: false,
+                    },
+                );
+                self.analyzed_since_checkpoint += 1;
+                continue;
+            }
+
+            if has_long_latency_src && !issued {
+                // Low execution locality: drain to the LLIB.
+                if !self.insert_into_llib(seq) {
+                    stalled = true;
+                    break;
+                }
+                self.analyzed_since_checkpoint += 1;
+                continue;
+            }
+
+            // Otherwise the instruction is short latency but still in
+            // flight (or a load whose hit/miss status is not known yet):
+            // Analyze stalls until it writes back, as in the paper.
+            stalled = true;
+            break;
+        }
+        if stalled {
+            self.stats.analyze_stall_cycles += 1;
+        }
+    }
+
+    /// Takes (or reuses) a checkpoint for a new low-locality instruction.
+    /// Returns the epoch, or `None` if the checkpoint stack is full and the
+    /// Analyze stage must stall.
+    fn ensure_checkpoint(&mut self, seq: u64) -> Option<u64> {
+        let need_new = self.checkpoints.is_empty()
+            || self.analyzed_since_checkpoint >= self.cfg.checkpoint.interval_instrs;
+        if need_new {
+            let epoch = self.checkpoints.take(seq)?;
+            self.analyzed_since_checkpoint = 0;
+            Some(epoch)
+        } else {
+            self.checkpoints.current_epoch()
+        }
+    }
+
+    /// Moves the Aging-ROB head into the LLIB of its class. Returns `false`
+    /// if a resource (LLIB entry, LLRF register, checkpoint) is unavailable
+    /// and the Analyze stage must stall.
+    fn insert_into_llib(&mut self, seq: u64) -> bool {
+        let head = self.rob.head().expect("caller checked");
+        let op = head.op.clone();
+        let class = Self::queue_class(&op);
+        let llib_has_space = match class {
+            RegClass::Int => self.llib_int.has_space(),
+            RegClass::Fp => self.llib_fp.has_space(),
+        };
+        if !llib_has_space {
+            self.stats.llib_full_stall_cycles += 1;
+            return false;
+        }
+        // Classify the sources and stage the READY operand into the LLRF.
+        let mut sources = [None, None];
+        let mut llrf_slot = None;
+        for (idx, src) in op.srcs.iter().enumerate() {
+            let Some(reg) = src else { continue };
+            if self.llbv.is_long_latency(*reg) {
+                sources[idx] = Some(match self.llbv.writer(*reg) {
+                    Some(LowLocalityWriter::Load(l)) => SourceState::WaitsForLoad(l),
+                    Some(LowLocalityWriter::MpInstr(p)) => SourceState::WaitsForMp(p),
+                    // Defensive: a marked register always has a writer.
+                    None => SourceState::Ready,
+                });
+            } else {
+                sources[idx] = Some(SourceState::Ready);
+                if llrf_slot.is_none() {
+                    let allocated = match class {
+                        RegClass::Int => self.llrf_int.allocate(),
+                        RegClass::Fp => self.llrf_fp.allocate(),
+                    };
+                    match allocated {
+                        Some(slot) => llrf_slot = Some(slot),
+                        None => return false,
+                    }
+                }
+            }
+        }
+        let Some(epoch) = self.ensure_checkpoint(seq) else {
+            // Undo the LLRF allocation; the Analyze stage retries next cycle.
+            if let Some(slot) = llrf_slot {
+                match class {
+                    RegClass::Int => self.llrf_int.free(slot),
+                    RegClass::Fp => self.llrf_fp.free(slot),
+                }
+            }
+            return false;
+        };
+
+        let entry = self.rob.pop_head().expect("caller checked");
+        // The instruction leaves the CP issue queue if it was still waiting
+        // there.
+        match entry.queue_class {
+            RegClass::Int => {
+                self.cp_int_iq.remove(seq);
+            }
+            RegClass::Fp => {
+                self.cp_fp_iq.remove(seq);
+            }
+        }
+        if let Some(dst) = entry.op.dst {
+            self.llbv.mark(dst, LowLocalityWriter::MpInstr(seq));
+        }
+        let llib = match class {
+            RegClass::Int => &mut self.llib_int,
+            RegClass::Fp => &mut self.llib_fp,
+        };
+        llib.push(LlibEntry {
+            op: entry.op.clone(),
+            sources,
+            llrf_slot,
+            checkpoint_epoch: epoch,
+            inserted_at: self.cycle,
+        });
+        self.checkpoints.register_instruction(epoch);
+        self.low_meta.insert(
+            seq,
+            LowMeta {
+                op: entry.op,
+                epoch,
+                queue: class,
+                predicted_taken: entry.predicted_taken,
+                mispredicted: entry.mispredicted,
+            },
+        );
+        true
+    }
+
+    fn cp_issue(&mut self) {
+        let width = self.cfg.cache_processor.widths.issue;
+        let mut selected = self
+            .cp_int_iq
+            .select(width, &mut self.cp_fus, self.ap.ports_mut());
+        let remaining = width.saturating_sub(selected.len());
+        selected.extend(
+            self.cp_fp_iq
+                .select(remaining, &mut self.cp_fus, self.ap.ports_mut()),
+        );
+        for (seq, class) in selected {
+            self.start_cp_execution(seq, class);
+        }
+    }
+
+    fn start_cp_execution(&mut self, seq: u64, class: OpClass) {
+        let now = self.cycle;
+        let addr = {
+            let entry = self.rob.get_mut(seq).expect("issued instruction in flight");
+            entry.issued = true;
+            entry.issue_cycle = Some(now);
+            entry.op.mem_addr
+        };
+        match class {
+            OpClass::Load => {
+                let addr = addr.expect("load has an address");
+                if self.ap.lsq().forwards_from_store(seq, addr) {
+                    self.cp_completions.push(Reverse((now + FORWARD_LATENCY, seq)));
+                    return;
+                }
+                let outcome = self.ap.access(addr, false, now);
+                if outcome.level == AccessLevel::Memory {
+                    // Long-latency: the Address Processor takes over; the
+                    // destination register will be flagged in the LLBV when
+                    // the load reaches Analyze.
+                    self.cp_long_latency_loads.insert(seq);
+                    self.ap.register_long_latency_load(seq, now + outcome.latency);
+                } else {
+                    self.cp_completions.push(Reverse((now + outcome.latency, seq)));
+                }
+            }
+            OpClass::Store => {
+                let addr = addr.expect("store has an address");
+                let _ = self.ap.access(addr, true, now);
+                self.cp_completions.push(Reverse((now + 1, seq)));
+            }
+            other => {
+                self.cp_completions
+                    .push(Reverse((now + other.exec_latency().max(1), seq)));
+            }
+        }
+    }
+
+    fn cp_dispatch(&mut self) {
+        for _ in 0..self.cfg.cache_processor.widths.decode {
+            let Some(op) = self.fetch_queue.front() else { break };
+            if let Some(&blocking) = self.unresolved_mispredicts.front() {
+                if op.seq > blocking {
+                    break;
+                }
+            }
+            if self.cycle < self.fetch_resume_at && op.seq > self.refill_boundary {
+                break;
+            }
+            if !self.rob.has_space() {
+                self.stats.rob_full_stall_cycles += 1;
+                break;
+            }
+            if op.class.is_mem() && !self.ap.lsq().has_space() {
+                break;
+            }
+            let queue_class = Self::queue_class(op);
+            let iq = match queue_class {
+                RegClass::Int => &self.cp_int_iq,
+                RegClass::Fp => &self.cp_fp_iq,
+            };
+            if !iq.has_space() {
+                break;
+            }
+
+            let op = self.fetch_queue.pop_front().expect("checked non-empty");
+            let seq = op.seq;
+            let mut entry = RobEntry::new(op, self.cycle, queue_class);
+
+            // Wire dependencies on producers still in the Cache Processor.
+            // Producers that have already moved to the low-locality side are
+            // not wired here: this instruction will be classified by the
+            // LLBV at Analyze instead.
+            let mut pending = 0u8;
+            for src in entry.op.sources() {
+                if let Some(&producer) = self.last_writer.get(&src) {
+                    if self.rob.get(producer).map(|e| !e.completed).unwrap_or(false) {
+                        self.cp_consumers.entry(producer).or_default().push(seq);
+                        pending += 1;
+                    }
+                }
+            }
+            entry.pending_srcs = pending;
+
+            if entry.op.is_conditional_branch() {
+                let predicted = self.predictor.predict(entry.op.pc);
+                entry.predicted_taken = predicted;
+                let actual = entry.op.branch.expect("conditional branch").taken;
+                entry.mispredicted = predicted != actual;
+                if entry.mispredicted {
+                    self.unresolved_mispredicts.push_back(seq);
+                }
+            }
+
+            match entry.op.class {
+                OpClass::Load => {
+                    self.ap.lsq_mut().dispatch_load(seq);
+                    self.stats.loads += 1;
+                }
+                OpClass::Store => {
+                    let addr = entry.op.mem_addr.expect("store has an address");
+                    self.ap.lsq_mut().dispatch_store(seq, addr);
+                    self.stats.stores += 1;
+                }
+                _ => {}
+            }
+            if let Some(dst) = entry.op.dst {
+                self.last_writer.insert(dst, seq);
+            }
+
+            let ready = entry.pending_srcs == 0;
+            let op_class = entry.op.class;
+            self.rob.push(entry);
+            match queue_class {
+                RegClass::Int => self.cp_int_iq.insert(seq, op_class, ready),
+                RegClass::Fp => self.cp_fp_iq.insert(seq, op_class, ready),
+            }
+        }
+    }
+
+    fn fetch(&mut self, trace: &mut dyn Iterator<Item = MicroOp>) {
+        if !self.unresolved_mispredicts.is_empty() || self.cycle < self.fetch_resume_at {
+            self.stats.mispredict_stall_cycles += 1;
+            return;
+        }
+        let limit = self.cfg.cache_processor.widths.fetch * 3;
+        for _ in 0..self.cfg.cache_processor.widths.fetch {
+            if self.fetch_queue.len() >= limit {
+                break;
+            }
+            let Some(op) = trace.next() else { break };
+            self.stats.fetched += 1;
+            self.fetch_queue.push_back(op);
+        }
+    }
+}
+
+/// Runs `benchmark` for `max_instrs` committed instructions on a D-KIP with
+/// configuration `cfg` and memory hierarchy `mem_cfg`.
+///
+/// # Panics
+///
+/// Panics if the memory or processor configuration is invalid.
+#[must_use]
+pub fn run_dkip(
+    cfg: &DkipConfig,
+    mem_cfg: &MemoryHierarchyConfig,
+    benchmark: Benchmark,
+    max_instrs: u64,
+    seed: u64,
+) -> SimStats {
+    let mem = MemoryHierarchy::new(mem_cfg.clone()).expect("invalid memory configuration");
+    let mut proc = DkipProcessor::new(cfg.clone(), mem);
+    let mut trace = TraceGenerator::new(benchmark, seed);
+    proc.run(&mut trace, max_instrs)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use dkip_model::config::SchedPolicy;
+    use dkip_ooo::run_baseline;
+    use dkip_model::config::BaselineConfig;
+
+    fn run(cfg: &DkipConfig, mem: MemoryHierarchyConfig, bench: Benchmark, n: u64) -> SimStats {
+        run_dkip(cfg, &mem, bench, n, 1)
+    }
+
+    #[test]
+    fn commits_the_requested_number_of_instructions() {
+        let stats = run(
+            &DkipConfig::paper_default(),
+            MemoryHierarchyConfig::mem_400(),
+            Benchmark::Mesa,
+            5_000,
+        );
+        assert!(stats.committed >= 5_000, "committed={}", stats.committed);
+        assert!(stats.ipc() > 0.0);
+    }
+
+    #[test]
+    fn most_instructions_have_high_execution_locality() {
+        let stats = run(
+            &DkipConfig::paper_default(),
+            MemoryHierarchyConfig::mem_400(),
+            Benchmark::Swim,
+            15_000,
+        );
+        let frac = stats.high_locality_fraction();
+        // The synthetic swim is considerably more memory bound than the real
+        // SimPoint, so the CP share is lower than the paper's 67-77%; it must
+        // still handle a substantial fraction while the MP handles the rest.
+        assert!(
+            frac > 0.3 && frac < 1.0,
+            "the CP should process a substantial share of swim but not everything: {frac}"
+        );
+        assert!(stats.low_locality_instrs > 0, "swim misses must create low-locality slices");
+    }
+
+    #[test]
+    fn cache_resident_workloads_barely_use_the_memory_processor() {
+        let stats = run(
+            &DkipConfig::paper_default(),
+            MemoryHierarchyConfig::mem_400(),
+            Benchmark::Mesa,
+            10_000,
+        );
+        assert!(
+            stats.high_locality_fraction() > 0.6,
+            "mesa is mostly cache resident: {}",
+            stats.high_locality_fraction()
+        );
+    }
+
+    #[test]
+    fn dkip_beats_an_equally_sized_conventional_core_on_memory_bound_fp() {
+        let mem = MemoryHierarchyConfig::mem_400();
+        let dkip = run(&DkipConfig::paper_default(), mem.clone(), Benchmark::Swim, 15_000);
+        let r10_64 = run_baseline(&BaselineConfig::r10_64(), &mem, Benchmark::Swim, 15_000, 1);
+        assert!(
+            dkip.ipc() > r10_64.ipc() * 1.2,
+            "D-KIP must clearly beat the small conventional core: dkip={} r10-64={}",
+            dkip.ipc(),
+            r10_64.ipc()
+        );
+    }
+
+    #[test]
+    fn llib_occupancy_is_tracked_and_bounded() {
+        let stats = run(
+            &DkipConfig::paper_default(),
+            MemoryHierarchyConfig::mem_400(),
+            Benchmark::Swim,
+            15_000,
+        );
+        assert!(stats.llib_fp_peak_instrs > 0, "FP slices must park in the FP LLIB");
+        assert!(stats.llib_fp_peak_instrs <= 2048);
+        assert!(stats.llrf_fp_peak_regs <= 8 * 256);
+        assert!(
+            stats.llrf_fp_peak_regs <= stats.llib_fp_peak_instrs,
+            "at most one READY register per parked instruction"
+        );
+    }
+
+    #[test]
+    fn checkpoints_are_taken_when_low_locality_code_exists() {
+        let stats = run(
+            &DkipConfig::paper_default(),
+            MemoryHierarchyConfig::mem_400(),
+            Benchmark::Art,
+            10_000,
+        );
+        assert!(stats.checkpoints_taken > 0);
+    }
+
+    #[test]
+    fn out_of_order_cp_beats_in_order_cp() {
+        // Figure 10's headline effect, measured on a mostly cache-resident
+        // benchmark where the Cache Processor dominates execution.
+        let mem = MemoryHierarchyConfig::mem_400();
+        let ooo = run(
+            &DkipConfig::paper_default().with_cp(SchedPolicy::OutOfOrder, 40),
+            mem.clone(),
+            Benchmark::Mesa,
+            12_000,
+        );
+        let ino = run(
+            &DkipConfig::paper_default().with_cp(SchedPolicy::InOrder, 40),
+            mem,
+            Benchmark::Mesa,
+            12_000,
+        );
+        assert!(
+            ooo.ipc() > ino.ipc(),
+            "OOO CP must beat in-order CP: ooo={} ino={}",
+            ooo.ipc(),
+            ino.ipc()
+        );
+    }
+
+    #[test]
+    fn pointer_chasing_workloads_still_make_progress() {
+        let stats = run(
+            &DkipConfig::paper_default(),
+            MemoryHierarchyConfig::mem_400(),
+            Benchmark::Mcf,
+            8_000,
+        );
+        assert!(stats.committed >= 8_000);
+        assert!(stats.low_locality_instrs > 0, "mcf chases pointers through the MP");
+    }
+
+    #[test]
+    fn deterministic_across_runs() {
+        let a = run(
+            &DkipConfig::paper_default(),
+            MemoryHierarchyConfig::mem_400(),
+            Benchmark::Gcc,
+            6_000,
+        );
+        let b = run(
+            &DkipConfig::paper_default(),
+            MemoryHierarchyConfig::mem_400(),
+            Benchmark::Gcc,
+            6_000,
+        );
+        assert_eq!(a.cycles, b.cycles);
+        assert_eq!(a.committed, b.committed);
+    }
+
+    #[test]
+    fn d_kip_is_less_sensitive_to_l2_size_than_a_conventional_core_on_fp() {
+        let small_l2 = MemoryHierarchyConfig::mem_400().with_l2_kb(64);
+        let big_l2 = MemoryHierarchyConfig::mem_400().with_l2_kb(4096);
+        let n = 12_000;
+        let dkip_small = run(&DkipConfig::paper_default(), small_l2.clone(), Benchmark::Applu, n);
+        let dkip_big = run(&DkipConfig::paper_default(), big_l2.clone(), Benchmark::Applu, n);
+        let r10_small = run_baseline(&BaselineConfig::r10_256(), &small_l2, Benchmark::Applu, n, 1);
+        let r10_big = run_baseline(&BaselineConfig::r10_256(), &big_l2, Benchmark::Applu, n, 1);
+        let dkip_gain = dkip_big.ipc() / dkip_small.ipc().max(1e-9);
+        let r10_gain = r10_big.ipc() / r10_small.ipc().max(1e-9);
+        assert!(
+            dkip_gain <= r10_gain * 1.15,
+            "the D-KIP should be comparatively cache-size tolerant: dkip_gain={dkip_gain} r10_gain={r10_gain}"
+        );
+    }
+}

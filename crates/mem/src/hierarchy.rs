@@ -1,0 +1,368 @@
+//! The L1 → L2 → main-memory lookup path.
+//!
+//! [`MemoryHierarchy`] implements the six memory subsystems of Table 1 and
+//! the parameterised hierarchy of Table 2. It supports:
+//!
+//! * *perfect* levels (a `None` capacity never misses), used by the L1-2 /
+//!   L2-11 / L2-21 rows of Table 1,
+//! * outstanding-miss merging: a second access to a cache line whose miss is
+//!   already in flight completes when the original miss completes rather
+//!   than paying the full latency again (a simple MSHR model),
+//! * per-level access statistics, which the cores fold into
+//!   [`dkip_model::stats::SimStats`].
+
+use crate::cache::SetAssocCache;
+use dkip_model::config::MemoryHierarchyConfig;
+use dkip_model::ConfigError;
+use std::collections::HashMap;
+
+/// The level of the hierarchy that serviced an access.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord)]
+pub enum AccessLevel {
+    /// Serviced by the L1 data cache.
+    L1,
+    /// Serviced by the L2 cache.
+    L2,
+    /// Serviced by main memory (an off-chip access — the event that creates
+    /// *low execution locality* in the paper's terminology).
+    Memory,
+}
+
+/// The outcome of a memory access: where it was serviced and how long it
+/// takes from issue to data return.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct AccessOutcome {
+    /// Level that serviced the access.
+    pub level: AccessLevel,
+    /// Total latency in cycles from the access starting to data return.
+    pub latency: u64,
+    /// Whether the access was merged into an already-outstanding miss for
+    /// the same cache line.
+    pub merged: bool,
+}
+
+impl AccessOutcome {
+    /// Whether this access reached main memory and is therefore a
+    /// *long-latency* event for the D-KIP's classification logic.
+    #[must_use]
+    pub fn is_long_latency(&self) -> bool {
+        self.level == AccessLevel::Memory
+    }
+}
+
+/// Per-level access counters.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct MemStats {
+    /// Accesses serviced by the L1.
+    pub l1_hits: u64,
+    /// Accesses serviced by the L2.
+    pub l2_hits: u64,
+    /// Accesses serviced by main memory.
+    pub memory_accesses: u64,
+    /// Accesses merged into an outstanding miss.
+    pub merged_misses: u64,
+}
+
+impl MemStats {
+    /// Total number of accesses.
+    #[must_use]
+    pub fn total(&self) -> u64 {
+        self.l1_hits + self.l2_hits + self.memory_accesses
+    }
+}
+
+/// The two-level cache hierarchy plus main memory.
+#[derive(Debug, Clone)]
+pub struct MemoryHierarchy {
+    config: MemoryHierarchyConfig,
+    l1: Option<SetAssocCache>,
+    l2: Option<SetAssocCache>,
+    /// Outstanding misses: line address → cycle at which the fill completes.
+    outstanding: HashMap<u64, u64>,
+    stats: MemStats,
+}
+
+impl MemoryHierarchy {
+    /// Builds a hierarchy from a validated configuration.
+    ///
+    /// # Errors
+    ///
+    /// Returns a [`ConfigError`] if the configuration fails
+    /// [`MemoryHierarchyConfig::validate`] or a cache cannot be constructed
+    /// from it.
+    pub fn new(config: MemoryHierarchyConfig) -> Result<Self, ConfigError> {
+        config.validate()?;
+        let l1 = match config.l1_size {
+            Some(size) => Some(SetAssocCache::new(size, config.l1_assoc, config.line_size)?),
+            None => None,
+        };
+        let l2 = match config.l2_size {
+            Some(size) => Some(SetAssocCache::new(size, config.l2_assoc, config.line_size)?),
+            None => None,
+        };
+        Ok(MemoryHierarchy {
+            config,
+            l1,
+            l2,
+            outstanding: HashMap::new(),
+            stats: MemStats::default(),
+        })
+    }
+
+    /// The configuration this hierarchy was built from.
+    #[must_use]
+    pub fn config(&self) -> &MemoryHierarchyConfig {
+        &self.config
+    }
+
+    /// Access statistics accumulated so far.
+    #[must_use]
+    pub fn stats(&self) -> MemStats {
+        self.stats
+    }
+
+    fn line_addr(&self, addr: u64) -> u64 {
+        addr & !(self.config.line_size as u64 - 1)
+    }
+
+    /// Performs a timing access for `addr` at cycle `now`.
+    ///
+    /// Returns where the access was serviced and its latency. Misses update
+    /// the cache state (fill on miss, write-allocate) and register an
+    /// outstanding-miss entry so that subsequent accesses to the same line
+    /// before the fill completes are merged.
+    pub fn access(&mut self, addr: u64, is_write: bool, now: u64) -> AccessOutcome {
+        let line = self.line_addr(addr);
+
+        // Merge with an outstanding miss for the same line if it has not
+        // completed yet.
+        if let Some(&complete) = self.outstanding.get(&line) {
+            if complete > now {
+                self.stats.memory_accesses += 1;
+                self.stats.merged_misses += 1;
+                return AccessOutcome {
+                    level: AccessLevel::Memory,
+                    latency: complete - now,
+                    merged: true,
+                };
+            }
+            self.outstanding.remove(&line);
+        }
+
+        // L1 lookup. A `None` L1 is perfect: it always hits.
+        let l1_hit = match self.l1.as_mut() {
+            Some(l1) => l1.access(addr, is_write),
+            None => true,
+        };
+        if l1_hit {
+            self.stats.l1_hits += 1;
+            return AccessOutcome {
+                level: AccessLevel::L1,
+                latency: self.config.l1_latency,
+                merged: false,
+            };
+        }
+
+        // L2 lookup. A perfect L2 (or a configuration whose L2 is declared
+        // perfect) always hits here.
+        let l2_hit = match self.l2.as_mut() {
+            Some(l2) => l2.access(addr, is_write),
+            None => true,
+        };
+        if self.config.l2_perfect || l2_hit {
+            self.stats.l2_hits += 1;
+            return AccessOutcome {
+                level: AccessLevel::L2,
+                latency: self.config.l1_latency + self.config.l2_latency,
+                merged: false,
+            };
+        }
+
+        // Main-memory access.
+        self.stats.memory_accesses += 1;
+        let latency = self.config.l1_latency + self.config.l2_latency + self.config.memory_latency;
+        self.outstanding.insert(line, now + latency);
+        // Opportunistically prune completed entries so the map stays small.
+        if self.outstanding.len() > 4096 {
+            self.outstanding.retain(|_, &mut c| c > now);
+        }
+        AccessOutcome {
+            level: AccessLevel::Memory,
+            latency,
+            merged: false,
+        }
+    }
+
+    /// Probes whether an access to `addr` would be serviced by main memory,
+    /// without modifying any cache or statistics state.
+    ///
+    /// The D-KIP's Analyze stage uses this to learn the hit/miss status of a
+    /// load that has already performed its tag lookup.
+    #[must_use]
+    pub fn would_miss_to_memory(&self, addr: u64) -> bool {
+        if self.config.l2_perfect {
+            return false;
+        }
+        let l1_hit = match self.l1.as_ref() {
+            Some(l1) => l1.contains(addr),
+            None => true,
+        };
+        if l1_hit {
+            return false;
+        }
+        match self.l2.as_ref() {
+            Some(l2) => !l2.contains(addr),
+            None => false,
+        }
+    }
+
+    /// Invalidates both cache levels and clears outstanding misses.
+    pub fn reset(&mut self) {
+        if let Some(l1) = self.l1.as_mut() {
+            l1.invalidate_all();
+        }
+        if let Some(l2) = self.l2.as_mut() {
+            l2.invalidate_all();
+        }
+        self.outstanding.clear();
+        self.stats = MemStats::default();
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn small_config() -> MemoryHierarchyConfig {
+        MemoryHierarchyConfig {
+            name: "TEST".to_owned(),
+            l1_size: Some(1024),
+            l1_latency: 2,
+            l1_assoc: 2,
+            l2_size: Some(8 * 1024),
+            l2_latency: 11,
+            l2_assoc: 4,
+            memory_latency: 400,
+            line_size: 64,
+            l2_perfect: false,
+        }
+    }
+
+    #[test]
+    fn perfect_l1_always_hits() {
+        let mut mem = MemoryHierarchy::new(MemoryHierarchyConfig::l1_2()).unwrap();
+        for addr in (0..100u64).map(|i| i * 4096) {
+            let outcome = mem.access(addr, false, 0);
+            assert_eq!(outcome.level, AccessLevel::L1);
+            assert_eq!(outcome.latency, 2);
+        }
+        assert_eq!(mem.stats().total(), 100);
+        assert_eq!(mem.stats().memory_accesses, 0);
+    }
+
+    #[test]
+    fn perfect_l2_configs_never_reach_memory() {
+        for cfg in [MemoryHierarchyConfig::l2_11(), MemoryHierarchyConfig::l2_21()] {
+            let expected = 2 + cfg.l2_latency;
+            let mut mem = MemoryHierarchy::new(cfg).unwrap();
+            // Miss the 32 KB L1 by streaming far apart addresses.
+            let mut worst = 0;
+            for i in 0..4096u64 {
+                let outcome = mem.access(i * 4096, false, i);
+                assert_ne!(outcome.level, AccessLevel::Memory);
+                worst = worst.max(outcome.latency);
+            }
+            assert_eq!(worst, expected, "L1 misses must cost L1+L2 latency");
+        }
+    }
+
+    #[test]
+    fn cold_miss_goes_to_memory_then_hits_in_l1() {
+        let mut mem = MemoryHierarchy::new(small_config()).unwrap();
+        let first = mem.access(0x10000, false, 0);
+        assert_eq!(first.level, AccessLevel::Memory);
+        assert_eq!(first.latency, 2 + 11 + 400);
+        let second = mem.access(0x10000, false, first.latency + 1);
+        assert_eq!(second.level, AccessLevel::L1);
+        assert_eq!(second.latency, 2);
+    }
+
+    #[test]
+    fn l1_eviction_falls_back_to_l2() {
+        let mut mem = MemoryHierarchy::new(small_config()).unwrap();
+        // Touch enough lines to overflow the 1 KB L1 but stay within the
+        // 8 KB L2, then re-touch the first line: it should hit in L2.
+        let warm = 0x0u64;
+        mem.access(warm, false, 0);
+        for i in 1..64u64 {
+            mem.access(i * 64, false, 1000 * i);
+        }
+        let outcome = mem.access(warm, false, 1_000_000);
+        assert_eq!(outcome.level, AccessLevel::L2);
+        assert_eq!(outcome.latency, 2 + 11);
+    }
+
+    #[test]
+    fn outstanding_misses_are_merged() {
+        let mut mem = MemoryHierarchy::new(small_config()).unwrap();
+        let first = mem.access(0x20000, false, 100);
+        assert!(!first.merged);
+        // A second access to the same line 50 cycles later completes with
+        // the remaining latency.
+        let second = mem.access(0x20010, false, 150);
+        assert!(second.merged);
+        assert_eq!(second.latency, first.latency - 50);
+        // After the fill completes, the line hits in L1.
+        let third = mem.access(0x20000, false, 100 + first.latency + 1);
+        assert_eq!(third.level, AccessLevel::L1);
+    }
+
+    #[test]
+    fn would_miss_probe_matches_access_behaviour_without_side_effects() {
+        let mut mem = MemoryHierarchy::new(small_config()).unwrap();
+        assert!(mem.would_miss_to_memory(0x30000));
+        let stats_before = mem.stats();
+        assert!(mem.would_miss_to_memory(0x30000));
+        assert_eq!(mem.stats(), stats_before, "probe must not change stats");
+        mem.access(0x30000, false, 0);
+        assert!(!mem.would_miss_to_memory(0x30000));
+    }
+
+    #[test]
+    fn perfect_configs_never_report_memory_miss_probe() {
+        let mem = MemoryHierarchy::new(MemoryHierarchyConfig::l2_11()).unwrap();
+        assert!(!mem.would_miss_to_memory(0xdead_beef));
+    }
+
+    #[test]
+    fn reset_clears_cache_contents_and_stats() {
+        let mut mem = MemoryHierarchy::new(small_config()).unwrap();
+        mem.access(0x40000, true, 0);
+        mem.reset();
+        assert_eq!(mem.stats().total(), 0);
+        let outcome = mem.access(0x40000, false, 0);
+        assert_eq!(outcome.level, AccessLevel::Memory, "cache was invalidated");
+    }
+
+    #[test]
+    fn table1_latencies_are_reproduced() {
+        // MEM-100 / MEM-400 / MEM-1000 differ only in the memory latency.
+        for (cfg, expected) in [
+            (MemoryHierarchyConfig::mem_100(), 2 + 11 + 100),
+            (MemoryHierarchyConfig::mem_400(), 2 + 11 + 400),
+            (MemoryHierarchyConfig::mem_1000(), 2 + 11 + 1000),
+        ] {
+            let mut mem = MemoryHierarchy::new(cfg).unwrap();
+            let outcome = mem.access(0xABCD_0000, false, 0);
+            assert_eq!(outcome.latency, expected);
+        }
+    }
+
+    #[test]
+    fn stores_allocate_lines() {
+        let mut mem = MemoryHierarchy::new(small_config()).unwrap();
+        mem.access(0x50000, true, 0);
+        let again = mem.access(0x50000, false, 10_000);
+        assert_eq!(again.level, AccessLevel::L1);
+    }
+}

@@ -1,0 +1,66 @@
+//! Error types for configuration validation.
+
+use std::error::Error;
+use std::fmt;
+
+/// An invalid configuration was supplied to one of the simulator components.
+///
+/// The error message names the offending field and the constraint it
+/// violated.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct ConfigError {
+    field: String,
+    message: String,
+}
+
+impl ConfigError {
+    /// Creates a configuration error for `field` with a human-readable
+    /// explanation of the violated constraint.
+    #[must_use]
+    pub fn new(field: impl Into<String>, message: impl Into<String>) -> Self {
+        ConfigError {
+            field: field.into(),
+            message: message.into(),
+        }
+    }
+
+    /// The configuration field that failed validation.
+    #[must_use]
+    pub fn field(&self) -> &str {
+        &self.field
+    }
+
+    /// The constraint that was violated.
+    #[must_use]
+    pub fn message(&self) -> &str {
+        &self.message
+    }
+}
+
+impl fmt::Display for ConfigError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "invalid configuration for `{}`: {}", self.field, self.message)
+    }
+}
+
+impl Error for ConfigError {}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn display_mentions_field_and_message() {
+        let err = ConfigError::new("rob_capacity", "must be a positive multiple of the commit width");
+        let text = err.to_string();
+        assert!(text.contains("rob_capacity"));
+        assert!(text.contains("multiple"));
+        assert_eq!(err.field(), "rob_capacity");
+    }
+
+    #[test]
+    fn implements_std_error() {
+        fn assert_error<E: std::error::Error + Send + Sync + 'static>() {}
+        assert_error::<ConfigError>();
+    }
+}

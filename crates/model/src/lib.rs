@@ -1,0 +1,47 @@
+//! Common model types for the Decoupled KILO-Instruction Processor (D-KIP)
+//! reproduction.
+//!
+//! This crate defines the vocabulary shared by every other crate in the
+//! workspace:
+//!
+//! * [`reg`] — architectural and physical register identifiers,
+//! * [`op`] — micro-operation classes, functional-unit pools and latencies,
+//! * [`instr`] — the trace-level [`instr::MicroOp`] record produced by the
+//!   workload generators and consumed by every core model,
+//! * [`config`] — configuration structures for the memory hierarchy, the
+//!   baseline out-of-order cores, the traditional KILO processor and the
+//!   D-KIP itself, including the presets of Tables 1, 2 and 3 of the paper,
+//! * [`stats`] — counters, histograms and the aggregate [`stats::SimStats`]
+//!   record reported by every simulation,
+//! * [`error`] — configuration validation errors.
+//!
+//! # Example
+//!
+//! ```
+//! use dkip_model::config::{DkipConfig, MemoryHierarchyConfig};
+//!
+//! let dkip = DkipConfig::paper_default();
+//! let mem = MemoryHierarchyConfig::mem_400();
+//! assert_eq!(dkip.cache_processor.rob_capacity, 64);
+//! assert_eq!(mem.memory_latency, 400);
+//! ```
+
+#![warn(missing_docs)]
+#![warn(missing_debug_implementations)]
+
+pub mod config;
+pub mod error;
+pub mod instr;
+pub mod op;
+pub mod reg;
+pub mod stats;
+
+pub use config::{
+    BaselineConfig, CacheProcessorConfig, DkipConfig, KiloConfig, MemoryHierarchyConfig,
+    MemoryProcessorConfig, SchedPolicy,
+};
+pub use error::ConfigError;
+pub use instr::{BranchInfo, BranchKind, MicroOp};
+pub use op::{FuPool, OpClass};
+pub use reg::{ArchReg, PhysReg, RegClass, FP_ARCH_REGS, INT_ARCH_REGS, TOTAL_ARCH_REGS};
+pub use stats::{Histogram, SimStats};

@@ -1,0 +1,255 @@
+//! Micro-operation classes, functional-unit pools and execution latencies.
+//!
+//! The configuration of Table 2 of the paper provides 4 ALUs, 1 integer
+//! multiplier, 4 FP adders and 1 FP multiplier/divider per execution engine.
+//! Memory operations occupy the Address Processor's global memory ports
+//! rather than a functional unit.
+
+use crate::reg::RegClass;
+use std::fmt;
+
+/// The class of a micro-operation.
+///
+/// The class determines which functional-unit pool executes the operation,
+/// its execution latency and whether it interacts with the memory hierarchy
+/// or the branch predictor.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum OpClass {
+    /// Integer ALU operation (add, logical, shift, compare).
+    IntAlu,
+    /// Integer multiply.
+    IntMul,
+    /// Floating point add/subtract/compare/convert.
+    FpAdd,
+    /// Floating point multiply.
+    FpMul,
+    /// Floating point divide / square root.
+    FpDiv,
+    /// Memory load.
+    Load,
+    /// Memory store.
+    Store,
+    /// Control-flow instruction (conditional branch, jump, call, return).
+    Branch,
+    /// No-operation (also used for prefetch hints).
+    Nop,
+}
+
+impl OpClass {
+    /// All operation classes, in a fixed order (useful for building
+    /// per-class tables and for property tests).
+    pub const ALL: [OpClass; 9] = [
+        OpClass::IntAlu,
+        OpClass::IntMul,
+        OpClass::FpAdd,
+        OpClass::FpMul,
+        OpClass::FpDiv,
+        OpClass::Load,
+        OpClass::Store,
+        OpClass::Branch,
+        OpClass::Nop,
+    ];
+
+    /// The functional-unit pool this class issues to, or `None` for
+    /// memory operations and nops which use the memory ports / no unit.
+    #[must_use]
+    pub fn fu_pool(self) -> Option<FuPool> {
+        match self {
+            OpClass::IntAlu | OpClass::Branch => Some(FuPool::IntAlu),
+            OpClass::IntMul => Some(FuPool::IntMul),
+            OpClass::FpAdd => Some(FuPool::FpAdd),
+            OpClass::FpMul | OpClass::FpDiv => Some(FuPool::FpMulDiv),
+            OpClass::Load | OpClass::Store | OpClass::Nop => None,
+        }
+    }
+
+    /// Execution latency in cycles once issued to a functional unit.
+    ///
+    /// Loads add the memory-hierarchy latency on top of their
+    /// address-generation latency; this method returns only the fixed
+    /// pipeline portion.
+    #[must_use]
+    pub fn exec_latency(self) -> u64 {
+        match self {
+            OpClass::IntAlu | OpClass::Branch | OpClass::Nop => 1,
+            OpClass::IntMul => 3,
+            OpClass::FpAdd => 2,
+            OpClass::FpMul => 4,
+            OpClass::FpDiv => 12,
+            // Address generation for memory operations.
+            OpClass::Load | OpClass::Store => 1,
+        }
+    }
+
+    /// Whether this class accesses memory through the load/store queue.
+    #[must_use]
+    pub fn is_mem(self) -> bool {
+        matches!(self, OpClass::Load | OpClass::Store)
+    }
+
+    /// Whether this class is a load.
+    #[must_use]
+    pub fn is_load(self) -> bool {
+        matches!(self, OpClass::Load)
+    }
+
+    /// Whether this class is a store.
+    #[must_use]
+    pub fn is_store(self) -> bool {
+        matches!(self, OpClass::Store)
+    }
+
+    /// Whether this class is a control-flow instruction.
+    #[must_use]
+    pub fn is_branch(self) -> bool {
+        matches!(self, OpClass::Branch)
+    }
+
+    /// The register class an operation of this class naturally produces and
+    /// consumes. Loads and stores can touch either class; they report the
+    /// class of the value they move, which the trace generator chooses, so
+    /// this returns the *default* class.
+    #[must_use]
+    pub fn natural_class(self) -> RegClass {
+        match self {
+            OpClass::FpAdd | OpClass::FpMul | OpClass::FpDiv => RegClass::Fp,
+            _ => RegClass::Int,
+        }
+    }
+
+    /// Whether the operation is a floating-point arithmetic operation.
+    #[must_use]
+    pub fn is_fp(self) -> bool {
+        matches!(self, OpClass::FpAdd | OpClass::FpMul | OpClass::FpDiv)
+    }
+}
+
+impl fmt::Display for OpClass {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        let s = match self {
+            OpClass::IntAlu => "int_alu",
+            OpClass::IntMul => "int_mul",
+            OpClass::FpAdd => "fp_add",
+            OpClass::FpMul => "fp_mul",
+            OpClass::FpDiv => "fp_div",
+            OpClass::Load => "load",
+            OpClass::Store => "store",
+            OpClass::Branch => "branch",
+            OpClass::Nop => "nop",
+        };
+        f.write_str(s)
+    }
+}
+
+/// A functional-unit pool in an execution engine.
+///
+/// Pools have a unit count (how many operations of that pool may start per
+/// cycle) configured in [`crate::config::FuConfig`].
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum FuPool {
+    /// Integer ALUs (also execute branches).
+    IntAlu,
+    /// Integer multiplier.
+    IntMul,
+    /// Floating-point adders.
+    FpAdd,
+    /// Floating-point multiplier / divider.
+    FpMulDiv,
+}
+
+impl FuPool {
+    /// All functional-unit pools.
+    pub const ALL: [FuPool; 4] = [FuPool::IntAlu, FuPool::IntMul, FuPool::FpAdd, FuPool::FpMulDiv];
+
+    /// A dense index for table lookups.
+    #[must_use]
+    pub fn index(self) -> usize {
+        match self {
+            FuPool::IntAlu => 0,
+            FuPool::IntMul => 1,
+            FuPool::FpAdd => 2,
+            FuPool::FpMulDiv => 3,
+        }
+    }
+}
+
+impl fmt::Display for FuPool {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        let s = match self {
+            FuPool::IntAlu => "int_alu_pool",
+            FuPool::IntMul => "int_mul_pool",
+            FuPool::FpAdd => "fp_add_pool",
+            FuPool::FpMulDiv => "fp_muldiv_pool",
+        };
+        f.write_str(s)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn every_non_memory_class_has_a_pool() {
+        for class in OpClass::ALL {
+            if class.is_mem() || class == OpClass::Nop {
+                assert!(class.fu_pool().is_none(), "{class} should not use a pool");
+            } else {
+                assert!(class.fu_pool().is_some(), "{class} must map to a pool");
+            }
+        }
+    }
+
+    #[test]
+    fn latencies_are_positive() {
+        for class in OpClass::ALL {
+            assert!(class.exec_latency() >= 1, "{class} latency must be at least 1");
+        }
+    }
+
+    #[test]
+    fn fp_div_is_slowest_arithmetic() {
+        for class in OpClass::ALL {
+            if class != OpClass::FpDiv {
+                assert!(OpClass::FpDiv.exec_latency() >= class.exec_latency());
+            }
+        }
+    }
+
+    #[test]
+    fn predicate_helpers_are_consistent() {
+        assert!(OpClass::Load.is_mem() && OpClass::Load.is_load() && !OpClass::Load.is_store());
+        assert!(OpClass::Store.is_mem() && OpClass::Store.is_store() && !OpClass::Store.is_load());
+        assert!(OpClass::Branch.is_branch());
+        assert!(!OpClass::IntAlu.is_mem());
+        assert!(OpClass::FpMul.is_fp() && !OpClass::IntMul.is_fp());
+    }
+
+    #[test]
+    fn natural_class_of_fp_ops_is_fp() {
+        assert_eq!(OpClass::FpAdd.natural_class(), RegClass::Fp);
+        assert_eq!(OpClass::FpDiv.natural_class(), RegClass::Fp);
+        assert_eq!(OpClass::IntAlu.natural_class(), RegClass::Int);
+        assert_eq!(OpClass::Load.natural_class(), RegClass::Int);
+    }
+
+    #[test]
+    fn pool_indices_are_dense_and_unique() {
+        let mut seen = [false; 4];
+        for pool in FuPool::ALL {
+            assert!(!seen[pool.index()]);
+            seen[pool.index()] = true;
+        }
+        assert!(seen.iter().all(|s| *s));
+    }
+
+    #[test]
+    fn display_is_nonempty() {
+        for class in OpClass::ALL {
+            assert!(!class.to_string().is_empty());
+        }
+        for pool in FuPool::ALL {
+            assert!(!pool.to_string().is_empty());
+        }
+    }
+}

@@ -1,0 +1,246 @@
+//! Architectural and physical register identifiers.
+//!
+//! The reproduction models an Alpha-like ISA with 32 integer and 32
+//! floating-point architectural registers. Register identity matters for the
+//! D-KIP because the Low-Locality Bit Vector (LLBV) is indexed by
+//! architectural register, and the Low-Locality Register File (LLRF) stores
+//! READY operand values by physical slot.
+
+use std::fmt;
+
+/// Number of integer architectural registers (Alpha-like ISA).
+pub const INT_ARCH_REGS: usize = 32;
+/// Number of floating-point architectural registers (Alpha-like ISA).
+pub const FP_ARCH_REGS: usize = 32;
+/// Total number of architectural registers across both classes.
+pub const TOTAL_ARCH_REGS: usize = INT_ARCH_REGS + FP_ARCH_REGS;
+
+/// The register class an architectural or physical register belongs to.
+///
+/// The D-KIP keeps one LLIB (and one Memory Processor) per class, so the
+/// class of a value determines which low-locality path it takes.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord)]
+pub enum RegClass {
+    /// Integer register file.
+    Int,
+    /// Floating-point register file.
+    Fp,
+}
+
+impl RegClass {
+    /// Number of architectural registers in this class.
+    #[must_use]
+    pub fn arch_count(self) -> usize {
+        match self {
+            RegClass::Int => INT_ARCH_REGS,
+            RegClass::Fp => FP_ARCH_REGS,
+        }
+    }
+
+    /// Both register classes, in a fixed order.
+    #[must_use]
+    pub fn both() -> [RegClass; 2] {
+        [RegClass::Int, RegClass::Fp]
+    }
+}
+
+impl fmt::Display for RegClass {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            RegClass::Int => write!(f, "int"),
+            RegClass::Fp => write!(f, "fp"),
+        }
+    }
+}
+
+/// An architectural register: a class plus an index within that class.
+///
+/// # Example
+///
+/// ```
+/// use dkip_model::reg::{ArchReg, RegClass};
+///
+/// let r = ArchReg::int(5);
+/// assert_eq!(r.class(), RegClass::Int);
+/// assert_eq!(r.index(), 5);
+/// assert!(r.flat_index() < dkip_model::reg::TOTAL_ARCH_REGS);
+/// ```
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord)]
+pub struct ArchReg {
+    class: RegClass,
+    index: u8,
+}
+
+impl ArchReg {
+    /// Creates an integer architectural register.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `index >= INT_ARCH_REGS`.
+    #[must_use]
+    pub fn int(index: u8) -> Self {
+        assert!(
+            (index as usize) < INT_ARCH_REGS,
+            "integer register index {index} out of range"
+        );
+        ArchReg {
+            class: RegClass::Int,
+            index,
+        }
+    }
+
+    /// Creates a floating-point architectural register.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `index >= FP_ARCH_REGS`.
+    #[must_use]
+    pub fn fp(index: u8) -> Self {
+        assert!(
+            (index as usize) < FP_ARCH_REGS,
+            "fp register index {index} out of range"
+        );
+        ArchReg {
+            class: RegClass::Fp,
+            index,
+        }
+    }
+
+    /// Creates a register of the given class.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `index` is out of range for the class.
+    #[must_use]
+    pub fn new(class: RegClass, index: u8) -> Self {
+        match class {
+            RegClass::Int => ArchReg::int(index),
+            RegClass::Fp => ArchReg::fp(index),
+        }
+    }
+
+    /// The register class.
+    #[must_use]
+    pub fn class(self) -> RegClass {
+        self.class
+    }
+
+    /// The index within the register class.
+    #[must_use]
+    pub fn index(self) -> u8 {
+        self.index
+    }
+
+    /// A dense index over all architectural registers (integer registers
+    /// first, then floating point), suitable for indexing the LLBV.
+    #[must_use]
+    pub fn flat_index(self) -> usize {
+        match self.class {
+            RegClass::Int => self.index as usize,
+            RegClass::Fp => INT_ARCH_REGS + self.index as usize,
+        }
+    }
+
+    /// Reconstructs a register from its [`flat_index`](Self::flat_index).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `flat >= TOTAL_ARCH_REGS`.
+    #[must_use]
+    pub fn from_flat_index(flat: usize) -> Self {
+        assert!(flat < TOTAL_ARCH_REGS, "flat register index out of range");
+        if flat < INT_ARCH_REGS {
+            ArchReg::int(flat as u8)
+        } else {
+            ArchReg::fp((flat - INT_ARCH_REGS) as u8)
+        }
+    }
+}
+
+impl fmt::Display for ArchReg {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self.class {
+            RegClass::Int => write!(f, "r{}", self.index),
+            RegClass::Fp => write!(f, "f{}", self.index),
+        }
+    }
+}
+
+/// A physical register identifier inside a merged register file.
+///
+/// The baseline cores rename architectural registers onto physical registers
+/// MIPS R10000 style; the identifier is opaque outside the renaming logic.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord)]
+pub struct PhysReg(pub u32);
+
+impl PhysReg {
+    /// The raw index of the physical register.
+    #[must_use]
+    pub fn index(self) -> usize {
+        self.0 as usize
+    }
+}
+
+impl fmt::Display for PhysReg {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "p{}", self.0)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn int_and_fp_registers_have_distinct_flat_indices() {
+        let r5 = ArchReg::int(5);
+        let f5 = ArchReg::fp(5);
+        assert_ne!(r5.flat_index(), f5.flat_index());
+        assert_eq!(f5.flat_index(), INT_ARCH_REGS + 5);
+    }
+
+    #[test]
+    fn flat_index_round_trips() {
+        for flat in 0..TOTAL_ARCH_REGS {
+            let r = ArchReg::from_flat_index(flat);
+            assert_eq!(r.flat_index(), flat);
+        }
+    }
+
+    #[test]
+    fn display_formats() {
+        assert_eq!(ArchReg::int(3).to_string(), "r3");
+        assert_eq!(ArchReg::fp(7).to_string(), "f7");
+        assert_eq!(PhysReg(12).to_string(), "p12");
+        assert_eq!(RegClass::Int.to_string(), "int");
+        assert_eq!(RegClass::Fp.to_string(), "fp");
+    }
+
+    #[test]
+    #[should_panic(expected = "out of range")]
+    fn int_register_index_is_validated() {
+        let _ = ArchReg::int(32);
+    }
+
+    #[test]
+    #[should_panic(expected = "out of range")]
+    fn fp_register_index_is_validated() {
+        let _ = ArchReg::fp(200);
+    }
+
+    #[test]
+    fn class_counts() {
+        assert_eq!(RegClass::Int.arch_count(), 32);
+        assert_eq!(RegClass::Fp.arch_count(), 32);
+        assert_eq!(TOTAL_ARCH_REGS, 64);
+    }
+
+    #[test]
+    fn ordering_is_total() {
+        let mut regs: Vec<ArchReg> = (0..8).map(ArchReg::fp).chain((0..8).map(ArchReg::int)).collect();
+        regs.sort();
+        // Int sorts before Fp because of enum ordering.
+        assert_eq!(regs[0], ArchReg::int(0));
+        assert_eq!(regs[15], ArchReg::fp(7));
+    }
+}

@@ -1,0 +1,511 @@
+//! Counters, histograms and aggregate simulation statistics.
+
+use std::fmt;
+
+/// A bucketed histogram of non-negative integer samples.
+///
+/// Used to reproduce Figure 3 of the paper (the distribution of the
+/// decode→issue distance) and to track queue-occupancy distributions.
+///
+/// # Example
+///
+/// ```
+/// use dkip_model::stats::Histogram;
+///
+/// let mut h = Histogram::new(10, 100);
+/// h.record(5);
+/// h.record(15);
+/// h.record(1_000); // lands in the overflow bucket
+/// assert_eq!(h.total_samples(), 3);
+/// assert_eq!(h.bucket_count(0), 1);
+/// assert_eq!(h.bucket_count(1), 1);
+/// assert_eq!(h.overflow_count(), 1);
+/// ```
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Histogram {
+    bucket_width: u64,
+    buckets: Vec<u64>,
+    overflow: u64,
+    total: u64,
+    sum: u128,
+    max: u64,
+}
+
+impl Histogram {
+    /// Creates a histogram with buckets of `bucket_width` covering values up
+    /// to `max_value`; larger samples are recorded in an overflow bucket.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `bucket_width` is zero.
+    #[must_use]
+    pub fn new(bucket_width: u64, max_value: u64) -> Self {
+        assert!(bucket_width > 0, "bucket width must be positive");
+        let n_buckets = (max_value / bucket_width + 1) as usize;
+        Histogram {
+            bucket_width,
+            buckets: vec![0; n_buckets],
+            overflow: 0,
+            total: 0,
+            sum: 0,
+            max: 0,
+        }
+    }
+
+    /// Records one sample.
+    pub fn record(&mut self, value: u64) {
+        self.total += 1;
+        self.sum += u128::from(value);
+        self.max = self.max.max(value);
+        let idx = (value / self.bucket_width) as usize;
+        if idx < self.buckets.len() {
+            self.buckets[idx] += 1;
+        } else {
+            self.overflow += 1;
+        }
+    }
+
+    /// The width of each bucket.
+    #[must_use]
+    pub fn bucket_width(&self) -> u64 {
+        self.bucket_width
+    }
+
+    /// Number of regular (non-overflow) buckets.
+    #[must_use]
+    pub fn num_buckets(&self) -> usize {
+        self.buckets.len()
+    }
+
+    /// Number of samples recorded in bucket `idx`.
+    #[must_use]
+    pub fn bucket_count(&self, idx: usize) -> u64 {
+        self.buckets.get(idx).copied().unwrap_or(0)
+    }
+
+    /// The inclusive lower bound of bucket `idx`.
+    #[must_use]
+    pub fn bucket_lower_bound(&self, idx: usize) -> u64 {
+        idx as u64 * self.bucket_width
+    }
+
+    /// Number of samples that exceeded the covered range.
+    #[must_use]
+    pub fn overflow_count(&self) -> u64 {
+        self.overflow
+    }
+
+    /// Total number of samples recorded.
+    #[must_use]
+    pub fn total_samples(&self) -> u64 {
+        self.total
+    }
+
+    /// Largest sample recorded, or 0 if empty.
+    #[must_use]
+    pub fn max_value(&self) -> u64 {
+        self.max
+    }
+
+    /// Arithmetic mean of the samples, or 0.0 if empty.
+    #[must_use]
+    pub fn mean(&self) -> f64 {
+        if self.total == 0 {
+            0.0
+        } else {
+            self.sum as f64 / self.total as f64
+        }
+    }
+
+    /// The fraction (0.0–1.0) of samples in bucket `idx`.
+    #[must_use]
+    pub fn bucket_fraction(&self, idx: usize) -> f64 {
+        if self.total == 0 {
+            0.0
+        } else {
+            self.bucket_count(idx) as f64 / self.total as f64
+        }
+    }
+
+    /// The fraction of samples whose value is at most `value`.
+    #[must_use]
+    pub fn fraction_at_most(&self, value: u64) -> f64 {
+        if self.total == 0 {
+            return 0.0;
+        }
+        let limit_bucket = (value / self.bucket_width) as usize;
+        let mut count = 0u64;
+        for (idx, c) in self.buckets.iter().enumerate() {
+            if idx <= limit_bucket {
+                count += c;
+            }
+        }
+        count as f64 / self.total as f64
+    }
+
+    /// Iterates over `(bucket_lower_bound, count)` pairs for all regular
+    /// buckets.
+    pub fn iter(&self) -> impl Iterator<Item = (u64, u64)> + '_ {
+        self.buckets
+            .iter()
+            .enumerate()
+            .map(move |(i, c)| (self.bucket_lower_bound(i), *c))
+    }
+
+    /// Merges another histogram with identical bucketing into this one.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the bucket widths or bucket counts differ.
+    pub fn merge(&mut self, other: &Histogram) {
+        assert_eq!(self.bucket_width, other.bucket_width, "bucket widths must match");
+        assert_eq!(self.buckets.len(), other.buckets.len(), "bucket counts must match");
+        for (a, b) in self.buckets.iter_mut().zip(other.buckets.iter()) {
+            *a += b;
+        }
+        self.overflow += other.overflow;
+        self.total += other.total;
+        self.sum += other.sum;
+        self.max = self.max.max(other.max);
+    }
+}
+
+/// Peak-occupancy tracker for a queue or buffer.
+///
+/// Records the current occupancy and remembers the maximum ever observed;
+/// used for Figures 13 and 14 (maximum number of instructions and registers
+/// in the LLIB).
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct Occupancy {
+    current: u64,
+    peak: u64,
+}
+
+impl Occupancy {
+    /// Creates an empty tracker.
+    #[must_use]
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Adds `n` elements.
+    pub fn add(&mut self, n: u64) {
+        self.current += n;
+        self.peak = self.peak.max(self.current);
+    }
+
+    /// Removes `n` elements.
+    ///
+    /// # Panics
+    ///
+    /// Panics if more elements are removed than are present.
+    pub fn remove(&mut self, n: u64) {
+        assert!(n <= self.current, "occupancy underflow");
+        self.current -= n;
+    }
+
+    /// Sets the current occupancy directly (peak is updated).
+    pub fn set(&mut self, value: u64) {
+        self.current = value;
+        self.peak = self.peak.max(value);
+    }
+
+    /// The current occupancy.
+    #[must_use]
+    pub fn current(&self) -> u64 {
+        self.current
+    }
+
+    /// The maximum occupancy ever observed.
+    #[must_use]
+    pub fn peak(&self) -> u64 {
+        self.peak
+    }
+}
+
+/// Aggregate statistics reported by a single simulation run.
+///
+/// Not every field is meaningful for every core model: the baseline
+/// out-of-order cores leave the D-KIP-specific fields at zero, and vice
+/// versa.
+#[derive(Debug, Clone, Default, PartialEq)]
+pub struct SimStats {
+    /// Total simulated cycles.
+    pub cycles: u64,
+    /// Committed (retired) correct-path instructions.
+    pub committed: u64,
+    /// Instructions fetched from the trace.
+    pub fetched: u64,
+    /// Conditional branches executed.
+    pub cond_branches: u64,
+    /// Conditional branches mispredicted.
+    pub branch_mispredicts: u64,
+    /// Loads executed.
+    pub loads: u64,
+    /// Stores executed.
+    pub stores: u64,
+    /// Loads that hit in the L1 data cache.
+    pub l1_hits: u64,
+    /// Loads that missed L1 but hit in the L2 cache.
+    pub l2_hits: u64,
+    /// Loads that went to main memory.
+    pub mem_accesses: u64,
+    /// Cycles in which the front end could not fetch because the ROB
+    /// (or Aging-ROB) was full.
+    pub rob_full_stall_cycles: u64,
+    /// Cycles in which fetch was stalled waiting for a mispredicted branch
+    /// to resolve.
+    pub mispredict_stall_cycles: u64,
+    /// Instructions classified as low execution locality (D-KIP only).
+    pub low_locality_instrs: u64,
+    /// Instructions executed on the Cache Processor / main pipeline.
+    pub high_locality_instrs: u64,
+    /// Cycles the Analyze stage stalled waiting for an in-flight
+    /// short-latency instruction to write back (D-KIP only).
+    pub analyze_stall_cycles: u64,
+    /// Cycles an LLIB was full and blocked the Analyze stage (D-KIP only).
+    pub llib_full_stall_cycles: u64,
+    /// Checkpoints taken (D-KIP and KILO baselines).
+    pub checkpoints_taken: u64,
+    /// Checkpoint recoveries performed.
+    pub checkpoint_recoveries: u64,
+    /// Peak occupancy of the integer LLIB in instructions (D-KIP only).
+    pub llib_int_peak_instrs: u64,
+    /// Peak occupancy of the floating-point LLIB in instructions (D-KIP only).
+    pub llib_fp_peak_instrs: u64,
+    /// Peak number of registers held in the integer LLRF (D-KIP only).
+    pub llrf_int_peak_regs: u64,
+    /// Peak number of registers held in the floating-point LLRF (D-KIP only).
+    pub llrf_fp_peak_regs: u64,
+    /// Histogram of decode→issue distances (only collected when the core is
+    /// asked to characterise execution locality, Figure 3).
+    pub issue_latency: Option<Histogram>,
+}
+
+impl SimStats {
+    /// Creates an all-zero statistics record.
+    #[must_use]
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Instructions per cycle; 0.0 if no cycles were simulated.
+    #[must_use]
+    pub fn ipc(&self) -> f64 {
+        if self.cycles == 0 {
+            0.0
+        } else {
+            self.committed as f64 / self.cycles as f64
+        }
+    }
+
+    /// Branch misprediction rate over conditional branches (0.0–1.0).
+    #[must_use]
+    pub fn mispredict_rate(&self) -> f64 {
+        if self.cond_branches == 0 {
+            0.0
+        } else {
+            self.branch_mispredicts as f64 / self.cond_branches as f64
+        }
+    }
+
+    /// Fraction of loads that accessed main memory (0.0–1.0).
+    #[must_use]
+    pub fn memory_access_rate(&self) -> f64 {
+        let total = self.l1_hits + self.l2_hits + self.mem_accesses;
+        if total == 0 {
+            0.0
+        } else {
+            self.mem_accesses as f64 / total as f64
+        }
+    }
+
+    /// Fraction of committed instructions processed on the Cache Processor
+    /// (high execution locality). Only meaningful for the D-KIP.
+    #[must_use]
+    pub fn high_locality_fraction(&self) -> f64 {
+        let total = self.high_locality_instrs + self.low_locality_instrs;
+        if total == 0 {
+            0.0
+        } else {
+            self.high_locality_instrs as f64 / total as f64
+        }
+    }
+}
+
+impl fmt::Display for SimStats {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(
+            f,
+            "cycles={} committed={} ipc={:.3} mispredict_rate={:.3} mem_rate={:.3}",
+            self.cycles,
+            self.committed,
+            self.ipc(),
+            self.mispredict_rate(),
+            self.memory_access_rate()
+        )
+    }
+}
+
+/// Accumulates per-benchmark IPC values into an arithmetic mean, as used for
+/// the "Average IPC (Arith. Mean)" axes of the paper's figures.
+#[derive(Debug, Clone, Default)]
+pub struct MeanIpc {
+    sum: f64,
+    count: u64,
+}
+
+impl MeanIpc {
+    /// Creates an empty accumulator.
+    #[must_use]
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Adds one benchmark's IPC.
+    pub fn add(&mut self, ipc: f64) {
+        self.sum += ipc;
+        self.count += 1;
+    }
+
+    /// Number of benchmarks accumulated.
+    #[must_use]
+    pub fn count(&self) -> u64 {
+        self.count
+    }
+
+    /// The arithmetic mean, or 0.0 if empty.
+    #[must_use]
+    pub fn mean(&self) -> f64 {
+        if self.count == 0 {
+            0.0
+        } else {
+            self.sum / self.count as f64
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn histogram_buckets_and_overflow() {
+        let mut h = Histogram::new(100, 1000);
+        for v in [0, 50, 99, 100, 101, 950, 1001, 5000] {
+            h.record(v);
+        }
+        assert_eq!(h.bucket_count(0), 3);
+        assert_eq!(h.bucket_count(1), 2);
+        assert_eq!(h.bucket_count(9), 1);
+        // 1001 still falls in the last regular bucket (1000..1100); only 5000 overflows.
+        assert_eq!(h.bucket_count(10), 1);
+        assert_eq!(h.overflow_count(), 1);
+        assert_eq!(h.total_samples(), 8);
+        assert_eq!(h.max_value(), 5000);
+    }
+
+    #[test]
+    fn histogram_fraction_at_most() {
+        let mut h = Histogram::new(10, 100);
+        for v in 0..100 {
+            h.record(v);
+        }
+        let f = h.fraction_at_most(49);
+        assert!((f - 0.5).abs() < 1e-9, "expected 0.5, got {f}");
+    }
+
+    #[test]
+    fn histogram_merge_accumulates() {
+        let mut a = Histogram::new(10, 100);
+        let mut b = Histogram::new(10, 100);
+        a.record(5);
+        b.record(5);
+        b.record(500);
+        a.merge(&b);
+        assert_eq!(a.total_samples(), 3);
+        assert_eq!(a.bucket_count(0), 2);
+        assert_eq!(a.overflow_count(), 1);
+    }
+
+    #[test]
+    #[should_panic(expected = "bucket widths")]
+    fn histogram_merge_rejects_mismatched_widths() {
+        let mut a = Histogram::new(10, 100);
+        let b = Histogram::new(20, 100);
+        a.merge(&b);
+    }
+
+    #[test]
+    fn histogram_mean() {
+        let mut h = Histogram::new(1, 10);
+        h.record(2);
+        h.record(4);
+        assert!((h.mean() - 3.0).abs() < 1e-12);
+        let empty = Histogram::new(1, 10);
+        assert_eq!(empty.mean(), 0.0);
+    }
+
+    #[test]
+    fn occupancy_tracks_peak() {
+        let mut occ = Occupancy::new();
+        occ.add(5);
+        occ.add(3);
+        occ.remove(6);
+        occ.add(1);
+        assert_eq!(occ.current(), 3);
+        assert_eq!(occ.peak(), 8);
+        occ.set(20);
+        assert_eq!(occ.peak(), 20);
+    }
+
+    #[test]
+    #[should_panic(expected = "underflow")]
+    fn occupancy_underflow_panics() {
+        let mut occ = Occupancy::new();
+        occ.add(1);
+        occ.remove(2);
+    }
+
+    #[test]
+    fn ipc_and_rates() {
+        let stats = SimStats {
+            cycles: 1000,
+            committed: 2500,
+            cond_branches: 100,
+            branch_mispredicts: 5,
+            l1_hits: 90,
+            l2_hits: 5,
+            mem_accesses: 5,
+            ..SimStats::default()
+        };
+        assert!((stats.ipc() - 2.5).abs() < 1e-12);
+        assert!((stats.mispredict_rate() - 0.05).abs() < 1e-12);
+        assert!((stats.memory_access_rate() - 0.05).abs() < 1e-12);
+    }
+
+    #[test]
+    fn zero_cycle_stats_do_not_divide_by_zero() {
+        let stats = SimStats::new();
+        assert_eq!(stats.ipc(), 0.0);
+        assert_eq!(stats.mispredict_rate(), 0.0);
+        assert_eq!(stats.memory_access_rate(), 0.0);
+        assert_eq!(stats.high_locality_fraction(), 0.0);
+    }
+
+    #[test]
+    fn mean_ipc_accumulator() {
+        let mut mean = MeanIpc::new();
+        mean.add(1.0);
+        mean.add(2.0);
+        mean.add(3.0);
+        assert_eq!(mean.count(), 3);
+        assert!((mean.mean() - 2.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn stats_display_is_nonempty() {
+        let stats = SimStats::new();
+        assert!(stats.to_string().contains("ipc"));
+    }
+}

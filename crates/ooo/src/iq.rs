@@ -1,0 +1,293 @@
+//! Issue queues with in-order and out-of-order scheduling policies.
+
+use crate::fu::{FunctionalUnits, MemPorts};
+use dkip_model::config::SchedPolicy;
+use dkip_model::OpClass;
+use std::collections::{BTreeMap, BTreeSet};
+
+/// One waiting instruction in an issue queue.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+struct IqEntry {
+    class: OpClass,
+    ready: bool,
+}
+
+/// An issue queue holding dispatched-but-not-yet-issued instructions.
+///
+/// Entries are identified by their dynamic sequence number; age order is the
+/// sequence-number order. The queue supports the two scheduling policies of
+/// the paper's Table 3: `OutOfOrder` (any ready instruction may issue,
+/// oldest first) and `InOrder` (issue stops at the first non-ready or
+/// non-issuable entry).
+#[derive(Debug, Clone)]
+pub struct IssueQueue {
+    capacity: usize,
+    policy: SchedPolicy,
+    entries: BTreeMap<u64, IqEntry>,
+    ready: BTreeSet<u64>,
+}
+
+impl IssueQueue {
+    /// Creates an issue queue with the given capacity and policy.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `capacity` is zero.
+    #[must_use]
+    pub fn new(capacity: usize, policy: SchedPolicy) -> Self {
+        assert!(capacity > 0, "issue queue capacity must be positive");
+        IssueQueue {
+            capacity,
+            policy,
+            entries: BTreeMap::new(),
+            ready: BTreeSet::new(),
+        }
+    }
+
+    /// Number of instructions currently waiting.
+    #[must_use]
+    pub fn len(&self) -> usize {
+        self.entries.len()
+    }
+
+    /// Whether the queue is empty.
+    #[must_use]
+    pub fn is_empty(&self) -> bool {
+        self.entries.is_empty()
+    }
+
+    /// Whether another instruction can be dispatched into the queue.
+    #[must_use]
+    pub fn has_space(&self) -> bool {
+        self.entries.len() < self.capacity
+    }
+
+    /// The queue capacity.
+    #[must_use]
+    pub fn capacity(&self) -> usize {
+        self.capacity
+    }
+
+    /// The scheduling policy.
+    #[must_use]
+    pub fn policy(&self) -> SchedPolicy {
+        self.policy
+    }
+
+    /// Dispatches instruction `seq` into the queue.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the queue is full or the sequence number is already
+    /// present.
+    pub fn insert(&mut self, seq: u64, class: OpClass, ready: bool) {
+        assert!(self.has_space(), "issue queue overflow");
+        let previous = self.entries.insert(seq, IqEntry { class, ready });
+        assert!(previous.is_none(), "sequence number {seq} already in issue queue");
+        if ready {
+            self.ready.insert(seq);
+        }
+    }
+
+    /// Marks instruction `seq` as having all sources available. Unknown
+    /// sequence numbers are ignored (the instruction may have been squashed
+    /// or moved elsewhere).
+    pub fn mark_ready(&mut self, seq: u64) {
+        if let Some(entry) = self.entries.get_mut(&seq) {
+            if !entry.ready {
+                entry.ready = true;
+                self.ready.insert(seq);
+            }
+        }
+    }
+
+    /// Whether the queue currently holds instruction `seq`.
+    #[must_use]
+    pub fn contains(&self, seq: u64) -> bool {
+        self.entries.contains_key(&seq)
+    }
+
+    /// Removes instruction `seq` without issuing it (used when an
+    /// instruction is reclassified, e.g. moved to a slow lane or an LLIB).
+    pub fn remove(&mut self, seq: u64) -> bool {
+        self.ready.remove(&seq);
+        self.entries.remove(&seq).is_some()
+    }
+
+    /// Selects up to `max_issue` instructions to issue this cycle, consuming
+    /// functional units / memory ports, and removes them from the queue.
+    ///
+    /// Returns the selected `(seq, class)` pairs, oldest first.
+    pub fn select(
+        &mut self,
+        max_issue: usize,
+        fus: &mut FunctionalUnits,
+        ports: &mut MemPorts,
+    ) -> Vec<(u64, OpClass)> {
+        let mut issued = Vec::new();
+        if max_issue == 0 {
+            return issued;
+        }
+        match self.policy {
+            SchedPolicy::OutOfOrder => {
+                let candidates: Vec<u64> = self.ready.iter().copied().collect();
+                for seq in candidates {
+                    if issued.len() >= max_issue {
+                        break;
+                    }
+                    let class = self.entries[&seq].class;
+                    if Self::acquire_resources(class, fus, ports) {
+                        self.ready.remove(&seq);
+                        self.entries.remove(&seq);
+                        issued.push((seq, class));
+                    }
+                }
+            }
+            SchedPolicy::InOrder => {
+                // Strict in-order issue: walk from the oldest entry and stop
+                // at the first instruction that is not ready or cannot get
+                // its resources.
+                loop {
+                    if issued.len() >= max_issue {
+                        break;
+                    }
+                    let Some((&seq, entry)) = self.entries.iter().next() else {
+                        break;
+                    };
+                    if !entry.ready {
+                        break;
+                    }
+                    let class = entry.class;
+                    if !Self::acquire_resources(class, fus, ports) {
+                        break;
+                    }
+                    self.ready.remove(&seq);
+                    self.entries.remove(&seq);
+                    issued.push((seq, class));
+                }
+            }
+        }
+        issued
+    }
+
+    fn acquire_resources(class: OpClass, fus: &mut FunctionalUnits, ports: &mut MemPorts) -> bool {
+        if class.is_mem() {
+            ports.try_issue()
+        } else if let Some(pool) = class.fu_pool() {
+            fus.try_issue(pool)
+        } else {
+            true
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use dkip_model::config::FuConfig;
+
+    fn resources() -> (FunctionalUnits, MemPorts) {
+        (FunctionalUnits::new(FuConfig::paper_default()), MemPorts::new(2))
+    }
+
+    #[test]
+    fn ooo_selects_oldest_ready_first() {
+        let mut iq = IssueQueue::new(8, SchedPolicy::OutOfOrder);
+        iq.insert(10, OpClass::IntAlu, false);
+        iq.insert(11, OpClass::IntAlu, true);
+        iq.insert(12, OpClass::IntAlu, true);
+        let (mut fus, mut ports) = resources();
+        let issued = iq.select(1, &mut fus, &mut ports);
+        assert_eq!(issued, vec![(11, OpClass::IntAlu)]);
+        assert!(iq.contains(10));
+        assert!(iq.contains(12));
+    }
+
+    #[test]
+    fn ooo_skips_blocked_instructions() {
+        // Two FP divides but only one FP mul/div unit: the second divide is
+        // skipped and a younger ALU op issues instead.
+        let mut iq = IssueQueue::new(8, SchedPolicy::OutOfOrder);
+        iq.insert(1, OpClass::FpDiv, true);
+        iq.insert(2, OpClass::FpDiv, true);
+        iq.insert(3, OpClass::IntAlu, true);
+        let (mut fus, mut ports) = resources();
+        let issued = iq.select(4, &mut fus, &mut ports);
+        assert_eq!(issued, vec![(1, OpClass::FpDiv), (3, OpClass::IntAlu)]);
+        assert!(iq.contains(2));
+    }
+
+    #[test]
+    fn in_order_stalls_at_first_unready_entry() {
+        let mut iq = IssueQueue::new(8, SchedPolicy::InOrder);
+        iq.insert(1, OpClass::IntAlu, false);
+        iq.insert(2, OpClass::IntAlu, true);
+        let (mut fus, mut ports) = resources();
+        assert!(iq.select(4, &mut fus, &mut ports).is_empty());
+        iq.mark_ready(1);
+        let issued = iq.select(4, &mut fus, &mut ports);
+        assert_eq!(issued.len(), 2, "once the head is ready both issue in order");
+        assert_eq!(issued[0].0, 1);
+        assert_eq!(issued[1].0, 2);
+    }
+
+    #[test]
+    fn in_order_stalls_when_resources_run_out() {
+        let mut iq = IssueQueue::new(8, SchedPolicy::InOrder);
+        iq.insert(1, OpClass::IntMul, true);
+        iq.insert(2, OpClass::IntMul, true);
+        iq.insert(3, OpClass::IntAlu, true);
+        let (mut fus, mut ports) = resources();
+        let issued = iq.select(4, &mut fus, &mut ports);
+        assert_eq!(issued, vec![(1, OpClass::IntMul)], "second multiply blocks the head");
+    }
+
+    #[test]
+    fn memory_ops_consume_ports_not_fus() {
+        let mut iq = IssueQueue::new(8, SchedPolicy::OutOfOrder);
+        iq.insert(1, OpClass::Load, true);
+        iq.insert(2, OpClass::Load, true);
+        iq.insert(3, OpClass::Load, true);
+        let (mut fus, mut ports) = resources();
+        let issued = iq.select(4, &mut fus, &mut ports);
+        assert_eq!(issued.len(), 2, "only two memory ports");
+        assert!(fus.can_issue(dkip_model::FuPool::IntAlu));
+    }
+
+    #[test]
+    fn issue_width_bounds_selection() {
+        let mut iq = IssueQueue::new(16, SchedPolicy::OutOfOrder);
+        for seq in 0..8 {
+            iq.insert(seq, OpClass::IntAlu, true);
+        }
+        let (mut fus, mut ports) = resources();
+        let issued = iq.select(2, &mut fus, &mut ports);
+        assert_eq!(issued.len(), 2);
+        assert_eq!(iq.len(), 6);
+    }
+
+    #[test]
+    fn capacity_is_enforced() {
+        let mut iq = IssueQueue::new(2, SchedPolicy::OutOfOrder);
+        assert!(iq.has_space());
+        iq.insert(1, OpClass::IntAlu, true);
+        iq.insert(2, OpClass::IntAlu, true);
+        assert!(!iq.has_space());
+    }
+
+    #[test]
+    #[should_panic(expected = "overflow")]
+    fn inserting_into_a_full_queue_panics() {
+        let mut iq = IssueQueue::new(1, SchedPolicy::OutOfOrder);
+        iq.insert(1, OpClass::IntAlu, true);
+        iq.insert(2, OpClass::IntAlu, true);
+    }
+
+    #[test]
+    fn remove_and_mark_ready_on_missing_entries_are_harmless() {
+        let mut iq = IssueQueue::new(4, SchedPolicy::OutOfOrder);
+        assert!(!iq.remove(42));
+        iq.mark_ready(42);
+        assert!(iq.is_empty());
+    }
+}

@@ -1,0 +1,165 @@
+//! The load/store queue: occupancy tracking and store-to-load forwarding.
+//!
+//! The paper treats the LSQ as an orthogonal, pluggable component (Section
+//! 3.3) and assumes one of the published scalable designs. This model keeps
+//! the timing-relevant behaviour: a bounded number of in-flight memory
+//! operations, a bounded number of memory ports per cycle (enforced by
+//! [`crate::fu::MemPorts`]), and store-to-load forwarding by address.
+
+use std::collections::BTreeMap;
+
+/// Latency of a load satisfied by store-to-load forwarding.
+pub const FORWARD_LATENCY: u64 = 2;
+
+/// A load/store queue.
+#[derive(Debug, Clone)]
+pub struct Lsq {
+    capacity: usize,
+    occupancy: usize,
+    /// In-flight (dispatched, not yet committed) stores: seq → 8-byte
+    /// aligned address.
+    pending_stores: BTreeMap<u64, u64>,
+}
+
+impl Lsq {
+    /// Creates a queue with room for `capacity` in-flight memory
+    /// operations.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `capacity` is zero.
+    #[must_use]
+    pub fn new(capacity: usize) -> Self {
+        assert!(capacity > 0, "LSQ capacity must be positive");
+        Lsq {
+            capacity,
+            occupancy: 0,
+            pending_stores: BTreeMap::new(),
+        }
+    }
+
+    /// Whether another memory operation can be dispatched.
+    #[must_use]
+    pub fn has_space(&self) -> bool {
+        self.occupancy < self.capacity
+    }
+
+    /// Current number of in-flight memory operations.
+    #[must_use]
+    pub fn occupancy(&self) -> usize {
+        self.occupancy
+    }
+
+    /// The configured capacity.
+    #[must_use]
+    pub fn capacity(&self) -> usize {
+        self.capacity
+    }
+
+    fn slot(addr: u64) -> u64 {
+        addr & !7
+    }
+
+    /// Registers a dispatched load.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the queue is full.
+    pub fn dispatch_load(&mut self, _seq: u64) {
+        assert!(self.has_space(), "LSQ overflow");
+        self.occupancy += 1;
+    }
+
+    /// Registers a dispatched store and remembers its address for
+    /// forwarding.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the queue is full.
+    pub fn dispatch_store(&mut self, seq: u64, addr: u64) {
+        assert!(self.has_space(), "LSQ overflow");
+        self.occupancy += 1;
+        self.pending_stores.insert(seq, Self::slot(addr));
+    }
+
+    /// Whether a load with sequence number `seq` and address `addr` can be
+    /// satisfied by forwarding from an older in-flight store.
+    #[must_use]
+    pub fn forwards_from_store(&self, seq: u64, addr: u64) -> bool {
+        let slot = Self::slot(addr);
+        self.pending_stores
+            .range(..seq)
+            .any(|(_, &store_slot)| store_slot == slot)
+    }
+
+    /// Releases the entry of a committed load.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the queue is empty.
+    pub fn retire_load(&mut self, _seq: u64) {
+        assert!(self.occupancy > 0, "LSQ underflow");
+        self.occupancy -= 1;
+    }
+
+    /// Releases the entry of a committed store.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the queue is empty.
+    pub fn retire_store(&mut self, seq: u64) {
+        assert!(self.occupancy > 0, "LSQ underflow");
+        self.occupancy -= 1;
+        self.pending_stores.remove(&seq);
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn occupancy_tracks_dispatch_and_retire() {
+        let mut lsq = Lsq::new(4);
+        lsq.dispatch_load(1);
+        lsq.dispatch_store(2, 0x100);
+        assert_eq!(lsq.occupancy(), 2);
+        lsq.retire_load(1);
+        lsq.retire_store(2);
+        assert_eq!(lsq.occupancy(), 0);
+        assert!(lsq.has_space());
+    }
+
+    #[test]
+    fn capacity_is_enforced() {
+        let mut lsq = Lsq::new(2);
+        lsq.dispatch_load(1);
+        lsq.dispatch_load(2);
+        assert!(!lsq.has_space());
+    }
+
+    #[test]
+    #[should_panic(expected = "overflow")]
+    fn dispatch_past_capacity_panics() {
+        let mut lsq = Lsq::new(1);
+        lsq.dispatch_load(1);
+        lsq.dispatch_load(2);
+    }
+
+    #[test]
+    fn loads_forward_from_older_stores_to_the_same_slot() {
+        let mut lsq = Lsq::new(8);
+        lsq.dispatch_store(5, 0x1000);
+        assert!(lsq.forwards_from_store(7, 0x1004), "same 8-byte slot");
+        assert!(!lsq.forwards_from_store(7, 0x1008), "different slot");
+        assert!(!lsq.forwards_from_store(3, 0x1000), "younger stores do not forward");
+    }
+
+    #[test]
+    fn retired_stores_no_longer_forward() {
+        let mut lsq = Lsq::new(8);
+        lsq.dispatch_store(5, 0x2000);
+        lsq.retire_store(5);
+        assert!(!lsq.forwards_from_store(9, 0x2000));
+    }
+}

@@ -1,0 +1,307 @@
+//! One driver per table/figure of the paper's evaluation.
+//!
+//! Every driver takes the benchmark list and the per-benchmark instruction
+//! budget as parameters so that the same code serves quick smoke tests,
+//! the Criterion benches and full regeneration runs (see `EXPERIMENTS.md`).
+
+use crate::report::{Figure, Series};
+use crate::suite_mean_ipc;
+use dkip_core::run_dkip;
+use dkip_kilo::run_kilo;
+use dkip_model::config::{BaselineConfig, DkipConfig, KiloConfig, MemoryHierarchyConfig, SchedPolicy};
+use dkip_model::Histogram;
+use dkip_ooo::run_baseline;
+use dkip_trace::{Benchmark, Suite};
+
+/// Default random seed used by every experiment.
+pub const SEED: u64 = 1;
+
+/// Table 1: the six memory-subsystem configurations.
+#[must_use]
+pub fn table1() -> Figure {
+    let mut fig = Figure::new(
+        "Table 1: configurations for quantifying the effect of the memory wall",
+        "config",
+        "latency (cycles)",
+    );
+    let mut l1 = Series::new("L1 access");
+    let mut l2 = Series::new("L2 access");
+    let mut mem = Series::new("memory access");
+    for cfg in MemoryHierarchyConfig::table1_presets() {
+        l1.push(cfg.name.clone(), cfg.l1_latency as f64);
+        l2.push(cfg.name.clone(), if cfg.l2_perfect || cfg.l2_size.is_some() { cfg.l2_latency as f64 } else { f64::NAN });
+        mem.push(
+            cfg.name.clone(),
+            if cfg.l2_perfect { f64::NAN } else { cfg.memory_latency as f64 },
+        );
+    }
+    fig.series = vec![l1, l2, mem];
+    fig
+}
+
+/// Figures 1 and 2: average IPC versus instruction-window size for the six
+/// Table 1 memory subsystems, on an idealised out-of-order core.
+#[must_use]
+pub fn figure_window_scaling(suite: Suite, benchmarks: &[Benchmark], windows: &[usize], budget: u64) -> Figure {
+    let number = if suite == Suite::Int { 1 } else { 2 };
+    let mut fig = Figure::new(
+        format!("Figure {number}: effect of the memory subsystem on {}", suite.label()),
+        "window",
+        "average IPC (arith. mean)",
+    );
+    for mem_cfg in MemoryHierarchyConfig::table1_presets() {
+        let mut series = Series::new(mem_cfg.name.clone());
+        for &window in windows {
+            let cfg = BaselineConfig::idealized(window);
+            let ipc = suite_mean_ipc(benchmarks, &|b| run_baseline(&cfg, &mem_cfg, b, budget, SEED));
+            series.push(window.to_string(), ipc);
+        }
+        fig.series.push(series);
+    }
+    fig
+}
+
+/// Figure 3: the decode→issue distance distribution on an effectively
+/// unbounded processor with 400-cycle memory (SpecFP).
+#[must_use]
+pub fn figure3_issue_histogram(benchmarks: &[Benchmark], budget: u64) -> Histogram {
+    let mut merged = Histogram::new(20, 2000);
+    let cfg = BaselineConfig::unbounded();
+    let mem = MemoryHierarchyConfig::mem_400();
+    for &bench in benchmarks {
+        let stats = run_baseline(&cfg, &mem, bench, budget, SEED);
+        if let Some(hist) = stats.issue_latency {
+            merged.merge(&hist);
+        }
+    }
+    merged
+}
+
+/// Figure 9: IPC of R10-64, R10-256, KILO-1024 and D-KIP-2048 on both
+/// suites.
+#[must_use]
+pub fn figure9_comparison(int_benchmarks: &[Benchmark], fp_benchmarks: &[Benchmark], budget: u64) -> Figure {
+    let mut fig = Figure::new(
+        "Figure 9: performance of the D-KIP compared to baselines and a traditional KILO processor",
+        "suite",
+        "average IPC (arith. mean)",
+    );
+    let mem = MemoryHierarchyConfig::paper_default();
+    let suites: [(&str, &[Benchmark]); 2] = [("SpecINT", int_benchmarks), ("SpecFP", fp_benchmarks)];
+
+    let mut r10_64 = Series::new("R10-64");
+    let mut r10_256 = Series::new("R10-256");
+    let mut kilo = Series::new("KILO-1024");
+    let mut dkip = Series::new("DKIP-2048");
+    for (label, benches) in suites {
+        r10_64.push(
+            label,
+            suite_mean_ipc(benches, &|b| run_baseline(&BaselineConfig::r10_64(), &mem, b, budget, SEED)),
+        );
+        r10_256.push(
+            label,
+            suite_mean_ipc(benches, &|b| run_baseline(&BaselineConfig::r10_256(), &mem, b, budget, SEED)),
+        );
+        kilo.push(
+            label,
+            suite_mean_ipc(benches, &|b| run_kilo(&KiloConfig::kilo_1024(), &mem, b, budget, SEED)),
+        );
+        dkip.push(
+            label,
+            suite_mean_ipc(benches, &|b| run_dkip(&DkipConfig::paper_default(), &mem, b, budget, SEED)),
+        );
+    }
+    fig.series = vec![r10_64, r10_256, kilo, dkip];
+    fig
+}
+
+/// The Cache Processor configurations swept on the x-axis of Figure 10.
+#[must_use]
+pub fn figure10_cp_points() -> Vec<(String, SchedPolicy, usize)> {
+    vec![
+        ("INO".to_owned(), SchedPolicy::InOrder, 40),
+        ("OOO-20".to_owned(), SchedPolicy::OutOfOrder, 20),
+        ("OOO-40".to_owned(), SchedPolicy::OutOfOrder, 40),
+        ("OOO-60".to_owned(), SchedPolicy::OutOfOrder, 60),
+        ("OOO-80".to_owned(), SchedPolicy::OutOfOrder, 80),
+    ]
+}
+
+/// Figure 10: impact of the scheduling policy and queue sizes of the Cache
+/// Processor and the Memory Processor on SpecFP.
+#[must_use]
+pub fn figure10_scheduler_sweep(benchmarks: &[Benchmark], budget: u64) -> Figure {
+    let mut fig = Figure::new(
+        "Figure 10: impact of scheduling policy and queue sizes in SpecFP",
+        "CP config",
+        "average IPC (arith. mean)",
+    );
+    let mem = MemoryHierarchyConfig::paper_default();
+    let mp_points = [
+        ("MP INO", SchedPolicy::InOrder, 20usize),
+        ("MP OOO-20", SchedPolicy::OutOfOrder, 20),
+        ("MP OOO-40", SchedPolicy::OutOfOrder, 40),
+    ];
+    for (mp_label, mp_sched, mp_size) in mp_points {
+        let mut series = Series::new(mp_label);
+        for (cp_label, cp_sched, cp_size) in figure10_cp_points() {
+            let cfg = DkipConfig::paper_default()
+                .with_cp(cp_sched, cp_size)
+                .with_mp(mp_sched, mp_size);
+            let ipc = suite_mean_ipc(benchmarks, &|b| run_dkip(&cfg, &mem, b, budget, SEED));
+            series.push(cp_label.clone(), ipc);
+        }
+        fig.series.push(series);
+    }
+    fig
+}
+
+/// The processor configurations compared in Figures 11 and 12.
+#[must_use]
+pub fn figure11_configs() -> Vec<String> {
+    vec![
+        "R10-256".to_owned(),
+        "INO-INO".to_owned(),
+        "OOO20-INO".to_owned(),
+        "OOO80-INO".to_owned(),
+        "OOO80-OOO40".to_owned(),
+    ]
+}
+
+/// Figures 11 and 12: impact of the L2 cache size.
+#[must_use]
+pub fn figure_cache_sweep(suite: Suite, benchmarks: &[Benchmark], l2_sizes_kb: &[usize], budget: u64) -> Figure {
+    let number = if suite == Suite::Int { 11 } else { 12 };
+    let mut fig = Figure::new(
+        format!("Figure {number}: impact of L2 cache size on {}", suite.label()),
+        "config",
+        "IPC",
+    );
+    for &kb in l2_sizes_kb {
+        let mem = MemoryHierarchyConfig::mem_400().with_l2_kb(kb);
+        let mut series = Series::new(format!("{kb}KB"));
+        for config in figure11_configs() {
+            let ipc = match config.as_str() {
+                "R10-256" => suite_mean_ipc(benchmarks, &|b| {
+                    run_baseline(&BaselineConfig::r10_256(), &mem, b, budget, SEED)
+                }),
+                "INO-INO" => {
+                    let cfg = DkipConfig::paper_default()
+                        .with_cp(SchedPolicy::InOrder, 40)
+                        .with_mp(SchedPolicy::InOrder, 20);
+                    suite_mean_ipc(benchmarks, &|b| run_dkip(&cfg, &mem, b, budget, SEED))
+                }
+                "OOO20-INO" => {
+                    let cfg = DkipConfig::paper_default()
+                        .with_cp(SchedPolicy::OutOfOrder, 20)
+                        .with_mp(SchedPolicy::InOrder, 20);
+                    suite_mean_ipc(benchmarks, &|b| run_dkip(&cfg, &mem, b, budget, SEED))
+                }
+                "OOO80-INO" => {
+                    let cfg = DkipConfig::paper_default()
+                        .with_cp(SchedPolicy::OutOfOrder, 80)
+                        .with_mp(SchedPolicy::InOrder, 20);
+                    suite_mean_ipc(benchmarks, &|b| run_dkip(&cfg, &mem, b, budget, SEED))
+                }
+                _ => {
+                    let cfg = DkipConfig::paper_default()
+                        .with_cp(SchedPolicy::OutOfOrder, 80)
+                        .with_mp(SchedPolicy::OutOfOrder, 40);
+                    suite_mean_ipc(benchmarks, &|b| run_dkip(&cfg, &mem, b, budget, SEED))
+                }
+            };
+            series.push(config, ipc);
+        }
+        fig.series.push(series);
+    }
+    fig
+}
+
+/// Figures 13 and 14: maximum number of instructions and registers in the
+/// LLIB for each benchmark of the given suite.
+#[must_use]
+pub fn figure_llib_occupancy(suite: Suite, benchmarks: &[Benchmark], budget: u64) -> Figure {
+    let number = if suite == Suite::Int { 13 } else { 14 };
+    let mut fig = Figure::new(
+        format!(
+            "Figure {number}: maximum number of registers and instructions in the LLIB for {}",
+            suite.label()
+        ),
+        "benchmark",
+        "number of elements",
+    );
+    let mem = MemoryHierarchyConfig::paper_default();
+    let cfg = DkipConfig::paper_default();
+    let mut regs = Series::new("Max Registers");
+    let mut instrs = Series::new("Max Instructions");
+    for &bench in benchmarks {
+        let stats = run_dkip(&cfg, &mem, bench, budget, SEED);
+        let (peak_instrs, peak_regs) = if suite == Suite::Int {
+            (stats.llib_int_peak_instrs, stats.llrf_int_peak_regs)
+        } else {
+            (stats.llib_fp_peak_instrs, stats.llrf_fp_peak_regs)
+        };
+        regs.push(bench.name(), peak_regs as f64);
+        instrs.push(bench.name(), peak_instrs as f64);
+    }
+    fig.series = vec![regs, instrs];
+    fig
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    // Experiment drivers are exercised with tiny budgets and benchmark
+    // subsets; the full-scale runs live in `dkip-bench`.
+
+    #[test]
+    fn table1_lists_all_six_configurations() {
+        let fig = table1();
+        assert_eq!(fig.series.len(), 3);
+        assert_eq!(fig.series[0].points.len(), 6);
+        assert_eq!(fig.series[2].value_at("MEM-400"), Some(400.0));
+    }
+
+    #[test]
+    fn window_scaling_produces_one_series_per_memory_config() {
+        let fig = figure_window_scaling(Suite::Fp, &[Benchmark::Mesa], &[32, 128], 2_000);
+        assert_eq!(fig.series.len(), 6);
+        for series in &fig.series {
+            assert_eq!(series.points.len(), 2);
+        }
+    }
+
+    #[test]
+    fn figure9_has_four_configurations_and_two_suites() {
+        let fig = figure9_comparison(&[Benchmark::Crafty], &[Benchmark::Mesa], 2_000);
+        assert_eq!(fig.series.len(), 4);
+        for series in &fig.series {
+            assert_eq!(series.points.len(), 2);
+            for (_, ipc) in &series.points {
+                assert!(*ipc > 0.0);
+            }
+        }
+    }
+
+    #[test]
+    fn figure10_sweeps_cp_and_mp_configurations() {
+        let fig = figure10_scheduler_sweep(&[Benchmark::Mesa], 1_500);
+        assert_eq!(fig.series.len(), 3);
+        assert_eq!(fig.series[0].points.len(), 5);
+    }
+
+    #[test]
+    fn figure13_reports_llib_occupancy_per_benchmark() {
+        let fig = figure_llib_occupancy(Suite::Fp, &[Benchmark::Swim, Benchmark::Mesa], 3_000);
+        assert_eq!(fig.series.len(), 2);
+        let instrs = &fig.series[1];
+        assert!(instrs.value_at("swim").unwrap() >= instrs.value_at("mesa").unwrap());
+    }
+
+    #[test]
+    fn figure3_histogram_merges_benchmarks() {
+        let hist = figure3_issue_histogram(&[Benchmark::Mesa], 2_000);
+        assert!(hist.total_samples() > 1_000);
+    }
+}

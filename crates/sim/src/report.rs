@@ -1,0 +1,138 @@
+//! Plain-text rendering of experiment results.
+
+use std::fmt::Write as _;
+
+/// One labelled series of (x, y) points — a line of one of the paper's
+/// figures.
+#[derive(Debug, Clone, PartialEq)]
+pub struct Series {
+    /// Legend label ("MEM-400", "R10-256", "MP INO", …).
+    pub label: String,
+    /// Points as (x label, value).
+    pub points: Vec<(String, f64)>,
+}
+
+impl Series {
+    /// Creates an empty series.
+    #[must_use]
+    pub fn new(label: impl Into<String>) -> Self {
+        Series {
+            label: label.into(),
+            points: Vec::new(),
+        }
+    }
+
+    /// Appends a point.
+    pub fn push(&mut self, x: impl Into<String>, y: f64) {
+        self.points.push((x.into(), y));
+    }
+
+    /// The y value for a given x label, if present.
+    #[must_use]
+    pub fn value_at(&self, x: &str) -> Option<f64> {
+        self.points.iter().find(|(label, _)| label == x).map(|(_, v)| *v)
+    }
+}
+
+/// A complete figure: a title, the x-axis labels and one or more series.
+#[derive(Debug, Clone, PartialEq)]
+pub struct Figure {
+    /// Figure title (e.g. "Figure 9: IPC comparison").
+    pub title: String,
+    /// Name of the x axis.
+    pub x_label: String,
+    /// Name of the y axis.
+    pub y_label: String,
+    /// The series.
+    pub series: Vec<Series>,
+}
+
+impl Figure {
+    /// Creates an empty figure.
+    #[must_use]
+    pub fn new(title: impl Into<String>, x_label: impl Into<String>, y_label: impl Into<String>) -> Self {
+        Figure {
+            title: title.into(),
+            x_label: x_label.into(),
+            y_label: y_label.into(),
+            series: Vec::new(),
+        }
+    }
+
+    /// Renders the figure as an aligned text table (x labels as rows,
+    /// series as columns) suitable for the terminal and for
+    /// `EXPERIMENTS.md`.
+    #[must_use]
+    pub fn render(&self) -> String {
+        let mut out = String::new();
+        let _ = writeln!(out, "# {}", self.title);
+        let _ = writeln!(out, "# y = {}", self.y_label);
+        let x_labels: Vec<&str> = self
+            .series
+            .first()
+            .map(|s| s.points.iter().map(|(x, _)| x.as_str()).collect())
+            .unwrap_or_default();
+        let _ = write!(out, "{:>14}", self.x_label);
+        for series in &self.series {
+            let _ = write!(out, "{:>14}", series.label);
+        }
+        let _ = writeln!(out);
+        for x in x_labels {
+            let _ = write!(out, "{x:>14}");
+            for series in &self.series {
+                match series.value_at(x) {
+                    Some(v) => {
+                        let _ = write!(out, "{v:>14.3}");
+                    }
+                    None => {
+                        let _ = write!(out, "{:>14}", "-");
+                    }
+                }
+            }
+            let _ = writeln!(out);
+        }
+        out
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn series_lookup_by_label() {
+        let mut s = Series::new("MEM-400");
+        s.push("32", 1.0);
+        s.push("64", 1.5);
+        assert_eq!(s.value_at("64"), Some(1.5));
+        assert_eq!(s.value_at("128"), None);
+    }
+
+    #[test]
+    fn figure_renders_aligned_rows() {
+        let mut fig = Figure::new("Figure X", "window", "IPC");
+        let mut a = Series::new("A");
+        a.push("32", 1.0);
+        a.push("64", 2.0);
+        let mut b = Series::new("B");
+        b.push("32", 0.5);
+        b.push("64", 0.75);
+        fig.series = vec![a, b];
+        let text = fig.render();
+        assert!(text.contains("Figure X"));
+        assert!(text.contains("window"));
+        assert!(text.lines().count() >= 5);
+        assert!(text.contains("2.000"));
+        assert!(text.contains("0.750"));
+    }
+
+    #[test]
+    fn missing_points_render_as_dashes() {
+        let mut fig = Figure::new("F", "x", "y");
+        let mut a = Series::new("A");
+        a.push("1", 1.0);
+        let b = Series::new("B");
+        fig.series = vec![a, b];
+        assert!(fig.render().contains('-'));
+    }
+}

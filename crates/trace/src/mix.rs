@@ -1,0 +1,210 @@
+//! Instruction-mix description and sampling.
+
+use dkip_model::OpClass;
+
+/// The fraction of each operation class in a workload's dynamic instruction
+/// stream.
+///
+/// The fractions do not need to add to exactly 1.0 — they are normalised
+/// when sampled — but they must all be non-negative and not all zero.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct InstrMix {
+    /// Fraction of loads.
+    pub load: f64,
+    /// Fraction of stores.
+    pub store: f64,
+    /// Fraction of conditional branches.
+    pub branch: f64,
+    /// Fraction of integer ALU operations.
+    pub int_alu: f64,
+    /// Fraction of integer multiplies.
+    pub int_mul: f64,
+    /// Fraction of FP adds.
+    pub fp_add: f64,
+    /// Fraction of FP multiplies.
+    pub fp_mul: f64,
+    /// Fraction of FP divides.
+    pub fp_div: f64,
+}
+
+impl InstrMix {
+    /// A typical integer-benchmark mix: no FP, many branches and loads.
+    #[must_use]
+    pub fn typical_int() -> Self {
+        InstrMix {
+            load: 0.26,
+            store: 0.10,
+            branch: 0.16,
+            int_alu: 0.46,
+            int_mul: 0.02,
+            fp_add: 0.0,
+            fp_mul: 0.0,
+            fp_div: 0.0,
+        }
+    }
+
+    /// A typical floating-point-benchmark mix: fewer branches, plenty of FP
+    /// arithmetic.
+    #[must_use]
+    pub fn typical_fp() -> Self {
+        InstrMix {
+            load: 0.28,
+            store: 0.09,
+            branch: 0.04,
+            int_alu: 0.22,
+            int_mul: 0.01,
+            fp_add: 0.20,
+            fp_mul: 0.14,
+            fp_div: 0.02,
+        }
+    }
+
+    /// The total weight across all classes.
+    #[must_use]
+    pub fn total(&self) -> f64 {
+        self.load
+            + self.store
+            + self.branch
+            + self.int_alu
+            + self.int_mul
+            + self.fp_add
+            + self.fp_mul
+            + self.fp_div
+    }
+
+    /// Whether all fractions are non-negative and at least one is positive.
+    #[must_use]
+    pub fn is_valid(&self) -> bool {
+        let all = [
+            self.load,
+            self.store,
+            self.branch,
+            self.int_alu,
+            self.int_mul,
+            self.fp_add,
+            self.fp_mul,
+            self.fp_div,
+        ];
+        all.iter().all(|&f| f >= 0.0 && f.is_finite()) && self.total() > 0.0
+    }
+
+    /// The weight assigned to `class` (Nop has weight zero).
+    #[must_use]
+    pub fn weight(&self, class: OpClass) -> f64 {
+        match class {
+            OpClass::Load => self.load,
+            OpClass::Store => self.store,
+            OpClass::Branch => self.branch,
+            OpClass::IntAlu => self.int_alu,
+            OpClass::IntMul => self.int_mul,
+            OpClass::FpAdd => self.fp_add,
+            OpClass::FpMul => self.fp_mul,
+            OpClass::FpDiv => self.fp_div,
+            OpClass::Nop => 0.0,
+        }
+    }
+
+    /// Picks an operation class given a uniform random value in `[0, 1)`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the mix is not [valid](Self::is_valid).
+    #[must_use]
+    pub fn sample(&self, uniform: f64) -> OpClass {
+        assert!(self.is_valid(), "instruction mix must be valid");
+        let target = uniform.clamp(0.0, 1.0) * self.total();
+        let mut acc = 0.0;
+        for class in [
+            OpClass::Load,
+            OpClass::Store,
+            OpClass::Branch,
+            OpClass::IntAlu,
+            OpClass::IntMul,
+            OpClass::FpAdd,
+            OpClass::FpMul,
+            OpClass::FpDiv,
+        ] {
+            acc += self.weight(class);
+            if target < acc {
+                return class;
+            }
+        }
+        OpClass::IntAlu
+    }
+
+    /// Fraction of instructions that are FP arithmetic.
+    #[must_use]
+    pub fn fp_fraction(&self) -> f64 {
+        (self.fp_add + self.fp_mul + self.fp_div) / self.total()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn typical_mixes_are_valid() {
+        assert!(InstrMix::typical_int().is_valid());
+        assert!(InstrMix::typical_fp().is_valid());
+        assert!((InstrMix::typical_int().total() - 1.0).abs() < 0.01);
+        assert!((InstrMix::typical_fp().total() - 1.0).abs() < 0.01);
+    }
+
+    #[test]
+    fn int_mix_has_no_fp() {
+        assert_eq!(InstrMix::typical_int().fp_fraction(), 0.0);
+        assert!(InstrMix::typical_fp().fp_fraction() > 0.3);
+    }
+
+    #[test]
+    fn sample_covers_all_weighted_classes() {
+        let mix = InstrMix::typical_fp();
+        let mut seen = std::collections::HashSet::new();
+        let n = 10_000;
+        for i in 0..n {
+            seen.insert(mix.sample(i as f64 / n as f64));
+        }
+        assert!(seen.contains(&OpClass::Load));
+        assert!(seen.contains(&OpClass::FpAdd));
+        assert!(seen.contains(&OpClass::Branch));
+        assert!(!seen.contains(&OpClass::Nop));
+    }
+
+    #[test]
+    fn sample_frequencies_track_weights() {
+        let mix = InstrMix::typical_int();
+        let n = 100_000;
+        let loads = (0..n)
+            .filter(|&i| mix.sample(i as f64 / n as f64) == OpClass::Load)
+            .count();
+        let frac = loads as f64 / n as f64;
+        assert!((frac - 0.26).abs() < 0.02, "load fraction {frac}");
+    }
+
+    #[test]
+    fn invalid_mixes_are_detected() {
+        let mut mix = InstrMix::typical_int();
+        mix.load = -0.1;
+        assert!(!mix.is_valid());
+        let zero = InstrMix {
+            load: 0.0,
+            store: 0.0,
+            branch: 0.0,
+            int_alu: 0.0,
+            int_mul: 0.0,
+            fp_add: 0.0,
+            fp_mul: 0.0,
+            fp_div: 0.0,
+        };
+        assert!(!zero.is_valid());
+    }
+
+    #[test]
+    fn extreme_uniform_values_are_clamped() {
+        let mix = InstrMix::typical_int();
+        let _ = mix.sample(0.0);
+        let _ = mix.sample(0.999_999);
+        let _ = mix.sample(1.0);
+    }
+}

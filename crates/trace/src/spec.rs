@@ -1,0 +1,560 @@
+//! Named benchmark profiles modelling the SPEC CPU2000 suite used by the
+//! paper.
+//!
+//! Each [`Benchmark`] carries a [`WorkloadSpec`] describing the statistical
+//! properties of that benchmark that matter for the paper's experiments.
+//! The parameters are not calibrated against the real binaries (which are
+//! not redistributable) but are chosen so that the well-known qualitative
+//! behaviour of each program is reproduced: `mcf` chases pointers across a
+//! huge working set, `swim`/`art` stream through arrays much larger than any
+//! L2, `crafty`/`eon` mostly live in the cache, and so on.
+
+use crate::mix::InstrMix;
+
+/// Which SPEC2000 sub-suite a benchmark belongs to.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum Suite {
+    /// SPECint2000.
+    Int,
+    /// SPECfp2000.
+    Fp,
+}
+
+impl Suite {
+    /// Short display label ("SpecINT" / "SpecFP") used by the figure
+    /// generators.
+    #[must_use]
+    pub fn label(self) -> &'static str {
+        match self {
+            Suite::Int => "SpecINT",
+            Suite::Fp => "SpecFP",
+        }
+    }
+}
+
+/// The 26 SPEC CPU2000 benchmarks named in Figures 13 and 14 of the paper.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord)]
+#[allow(missing_docs)]
+pub enum Benchmark {
+    // SPECint2000
+    Bzip2,
+    Crafty,
+    Eon,
+    Gap,
+    Gcc,
+    Gzip,
+    Mcf,
+    Parser,
+    Perlbmk,
+    Twolf,
+    Vortex,
+    Vpr,
+    // SPECfp2000
+    Ammp,
+    Applu,
+    Apsi,
+    Art,
+    Equake,
+    Facerec,
+    Fma3d,
+    Galgel,
+    Lucas,
+    Mesa,
+    Mgrid,
+    Sixtrack,
+    Swim,
+    Wupwise,
+}
+
+impl Benchmark {
+    /// All SPECint2000 benchmarks, in the order used by Figure 13.
+    #[must_use]
+    pub fn spec_int() -> Vec<Benchmark> {
+        use Benchmark::*;
+        vec![Bzip2, Crafty, Eon, Gap, Gcc, Gzip, Mcf, Parser, Perlbmk, Twolf, Vortex, Vpr]
+    }
+
+    /// All SPECfp2000 benchmarks, in the order used by Figure 14.
+    #[must_use]
+    pub fn spec_fp() -> Vec<Benchmark> {
+        use Benchmark::*;
+        vec![
+            Ammp, Applu, Apsi, Art, Equake, Facerec, Fma3d, Galgel, Lucas, Mesa, Mgrid, Sixtrack,
+            Swim, Wupwise,
+        ]
+    }
+
+    /// The whole suite (integer benchmarks first).
+    #[must_use]
+    pub fn all() -> Vec<Benchmark> {
+        let mut v = Self::spec_int();
+        v.extend(Self::spec_fp());
+        v
+    }
+
+    /// A small representative subset used by fast tests and example
+    /// programs: one cache-friendly and one memory-bound benchmark from each
+    /// suite.
+    #[must_use]
+    pub fn representative() -> Vec<Benchmark> {
+        vec![Benchmark::Crafty, Benchmark::Mcf, Benchmark::Mesa, Benchmark::Swim]
+    }
+
+    /// The lower-case name used by SPEC and the paper's figures.
+    #[must_use]
+    pub fn name(self) -> &'static str {
+        use Benchmark::*;
+        match self {
+            Bzip2 => "bzip2",
+            Crafty => "crafty",
+            Eon => "eon",
+            Gap => "gap",
+            Gcc => "gcc",
+            Gzip => "gzip",
+            Mcf => "mcf",
+            Parser => "parser",
+            Perlbmk => "perlbmk",
+            Twolf => "twolf",
+            Vortex => "vortex",
+            Vpr => "vpr",
+            Ammp => "ammp",
+            Applu => "applu",
+            Apsi => "apsi",
+            Art => "art",
+            Equake => "equake",
+            Facerec => "facerec",
+            Fma3d => "fma3d",
+            Galgel => "galgel",
+            Lucas => "lucas",
+            Mesa => "mesa",
+            Mgrid => "mgrid",
+            Sixtrack => "sixtrack",
+            Swim => "swim",
+            Wupwise => "wupwise",
+        }
+    }
+
+    /// Which sub-suite the benchmark belongs to.
+    #[must_use]
+    pub fn suite(self) -> Suite {
+        if Self::spec_int().contains(&self) {
+            Suite::Int
+        } else {
+            Suite::Fp
+        }
+    }
+
+    /// The workload specification used to synthesise this benchmark's
+    /// instruction stream.
+    #[must_use]
+    pub fn spec(self) -> WorkloadSpec {
+        use Benchmark::*;
+        let base_int = WorkloadSpec {
+            name: self.name(),
+            suite: Suite::Int,
+            mix: InstrMix::typical_int(),
+            working_set_kb: 256,
+            streaming_fraction: 0.45,
+            pointer_chase_fraction: 0.15,
+            random_fraction: 0.40,
+            pointer_chains: 2,
+            branch_bias: 0.94,
+            data_dep_branch_fraction: 0.08,
+            hot_fraction: 0.70,
+            fp_value_load_fraction: 0.02,
+            loop_body_size: 96,
+            dep_distance_mean: 6.0,
+        };
+        let base_fp = WorkloadSpec {
+            name: self.name(),
+            suite: Suite::Fp,
+            mix: InstrMix::typical_fp(),
+            working_set_kb: 8 * 1024,
+            streaming_fraction: 0.85,
+            pointer_chase_fraction: 0.0,
+            random_fraction: 0.15,
+            pointer_chains: 0,
+            branch_bias: 0.995,
+            data_dep_branch_fraction: 0.005,
+            hot_fraction: 0.55,
+            fp_value_load_fraction: 0.75,
+            loop_body_size: 160,
+            dep_distance_mean: 10.0,
+        };
+        match self {
+            // --- SPECint2000 ---------------------------------------------
+            Bzip2 => WorkloadSpec {
+                working_set_kb: 2 * 1024,
+                streaming_fraction: 0.60,
+                pointer_chase_fraction: 0.05,
+                random_fraction: 0.35,
+                branch_bias: 0.92,
+                ..base_int
+            },
+            Crafty => WorkloadSpec {
+                working_set_kb: 192,
+                hot_fraction: 0.85,
+                pointer_chase_fraction: 0.04,
+                random_fraction: 0.50,
+                streaming_fraction: 0.46,
+                branch_bias: 0.91,
+                data_dep_branch_fraction: 0.05,
+                ..base_int
+            },
+            Eon => WorkloadSpec {
+                working_set_kb: 96,
+                hot_fraction: 0.85,
+                streaming_fraction: 0.57,
+                pointer_chase_fraction: 0.03,
+                branch_bias: 0.96,
+                fp_value_load_fraction: 0.15,
+                ..base_int
+            },
+            Gap => WorkloadSpec {
+                working_set_kb: 1024,
+                streaming_fraction: 0.48,
+                pointer_chase_fraction: 0.12,
+                branch_bias: 0.95,
+                ..base_int
+            },
+            Gcc => WorkloadSpec {
+                working_set_kb: 1536,
+                hot_fraction: 0.65,
+                pointer_chase_fraction: 0.14,
+                random_fraction: 0.46,
+                streaming_fraction: 0.40,
+                branch_bias: 0.93,
+                data_dep_branch_fraction: 0.10,
+                ..base_int
+            },
+            Gzip => WorkloadSpec {
+                working_set_kb: 768,
+                streaming_fraction: 0.65,
+                pointer_chase_fraction: 0.02,
+                random_fraction: 0.33,
+                branch_bias: 0.90,
+                ..base_int
+            },
+            Mcf => WorkloadSpec {
+                // The canonical pointer chaser: a working set far beyond any
+                // simulated L2 and long serial chains of dependent loads.
+                working_set_kb: 48 * 1024,
+                hot_fraction: 0.45,
+                streaming_fraction: 0.15,
+                pointer_chase_fraction: 0.55,
+                random_fraction: 0.30,
+                pointer_chains: 3,
+                branch_bias: 0.92,
+                data_dep_branch_fraction: 0.18,
+                dep_distance_mean: 4.0,
+                ..base_int
+            },
+            Parser => WorkloadSpec {
+                working_set_kb: 6 * 1024,
+                hot_fraction: 0.6,
+                pointer_chase_fraction: 0.30,
+                random_fraction: 0.40,
+                streaming_fraction: 0.30,
+                pointer_chains: 2,
+                branch_bias: 0.92,
+                data_dep_branch_fraction: 0.12,
+                ..base_int
+            },
+            Perlbmk => WorkloadSpec {
+                working_set_kb: 512,
+                streaming_fraction: 0.42,
+                pointer_chase_fraction: 0.18,
+                branch_bias: 0.94,
+                data_dep_branch_fraction: 0.09,
+                ..base_int
+            },
+            Twolf => WorkloadSpec {
+                working_set_kb: 1024,
+                hot_fraction: 0.65,
+                pointer_chase_fraction: 0.22,
+                random_fraction: 0.48,
+                streaming_fraction: 0.30,
+                branch_bias: 0.90,
+                data_dep_branch_fraction: 0.12,
+                ..base_int
+            },
+            Vortex => WorkloadSpec {
+                working_set_kb: 4 * 1024,
+                streaming_fraction: 0.40,
+                pointer_chase_fraction: 0.20,
+                branch_bias: 0.96,
+                ..base_int
+            },
+            Vpr => WorkloadSpec {
+                working_set_kb: 2 * 1024,
+                hot_fraction: 0.65,
+                pointer_chase_fraction: 0.20,
+                random_fraction: 0.45,
+                streaming_fraction: 0.35,
+                branch_bias: 0.91,
+                data_dep_branch_fraction: 0.11,
+                ..base_int
+            },
+            // --- SPECfp2000 ----------------------------------------------
+            Ammp => WorkloadSpec {
+                working_set_kb: 16 * 1024,
+                streaming_fraction: 0.70,
+                random_fraction: 0.28,
+                pointer_chase_fraction: 0.02,
+                pointer_chains: 1,
+                ..base_fp
+            },
+            Applu => WorkloadSpec {
+                working_set_kb: 32 * 1024,
+                hot_fraction: 0.5,
+                ..base_fp
+            },
+            Apsi => WorkloadSpec {
+                working_set_kb: 8 * 1024,
+                ..base_fp
+            },
+            Art => WorkloadSpec {
+                // Tiny code, enormous streaming arrays, almost every load
+                // misses the cache.
+                working_set_kb: 64 * 1024,
+                hot_fraction: 0.4,
+                streaming_fraction: 0.92,
+                random_fraction: 0.08,
+                loop_body_size: 96,
+                ..base_fp
+            },
+            Equake => WorkloadSpec {
+                working_set_kb: 24 * 1024,
+                hot_fraction: 0.5,
+                streaming_fraction: 0.70,
+                random_fraction: 0.30,
+                ..base_fp
+            },
+            Facerec => WorkloadSpec {
+                working_set_kb: 12 * 1024,
+                ..base_fp
+            },
+            Fma3d => WorkloadSpec {
+                working_set_kb: 24 * 1024,
+                hot_fraction: 0.5,
+                streaming_fraction: 0.75,
+                random_fraction: 0.25,
+                ..base_fp
+            },
+            Galgel => WorkloadSpec {
+                working_set_kb: 12 * 1024,
+                ..base_fp
+            },
+            Lucas => WorkloadSpec {
+                working_set_kb: 48 * 1024,
+                hot_fraction: 0.45,
+                streaming_fraction: 0.90,
+                random_fraction: 0.10,
+                ..base_fp
+            },
+            Mesa => WorkloadSpec {
+                // Mostly cache resident rendering pipeline.
+                working_set_kb: 512,
+                hot_fraction: 0.85,
+                streaming_fraction: 0.70,
+                random_fraction: 0.30,
+                branch_bias: 0.97,
+                fp_value_load_fraction: 0.5,
+                ..base_fp
+            },
+            Mgrid => WorkloadSpec {
+                working_set_kb: 40 * 1024,
+                hot_fraction: 0.45,
+                streaming_fraction: 0.93,
+                random_fraction: 0.07,
+                ..base_fp
+            },
+            Sixtrack => WorkloadSpec {
+                working_set_kb: 1024,
+                hot_fraction: 0.8,
+                streaming_fraction: 0.80,
+                random_fraction: 0.20,
+                ..base_fp
+            },
+            Swim => WorkloadSpec {
+                // Pure streaming over arrays far larger than the L2.
+                working_set_kb: 96 * 1024,
+                hot_fraction: 0.4,
+                streaming_fraction: 0.95,
+                random_fraction: 0.05,
+                loop_body_size: 192,
+                ..base_fp
+            },
+            Wupwise => WorkloadSpec {
+                working_set_kb: 44 * 1024,
+                hot_fraction: 0.5,
+                streaming_fraction: 0.85,
+                random_fraction: 0.15,
+                ..base_fp
+            },
+        }
+    }
+}
+
+impl std::fmt::Display for Benchmark {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.write_str(self.name())
+    }
+}
+
+/// The statistical description of a benchmark's dynamic behaviour from which
+/// its instruction stream is synthesised.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct WorkloadSpec {
+    /// Benchmark name.
+    pub name: &'static str,
+    /// Which sub-suite the workload models.
+    pub suite: Suite,
+    /// Dynamic instruction mix.
+    pub mix: InstrMix,
+    /// Data working-set size in kilobytes. Together with the configured
+    /// cache sizes this determines the L2 miss rate.
+    pub working_set_kb: usize,
+    /// Fraction of loads that stream through the working set with a fixed
+    /// stride (spatial locality, prefetch friendly, independent of each
+    /// other).
+    pub streaming_fraction: f64,
+    /// Fraction of loads whose address depends on the value returned by the
+    /// previous load of the same chain (serial pointer chasing).
+    pub pointer_chase_fraction: f64,
+    /// Fraction of loads that touch a uniformly random location in the
+    /// working set.
+    pub random_fraction: f64,
+    /// Number of independent pointer chains (more chains = more
+    /// memory-level parallelism among the chasing loads).
+    pub pointer_chains: usize,
+    /// Probability that a regular (non-data-dependent) conditional branch
+    /// follows its dominant direction; higher means more predictable.
+    pub branch_bias: f64,
+    /// Fraction of conditional branches whose outcome depends on a recently
+    /// loaded value and is effectively random (the branches that become
+    /// expensive when the load misses).
+    pub data_dep_branch_fraction: f64,
+    /// Fraction of non-pointer-chasing loads that access a small, hot,
+    /// cache-resident region (stack, locals, hot data structures) and
+    /// therefore hit in the L1/L2 regardless of the total working-set size.
+    pub hot_fraction: f64,
+    /// Fraction of loads whose destination is a floating-point register.
+    pub fp_value_load_fraction: f64,
+    /// Number of static instructions in the synthetic loop body.
+    pub loop_body_size: usize,
+    /// Mean register dependency distance (in instructions) between a value's
+    /// producer and its consumers.
+    pub dep_distance_mean: f64,
+}
+
+impl WorkloadSpec {
+    /// Working-set size in bytes.
+    #[must_use]
+    pub fn working_set_bytes(&self) -> u64 {
+        self.working_set_kb as u64 * 1024
+    }
+
+    /// Checks that all fractions are in range and the mix is valid.
+    #[must_use]
+    pub fn is_valid(&self) -> bool {
+        let fracs = [
+            self.streaming_fraction,
+            self.pointer_chase_fraction,
+            self.random_fraction,
+            self.branch_bias,
+            self.data_dep_branch_fraction,
+            self.hot_fraction,
+            self.fp_value_load_fraction,
+        ];
+        let load_split = self.streaming_fraction + self.pointer_chase_fraction + self.random_fraction;
+        fracs.iter().all(|f| (0.0..=1.0).contains(f))
+            && (load_split - 1.0).abs() < 1e-6
+            && self.mix.is_valid()
+            && self.working_set_kb > 0
+            && self.loop_body_size >= 16
+            && self.dep_distance_mean >= 1.0
+            && (self.pointer_chase_fraction == 0.0 || self.pointer_chains > 0)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn suite_membership_matches_the_paper_figures() {
+        assert_eq!(Benchmark::spec_int().len(), 12);
+        assert_eq!(Benchmark::spec_fp().len(), 14);
+        assert_eq!(Benchmark::all().len(), 26);
+        assert_eq!(Benchmark::Mcf.suite(), Suite::Int);
+        assert_eq!(Benchmark::Swim.suite(), Suite::Fp);
+        assert_eq!(Suite::Int.label(), "SpecINT");
+        assert_eq!(Suite::Fp.label(), "SpecFP");
+    }
+
+    #[test]
+    fn every_spec_is_valid() {
+        for bench in Benchmark::all() {
+            let spec = bench.spec();
+            assert!(spec.is_valid(), "{} spec is invalid: {spec:?}", bench.name());
+            assert_eq!(spec.suite, bench.suite(), "{}", bench.name());
+            assert_eq!(spec.name, bench.name());
+        }
+    }
+
+    #[test]
+    fn names_are_unique_and_lowercase() {
+        let mut names: Vec<&str> = Benchmark::all().iter().map(|b| b.name()).collect();
+        names.sort_unstable();
+        let before = names.len();
+        names.dedup();
+        assert_eq!(before, names.len());
+        for name in names {
+            assert_eq!(name, name.to_lowercase());
+        }
+    }
+
+    #[test]
+    fn mcf_is_the_heaviest_pointer_chaser() {
+        let mcf = Benchmark::Mcf.spec();
+        for bench in Benchmark::all() {
+            if bench != Benchmark::Mcf {
+                assert!(mcf.pointer_chase_fraction >= bench.spec().pointer_chase_fraction);
+            }
+        }
+        assert!(mcf.working_set_kb > 4 * 1024, "mcf must exceed the largest swept L2");
+    }
+
+    #[test]
+    fn fp_benchmarks_are_more_predictable_and_stream_more() {
+        for bench in Benchmark::spec_fp() {
+            let spec = bench.spec();
+            assert!(spec.branch_bias >= 0.96, "{}", bench.name());
+            assert!(spec.streaming_fraction >= 0.6, "{}", bench.name());
+            assert!(spec.mix.fp_fraction() > 0.2, "{}", bench.name());
+        }
+    }
+
+    #[test]
+    fn int_benchmarks_have_no_fp_arithmetic() {
+        for bench in Benchmark::spec_int() {
+            assert_eq!(bench.spec().mix.fp_fraction(), 0.0, "{}", bench.name());
+        }
+    }
+
+    #[test]
+    fn representative_subset_spans_both_suites() {
+        let reps = Benchmark::representative();
+        assert!(reps.iter().any(|b| b.suite() == Suite::Int));
+        assert!(reps.iter().any(|b| b.suite() == Suite::Fp));
+        // It contains both a cache-resident and a memory-bound benchmark.
+        assert!(reps.iter().any(|b| b.spec().working_set_kb <= 512));
+        assert!(reps.iter().any(|b| b.spec().working_set_kb >= 16 * 1024));
+    }
+
+    #[test]
+    fn display_matches_name() {
+        assert_eq!(Benchmark::Wupwise.to_string(), "wupwise");
+    }
+}

@@ -1,0 +1,651 @@
+//! Static program templates.
+//!
+//! A [`ProgramTemplate`] is a synthetic "static program": a loop body with
+//! fixed program counters, register assignments and per-instruction
+//! behaviours, generated once per benchmark from its [`WorkloadSpec`]. The
+//! dynamic trace is produced by walking the template repeatedly (see
+//! [`crate::generator::TraceGenerator`]); only data-dependent aspects
+//! (addresses, branch outcomes) change between iterations.
+//!
+//! Generating a static template rather than sampling every dynamic
+//! instruction independently gives the simulated caches and branch
+//! predictors realistic re-reference behaviour: the same static load misses
+//! again and again, the same loop branch is learned by the predictor, and
+//! dependency slices have a stable shape — exactly the structure the
+//! paper's execution-locality argument relies on.
+//!
+//! Two structural properties of real loops are modelled explicitly because
+//! the paper's results depend on them:
+//!
+//! * **Iteration independence.** SpecFP loop bodies are overwhelmingly
+//!   data-parallel (`a[i] = b[i] + c[i]`): values produced in one iteration
+//!   are rarely consumed by the next. Sources are therefore drawn from
+//!   values produced *earlier in the same iteration* except for a small
+//!   loop-carried fraction (accumulators, induction variables). Without
+//!   this, accidental cross-iteration chains serialise the whole program.
+//! * **Cheap address computation.** Streaming accesses are indexed by an
+//!   induction variable that is a one-cycle integer add per iteration, so a
+//!   load's issue never waits on an unrelated cache miss through its address
+//!   register — only pointer-chasing loads have expensive address
+//!   dependences.
+
+use crate::spec::{Suite, WorkloadSpec};
+use dkip_model::{ArchReg, OpClass, RegClass};
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+
+/// Which part of the address space a non-pointer-chasing access touches.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum Region {
+    /// A small, hot, cache-resident region (stack, locals, hot structures).
+    Hot,
+    /// The full working set of the benchmark.
+    Full,
+}
+
+/// The address behaviour of one static load or store.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum AddressPattern {
+    /// Walks its region with a fixed stride; `stream` selects one of the
+    /// independent streams of the benchmark.
+    Streaming {
+        /// Which stream this access belongs to.
+        stream: usize,
+        /// Stride in bytes between successive accesses of this static
+        /// instruction.
+        stride: u64,
+        /// Which region the stream walks.
+        region: Region,
+    },
+    /// Follows a pointer chain: the address of execution *n+1* depends on
+    /// the value loaded by execution *n* of the same chain.
+    PointerChase {
+        /// Which chain this access belongs to.
+        chain: usize,
+    },
+    /// Touches a uniformly random location in its region.
+    Random {
+        /// Which region the access falls in.
+        region: Region,
+    },
+}
+
+/// The direction behaviour of one static conditional branch.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub enum BranchBehavior {
+    /// The backward branch that closes the loop body; always taken.
+    LoopBack,
+    /// A branch with a dominant direction followed with probability
+    /// `bias`; learnable by any dynamic predictor.
+    Biased {
+        /// Probability of following the dominant direction.
+        bias: f64,
+        /// The dominant direction (true = taken).
+        dominant_taken: bool,
+    },
+    /// A branch whose outcome depends on loaded data and is effectively
+    /// random — the branches that become catastrophic when the data they
+    /// depend on missed the cache (Section 2 of the paper).
+    DataDependent,
+}
+
+/// One static instruction of the template.
+#[derive(Debug, Clone, PartialEq)]
+pub struct StaticInstr {
+    /// Program counter (fixed across iterations).
+    pub pc: u64,
+    /// Operation class.
+    pub class: OpClass,
+    /// Destination register, if any.
+    pub dst: Option<ArchReg>,
+    /// Source registers.
+    pub srcs: [Option<ArchReg>; 2],
+    /// Address behaviour (loads and stores only).
+    pub address: Option<AddressPattern>,
+    /// Branch behaviour (branches only).
+    pub branch: Option<BranchBehavior>,
+}
+
+/// A synthetic static loop body for one benchmark.
+#[derive(Debug, Clone)]
+pub struct ProgramTemplate {
+    spec: WorkloadSpec,
+    instrs: Vec<StaticInstr>,
+    num_streams: usize,
+    code_base: u64,
+}
+
+/// Number of independent streaming address streams a template may use.
+const MAX_STREAMS: usize = 8;
+/// Integer registers reserved for pointer-chain heads (r24, r25, …).
+const CHAIN_REG_BASE: u8 = 24;
+/// The loop induction register: written once per iteration by a one-cycle
+/// integer add, read by every streaming access.
+const INDUCTION_REG: u8 = 30;
+/// An integer register that is never written (a constant), used as a cheap
+/// always-ready source.
+const CONST_INT_REG: u8 = 0;
+/// A floating-point register that is never written (a constant).
+const CONST_FP_REG: u8 = 31;
+/// Base virtual address of the synthetic code segment.
+const CODE_BASE: u64 = 0x0040_0000;
+
+/// Picks a register from `pool` with a geometric recency bias (newer values
+/// are more likely).
+fn pick_recent(rng: &mut StdRng, pool: &[ArchReg], mean: f64) -> ArchReg {
+    let len = pool.len();
+    debug_assert!(len > 0);
+    let mut dist = 0usize;
+    let p = 1.0 / mean.max(1.0);
+    while dist + 1 < len && rng.gen::<f64>() > p {
+        dist += 1;
+    }
+    pool[len - 1 - dist]
+}
+
+impl ProgramTemplate {
+    /// Synthesises a template for `spec`, deterministically from `seed`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the spec is not [valid](WorkloadSpec::is_valid).
+    #[must_use]
+    #[allow(clippy::too_many_lines)]
+    pub fn generate(spec: WorkloadSpec, seed: u64) -> Self {
+        assert!(spec.is_valid(), "workload spec must be valid: {spec:?}");
+        let mut rng = StdRng::seed_from_u64(seed ^ 0x9e37_79b9_7f4a_7c15);
+        let n = spec.loop_body_size;
+        let mut instrs = Vec::with_capacity(n);
+
+        // Fraction of sources allowed to reach values produced in a previous
+        // iteration (loop-carried dependences): small for data-parallel FP
+        // loops, larger for irregular integer code.
+        let carried_frac = match spec.suite {
+            Suite::Int => 0.25,
+            Suite::Fp => 0.05,
+        };
+
+        // Rotating destination-register allocators. Integer registers
+        // r1..r23 are general purpose; r24..r29 are reserved for pointer
+        // chains, r30 is the induction variable and r0 is the constant-zero
+        // register.
+        let mut next_int: u8 = 1;
+        let mut next_fp: u8 = 0;
+        let alloc_int = |next_int: &mut u8| {
+            let reg = ArchReg::int(*next_int);
+            *next_int += 1;
+            if *next_int >= CHAIN_REG_BASE {
+                *next_int = 1;
+            }
+            reg
+        };
+        let alloc_fp = |next_fp: &mut u8| {
+            let reg = ArchReg::fp(*next_fp);
+            *next_fp = (*next_fp + 1) % CONST_FP_REG;
+            reg
+        };
+
+        // `recent_*` may contain values from the previous iteration (the
+        // template wraps); `iter_*` only contains values produced so far in
+        // the current iteration.
+        let mut recent_int: Vec<ArchReg> = vec![ArchReg::int(CONST_INT_REG)];
+        let mut recent_fp: Vec<ArchReg> = vec![ArchReg::fp(CONST_FP_REG)];
+        let mut iter_int: Vec<ArchReg> = vec![ArchReg::int(CONST_INT_REG)];
+        let mut iter_fp: Vec<ArchReg> = vec![ArchReg::fp(CONST_FP_REG)];
+        let mut recent_load_dsts: Vec<ArchReg> = Vec::new();
+        let mut recent_cold_load_dsts: Vec<ArchReg> = Vec::new();
+        let mut chase_cursor = 0usize;
+        let num_chains = spec
+            .pointer_chains
+            .min(6)
+            .max(usize::from(spec.pointer_chase_fraction > 0.0));
+
+        for i in 0..n {
+            let pc = CODE_BASE + (i as u64) * 4;
+            let is_first = i == 0;
+            let is_last = i == n - 1;
+            let class = if is_first {
+                OpClass::IntAlu
+            } else if is_last {
+                OpClass::Branch
+            } else {
+                spec.mix.sample(rng.gen::<f64>())
+            };
+
+            // Source selection: mostly iteration-local, occasionally
+            // loop-carried.
+            let pick_int = |rng: &mut StdRng, iter_pool: &[ArchReg], recent_pool: &[ArchReg]| {
+                if rng.gen::<f64>() < carried_frac || iter_pool.len() <= 1 {
+                    pick_recent(rng, recent_pool, spec.dep_distance_mean)
+                } else {
+                    pick_recent(rng, iter_pool, spec.dep_distance_mean)
+                }
+            };
+
+            let instr = match class {
+                OpClass::IntAlu if is_first => {
+                    // The loop induction update: i = i + 1 (one-cycle chain
+                    // across iterations).
+                    let ind = ArchReg::int(INDUCTION_REG);
+                    recent_int.push(ind);
+                    iter_int.push(ind);
+                    StaticInstr {
+                        pc,
+                        class: OpClass::IntAlu,
+                        dst: Some(ind),
+                        srcs: [Some(ind), None],
+                        address: None,
+                        branch: None,
+                    }
+                }
+                OpClass::Load => {
+                    let r: f64 = rng.gen();
+                    if r < spec.pointer_chase_fraction && num_chains > 0 {
+                        // p = p->next: the chain register is both the address
+                        // source and the destination, creating a serial
+                        // dependence through iterations.
+                        let chain = chase_cursor % num_chains;
+                        chase_cursor += 1;
+                        let reg = ArchReg::int(CHAIN_REG_BASE + chain as u8);
+                        recent_int.push(reg);
+                        iter_int.push(reg);
+                        recent_load_dsts.push(reg);
+                        recent_cold_load_dsts.push(reg);
+                        StaticInstr {
+                            pc,
+                            class,
+                            dst: Some(reg),
+                            srcs: [Some(reg), None],
+                            address: Some(AddressPattern::PointerChase { chain }),
+                            branch: None,
+                        }
+                    } else {
+                        let streaming = r < spec.pointer_chase_fraction + spec.streaming_fraction;
+                        let region = if rng.gen::<f64>() < spec.hot_fraction {
+                            Region::Hot
+                        } else {
+                            Region::Full
+                        };
+                        let fp_value = rng.gen::<f64>() < spec.fp_value_load_fraction;
+                        let address = if streaming {
+                            AddressPattern::Streaming {
+                                stream: rng.gen_range(0..MAX_STREAMS),
+                                stride: *[8u64, 8, 16, 64].get(rng.gen_range(0..4)).unwrap_or(&8),
+                                region,
+                            }
+                        } else {
+                            AddressPattern::Random { region }
+                        };
+                        // Streaming accesses are indexed by the induction
+                        // variable (cheap); random accesses may use a
+                        // computed index.
+                        let addr_src = if streaming {
+                            ArchReg::int(INDUCTION_REG)
+                        } else {
+                            pick_int(&mut rng, &iter_int, &recent_int)
+                        };
+                        let dst = if fp_value {
+                            alloc_fp(&mut next_fp)
+                        } else {
+                            alloc_int(&mut next_int)
+                        };
+                        if dst.class() == RegClass::Fp {
+                            recent_fp.push(dst);
+                            iter_fp.push(dst);
+                        } else {
+                            recent_int.push(dst);
+                            iter_int.push(dst);
+                        }
+                        recent_load_dsts.push(dst);
+                        if region == Region::Full {
+                            recent_cold_load_dsts.push(dst);
+                        }
+                        StaticInstr {
+                            pc,
+                            class,
+                            dst: Some(dst),
+                            srcs: [Some(addr_src), None],
+                            address: Some(address),
+                            branch: None,
+                        }
+                    }
+                }
+                OpClass::Store => {
+                    // Stores mostly write hot, cache-resident locations
+                    // (stack, output arrays); streaming stores are indexed by
+                    // the induction variable.
+                    let region = if rng.gen::<f64>() < spec.hot_fraction.max(0.5) {
+                        Region::Hot
+                    } else {
+                        Region::Full
+                    };
+                    let streaming = rng.gen::<f64>() < spec.streaming_fraction;
+                    let address = if streaming {
+                        AddressPattern::Streaming {
+                            stream: rng.gen_range(0..MAX_STREAMS),
+                            stride: 8,
+                            region,
+                        }
+                    } else {
+                        AddressPattern::Random { region }
+                    };
+                    let value_src = if spec.suite == Suite::Fp && rng.gen::<f64>() < 0.6 {
+                        pick_recent(&mut rng, &iter_fp, spec.dep_distance_mean)
+                    } else {
+                        pick_int(&mut rng, &iter_int, &recent_int)
+                    };
+                    let addr_src = if streaming {
+                        ArchReg::int(INDUCTION_REG)
+                    } else {
+                        pick_int(&mut rng, &iter_int, &recent_int)
+                    };
+                    StaticInstr {
+                        pc,
+                        class,
+                        dst: None,
+                        srcs: [Some(value_src), Some(addr_src)],
+                        address: Some(address),
+                        branch: None,
+                    }
+                }
+                OpClass::Branch => {
+                    let behavior = if is_last {
+                        BranchBehavior::LoopBack
+                    } else if rng.gen::<f64>() < spec.data_dep_branch_fraction
+                        && !recent_load_dsts.is_empty()
+                    {
+                        BranchBehavior::DataDependent
+                    } else {
+                        BranchBehavior::Biased {
+                            bias: spec.branch_bias,
+                            dominant_taken: rng.gen::<f64>() < 0.6,
+                        }
+                    };
+                    let src = match behavior {
+                        BranchBehavior::DataDependent => {
+                            // Prefer a value loaded from the cold working set
+                            // (the expensive case the paper highlights),
+                            // otherwise any recently loaded value.
+                            *recent_cold_load_dsts
+                                .iter()
+                                .rev()
+                                .find(|r| r.class() == RegClass::Int)
+                                .or_else(|| {
+                                    recent_load_dsts.iter().rev().find(|r| r.class() == RegClass::Int)
+                                })
+                                .unwrap_or(&ArchReg::int(CONST_INT_REG))
+                        }
+                        BranchBehavior::LoopBack => ArchReg::int(INDUCTION_REG),
+                        BranchBehavior::Biased { .. } => pick_int(&mut rng, &iter_int, &recent_int),
+                    };
+                    StaticInstr {
+                        pc,
+                        class,
+                        dst: None,
+                        srcs: [Some(src), None],
+                        address: None,
+                        branch: Some(behavior),
+                    }
+                }
+                OpClass::IntMul | OpClass::IntAlu => {
+                    let dst = alloc_int(&mut next_int);
+                    let s0 = pick_int(&mut rng, &iter_int, &recent_int);
+                    let s1 = if rng.gen::<f64>() < 0.6 {
+                        Some(pick_int(&mut rng, &iter_int, &recent_int))
+                    } else {
+                        None
+                    };
+                    recent_int.push(dst);
+                    iter_int.push(dst);
+                    StaticInstr {
+                        pc,
+                        class,
+                        dst: Some(dst),
+                        srcs: [Some(s0), s1],
+                        address: None,
+                        branch: None,
+                    }
+                }
+                OpClass::FpAdd | OpClass::FpMul | OpClass::FpDiv => {
+                    let dst = alloc_fp(&mut next_fp);
+                    let pick_fp = |rng: &mut StdRng, iter_pool: &[ArchReg], recent_pool: &[ArchReg]| {
+                        if rng.gen::<f64>() < carried_frac || iter_pool.len() <= 1 {
+                            pick_recent(rng, recent_pool, spec.dep_distance_mean)
+                        } else {
+                            pick_recent(rng, iter_pool, spec.dep_distance_mean)
+                        }
+                    };
+                    let s0 = pick_fp(&mut rng, &iter_fp, &recent_fp);
+                    let s1 = if rng.gen::<f64>() < 0.8 {
+                        Some(pick_fp(&mut rng, &iter_fp, &recent_fp))
+                    } else {
+                        None
+                    };
+                    recent_fp.push(dst);
+                    iter_fp.push(dst);
+                    StaticInstr {
+                        pc,
+                        class,
+                        dst: Some(dst),
+                        srcs: [Some(s0), s1],
+                        address: None,
+                        branch: None,
+                    }
+                }
+                OpClass::Nop => StaticInstr {
+                    pc,
+                    class,
+                    dst: None,
+                    srcs: [None, None],
+                    address: None,
+                    branch: None,
+                },
+            };
+            instrs.push(instr);
+
+            // Bound the recency pools so distances stay meaningful.
+            if recent_int.len() > 64 {
+                recent_int.drain(0..32);
+            }
+            if recent_fp.len() > 64 {
+                recent_fp.drain(0..32);
+            }
+            if recent_load_dsts.len() > 32 {
+                recent_load_dsts.drain(0..16);
+            }
+            if recent_cold_load_dsts.len() > 32 {
+                recent_cold_load_dsts.drain(0..16);
+            }
+        }
+
+        ProgramTemplate {
+            spec,
+            instrs,
+            num_streams: MAX_STREAMS,
+            code_base: CODE_BASE,
+        }
+    }
+
+    /// The workload specification the template was generated from.
+    #[must_use]
+    pub fn spec(&self) -> &WorkloadSpec {
+        &self.spec
+    }
+
+    /// The static instructions of the loop body.
+    #[must_use]
+    pub fn instrs(&self) -> &[StaticInstr] {
+        &self.instrs
+    }
+
+    /// Number of streaming address streams used.
+    #[must_use]
+    pub fn num_streams(&self) -> usize {
+        self.num_streams
+    }
+
+    /// Number of pointer chains used.
+    #[must_use]
+    pub fn num_chains(&self) -> usize {
+        self.spec.pointer_chains.min(6)
+    }
+
+    /// Base address of the code segment (the PC of the first instruction).
+    #[must_use]
+    pub fn code_base(&self) -> u64 {
+        self.code_base
+    }
+
+    /// Program counter of the loop-back branch target (the first
+    /// instruction).
+    #[must_use]
+    pub fn loop_target(&self) -> u64 {
+        self.code_base
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::spec::Benchmark;
+
+    #[test]
+    fn templates_are_deterministic_per_seed() {
+        let spec = Benchmark::Gcc.spec();
+        let a = ProgramTemplate::generate(spec, 7);
+        let b = ProgramTemplate::generate(spec, 7);
+        assert_eq!(a.instrs(), b.instrs());
+        let c = ProgramTemplate::generate(spec, 8);
+        assert_ne!(a.instrs(), c.instrs(), "different seeds should differ");
+    }
+
+    #[test]
+    fn template_size_matches_spec() {
+        for bench in Benchmark::representative() {
+            let spec = bench.spec();
+            let tpl = ProgramTemplate::generate(spec, 1);
+            assert_eq!(tpl.instrs().len(), spec.loop_body_size);
+        }
+    }
+
+    #[test]
+    fn first_instruction_is_the_induction_update() {
+        for bench in Benchmark::all() {
+            let tpl = ProgramTemplate::generate(bench.spec(), 3);
+            let first = tpl.instrs().first().unwrap();
+            assert_eq!(first.class, OpClass::IntAlu, "{}", bench.name());
+            assert_eq!(first.dst, Some(ArchReg::int(INDUCTION_REG)));
+            assert_eq!(first.srcs[0], Some(ArchReg::int(INDUCTION_REG)));
+        }
+    }
+
+    #[test]
+    fn last_instruction_is_the_loop_back_branch() {
+        for bench in Benchmark::all() {
+            let tpl = ProgramTemplate::generate(bench.spec(), 3);
+            let last = tpl.instrs().last().unwrap();
+            assert_eq!(last.class, OpClass::Branch, "{}", bench.name());
+            assert_eq!(last.branch, Some(BranchBehavior::LoopBack));
+        }
+    }
+
+    #[test]
+    fn pcs_are_dense_and_word_aligned() {
+        let tpl = ProgramTemplate::generate(Benchmark::Swim.spec(), 1);
+        for (i, instr) in tpl.instrs().iter().enumerate() {
+            assert_eq!(instr.pc, tpl.code_base() + 4 * i as u64);
+        }
+    }
+
+    #[test]
+    fn memory_instructions_have_address_patterns_and_others_do_not() {
+        let tpl = ProgramTemplate::generate(Benchmark::Vpr.spec(), 5);
+        for instr in tpl.instrs() {
+            if instr.class.is_mem() {
+                assert!(instr.address.is_some());
+            } else {
+                assert!(instr.address.is_none());
+            }
+            if instr.class.is_branch() {
+                assert!(instr.branch.is_some());
+            } else {
+                assert!(instr.branch.is_none());
+            }
+        }
+    }
+
+    #[test]
+    fn pointer_chase_loads_form_serial_chains() {
+        let tpl = ProgramTemplate::generate(Benchmark::Mcf.spec(), 11);
+        let chase: Vec<&StaticInstr> = tpl
+            .instrs()
+            .iter()
+            .filter(|i| matches!(i.address, Some(AddressPattern::PointerChase { .. })))
+            .collect();
+        assert!(!chase.is_empty(), "mcf must contain pointer-chasing loads");
+        for instr in chase {
+            // dst == src: the classic p = p->next dependence.
+            assert_eq!(instr.dst, instr.srcs[0]);
+            assert_eq!(instr.dst.unwrap().class(), RegClass::Int);
+        }
+    }
+
+    #[test]
+    fn streaming_accesses_are_indexed_by_the_induction_variable() {
+        let tpl = ProgramTemplate::generate(Benchmark::Swim.spec(), 11);
+        for instr in tpl.instrs() {
+            if let Some(AddressPattern::Streaming { .. }) = instr.address {
+                let addr_src = if instr.class.is_store() { instr.srcs[1] } else { instr.srcs[0] };
+                assert_eq!(addr_src, Some(ArchReg::int(INDUCTION_REG)));
+            }
+        }
+    }
+
+    #[test]
+    fn fp_suite_templates_produce_fp_values() {
+        let tpl = ProgramTemplate::generate(Benchmark::Swim.spec(), 2);
+        let fp_loads = tpl
+            .instrs()
+            .iter()
+            .filter(|i| i.class.is_load() && i.dst.map(|d| d.class()) == Some(RegClass::Fp))
+            .count();
+        let fp_ops = tpl.instrs().iter().filter(|i| i.class.is_fp()).count();
+        assert!(fp_loads > 0, "swim should load FP values");
+        assert!(fp_ops > 10, "swim should be dominated by FP arithmetic");
+    }
+
+    #[test]
+    fn int_suite_templates_have_no_fp_ops() {
+        let tpl = ProgramTemplate::generate(Benchmark::Crafty.spec(), 2);
+        assert!(tpl.instrs().iter().all(|i| !i.class.is_fp()));
+    }
+
+    #[test]
+    fn data_dependent_branches_exist_in_branchy_int_codes() {
+        let tpl = ProgramTemplate::generate(Benchmark::Mcf.spec(), 13);
+        let data_dep = tpl
+            .instrs()
+            .iter()
+            .filter(|i| matches!(i.branch, Some(BranchBehavior::DataDependent)))
+            .count();
+        assert!(data_dep > 0, "mcf should contain data-dependent branches");
+    }
+
+    #[test]
+    fn hot_and_full_regions_both_appear() {
+        let tpl = ProgramTemplate::generate(Benchmark::Swim.spec(), 4);
+        let mut hot = 0;
+        let mut full = 0;
+        for instr in tpl.instrs() {
+            match instr.address {
+                Some(AddressPattern::Streaming { region: Region::Hot, .. })
+                | Some(AddressPattern::Random { region: Region::Hot }) => hot += 1,
+                Some(AddressPattern::Streaming { region: Region::Full, .. })
+                | Some(AddressPattern::Random { region: Region::Full }) => full += 1,
+                _ => {}
+            }
+        }
+        assert!(hot > 0, "some accesses must be cache resident");
+        assert!(full > 0, "some accesses must walk the full working set");
+    }
+}

@@ -1,0 +1,48 @@
+//! Execution-locality classification: compare how much of each workload the
+//! D-KIP's Cache Processor handles versus its Memory Processors, and how the
+//! three processor families compare on the same workload.
+//!
+//! Run with: `cargo run --release --example execution_locality`
+
+use dkip::model::config::{BaselineConfig, DkipConfig, KiloConfig, MemoryHierarchyConfig};
+use dkip::sim::{run_baseline, run_dkip, run_kilo};
+use dkip::trace::Benchmark;
+
+fn main() {
+    let mem = MemoryHierarchyConfig::mem_400();
+    let budget = 20_000;
+
+    println!("Per-benchmark execution locality on the default D-KIP (MEM-400):");
+    println!("{:>10} {:>8} {:>14} {:>16} {:>14}", "benchmark", "IPC", "high-locality", "LLIB peak instrs", "LLRF peak regs");
+    for bench in Benchmark::representative() {
+        let stats = run_dkip(&DkipConfig::paper_default(), &mem, bench, budget, 1);
+        let (instrs, regs) = if bench.suite() == dkip::trace::Suite::Fp {
+            (stats.llib_fp_peak_instrs, stats.llrf_fp_peak_regs)
+        } else {
+            (stats.llib_int_peak_instrs, stats.llrf_int_peak_regs)
+        };
+        println!(
+            "{:>10} {:>8.3} {:>13.1}% {:>16} {:>14}",
+            bench.name(),
+            stats.ipc(),
+            100.0 * stats.high_locality_fraction(),
+            instrs,
+            regs
+        );
+    }
+
+    println!();
+    println!("Processor comparison on swim (memory-bound SpecFP):");
+    let swim = Benchmark::Swim;
+    let r64 = run_baseline(&BaselineConfig::r10_64(), &mem, swim, budget, 1);
+    let r256 = run_baseline(&BaselineConfig::r10_256(), &mem, swim, budget, 1);
+    let kilo = run_kilo(&KiloConfig::kilo_1024(), &mem, swim, budget, 1);
+    let dkip = run_dkip(&DkipConfig::paper_default(), &mem, swim, budget, 1);
+    for (name, stats) in [("R10-64", &r64), ("R10-256", &r256), ("KILO-1024", &kilo), ("D-KIP-2048", &dkip)] {
+        println!("  {:>10}: IPC {:.3}", name, stats.ipc());
+    }
+    println!();
+    println!("The two kilo-instruction designs overlap the 400-cycle misses that");
+    println!("stall the conventional cores, without any out-of-order structure");
+    println!("larger than 40 entries in the D-KIP's case.");
+}

@@ -1,0 +1,129 @@
+//! Integration tests spanning the whole workspace: workload generation →
+//! memory hierarchy → branch prediction → the three core models → the
+//! experiment harness.
+
+use dkip::model::config::{
+    BaselineConfig, DkipConfig, KiloConfig, MemoryHierarchyConfig, SchedPolicy,
+};
+use dkip::sim::{run_baseline, run_dkip, run_kilo, suite_mean_ipc};
+use dkip::trace::{Benchmark, Suite, TraceGenerator};
+
+const BUDGET: u64 = 8_000;
+
+#[test]
+fn all_three_processor_families_run_every_representative_benchmark() {
+    let mem = MemoryHierarchyConfig::mem_400();
+    for bench in Benchmark::representative() {
+        let base = run_baseline(&BaselineConfig::r10_64(), &mem, bench, BUDGET, 1);
+        let kilo = run_kilo(&KiloConfig::kilo_1024(), &mem, bench, BUDGET, 1);
+        let dkip = run_dkip(&DkipConfig::paper_default(), &mem, bench, BUDGET, 1);
+        for (name, stats) in [("r10-64", &base), ("kilo", &kilo), ("dkip", &dkip)] {
+            assert!(
+                stats.committed >= BUDGET,
+                "{name} on {} committed only {}",
+                bench.name(),
+                stats.committed
+            );
+            assert!(stats.ipc() > 0.0 && stats.ipc() <= 4.0, "{name} on {}", bench.name());
+        }
+    }
+}
+
+#[test]
+fn figure9_ordering_holds_on_memory_bound_fp() {
+    // The qualitative Figure 9 result: both kilo-window designs clearly beat
+    // the conventional cores on memory-bound floating-point code.
+    let mem = MemoryHierarchyConfig::mem_400();
+    let bench = Benchmark::Swim;
+    let r10_64 = run_baseline(&BaselineConfig::r10_64(), &mem, bench, BUDGET, 1).ipc();
+    let r10_256 = run_baseline(&BaselineConfig::r10_256(), &mem, bench, BUDGET, 1).ipc();
+    let kilo = run_kilo(&KiloConfig::kilo_1024(), &mem, bench, BUDGET, 1).ipc();
+    let dkip = run_dkip(&DkipConfig::paper_default(), &mem, bench, BUDGET, 1).ipc();
+    assert!(dkip > r10_64, "dkip={dkip} r10_64={r10_64}");
+    assert!(dkip > r10_256 * 0.9, "dkip={dkip} r10_256={r10_256}");
+    assert!(kilo > r10_64, "kilo={kilo} r10_64={r10_64}");
+}
+
+#[test]
+fn window_scaling_recovers_fp_ipc_but_not_int_ipc() {
+    // Figures 1 and 2 in miniature.
+    let mem = MemoryHierarchyConfig::mem_400();
+    let small = BaselineConfig::idealized(48);
+    let large = BaselineConfig::idealized(1024);
+    let fp_small = run_baseline(&small, &mem, Benchmark::Swim, BUDGET, 1).ipc();
+    let fp_large = run_baseline(&large, &mem, Benchmark::Swim, BUDGET, 1).ipc();
+    let int_small = run_baseline(&small, &mem, Benchmark::Mcf, BUDGET, 1).ipc();
+    let int_large = run_baseline(&large, &mem, Benchmark::Mcf, BUDGET, 1).ipc();
+    let fp_gain = fp_large / fp_small;
+    let int_gain = int_large / int_small;
+    assert!(fp_gain > 1.5, "fp_gain={fp_gain}");
+    assert!(fp_gain > int_gain, "fp_gain={fp_gain} int_gain={int_gain}");
+}
+
+#[test]
+fn perfect_l1_removes_the_benefit_of_the_dkip() {
+    // With no memory wall there is (almost) no low-locality code, so the
+    // D-KIP and a conventional core of the same CP size perform similarly.
+    let mem = MemoryHierarchyConfig::l1_2();
+    let dkip = run_dkip(&DkipConfig::paper_default(), &mem, Benchmark::Mesa, BUDGET, 1);
+    let r10 = run_baseline(&BaselineConfig::r10_64(), &mem, Benchmark::Mesa, BUDGET, 1);
+    assert!(dkip.low_locality_instrs == 0, "a perfect L1 creates no low-locality slices");
+    let ratio = dkip.ipc() / r10.ipc();
+    assert!(ratio > 0.7 && ratio < 1.3, "ratio={ratio}");
+}
+
+#[test]
+fn dkip_llib_occupancy_respects_table2_bounds_across_the_suite() {
+    let mem = MemoryHierarchyConfig::mem_400();
+    for bench in [Benchmark::Swim, Benchmark::Mcf, Benchmark::Art] {
+        let stats = run_dkip(&DkipConfig::paper_default(), &mem, bench, BUDGET, 1);
+        assert!(stats.llib_int_peak_instrs <= 2048);
+        assert!(stats.llib_fp_peak_instrs <= 2048);
+        assert!(stats.llrf_int_peak_regs <= 2048);
+        assert!(stats.llrf_fp_peak_regs <= 2048);
+        assert!(
+            stats.llrf_int_peak_regs <= stats.llib_int_peak_instrs
+                || stats.llib_int_peak_instrs == 0,
+            "{}: registers cannot exceed instructions",
+            bench.name()
+        );
+    }
+}
+
+#[test]
+fn scheduler_policy_sweep_is_monotonic_in_the_expected_direction() {
+    // Figure 10 in miniature: an out-of-order Cache Processor beats an
+    // in-order one on SpecFP.
+    let mem = MemoryHierarchyConfig::mem_400();
+    let benches: Vec<Benchmark> = Benchmark::representative()
+        .into_iter()
+        .filter(|b| b.suite() == Suite::Fp)
+        .collect();
+    let ooo_cfg = DkipConfig::paper_default().with_cp(SchedPolicy::OutOfOrder, 40);
+    let ino_cfg = DkipConfig::paper_default().with_cp(SchedPolicy::InOrder, 40);
+    let ooo = suite_mean_ipc(&benches, &|b| run_dkip(&ooo_cfg, &mem, b, BUDGET, 1));
+    let ino = suite_mean_ipc(&benches, &|b| run_dkip(&ino_cfg, &mem, b, BUDGET, 1));
+    assert!(ooo > ino, "ooo={ooo} ino={ino}");
+}
+
+#[test]
+fn traces_are_reproducible_end_to_end() {
+    let mem = MemoryHierarchyConfig::mem_400();
+    let a = run_dkip(&DkipConfig::paper_default(), &mem, Benchmark::Gcc, 4_000, 7);
+    let b = run_dkip(&DkipConfig::paper_default(), &mem, Benchmark::Gcc, 4_000, 7);
+    assert_eq!(a.cycles, b.cycles);
+    assert_eq!(a.committed, b.committed);
+    let t1: Vec<_> = TraceGenerator::new(Benchmark::Gcc, 7).take(1_000).collect();
+    let t2: Vec<_> = TraceGenerator::new(Benchmark::Gcc, 7).take(1_000).collect();
+    assert_eq!(t1, t2);
+}
+
+#[test]
+fn different_seeds_produce_different_but_similar_behaviour() {
+    let mem = MemoryHierarchyConfig::mem_400();
+    let a = run_dkip(&DkipConfig::paper_default(), &mem, Benchmark::Equake, BUDGET, 1);
+    let b = run_dkip(&DkipConfig::paper_default(), &mem, Benchmark::Equake, BUDGET, 2);
+    assert_ne!(a.cycles, b.cycles, "different seeds should not be cycle-identical");
+    let ratio = a.ipc() / b.ipc();
+    assert!(ratio > 0.5 && ratio < 2.0, "seeds change details, not the regime: {ratio}");
+}

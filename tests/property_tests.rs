@@ -1,0 +1,143 @@
+//! Property-based tests over the core data structures and the workload
+//! generators.
+
+use dkip::bpred::{BranchPredictor, PerceptronPredictor};
+use dkip::mem::SetAssocCache;
+use dkip::model::config::LlibConfig;
+use dkip::model::stats::Histogram;
+use dkip::model::{ArchReg, TOTAL_ARCH_REGS};
+use dkip::dkip::{CheckpointStack, Llbv, Llrf, LowLocalityWriter};
+use dkip::trace::{Benchmark, TraceGenerator};
+use proptest::prelude::*;
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(64))]
+
+    /// Every micro-op the generator emits is well formed, for any benchmark
+    /// and seed.
+    #[test]
+    fn generated_micro_ops_are_always_well_formed(seed in 0u64..1_000, bench_idx in 0usize..26) {
+        let bench = Benchmark::all()[bench_idx];
+        let ops: Vec<_> = TraceGenerator::new(bench, seed).take(500).collect();
+        prop_assert_eq!(ops.len(), 500);
+        for (i, op) in ops.iter().enumerate() {
+            prop_assert!(op.is_well_formed(), "{}: {}", bench.name(), op);
+            prop_assert_eq!(op.seq, i as u64);
+        }
+    }
+
+    /// A cache never reports more hits than accesses, and its contents are
+    /// consistent with `contains`.
+    #[test]
+    fn cache_hit_accounting_is_consistent(addrs in proptest::collection::vec(0u64..(1 << 20), 1..300)) {
+        let mut cache = SetAssocCache::new(4 * 1024, 2, 64).unwrap();
+        for &addr in &addrs {
+            cache.access(addr, false);
+            prop_assert!(cache.contains(addr), "a just-accessed line must be resident");
+        }
+        prop_assert_eq!(cache.hits() + cache.misses(), addrs.len() as u64);
+    }
+
+    /// The histogram preserves every recorded sample exactly once.
+    #[test]
+    fn histogram_conserves_samples(values in proptest::collection::vec(0u64..5_000, 1..500)) {
+        let mut hist = Histogram::new(50, 1_000);
+        for &v in &values {
+            hist.record(v);
+        }
+        let bucket_sum: u64 = hist.iter().map(|(_, c)| c).sum();
+        prop_assert_eq!(bucket_sum + hist.overflow_count(), values.len() as u64);
+        prop_assert_eq!(hist.total_samples(), values.len() as u64);
+        prop_assert_eq!(hist.max_value(), *values.iter().max().unwrap());
+    }
+
+    /// The LLBV marked count always equals the number of registers whose bit
+    /// is set, under any interleaving of marks and clears.
+    #[test]
+    fn llbv_marked_count_matches_bits(ops in proptest::collection::vec((0usize..TOTAL_ARCH_REGS, any::<bool>()), 1..200)) {
+        let mut llbv = Llbv::new();
+        for (flat, set) in ops {
+            let reg = ArchReg::from_flat_index(flat);
+            if set {
+                llbv.mark(reg, LowLocalityWriter::Load(flat as u64));
+            } else {
+                llbv.clear(reg);
+            }
+        }
+        let actual = (0..TOTAL_ARCH_REGS)
+            .filter(|&i| llbv.is_long_latency(ArchReg::from_flat_index(i)))
+            .count();
+        prop_assert_eq!(actual, llbv.marked_count());
+    }
+
+    /// LLRF allocations never exceed capacity and occupancy is conserved by
+    /// free.
+    #[test]
+    fn llrf_allocation_is_conserved(requests in 1usize..200) {
+        let cfg = LlibConfig {
+            capacity: 256,
+            insertion_rate: 4,
+            extraction_rate: 4,
+            llrf_banks: 8,
+            llrf_regs_per_bank: 8,
+        };
+        let mut llrf = Llrf::new(&cfg);
+        let mut slots = Vec::new();
+        for _ in 0..requests {
+            match llrf.allocate() {
+                Some(slot) => slots.push(slot),
+                None => break,
+            }
+        }
+        prop_assert!(slots.len() <= llrf.capacity());
+        prop_assert_eq!(llrf.occupied(), slots.len());
+        for slot in slots {
+            llrf.free(slot);
+        }
+        prop_assert_eq!(llrf.occupied(), 0);
+    }
+
+    /// The checkpoint stack never exceeds its capacity and always keeps a
+    /// recovery point while instructions are outstanding.
+    #[test]
+    fn checkpoint_stack_respects_capacity(events in proptest::collection::vec(0u8..3, 1..300)) {
+        let mut stack = CheckpointStack::new(4);
+        let mut live_epochs: Vec<u64> = Vec::new();
+        for event in events {
+            match event {
+                0 => {
+                    if let Some(epoch) = stack.take(0) {
+                        live_epochs.push(epoch);
+                    }
+                }
+                1 => {
+                    if let Some(&epoch) = live_epochs.last() {
+                        stack.register_instruction(epoch);
+                    }
+                }
+                _ => {
+                    if let Some(&epoch) = live_epochs.first() {
+                        stack.complete_instruction(epoch);
+                    }
+                }
+            }
+            prop_assert!(stack.len() <= 4);
+            if !live_epochs.is_empty() {
+                prop_assert!(!stack.is_empty());
+            }
+        }
+    }
+
+    /// The perceptron predictor's misprediction count never exceeds its
+    /// prediction count and it eventually learns a constant branch.
+    #[test]
+    fn perceptron_counters_are_sane(outcomes in proptest::collection::vec(any::<bool>(), 1..500)) {
+        let mut pred = PerceptronPredictor::new(64, 16);
+        for &taken in &outcomes {
+            let guess = pred.predict(0xabc0);
+            pred.update(0xabc0, taken, guess);
+        }
+        prop_assert_eq!(pred.predictions(), outcomes.len() as u64);
+        prop_assert!(pred.mispredictions() <= pred.predictions());
+    }
+}
