@@ -1,0 +1,37 @@
+# Convenience targets wrapping the tier-1 verify and the paper artefacts.
+# Mirrored by .github/workflows/ci.yml.
+
+FIG_BINS = table1 table2_3 fig01_window_specint fig02_window_specfp \
+           fig03_issue_histogram fig09_comparison fig10_scheduler_sweep \
+           fig11_cache_sweep_specint fig12_cache_sweep_specfp \
+           fig13_llib_occupancy_specint fig14_llib_occupancy_specfp
+
+.PHONY: build test doc verify bench bench-figures clean
+
+build:
+	cargo build --release
+
+test:
+	cargo test -q
+
+## Tier-1 verify: exactly what CI and the ROADMAP run.
+verify:
+	cargo build --release && cargo test -q
+
+doc:
+	cargo doc --no-deps
+
+## Simulator-throughput benches (criterion shim).
+bench:
+	cargo bench -p dkip-bench
+
+## Regenerate every table/figure of the paper on stdout.
+bench-figures: build
+	@for b in $(FIG_BINS); do \
+		echo "==== $$b ===="; \
+		./target/release/$$b || exit 1; \
+		echo; \
+	done
+
+clean:
+	cargo clean

@@ -1,7 +1,7 @@
 //! Branch predictors for the D-KIP reproduction.
 //!
 //! The paper's Cache Processor uses a perceptron branch predictor
-//! (Jiménez & Lin, HPCA 2001 — reference [18] of the paper). This crate
+//! (Jiménez & Lin, HPCA 2001 — reference \[18\] of the paper). This crate
 //! implements that predictor along with simpler classical predictors used
 //! for comparison and testing:
 //!

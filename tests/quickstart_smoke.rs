@@ -1,0 +1,31 @@
+//! Smoke test mirroring the facade doctest in `src/lib.rs`.
+//!
+//! Doctests are skipped by some CI configurations (and by anything invoking
+//! the test binaries directly), so the README/facade quickstart path gets a
+//! regular integration test too: if this breaks, the very first thing a new
+//! user runs is broken.
+
+use dkip::model::config::{DkipConfig, MemoryHierarchyConfig};
+use dkip::sim::run_dkip;
+use dkip::trace::spec::Benchmark;
+
+#[test]
+fn quickstart_swim_20k_has_positive_ipc() {
+    let stats = run_dkip(
+        &DkipConfig::paper_default(),
+        &MemoryHierarchyConfig::mem_400(),
+        Benchmark::Swim,
+        20_000,
+        1,
+    );
+    assert!(
+        stats.ipc() > 0.0,
+        "quickstart run produced non-positive IPC: {}",
+        stats.ipc()
+    );
+    assert!(
+        stats.committed >= 20_000,
+        "quickstart run committed only {} of 20000 instructions",
+        stats.committed
+    );
+}
