@@ -6,7 +6,7 @@ FIG_BINS = table1 table2_3 fig01_window_specint fig02_window_specfp \
            fig11_cache_sweep_specint fig12_cache_sweep_specfp \
            fig13_llib_occupancy_specint fig14_llib_occupancy_specfp
 
-.PHONY: build test doc verify bench bench-figures clean
+.PHONY: build test doc verify bench bench-figures golden bless clean
 
 build:
 	cargo build --release
@@ -20,6 +20,17 @@ verify:
 
 doc:
 	cargo doc --no-deps
+
+## Golden-stats regression checks: compare fresh runs against the pinned
+## snapshots in tests/golden/, single- and multi-threaded (see EXPERIMENTS.md).
+golden:
+	DKIP_THREADS=1 cargo test -q -p dkip --test golden_stats --test determinism
+	DKIP_THREADS=8 cargo test -q -p dkip --test golden_stats --test determinism
+
+## Regenerate the golden snapshots after an *intended* behavioural change,
+## then review `git diff tests/golden/`.
+bless:
+	DKIP_BLESS=1 cargo test -q -p dkip --test golden_stats
 
 ## Simulator-throughput benches (criterion shim).
 bench:

@@ -65,39 +65,40 @@ fn bench_figures(c: &mut Criterion) {
         .into_iter()
         .filter(|b| b.suite() == Suite::Fp)
         .collect();
+    let runner = dkip_sim::SweepRunner::from_env();
     let mut group = c.benchmark_group("figures");
     group.sample_size(10);
     group.bench_function("table1", |b| b.iter(|| black_box(experiments::table1())));
     group.bench_function("fig01_window_specint", |b| {
-        b.iter(|| black_box(experiments::figure_window_scaling(Suite::Int, &reps_int, &[32, 256], BUDGET)));
+        b.iter(|| black_box(experiments::figure_window_scaling(Suite::Int, &reps_int, &[32, 256], BUDGET, &runner)));
     });
     group.bench_function("fig02_window_specfp", |b| {
-        b.iter(|| black_box(experiments::figure_window_scaling(Suite::Fp, &reps_fp, &[32, 256], BUDGET)));
+        b.iter(|| black_box(experiments::figure_window_scaling(Suite::Fp, &reps_fp, &[32, 256], BUDGET, &runner)));
     });
     group.bench_function("fig03_issue_histogram", |b| {
-        b.iter(|| black_box(experiments::figure3_issue_histogram(&reps_fp, BUDGET)));
+        b.iter(|| black_box(experiments::figure3_issue_histogram(&reps_fp, BUDGET, &runner)));
     });
     group.bench_function("fig09_comparison", |b| {
-        b.iter(|| black_box(experiments::figure9_comparison(&reps_int, &reps_fp, BUDGET)));
+        b.iter(|| black_box(experiments::figure9_comparison(&reps_int, &reps_fp, BUDGET, &runner)));
     });
     group.bench_function("fig10_scheduler_sweep", |b| {
-        b.iter(|| black_box(experiments::figure10_scheduler_sweep(&reps_fp, 1_500)));
+        b.iter(|| black_box(experiments::figure10_scheduler_sweep(&reps_fp, 1_500, &runner)));
     });
     group.bench_function("fig11_cache_sweep_specint", |b| {
         b.iter(|| {
-            black_box(experiments::figure_cache_sweep(Suite::Int, &reps_int, &[64, 512, 4096], 1_500))
+            black_box(experiments::figure_cache_sweep(Suite::Int, &reps_int, &[64, 512, 4096], 1_500, &runner))
         });
     });
     group.bench_function("fig12_cache_sweep_specfp", |b| {
         b.iter(|| {
-            black_box(experiments::figure_cache_sweep(Suite::Fp, &reps_fp, &[64, 512, 4096], 1_500))
+            black_box(experiments::figure_cache_sweep(Suite::Fp, &reps_fp, &[64, 512, 4096], 1_500, &runner))
         });
     });
     group.bench_function("fig13_llib_occupancy_specint", |b| {
-        b.iter(|| black_box(experiments::figure_llib_occupancy(Suite::Int, &reps_int, BUDGET)));
+        b.iter(|| black_box(experiments::figure_llib_occupancy(Suite::Int, &reps_int, BUDGET, &runner)));
     });
     group.bench_function("fig14_llib_occupancy_specfp", |b| {
-        b.iter(|| black_box(experiments::figure_llib_occupancy(Suite::Fp, &reps_fp, BUDGET)));
+        b.iter(|| black_box(experiments::figure_llib_occupancy(Suite::Fp, &reps_fp, BUDGET, &runner)));
     });
     group.finish();
 }

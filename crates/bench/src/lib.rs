@@ -7,9 +7,13 @@
 //!   rows/series of one paper artefact using the drivers in
 //!   `dkip_sim::experiments`. Run them with, e.g.,
 //!   `cargo run -p dkip-bench --release --bin fig09_comparison`.
-//!   Every binary accepts two optional positional arguments: the
-//!   per-benchmark instruction budget and `full` to use the complete
-//!   benchmark suite instead of the fast representative subset.
+//!   Every simulating binary (the nine `fig*` ones; `table1`/`table2_3`
+//!   just print static configuration tables and take no arguments) accepts
+//!   three optional positional arguments: the per-benchmark instruction
+//!   budget, `full` to use the complete benchmark suite instead of the
+//!   fast representative subset, and `threads=N` to fix the sweep-runner
+//!   worker-pool size (default: the `DKIP_THREADS` environment variable,
+//!   then the host's available parallelism).
 //! * **Criterion benches** (`benches/`) — component microbenchmarks and one
 //!   timed end-to-end simulation per core family.
 //!
@@ -17,6 +21,7 @@
 
 #![warn(missing_docs)]
 
+use dkip_sim::SweepRunner;
 use dkip_trace::{Benchmark, Suite};
 
 /// Default per-benchmark instruction budget for the figure binaries.
@@ -29,22 +34,51 @@ pub struct FigureArgs {
     pub budget: u64,
     /// Whether to run the full 26-benchmark suite.
     pub full_suite: bool,
+    /// Explicit worker-pool size (`threads=N`); `None` defers to
+    /// `DKIP_THREADS` / the host parallelism via [`SweepRunner::from_env`].
+    pub threads: Option<usize>,
 }
 
 impl FigureArgs {
-    /// Parses `[budget] [full]` from `std::env::args`.
+    /// Parses `[budget] [full] [threads=N]` from `std::env::args`.
     #[must_use]
     pub fn from_env() -> Self {
         let mut budget = DEFAULT_BUDGET;
         let mut full_suite = false;
+        let mut threads = None;
         for arg in std::env::args().skip(1) {
             if arg == "full" {
                 full_suite = true;
+            } else if let Some(v) = arg.strip_prefix("threads=") {
+                match v.parse::<usize>() {
+                    // `threads=` states intent explicitly, so unlike the
+                    // loosely-parsed positional budget it must not fall back
+                    // silently — a user pinning the pool size for a
+                    // reproducibility check should get what they asked for.
+                    Ok(n) if n > 0 => threads = Some(n),
+                    _ => {
+                        eprintln!("invalid thread count {v:?}: expected threads=N with N >= 1");
+                        std::process::exit(2);
+                    }
+                }
             } else if let Ok(n) = arg.parse::<u64>() {
                 budget = n;
             }
         }
-        FigureArgs { budget, full_suite }
+        FigureArgs {
+            budget,
+            full_suite,
+            threads,
+        }
+    }
+
+    /// The sweep runner selected by the command line / environment.
+    #[must_use]
+    pub fn runner(&self) -> SweepRunner {
+        match self.threads {
+            Some(n) => SweepRunner::new(n),
+            None => SweepRunner::from_env(),
+        }
     }
 
     /// The benchmark list to use for `suite`.
@@ -73,6 +107,7 @@ mod tests {
         let args = FigureArgs {
             budget: 1000,
             full_suite: false,
+            threads: None,
         };
         assert!(!args.benchmarks(Suite::Int).is_empty());
         assert!(!args.benchmarks(Suite::Fp).is_empty());
@@ -84,8 +119,24 @@ mod tests {
         let args = FigureArgs {
             budget: 1000,
             full_suite: true,
+            threads: None,
         };
         assert_eq!(args.benchmarks(Suite::Int).len(), 12);
         assert_eq!(args.benchmarks(Suite::Fp).len(), 14);
+    }
+
+    #[test]
+    fn explicit_thread_count_overrides_the_environment() {
+        let args = FigureArgs {
+            budget: 1000,
+            full_suite: false,
+            threads: Some(3),
+        };
+        assert_eq!(args.runner().threads(), 3);
+        let auto = FigureArgs {
+            threads: None,
+            ..args
+        };
+        assert!(auto.runner().threads() >= 1);
     }
 }

@@ -88,9 +88,28 @@ impl PerceptronPredictor {
     }
 
     fn saturating_adjust(weight: &mut i32, direction: i32) {
-        const MAX: i32 = 127;
-        const MIN: i32 = -128;
-        *weight = (*weight + direction).clamp(MIN, MAX);
+        *weight = (*weight + direction).clamp(Self::WEIGHT_MIN, Self::WEIGHT_MAX);
+    }
+
+    /// Largest value any weight may reach (8-bit signed saturation).
+    pub const WEIGHT_MAX: i32 = 127;
+
+    /// Smallest value any weight may reach (8-bit signed saturation).
+    pub const WEIGHT_MIN: i32 = -128;
+
+    /// The largest weight magnitude currently stored in any perceptron.
+    ///
+    /// Training saturates every weight into
+    /// `[`[`Self::WEIGHT_MIN`]`, `[`Self::WEIGHT_MAX`]`]`, so this never
+    /// exceeds 128; the property tests assert exactly that bound.
+    #[must_use]
+    pub fn max_abs_weight(&self) -> i32 {
+        self.weights
+            .iter()
+            .flat_map(|perceptron| perceptron.iter())
+            .map(|w| w.abs())
+            .max()
+            .unwrap_or(0)
     }
 }
 

@@ -333,6 +333,99 @@ impl SimStats {
     }
 }
 
+impl SimStats {
+    /// Serialises the statistics as stable `key=value` lines.
+    ///
+    /// This is the format stored in the golden snapshot files under
+    /// `tests/golden/`: one line per field in declaration order, derived
+    /// rates rendered with a fixed precision, and the optional issue-latency
+    /// histogram flattened into `issue_latency.*` keys. Two runs produce
+    /// byte-identical output if and only if they observed the same counter
+    /// values, so the serialisation doubles as a bit-for-bit equality check
+    /// for the determinism and parallel-runner tests.
+    #[must_use]
+    pub fn to_kv(&self) -> String {
+        use fmt::Write as _;
+        // Exhaustive destructuring (no `..`): adding a field to `SimStats`
+        // without serialising it here is a compile error, so new counters
+        // can never silently escape the golden snapshots.
+        let SimStats {
+            cycles,
+            committed,
+            fetched,
+            cond_branches,
+            branch_mispredicts,
+            loads,
+            stores,
+            l1_hits,
+            l2_hits,
+            mem_accesses,
+            rob_full_stall_cycles,
+            mispredict_stall_cycles,
+            low_locality_instrs,
+            high_locality_instrs,
+            analyze_stall_cycles,
+            llib_full_stall_cycles,
+            checkpoints_taken,
+            checkpoint_recoveries,
+            llib_int_peak_instrs,
+            llib_fp_peak_instrs,
+            llrf_int_peak_regs,
+            llrf_fp_peak_regs,
+            issue_latency,
+        } = self;
+        let mut out = String::new();
+        for (key, value) in [
+            ("cycles", cycles),
+            ("committed", committed),
+            ("fetched", fetched),
+            ("cond_branches", cond_branches),
+            ("branch_mispredicts", branch_mispredicts),
+            ("loads", loads),
+            ("stores", stores),
+            ("l1_hits", l1_hits),
+            ("l2_hits", l2_hits),
+            ("mem_accesses", mem_accesses),
+            ("rob_full_stall_cycles", rob_full_stall_cycles),
+            ("mispredict_stall_cycles", mispredict_stall_cycles),
+            ("low_locality_instrs", low_locality_instrs),
+            ("high_locality_instrs", high_locality_instrs),
+            ("analyze_stall_cycles", analyze_stall_cycles),
+            ("llib_full_stall_cycles", llib_full_stall_cycles),
+            ("checkpoints_taken", checkpoints_taken),
+            ("checkpoint_recoveries", checkpoint_recoveries),
+            ("llib_int_peak_instrs", llib_int_peak_instrs),
+            ("llib_fp_peak_instrs", llib_fp_peak_instrs),
+            ("llrf_int_peak_regs", llrf_int_peak_regs),
+            ("llrf_fp_peak_regs", llrf_fp_peak_regs),
+        ] {
+            let _ = writeln!(out, "{key}={value}");
+        }
+        let _ = writeln!(out, "ipc={:.6}", self.ipc());
+        let _ = writeln!(out, "mispredict_rate={:.6}", self.mispredict_rate());
+        match issue_latency {
+            None => {
+                let _ = writeln!(out, "issue_latency=none");
+            }
+            Some(hist) => {
+                let _ = writeln!(out, "issue_latency.bucket_width={}", hist.bucket_width());
+                let _ = writeln!(out, "issue_latency.num_buckets={}", hist.num_buckets());
+                let _ = writeln!(out, "issue_latency.total={}", hist.total_samples());
+                let _ = writeln!(out, "issue_latency.overflow={}", hist.overflow_count());
+                let _ = writeln!(out, "issue_latency.max={}", hist.max_value());
+                let _ = writeln!(out, "issue_latency.mean={:.6}", hist.mean());
+                let buckets: Vec<String> = hist
+                    .iter()
+                    .filter(|(_, count)| *count > 0)
+                    .map(|(lower, count)| format!("{lower}:{count}"))
+                    .collect();
+                let _ = writeln!(out, "issue_latency.buckets={}", buckets.join(","));
+            }
+        }
+        out
+    }
+}
+
 impl fmt::Display for SimStats {
     fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
         write!(
@@ -507,5 +600,52 @@ mod tests {
     fn stats_display_is_nonempty() {
         let stats = SimStats::new();
         assert!(stats.to_string().contains("ipc"));
+    }
+
+    #[test]
+    fn kv_serialisation_is_stable_and_complete() {
+        let stats = SimStats {
+            cycles: 1000,
+            committed: 2500,
+            loads: 7,
+            ..SimStats::default()
+        };
+        let kv = stats.to_kv();
+        assert_eq!(kv, stats.to_kv(), "serialisation must be deterministic");
+        assert!(kv.contains("cycles=1000\n"));
+        assert!(kv.contains("committed=2500\n"));
+        assert!(kv.contains("loads=7\n"));
+        assert!(kv.contains("ipc=2.500000\n"));
+        assert!(kv.contains("issue_latency=none\n"));
+        // One line per u64 field + two derived rates + the histogram marker.
+        assert_eq!(kv.lines().count(), 25);
+    }
+
+    #[test]
+    fn kv_serialisation_flattens_the_histogram() {
+        let mut hist = Histogram::new(10, 100);
+        hist.record(5);
+        hist.record(25);
+        hist.record(500);
+        let stats = SimStats {
+            issue_latency: Some(hist),
+            ..SimStats::default()
+        };
+        let kv = stats.to_kv();
+        assert!(kv.contains("issue_latency.total=3\n"));
+        assert!(kv.contains("issue_latency.overflow=1\n"));
+        assert!(kv.contains("issue_latency.buckets=0:1,20:1\n"));
+    }
+
+    #[test]
+    fn kv_serialisation_distinguishes_perturbed_stats() {
+        let a = SimStats {
+            cycles: 1000,
+            committed: 2500,
+            ..SimStats::default()
+        };
+        let mut b = a.clone();
+        b.committed += 1; // perturbs both committed= and the derived ipc=
+        assert_ne!(a.to_kv(), b.to_kv());
     }
 }

@@ -3,14 +3,17 @@
 //! Every driver takes the benchmark list and the per-benchmark instruction
 //! budget as parameters so that the same code serves quick smoke tests,
 //! the Criterion benches and full regeneration runs (see `EXPERIMENTS.md`).
+//!
+//! Since PR 2 every sweep driver also takes a [`SweepRunner`] and expands
+//! its loops into an explicit [`Job`] list that fans out over the runner's
+//! worker pool. Results come back in job order, so the figures are
+//! byte-identical for every thread count; `SweepRunner::serial()` recovers
+//! the old strictly serial behaviour.
 
 use crate::report::{Figure, Series};
-use crate::suite_mean_ipc;
-use dkip_core::run_dkip;
-use dkip_kilo::run_kilo;
+use crate::runner::{mean_ipc_by_label, Job, Machine, SweepRunner};
 use dkip_model::config::{BaselineConfig, DkipConfig, KiloConfig, MemoryHierarchyConfig, SchedPolicy};
 use dkip_model::Histogram;
-use dkip_ooo::run_baseline;
 use dkip_trace::{Benchmark, Suite};
 
 /// Default random seed used by every experiment.
@@ -39,37 +42,109 @@ pub fn table1() -> Figure {
     fig
 }
 
+/// Accumulates a mean-IPC sweep: one figure point per `point` call, one job
+/// per benchmark behind it.
+///
+/// The builder records the `(series, x)` coordinates alongside the jobs, so
+/// the sweep is walked exactly once — [`Self::into_series`] reassembles the
+/// figure from the per-point means without re-running the driver's loops.
+/// Points must be added series-major (all points of one series
+/// contiguously), which is the natural loop order of every driver.
+struct SweepBuilder {
+    jobs: Vec<Job>,
+    points: Vec<(String, String)>,
+}
+
+impl SweepBuilder {
+    fn new() -> Self {
+        SweepBuilder {
+            jobs: Vec::new(),
+            points: Vec::new(),
+        }
+    }
+
+    /// Adds the figure point `(series, x)`, averaging over `benchmarks`.
+    fn point(
+        &mut self,
+        series: impl Into<String>,
+        x: impl Into<String>,
+        machine: &Machine,
+        mem: &MemoryHierarchyConfig,
+        benchmarks: &[Benchmark],
+        budget: u64,
+    ) {
+        let series = series.into();
+        let x = x.into();
+        let label = format!("{series}|{x}");
+        for &bench in benchmarks {
+            self.jobs.push(Job::new(label.clone(), machine.clone(), mem.clone(), bench, budget));
+        }
+        self.points.push((series, x));
+    }
+
+    /// Runs the sweep and folds the per-point means into figure series.
+    ///
+    /// Points are matched to means by label, so degenerate sweeps keep the
+    /// pre-runner semantics: an empty benchmark list yields 0.0 (as
+    /// `MeanIpc::mean` does) and duplicate coordinates yield duplicate
+    /// points rather than a panic.
+    fn into_series(self, runner: &SweepRunner) -> Vec<Series> {
+        let means = mean_ipc_by_label(&runner.run(&self.jobs));
+        let mut series_list: Vec<Series> = Vec::new();
+        for (series, x) in self.points {
+            let label = format!("{series}|{x}");
+            let ipc = means
+                .iter()
+                .find(|(l, _)| *l == label)
+                .map_or(0.0, |&(_, ipc)| ipc);
+            if series_list.last().map(|s| s.label != series).unwrap_or(true) {
+                series_list.push(Series::new(series));
+            }
+            series_list.last_mut().expect("just pushed").push(x, ipc);
+        }
+        series_list
+    }
+}
+
 /// Figures 1 and 2: average IPC versus instruction-window size for the six
 /// Table 1 memory subsystems, on an idealised out-of-order core.
 #[must_use]
-pub fn figure_window_scaling(suite: Suite, benchmarks: &[Benchmark], windows: &[usize], budget: u64) -> Figure {
+pub fn figure_window_scaling(
+    suite: Suite,
+    benchmarks: &[Benchmark],
+    windows: &[usize],
+    budget: u64,
+    runner: &SweepRunner,
+) -> Figure {
     let number = if suite == Suite::Int { 1 } else { 2 };
     let mut fig = Figure::new(
         format!("Figure {number}: effect of the memory subsystem on {}", suite.label()),
         "window",
         "average IPC (arith. mean)",
     );
+    let mut sweep = SweepBuilder::new();
     for mem_cfg in MemoryHierarchyConfig::table1_presets() {
-        let mut series = Series::new(mem_cfg.name.clone());
         for &window in windows {
-            let cfg = BaselineConfig::idealized(window);
-            let ipc = suite_mean_ipc(benchmarks, &|b| run_baseline(&cfg, &mem_cfg, b, budget, SEED));
-            series.push(window.to_string(), ipc);
+            let machine = Machine::Baseline(BaselineConfig::idealized(window));
+            sweep.point(&mem_cfg.name, window.to_string(), &machine, &mem_cfg, benchmarks, budget);
         }
-        fig.series.push(series);
     }
+    fig.series = sweep.into_series(runner);
     fig
 }
 
 /// Figure 3: the decode→issue distance distribution on an effectively
 /// unbounded processor with 400-cycle memory (SpecFP).
 #[must_use]
-pub fn figure3_issue_histogram(benchmarks: &[Benchmark], budget: u64) -> Histogram {
+pub fn figure3_issue_histogram(benchmarks: &[Benchmark], budget: u64, runner: &SweepRunner) -> Histogram {
     let mut merged = Histogram::new(20, 2000);
     let cfg = BaselineConfig::unbounded();
     let mem = MemoryHierarchyConfig::mem_400();
-    for &bench in benchmarks {
-        let stats = run_baseline(&cfg, &mem, bench, budget, SEED);
+    let jobs: Vec<Job> = benchmarks
+        .iter()
+        .map(|&bench| Job::new(bench.name(), Machine::Baseline(cfg.clone()), mem.clone(), bench, budget))
+        .collect();
+    for stats in runner.run_stats(&jobs) {
         if let Some(hist) = stats.issue_latency {
             merged.merge(&hist);
         }
@@ -80,7 +155,12 @@ pub fn figure3_issue_histogram(benchmarks: &[Benchmark], budget: u64) -> Histogr
 /// Figure 9: IPC of R10-64, R10-256, KILO-1024 and D-KIP-2048 on both
 /// suites.
 #[must_use]
-pub fn figure9_comparison(int_benchmarks: &[Benchmark], fp_benchmarks: &[Benchmark], budget: u64) -> Figure {
+pub fn figure9_comparison(
+    int_benchmarks: &[Benchmark],
+    fp_benchmarks: &[Benchmark],
+    budget: u64,
+    runner: &SweepRunner,
+) -> Figure {
     let mut fig = Figure::new(
         "Figure 9: performance of the D-KIP compared to baselines and a traditional KILO processor",
         "suite",
@@ -88,30 +168,20 @@ pub fn figure9_comparison(int_benchmarks: &[Benchmark], fp_benchmarks: &[Benchma
     );
     let mem = MemoryHierarchyConfig::paper_default();
     let suites: [(&str, &[Benchmark]); 2] = [("SpecINT", int_benchmarks), ("SpecFP", fp_benchmarks)];
+    let machines: [(&str, Machine); 4] = [
+        ("R10-64", Machine::Baseline(BaselineConfig::r10_64())),
+        ("R10-256", Machine::Baseline(BaselineConfig::r10_256())),
+        ("KILO-1024", Machine::Kilo(KiloConfig::kilo_1024())),
+        ("DKIP-2048", Machine::Dkip(DkipConfig::paper_default())),
+    ];
 
-    let mut r10_64 = Series::new("R10-64");
-    let mut r10_256 = Series::new("R10-256");
-    let mut kilo = Series::new("KILO-1024");
-    let mut dkip = Series::new("DKIP-2048");
-    for (label, benches) in suites {
-        r10_64.push(
-            label,
-            suite_mean_ipc(benches, &|b| run_baseline(&BaselineConfig::r10_64(), &mem, b, budget, SEED)),
-        );
-        r10_256.push(
-            label,
-            suite_mean_ipc(benches, &|b| run_baseline(&BaselineConfig::r10_256(), &mem, b, budget, SEED)),
-        );
-        kilo.push(
-            label,
-            suite_mean_ipc(benches, &|b| run_kilo(&KiloConfig::kilo_1024(), &mem, b, budget, SEED)),
-        );
-        dkip.push(
-            label,
-            suite_mean_ipc(benches, &|b| run_dkip(&DkipConfig::paper_default(), &mem, b, budget, SEED)),
-        );
+    let mut sweep = SweepBuilder::new();
+    for (machine_label, machine) in &machines {
+        for (suite_label, benches) in suites {
+            sweep.point(*machine_label, suite_label, machine, &mem, benches, budget);
+        }
     }
-    fig.series = vec![r10_64, r10_256, kilo, dkip];
+    fig.series = sweep.into_series(runner);
     fig
 }
 
@@ -130,7 +200,7 @@ pub fn figure10_cp_points() -> Vec<(String, SchedPolicy, usize)> {
 /// Figure 10: impact of the scheduling policy and queue sizes of the Cache
 /// Processor and the Memory Processor on SpecFP.
 #[must_use]
-pub fn figure10_scheduler_sweep(benchmarks: &[Benchmark], budget: u64) -> Figure {
+pub fn figure10_scheduler_sweep(benchmarks: &[Benchmark], budget: u64, runner: &SweepRunner) -> Figure {
     let mut fig = Figure::new(
         "Figure 10: impact of scheduling policy and queue sizes in SpecFP",
         "CP config",
@@ -142,17 +212,18 @@ pub fn figure10_scheduler_sweep(benchmarks: &[Benchmark], budget: u64) -> Figure
         ("MP OOO-20", SchedPolicy::OutOfOrder, 20),
         ("MP OOO-40", SchedPolicy::OutOfOrder, 40),
     ];
+    let mut sweep = SweepBuilder::new();
     for (mp_label, mp_sched, mp_size) in mp_points {
-        let mut series = Series::new(mp_label);
         for (cp_label, cp_sched, cp_size) in figure10_cp_points() {
-            let cfg = DkipConfig::paper_default()
-                .with_cp(cp_sched, cp_size)
-                .with_mp(mp_sched, mp_size);
-            let ipc = suite_mean_ipc(benchmarks, &|b| run_dkip(&cfg, &mem, b, budget, SEED));
-            series.push(cp_label.clone(), ipc);
+            let machine = Machine::Dkip(
+                DkipConfig::paper_default()
+                    .with_cp(cp_sched, cp_size)
+                    .with_mp(mp_sched, mp_size),
+            );
+            sweep.point(mp_label, cp_label, &machine, &mem, benchmarks, budget);
         }
-        fig.series.push(series);
     }
+    fig.series = sweep.into_series(runner);
     fig
 }
 
@@ -168,59 +239,64 @@ pub fn figure11_configs() -> Vec<String> {
     ]
 }
 
+/// The machine simulated for one named Figure 11/12 configuration.
+fn figure11_machine(config: &str) -> Machine {
+    match config {
+        "R10-256" => Machine::Baseline(BaselineConfig::r10_256()),
+        "INO-INO" => Machine::Dkip(
+            DkipConfig::paper_default()
+                .with_cp(SchedPolicy::InOrder, 40)
+                .with_mp(SchedPolicy::InOrder, 20),
+        ),
+        "OOO20-INO" => Machine::Dkip(
+            DkipConfig::paper_default()
+                .with_cp(SchedPolicy::OutOfOrder, 20)
+                .with_mp(SchedPolicy::InOrder, 20),
+        ),
+        "OOO80-INO" => Machine::Dkip(
+            DkipConfig::paper_default()
+                .with_cp(SchedPolicy::OutOfOrder, 80)
+                .with_mp(SchedPolicy::InOrder, 20),
+        ),
+        _ => Machine::Dkip(
+            DkipConfig::paper_default()
+                .with_cp(SchedPolicy::OutOfOrder, 80)
+                .with_mp(SchedPolicy::OutOfOrder, 40),
+        ),
+    }
+}
+
 /// Figures 11 and 12: impact of the L2 cache size.
 #[must_use]
-pub fn figure_cache_sweep(suite: Suite, benchmarks: &[Benchmark], l2_sizes_kb: &[usize], budget: u64) -> Figure {
+pub fn figure_cache_sweep(
+    suite: Suite,
+    benchmarks: &[Benchmark],
+    l2_sizes_kb: &[usize],
+    budget: u64,
+    runner: &SweepRunner,
+) -> Figure {
     let number = if suite == Suite::Int { 11 } else { 12 };
     let mut fig = Figure::new(
         format!("Figure {number}: impact of L2 cache size on {}", suite.label()),
         "config",
         "IPC",
     );
+    let mut sweep = SweepBuilder::new();
     for &kb in l2_sizes_kb {
         let mem = MemoryHierarchyConfig::mem_400().with_l2_kb(kb);
-        let mut series = Series::new(format!("{kb}KB"));
         for config in figure11_configs() {
-            let ipc = match config.as_str() {
-                "R10-256" => suite_mean_ipc(benchmarks, &|b| {
-                    run_baseline(&BaselineConfig::r10_256(), &mem, b, budget, SEED)
-                }),
-                "INO-INO" => {
-                    let cfg = DkipConfig::paper_default()
-                        .with_cp(SchedPolicy::InOrder, 40)
-                        .with_mp(SchedPolicy::InOrder, 20);
-                    suite_mean_ipc(benchmarks, &|b| run_dkip(&cfg, &mem, b, budget, SEED))
-                }
-                "OOO20-INO" => {
-                    let cfg = DkipConfig::paper_default()
-                        .with_cp(SchedPolicy::OutOfOrder, 20)
-                        .with_mp(SchedPolicy::InOrder, 20);
-                    suite_mean_ipc(benchmarks, &|b| run_dkip(&cfg, &mem, b, budget, SEED))
-                }
-                "OOO80-INO" => {
-                    let cfg = DkipConfig::paper_default()
-                        .with_cp(SchedPolicy::OutOfOrder, 80)
-                        .with_mp(SchedPolicy::InOrder, 20);
-                    suite_mean_ipc(benchmarks, &|b| run_dkip(&cfg, &mem, b, budget, SEED))
-                }
-                _ => {
-                    let cfg = DkipConfig::paper_default()
-                        .with_cp(SchedPolicy::OutOfOrder, 80)
-                        .with_mp(SchedPolicy::OutOfOrder, 40);
-                    suite_mean_ipc(benchmarks, &|b| run_dkip(&cfg, &mem, b, budget, SEED))
-                }
-            };
-            series.push(config, ipc);
+            let machine = figure11_machine(&config);
+            sweep.point(format!("{kb}KB"), config, &machine, &mem, benchmarks, budget);
         }
-        fig.series.push(series);
     }
+    fig.series = sweep.into_series(runner);
     fig
 }
 
 /// Figures 13 and 14: maximum number of instructions and registers in the
 /// LLIB for each benchmark of the given suite.
 #[must_use]
-pub fn figure_llib_occupancy(suite: Suite, benchmarks: &[Benchmark], budget: u64) -> Figure {
+pub fn figure_llib_occupancy(suite: Suite, benchmarks: &[Benchmark], budget: u64, runner: &SweepRunner) -> Figure {
     let number = if suite == Suite::Int { 13 } else { 14 };
     let mut fig = Figure::new(
         format!(
@@ -232,10 +308,13 @@ pub fn figure_llib_occupancy(suite: Suite, benchmarks: &[Benchmark], budget: u64
     );
     let mem = MemoryHierarchyConfig::paper_default();
     let cfg = DkipConfig::paper_default();
+    let jobs: Vec<Job> = benchmarks
+        .iter()
+        .map(|&bench| Job::new(bench.name(), Machine::Dkip(cfg.clone()), mem.clone(), bench, budget))
+        .collect();
     let mut regs = Series::new("Max Registers");
     let mut instrs = Series::new("Max Instructions");
-    for &bench in benchmarks {
-        let stats = run_dkip(&cfg, &mem, bench, budget, SEED);
+    for (&bench, stats) in benchmarks.iter().zip(runner.run_stats(&jobs)) {
         let (peak_instrs, peak_regs) = if suite == Suite::Int {
             (stats.llib_int_peak_instrs, stats.llrf_int_peak_regs)
         } else {
@@ -255,6 +334,10 @@ mod tests {
     // Experiment drivers are exercised with tiny budgets and benchmark
     // subsets; the full-scale runs live in `dkip-bench`.
 
+    fn runner() -> SweepRunner {
+        SweepRunner::new(2)
+    }
+
     #[test]
     fn table1_lists_all_six_configurations() {
         let fig = table1();
@@ -265,7 +348,7 @@ mod tests {
 
     #[test]
     fn window_scaling_produces_one_series_per_memory_config() {
-        let fig = figure_window_scaling(Suite::Fp, &[Benchmark::Mesa], &[32, 128], 2_000);
+        let fig = figure_window_scaling(Suite::Fp, &[Benchmark::Mesa], &[32, 128], 2_000, &runner());
         assert_eq!(fig.series.len(), 6);
         for series in &fig.series {
             assert_eq!(series.points.len(), 2);
@@ -274,7 +357,7 @@ mod tests {
 
     #[test]
     fn figure9_has_four_configurations_and_two_suites() {
-        let fig = figure9_comparison(&[Benchmark::Crafty], &[Benchmark::Mesa], 2_000);
+        let fig = figure9_comparison(&[Benchmark::Crafty], &[Benchmark::Mesa], 2_000, &runner());
         assert_eq!(fig.series.len(), 4);
         for series in &fig.series {
             assert_eq!(series.points.len(), 2);
@@ -286,14 +369,14 @@ mod tests {
 
     #[test]
     fn figure10_sweeps_cp_and_mp_configurations() {
-        let fig = figure10_scheduler_sweep(&[Benchmark::Mesa], 1_500);
+        let fig = figure10_scheduler_sweep(&[Benchmark::Mesa], 1_500, &runner());
         assert_eq!(fig.series.len(), 3);
         assert_eq!(fig.series[0].points.len(), 5);
     }
 
     #[test]
     fn figure13_reports_llib_occupancy_per_benchmark() {
-        let fig = figure_llib_occupancy(Suite::Fp, &[Benchmark::Swim, Benchmark::Mesa], 3_000);
+        let fig = figure_llib_occupancy(Suite::Fp, &[Benchmark::Swim, Benchmark::Mesa], 3_000, &runner());
         assert_eq!(fig.series.len(), 2);
         let instrs = &fig.series[1];
         assert!(instrs.value_at("swim").unwrap() >= instrs.value_at("mesa").unwrap());
@@ -301,7 +384,32 @@ mod tests {
 
     #[test]
     fn figure3_histogram_merges_benchmarks() {
-        let hist = figure3_issue_histogram(&[Benchmark::Mesa], 2_000);
+        let hist = figure3_issue_histogram(&[Benchmark::Mesa], 2_000, &runner());
         assert!(hist.total_samples() > 1_000);
+    }
+
+    #[test]
+    fn empty_benchmark_list_yields_zero_ipc_points() {
+        let fig = figure_window_scaling(Suite::Int, &[], &[32], 1_000, &runner());
+        assert_eq!(fig.series.len(), 6);
+        for series in &fig.series {
+            assert_eq!(series.points, vec![("32".to_owned(), 0.0)]);
+        }
+    }
+
+    #[test]
+    fn duplicate_sweep_coordinates_yield_duplicate_points() {
+        let fig = figure_window_scaling(Suite::Fp, &[Benchmark::Mesa], &[32, 32], 1_000, &runner());
+        for series in &fig.series {
+            assert_eq!(series.points.len(), 2);
+            assert_eq!(series.points[0], series.points[1]);
+        }
+    }
+
+    #[test]
+    fn drivers_are_thread_count_invariant() {
+        let serial = figure9_comparison(&[Benchmark::Crafty], &[Benchmark::Mesa], 1_500, &SweepRunner::serial());
+        let parallel = figure9_comparison(&[Benchmark::Crafty], &[Benchmark::Mesa], 1_500, &SweepRunner::new(4));
+        assert_eq!(serial.render(), parallel.render());
     }
 }

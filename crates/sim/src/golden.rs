@@ -1,0 +1,159 @@
+//! Golden-snapshot comparison for regression-pinning simulation statistics.
+//!
+//! A golden snapshot is a checked-in text file (see `tests/golden/` at the
+//! workspace root) holding the stable serialisation of a fixed sweep —
+//! [`crate::runner::results_to_kv`] output. The snapshot tests regenerate
+//! the sweep and call [`check`]:
+//!
+//! * on a match, the test passes;
+//! * on a mismatch (or a missing snapshot), the test fails with a line-level
+//!   diff summary — unless the `DKIP_BLESS=1` environment variable is set,
+//!   in which case the snapshot is (re)written and the test passes.
+//!
+//! The bless workflow is therefore `DKIP_BLESS=1 cargo test --test
+//! golden_stats` (or `make bless`), followed by reviewing the diff of
+//! `tests/golden/` like any other code change.
+
+use std::fmt;
+use std::path::Path;
+
+/// Environment variable that switches [`check`] from compare to regenerate.
+pub const BLESS_ENV: &str = "DKIP_BLESS";
+
+/// Whether the current process was asked to regenerate snapshots.
+#[must_use]
+pub fn bless_requested() -> bool {
+    std::env::var(BLESS_ENV).map_or(false, |v| v == "1")
+}
+
+/// A golden-snapshot mismatch, with a human-readable explanation.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct GoldenError {
+    message: String,
+}
+
+impl GoldenError {
+    fn new(message: String) -> Self {
+        GoldenError { message }
+    }
+}
+
+impl fmt::Display for GoldenError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.write_str(&self.message)
+    }
+}
+
+impl std::error::Error for GoldenError {}
+
+/// First-divergence diff summary between expected and actual documents.
+fn diff_summary(expected: &str, actual: &str) -> String {
+    let expected_lines: Vec<&str> = expected.lines().collect();
+    let actual_lines: Vec<&str> = actual.lines().collect();
+    for (idx, (e, a)) in expected_lines.iter().zip(&actual_lines).enumerate() {
+        if e != a {
+            return format!("first divergence at line {}:\n  golden: {e}\n  actual: {a}", idx + 1);
+        }
+    }
+    if expected_lines.len() == actual_lines.len() {
+        // Same lines, unequal strings: only line terminators can differ.
+        return "documents differ only in trailing newlines/whitespace".to_owned();
+    }
+    format!(
+        "line counts differ: golden has {} lines, actual has {}",
+        expected_lines.len(),
+        actual_lines.len()
+    )
+}
+
+/// Compares `actual` against the snapshot at `path`, honouring `DKIP_BLESS`.
+///
+/// # Errors
+///
+/// Returns a [`GoldenError`] when the snapshot is missing or differs and
+/// blessing was not requested, or when the snapshot cannot be written while
+/// blessing.
+pub fn check(path: &Path, actual: &str) -> Result<(), GoldenError> {
+    if bless_requested() {
+        if let Some(parent) = path.parent() {
+            std::fs::create_dir_all(parent)
+                .map_err(|e| GoldenError::new(format!("cannot create {}: {e}", parent.display())))?;
+        }
+        // Write-then-rename so concurrent readers (tests run in parallel)
+        // never observe a truncated snapshot.
+        let tmp = path.with_extension("golden.tmp");
+        std::fs::write(&tmp, actual)
+            .map_err(|e| GoldenError::new(format!("cannot bless {}: {e}", tmp.display())))?;
+        return std::fs::rename(&tmp, path)
+            .map_err(|e| GoldenError::new(format!("cannot bless {}: {e}", path.display())));
+    }
+    match std::fs::read_to_string(path) {
+        Err(_) => Err(GoldenError::new(format!(
+            "missing golden snapshot {}; run with {BLESS_ENV}=1 (make bless) to create it",
+            path.display()
+        ))),
+        Ok(expected) if expected == actual => Ok(()),
+        Ok(expected) => Err(GoldenError::new(format!(
+            "golden snapshot {} is stale ({}); rerun with {BLESS_ENV}=1 (make bless) if the change is intended",
+            path.display(),
+            diff_summary(&expected, actual)
+        ))),
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::path::PathBuf;
+
+    fn scratch(name: &str) -> PathBuf {
+        let mut path = std::env::temp_dir();
+        path.push(format!("dkip-golden-test-{}-{name}", std::process::id()));
+        path
+    }
+
+    #[test]
+    fn matching_snapshot_passes() {
+        let path = scratch("match.golden");
+        std::fs::write(&path, "a=1\nb=2\n").unwrap();
+        assert!(check(&path, "a=1\nb=2\n").is_ok());
+        std::fs::remove_file(&path).ok();
+    }
+
+    #[test]
+    fn mismatch_reports_first_divergent_line() {
+        let path = scratch("mismatch.golden");
+        std::fs::write(&path, "a=1\nb=2\n").unwrap();
+        let err = check(&path, "a=1\nb=3\n").unwrap_err();
+        let msg = err.to_string();
+        assert!(msg.contains("line 2"), "unexpected message: {msg}");
+        assert!(msg.contains("b=2") && msg.contains("b=3"));
+        std::fs::remove_file(&path).ok();
+    }
+
+    #[test]
+    fn missing_snapshot_mentions_bless() {
+        let path = scratch("missing.golden");
+        std::fs::remove_file(&path).ok();
+        let err = check(&path, "a=1\n").unwrap_err();
+        assert!(err.to_string().contains(BLESS_ENV));
+    }
+
+    #[test]
+    fn trailing_newline_mismatch_is_named_explicitly() {
+        let path = scratch("newline.golden");
+        std::fs::write(&path, "a=1\nb=2").unwrap();
+        let err = check(&path, "a=1\nb=2\n").unwrap_err();
+        assert!(err.to_string().contains("trailing newlines"), "got: {err}");
+        std::fs::remove_file(&path).ok();
+    }
+
+    #[test]
+    fn truncated_snapshot_reports_line_counts() {
+        let path = scratch("truncated.golden");
+        std::fs::write(&path, "a=1\n").unwrap();
+        let err = check(&path, "a=1\nb=2\n").unwrap_err();
+        assert!(err.to_string().contains("line counts differ"));
+        std::fs::remove_file(&path).ok();
+    }
+}

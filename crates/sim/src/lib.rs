@@ -9,6 +9,11 @@
 //!   metric of Figures 1, 2, 9, 10, 11 and 12,
 //! * [`experiments`] — one driver function per paper figure/table, each
 //!   returning a structured [`report::Series`] collection,
+//! * [`runner`] — the parallel sweep runner: an explicit job list fanned out
+//!   over a `std::thread::scope` worker pool with deterministic result
+//!   ordering (`DKIP_THREADS` selects the pool size),
+//! * [`golden`] — golden-snapshot comparison for the regression tests under
+//!   `tests/golden/`, with a `DKIP_BLESS=1` regeneration path,
 //! * [`report`] — plain-text table rendering used by the `fig*` binaries in
 //!   `dkip-bench` and by `EXPERIMENTS.md`.
 //!
@@ -22,11 +27,14 @@
 #![warn(missing_debug_implementations)]
 
 pub mod experiments;
+pub mod golden;
 pub mod report;
+pub mod runner;
 
 pub use dkip_core::run_dkip;
 pub use dkip_kilo::run_kilo;
 pub use dkip_ooo::run_baseline;
+pub use runner::{Job, JobResult, Machine, SweepRunner};
 
 use dkip_model::config::MemoryHierarchyConfig;
 use dkip_model::stats::MeanIpc;

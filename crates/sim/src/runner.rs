@@ -1,0 +1,424 @@
+//! Parallel sweep runner for the experiment harness.
+//!
+//! Every paper artefact is a sweep over independent, fully deterministic
+//! simulation points. This module turns such a sweep into an explicit job
+//! list — one [`Job`] per `(machine, memory, benchmark, seed, budget)`
+//! point — and fans it out over a [`SweepRunner`] worker pool built on
+//! `std::thread::scope`, so figure regeneration scales with the host's
+//! cores while the results stay byte-identical to a serial run:
+//!
+//! * jobs are claimed from a shared atomic cursor, so scheduling is dynamic,
+//! * results are written back into the slot of the job that produced them,
+//!   so the output order is the input order regardless of which worker
+//!   finished first,
+//! * each [`JobResult`] carries the job's wall-clock time so throughput can
+//!   be reported without affecting the simulated statistics.
+//!
+//! The thread count comes from [`SweepRunner::from_env`] (the `DKIP_THREADS`
+//! environment variable, defaulting to the available parallelism) or is set
+//! explicitly with [`SweepRunner::new`]; `SweepRunner::new(1)` degrades to a
+//! plain serial loop on the caller's thread.
+
+use std::sync::atomic::{AtomicUsize, Ordering};
+use std::sync::Mutex;
+use std::time::{Duration, Instant};
+
+use dkip_core::run_dkip;
+use dkip_kilo::run_kilo;
+use dkip_model::config::{BaselineConfig, DkipConfig, KiloConfig, MemoryHierarchyConfig};
+use dkip_model::SimStats;
+use dkip_ooo::run_baseline;
+use dkip_trace::Benchmark;
+
+/// Environment variable overriding the worker-pool size.
+pub const THREADS_ENV: &str = "DKIP_THREADS";
+
+/// One of the three simulated processor families, with its configuration.
+///
+/// A `Machine` is the "what to simulate" half of a [`Job`]; it dispatches to
+/// the matching `run_*` entry point of the owning crate.
+#[derive(Debug, Clone, PartialEq)]
+pub enum Machine {
+    /// An R10000-style out-of-order baseline (`dkip_ooo::run_baseline`).
+    Baseline(BaselineConfig),
+    /// The traditional KILO-instruction processor (`dkip_kilo::run_kilo`).
+    Kilo(KiloConfig),
+    /// The Decoupled KILO-Instruction Processor (`dkip_core::run_dkip`).
+    Dkip(DkipConfig),
+}
+
+impl Machine {
+    /// The human-readable configuration name ("R10-64", "KILO-1024", …).
+    #[must_use]
+    pub fn name(&self) -> &str {
+        match self {
+            Machine::Baseline(cfg) => &cfg.name,
+            Machine::Kilo(cfg) => &cfg.name,
+            Machine::Dkip(cfg) => &cfg.name,
+        }
+    }
+
+    /// Short family tag used in golden-file headers.
+    #[must_use]
+    pub fn family(&self) -> &'static str {
+        match self {
+            Machine::Baseline(_) => "baseline",
+            Machine::Kilo(_) => "kilo",
+            Machine::Dkip(_) => "dkip",
+        }
+    }
+
+    /// Runs this machine on one benchmark and returns its statistics.
+    #[must_use]
+    pub fn simulate(&self, mem: &MemoryHierarchyConfig, benchmark: Benchmark, budget: u64, seed: u64) -> SimStats {
+        match self {
+            Machine::Baseline(cfg) => run_baseline(cfg, mem, benchmark, budget, seed),
+            Machine::Kilo(cfg) => run_kilo(cfg, mem, benchmark, budget, seed),
+            Machine::Dkip(cfg) => run_dkip(cfg, mem, benchmark, budget, seed),
+        }
+    }
+}
+
+/// One simulation point of a sweep.
+#[derive(Debug, Clone, PartialEq)]
+pub struct Job {
+    /// Caller-chosen grouping key; [`mean_ipc_by_label`] averages over equal
+    /// labels and the figure drivers use it as "series × x" coordinates.
+    pub label: String,
+    /// The processor to simulate.
+    pub machine: Machine,
+    /// The memory hierarchy to attach.
+    pub mem: MemoryHierarchyConfig,
+    /// The workload.
+    pub benchmark: Benchmark,
+    /// Instructions to simulate.
+    pub budget: u64,
+    /// Trace-generator seed.
+    pub seed: u64,
+}
+
+impl Job {
+    /// Creates a job with the default experiment seed
+    /// ([`crate::experiments::SEED`]).
+    #[must_use]
+    pub fn new(
+        label: impl Into<String>,
+        machine: Machine,
+        mem: MemoryHierarchyConfig,
+        benchmark: Benchmark,
+        budget: u64,
+    ) -> Self {
+        Job {
+            label: label.into(),
+            machine,
+            mem,
+            benchmark,
+            budget,
+            seed: crate::experiments::SEED,
+        }
+    }
+
+    /// Returns a copy with a different seed.
+    #[must_use]
+    pub fn with_seed(mut self, seed: u64) -> Self {
+        self.seed = seed;
+        self
+    }
+
+    /// Runs the job on the calling thread.
+    #[must_use]
+    pub fn run(&self) -> JobResult {
+        let start = Instant::now();
+        let stats = self.machine.simulate(&self.mem, self.benchmark, self.budget, self.seed);
+        JobResult {
+            label: self.label.clone(),
+            machine_name: self.machine.name().to_owned(),
+            family: self.machine.family(),
+            mem_name: self.mem.name.clone(),
+            benchmark: self.benchmark,
+            seed: self.seed,
+            budget: self.budget,
+            stats,
+            wall: start.elapsed(),
+        }
+    }
+}
+
+/// The outcome of one [`Job`], in the position of the job that produced it.
+#[derive(Debug, Clone)]
+pub struct JobResult {
+    /// The job's grouping label.
+    pub label: String,
+    /// The machine configuration name.
+    pub machine_name: String,
+    /// The machine family tag ("baseline" / "kilo" / "dkip").
+    pub family: &'static str,
+    /// The memory-hierarchy configuration name ("MEM-400", "L2-11", …).
+    pub mem_name: String,
+    /// The workload that ran.
+    pub benchmark: Benchmark,
+    /// The seed that was used.
+    pub seed: u64,
+    /// The instruction budget that was used.
+    pub budget: u64,
+    /// The simulated statistics.
+    pub stats: SimStats,
+    /// Host wall-clock time spent simulating this job. Metadata only: it is
+    /// deliberately excluded from [`JobResult::to_kv`] so snapshots stay
+    /// machine-independent.
+    pub wall: Duration,
+}
+
+impl JobResult {
+    /// Serialises the result (header + [`SimStats::to_kv`] body) in the
+    /// stable format stored in golden snapshot files. Wall-clock time is
+    /// excluded.
+    #[must_use]
+    pub fn to_kv(&self) -> String {
+        format!(
+            "[{} {} mem={} bench={} seed={} budget={}]\n{}",
+            self.family,
+            self.machine_name,
+            self.mem_name,
+            self.benchmark.name(),
+            self.seed,
+            self.budget,
+            self.stats.to_kv()
+        )
+    }
+}
+
+/// Serialises an ordered result list into one stable snapshot document.
+#[must_use]
+pub fn results_to_kv(results: &[JobResult]) -> String {
+    let mut out = String::new();
+    for (idx, result) in results.iter().enumerate() {
+        out.push_str(&format!("# job {idx}: {}\n", result.label));
+        out.push_str(&result.to_kv());
+        out.push('\n');
+    }
+    out
+}
+
+/// Arithmetic-mean IPC per label, preserving first-occurrence order.
+///
+/// The figure drivers encode "series × x-coordinate" into [`Job::label`] and
+/// use this to collapse per-benchmark results into the per-point suite means
+/// the paper plots.
+#[must_use]
+pub fn mean_ipc_by_label(results: &[JobResult]) -> Vec<(String, f64)> {
+    let mut order: Vec<String> = Vec::new();
+    let mut sums: Vec<(f64, u64)> = Vec::new();
+    for result in results {
+        match order.iter().position(|l| l == &result.label) {
+            Some(idx) => {
+                sums[idx].0 += result.stats.ipc();
+                sums[idx].1 += 1;
+            }
+            None => {
+                order.push(result.label.clone());
+                sums.push((result.stats.ipc(), 1));
+            }
+        }
+    }
+    order
+        .into_iter()
+        .zip(sums)
+        .map(|(label, (sum, count))| (label, sum / count as f64))
+        .collect()
+}
+
+/// A fixed-size worker pool that runs a [`Job`] list to completion.
+///
+/// Scheduling is dynamic (workers claim the next unstarted job), but the
+/// result vector is ordered by job index, so the output — and therefore any
+/// golden serialisation derived from it — is identical for every thread
+/// count.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct SweepRunner {
+    threads: usize,
+}
+
+impl SweepRunner {
+    /// Creates a runner with exactly `threads` workers (clamped to ≥ 1).
+    #[must_use]
+    pub fn new(threads: usize) -> Self {
+        SweepRunner {
+            threads: threads.max(1),
+        }
+    }
+
+    /// A single-threaded runner (the serial reference).
+    #[must_use]
+    pub fn serial() -> Self {
+        Self::new(1)
+    }
+
+    /// Reads the thread count from the `DKIP_THREADS` environment variable,
+    /// falling back to the host's available parallelism when it is unset.
+    ///
+    /// # Panics
+    ///
+    /// Panics when `DKIP_THREADS` is set but not a positive integer. Like
+    /// the `threads=N` CLI argument, an explicitly stated thread count must
+    /// not fall back silently — a CI job pinning the pool size would
+    /// otherwise run with whatever parallelism the host happens to have.
+    #[must_use]
+    pub fn from_env() -> Self {
+        match std::env::var(THREADS_ENV) {
+            Err(_) => Self::new(std::thread::available_parallelism().map_or(1, usize::from)),
+            Ok(value) => match Self::parse_threads(&value) {
+                Some(n) => Self::new(n),
+                None => panic!("invalid {THREADS_ENV}={value:?}: expected a positive integer"),
+            },
+        }
+    }
+
+    /// Parses an explicit thread-count string (whitespace-tolerant).
+    fn parse_threads(value: &str) -> Option<usize> {
+        value.trim().parse::<usize>().ok().filter(|&n| n > 0)
+    }
+
+    /// The number of worker threads this runner uses.
+    #[must_use]
+    pub fn threads(&self) -> usize {
+        self.threads
+    }
+
+    /// Runs every job and returns the results in job order.
+    ///
+    /// # Panics
+    ///
+    /// Propagates a panic from any simulation job.
+    #[must_use]
+    pub fn run(&self, jobs: &[Job]) -> Vec<JobResult> {
+        if jobs.is_empty() {
+            return Vec::new();
+        }
+        if self.threads == 1 || jobs.len() == 1 {
+            return jobs.iter().map(Job::run).collect();
+        }
+        let cursor = AtomicUsize::new(0);
+        let slots: Mutex<Vec<Option<JobResult>>> = Mutex::new((0..jobs.len()).map(|_| None).collect());
+        std::thread::scope(|scope| {
+            for _ in 0..self.threads.min(jobs.len()) {
+                scope.spawn(|| loop {
+                    let idx = cursor.fetch_add(1, Ordering::Relaxed);
+                    let Some(job) = jobs.get(idx) else { break };
+                    let result = job.run();
+                    slots.lock().expect("runner poisoned")[idx] = Some(result);
+                });
+            }
+        });
+        slots
+            .into_inner()
+            .expect("runner poisoned")
+            .into_iter()
+            .map(|slot| slot.expect("every job slot filled"))
+            .collect()
+    }
+
+    /// Convenience: runs the jobs and returns only the ordered statistics.
+    #[must_use]
+    pub fn run_stats(&self, jobs: &[Job]) -> Vec<SimStats> {
+        self.run(jobs).into_iter().map(|r| r.stats).collect()
+    }
+}
+
+impl Default for SweepRunner {
+    fn default() -> Self {
+        Self::from_env()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn smoke_jobs() -> Vec<Job> {
+        let mem = MemoryHierarchyConfig::mem_400();
+        vec![
+            Job::new(
+                "base",
+                Machine::Baseline(BaselineConfig::r10_64()),
+                mem.clone(),
+                Benchmark::Gcc,
+                1_500,
+            ),
+            Job::new("kilo", Machine::Kilo(KiloConfig::kilo_1024()), mem.clone(), Benchmark::Mesa, 1_500),
+            Job::new("dkip", Machine::Dkip(DkipConfig::paper_default()), mem, Benchmark::Swim, 1_500),
+        ]
+    }
+
+    #[test]
+    fn results_preserve_job_order() {
+        let jobs = smoke_jobs();
+        let results = SweepRunner::new(3).run(&jobs);
+        assert_eq!(results.len(), jobs.len());
+        for (job, result) in jobs.iter().zip(&results) {
+            assert_eq!(job.label, result.label);
+            assert_eq!(job.benchmark, result.benchmark);
+            assert!(result.stats.committed > 0);
+        }
+    }
+
+    #[test]
+    fn parallel_matches_serial_bit_for_bit() {
+        let jobs = smoke_jobs();
+        let serial = SweepRunner::serial().run(&jobs);
+        let parallel = SweepRunner::new(4).run(&jobs);
+        assert_eq!(results_to_kv(&serial), results_to_kv(&parallel));
+    }
+
+    #[test]
+    fn more_threads_than_jobs_is_fine() {
+        let jobs = smoke_jobs();
+        let results = SweepRunner::new(64).run(&jobs);
+        assert_eq!(results.len(), 3);
+    }
+
+    #[test]
+    fn empty_job_list_yields_no_results() {
+        assert!(SweepRunner::new(4).run(&[]).is_empty());
+    }
+
+    #[test]
+    fn thread_count_is_clamped_to_one() {
+        assert_eq!(SweepRunner::new(0).threads(), 1);
+    }
+
+    #[test]
+    fn mean_ipc_groups_by_label_in_order() {
+        let mem = MemoryHierarchyConfig::mem_400();
+        let jobs = vec![
+            Job::new("a", Machine::Baseline(BaselineConfig::r10_64()), mem.clone(), Benchmark::Gcc, 1_000),
+            Job::new("b", Machine::Baseline(BaselineConfig::r10_64()), mem.clone(), Benchmark::Mesa, 1_000),
+            Job::new("a", Machine::Baseline(BaselineConfig::r10_64()), mem, Benchmark::Mcf, 1_000),
+        ];
+        let results = SweepRunner::new(2).run(&jobs);
+        let means = mean_ipc_by_label(&results);
+        assert_eq!(means.len(), 2);
+        assert_eq!(means[0].0, "a");
+        assert_eq!(means[1].0, "b");
+        let expected_a = (results[0].stats.ipc() + results[2].stats.ipc()) / 2.0;
+        assert!((means[0].1 - expected_a).abs() < 1e-12);
+    }
+
+    #[test]
+    fn job_result_kv_excludes_wall_clock() {
+        let jobs = smoke_jobs();
+        let result = SweepRunner::serial().run(&jobs)[0].clone();
+        let kv = result.to_kv();
+        assert!(kv.starts_with("[baseline R10-64 mem=MEM-400 bench=gcc seed=1 budget=1500]"));
+        assert!(!kv.contains("wall"));
+    }
+
+    #[test]
+    fn explicit_thread_counts_parse_strictly() {
+        assert_eq!(SweepRunner::parse_threads("8"), Some(8));
+        assert_eq!(SweepRunner::parse_threads(" 08 "), Some(8));
+        assert_eq!(SweepRunner::parse_threads("0"), None);
+        assert_eq!(SweepRunner::parse_threads("eight"), None);
+        assert_eq!(SweepRunner::parse_threads(""), None);
+    }
+}

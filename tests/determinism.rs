@@ -1,0 +1,109 @@
+//! Same config + same seed ⇒ identical statistics, for every processor
+//! family — and the parallel sweep runner reproduces the serial results
+//! bit-for-bit.
+//!
+//! This generalises the old `deterministic_across_runs` unit test in
+//! `crates/core/src/processor.rs` to all three `run_*` entry points and to
+//! the [`SweepRunner`], whose golden-snapshot subsystem depends on exactly
+//! this property.
+
+use dkip::model::config::{BaselineConfig, DkipConfig, KiloConfig, MemoryHierarchyConfig};
+use dkip::sim::runner::results_to_kv;
+use dkip::sim::{run_baseline, run_dkip, run_kilo, Job, Machine, SweepRunner};
+use dkip::trace::Benchmark;
+
+const BUDGET: u64 = 6_000;
+
+fn machines() -> Vec<Machine> {
+    vec![
+        Machine::Baseline(BaselineConfig::r10_64()),
+        Machine::Kilo(KiloConfig::kilo_1024()),
+        Machine::Dkip(DkipConfig::paper_default()),
+    ]
+}
+
+#[test]
+fn baseline_is_deterministic_for_same_seed() {
+    let cfg = BaselineConfig::r10_256();
+    let mem = MemoryHierarchyConfig::mem_400();
+    let a = run_baseline(&cfg, &mem, Benchmark::Gcc, BUDGET, 7);
+    let b = run_baseline(&cfg, &mem, Benchmark::Gcc, BUDGET, 7);
+    assert_eq!(a, b, "baseline SimStats must be identical across runs");
+}
+
+#[test]
+fn kilo_is_deterministic_for_same_seed() {
+    let cfg = KiloConfig::kilo_1024();
+    let mem = MemoryHierarchyConfig::mem_400();
+    let a = run_kilo(&cfg, &mem, Benchmark::Mesa, BUDGET, 7);
+    let b = run_kilo(&cfg, &mem, Benchmark::Mesa, BUDGET, 7);
+    assert_eq!(a, b, "KILO SimStats must be identical across runs");
+}
+
+#[test]
+fn dkip_is_deterministic_for_same_seed() {
+    let cfg = DkipConfig::paper_default();
+    let mem = MemoryHierarchyConfig::mem_400();
+    let a = run_dkip(&cfg, &mem, Benchmark::Swim, BUDGET, 7);
+    let b = run_dkip(&cfg, &mem, Benchmark::Swim, BUDGET, 7);
+    assert_eq!(a, b, "D-KIP SimStats must be identical across runs");
+}
+
+#[test]
+fn different_seeds_change_the_workload() {
+    let cfg = DkipConfig::paper_default();
+    let mem = MemoryHierarchyConfig::mem_400();
+    let a = run_dkip(&cfg, &mem, Benchmark::Gcc, BUDGET, 1);
+    let b = run_dkip(&cfg, &mem, Benchmark::Gcc, BUDGET, 2);
+    assert_ne!(a, b, "the seed must actually steer the trace generator");
+}
+
+/// One job per (family × benchmark × seed), mixing budgets so the jobs have
+/// unequal lengths and the dynamic scheduler actually interleaves them.
+fn job_matrix() -> Vec<Job> {
+    let mem = MemoryHierarchyConfig::mem_400();
+    let mut jobs = Vec::new();
+    for machine in machines() {
+        for (i, &bench) in [Benchmark::Gcc, Benchmark::Mcf, Benchmark::Swim, Benchmark::Mesa]
+            .iter()
+            .enumerate()
+        {
+            let budget = 2_000 + 1_000 * i as u64;
+            jobs.push(
+                Job::new(
+                    format!("{}|{}", machine.family(), bench.name()),
+                    machine.clone(),
+                    mem.clone(),
+                    bench,
+                    budget,
+                )
+                .with_seed(1 + i as u64),
+            );
+        }
+    }
+    jobs
+}
+
+#[test]
+fn parallel_runner_reproduces_serial_results_bit_for_bit() {
+    let jobs = job_matrix();
+    let serial = SweepRunner::serial().run(&jobs);
+    for threads in [2, 4, 8] {
+        let parallel = SweepRunner::new(threads).run(&jobs);
+        assert_eq!(
+            results_to_kv(&serial),
+            results_to_kv(&parallel),
+            "threads={threads} must serialise identically to threads=1"
+        );
+    }
+}
+
+#[test]
+fn runner_results_match_direct_calls() {
+    let jobs = job_matrix();
+    let results = SweepRunner::new(4).run(&jobs);
+    for (job, result) in jobs.iter().zip(&results) {
+        let direct = job.machine.simulate(&job.mem, job.benchmark, job.budget, job.seed);
+        assert_eq!(direct, result.stats, "job {} must match a direct run_* call", job.label);
+    }
+}

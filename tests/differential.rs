@@ -1,0 +1,76 @@
+//! Differential sanity check: with a perfect L2 no load ever reaches main
+//! memory, so the D-KIP's Analyze stage never flags a long-latency
+//! destination, nothing is extracted to the LLIB, and the machine must
+//! behave like its Cache Processor alone — which is configured identically
+//! to the `R10-64` baseline.
+
+use dkip::model::config::{BaselineConfig, DkipConfig, MemoryHierarchyConfig};
+use dkip::sim::{run_baseline, run_dkip};
+use dkip::trace::Benchmark;
+
+const BUDGET: u64 = 10_000;
+const SEED: u64 = 1;
+
+/// Benchmarks spanning both suites and both ends of the locality spectrum.
+const BENCHES: [Benchmark; 5] = [
+    Benchmark::Gcc,
+    Benchmark::Mcf,
+    Benchmark::Swim,
+    Benchmark::Mesa,
+    Benchmark::Applu,
+];
+
+fn assert_dkip_degenerates_to_baseline(mem: &MemoryHierarchyConfig) {
+    for bench in BENCHES {
+        let dkip = run_dkip(&DkipConfig::paper_default(), mem, bench, BUDGET, SEED);
+        let base = run_baseline(&BaselineConfig::r10_64(), mem, bench, BUDGET, SEED);
+
+        assert_eq!(
+            dkip.low_locality_instrs, 0,
+            "{}/{}: no instruction may be extracted to the LLIB under a perfect L2",
+            mem.name,
+            bench.name()
+        );
+        assert_eq!(dkip.llib_int_peak_instrs, 0, "{}: integer LLIB must stay empty", bench.name());
+        assert_eq!(dkip.llib_fp_peak_instrs, 0, "{}: FP LLIB must stay empty", bench.name());
+        assert_eq!(dkip.llrf_int_peak_regs, 0, "{}: integer LLRF must stay empty", bench.name());
+        assert_eq!(dkip.llrf_fp_peak_regs, 0, "{}: FP LLRF must stay empty", bench.name());
+        assert_eq!(dkip.mem_accesses, 0, "{}: a perfect L2 never reaches memory", bench.name());
+
+        let ratio = dkip.ipc() / base.ipc();
+        assert!(
+            (0.9..=1.1).contains(&ratio),
+            "{}/{}: D-KIP must match the R10-64 baseline within 10% under a perfect L2 \
+             (dkip={:.3}, baseline={:.3}, ratio={ratio:.3})",
+            mem.name,
+            bench.name(),
+            dkip.ipc(),
+            base.ipc()
+        );
+    }
+}
+
+#[test]
+fn dkip_matches_baseline_with_a_perfect_l2() {
+    assert_dkip_degenerates_to_baseline(&MemoryHierarchyConfig::l2_11());
+}
+
+#[test]
+fn dkip_matches_baseline_with_a_perfect_l1() {
+    assert_dkip_degenerates_to_baseline(&MemoryHierarchyConfig::l1_2());
+}
+
+/// Control experiment: with the real 400-cycle memory the same benchmarks
+/// *do* spill into the LLIB, so the perfect-L2 assertions above are not
+/// vacuously true.
+#[test]
+fn real_memory_does_populate_the_llib() {
+    let mem = MemoryHierarchyConfig::mem_400();
+    let spilled = BENCHES
+        .iter()
+        .filter(|&&bench| {
+            run_dkip(&DkipConfig::paper_default(), &mem, bench, BUDGET, SEED).low_locality_instrs > 0
+        })
+        .count();
+    assert!(spilled >= 3, "expected most benchmarks to spill, got {spilled}/5");
+}

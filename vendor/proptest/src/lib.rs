@@ -152,6 +152,49 @@ pub mod collection {
     }
 }
 
+/// Sampling strategies; mirrors `proptest::sample`.
+pub mod sample {
+    use super::{Strategy, TestRng};
+    use core::ops::Range;
+
+    /// Strategy producing in-order subsequences of a base vector; built by
+    /// [`subsequence`].
+    #[derive(Debug)]
+    pub struct Subsequence<T> {
+        items: Vec<T>,
+        len: Range<usize>,
+    }
+
+    /// Mirrors `proptest::sample::subsequence(vec, size_range)`: draws a
+    /// random subset of `items` of a size from `len`, preserving the
+    /// original element order. (The real crate also accepts inclusive
+    /// ranges; the shim only supports `Range<usize>`.)
+    pub fn subsequence<T: Clone>(items: Vec<T>, len: Range<usize>) -> Subsequence<T> {
+        assert!(!len.is_empty(), "subsequence needs a non-empty size range");
+        assert!(
+            len.end <= items.len() + 1,
+            "subsequence cannot be longer than the base vector"
+        );
+        Subsequence { items, len }
+    }
+
+    impl<T: Clone> Strategy for Subsequence<T> {
+        type Value = Vec<T>;
+        fn sample(&self, rng: &mut TestRng) -> Vec<T> {
+            let n = self.len.sample(rng);
+            // Partial Fisher-Yates over the index list, then restore order.
+            let mut indices: Vec<usize> = (0..self.items.len()).collect();
+            for i in 0..n {
+                let j = i + (rng.next_u64() as usize) % (indices.len() - i);
+                indices.swap(i, j);
+            }
+            let mut chosen = indices[..n].to_vec();
+            chosen.sort_unstable();
+            chosen.into_iter().map(|i| self.items[i].clone()).collect()
+        }
+    }
+}
+
 /// One-stop imports; mirrors `proptest::prelude`.
 pub mod prelude {
     pub use crate::{
