@@ -4,9 +4,10 @@
 FIG_BINS = table1 table2_3 fig01_window_specint fig02_window_specfp \
            fig03_issue_histogram fig09_comparison fig10_scheduler_sweep \
            fig11_cache_sweep_specint fig12_cache_sweep_specfp \
-           fig13_llib_occupancy_specint fig14_llib_occupancy_specfp
+           fig13_llib_occupancy_specint fig14_llib_occupancy_specfp \
+           fig_riscv_ipc
 
-.PHONY: build test doc verify bench bench-figures golden bless clean
+.PHONY: build test doc verify bench bench-figures golden bless riscv clean
 
 build:
 	cargo build --release
@@ -22,15 +23,21 @@ doc:
 	cargo doc --no-deps
 
 ## Golden-stats regression checks: compare fresh runs against the pinned
-## snapshots in tests/golden/, single- and multi-threaded (see EXPERIMENTS.md).
+## snapshots in tests/golden/ (incl. the RISC-V kernel sweep), single- and
+## multi-threaded (see EXPERIMENTS.md).
 golden:
-	DKIP_THREADS=1 cargo test -q -p dkip --test golden_stats --test determinism
-	DKIP_THREADS=8 cargo test -q -p dkip --test golden_stats --test determinism
+	DKIP_THREADS=1 cargo test -q -p dkip --test golden_stats --test determinism --test riscv_frontend
+	DKIP_THREADS=8 cargo test -q -p dkip --test golden_stats --test determinism --test riscv_frontend
 
 ## Regenerate the golden snapshots after an *intended* behavioural change,
 ## then review `git diff tests/golden/`.
 bless:
 	DKIP_BLESS=1 cargo test -q -p dkip --test golden_stats
+
+## Run every RV64IM kernel to completion on all three core families and
+## print the per-kernel IPC table.
+riscv: build
+	./target/release/fig_riscv_ipc
 
 ## Simulator-throughput benches (criterion shim).
 bench:

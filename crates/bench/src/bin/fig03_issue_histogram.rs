@@ -5,7 +5,7 @@ use dkip_sim::experiments::figure3_issue_histogram;
 use dkip_trace::Suite;
 fn main() {
     let args = FigureArgs::from_env();
-    let hist = figure3_issue_histogram(&args.benchmarks(Suite::Fp), args.budget, &args.runner());
+    let hist = figure3_issue_histogram(&args.benchmarks(Suite::Fp), args.instr_budget(dkip_bench::DEFAULT_BUDGET), &args.runner());
     println!("# Figure 3: decode->issue distance distribution (SpecFP, MEM-400, unbounded core)");
     println!("{:>12} {:>10} {:>8}", "distance", "count", "percent");
     for (lower, count) in hist.iter() {

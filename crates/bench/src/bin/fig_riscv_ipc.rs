@@ -1,0 +1,17 @@
+//! RISC-V kernel IPC: runs every shipped RV64IM kernel to completion on
+//! R10-64, KILO-1024 and D-KIP-2048 and prints the per-kernel IPC table.
+//!
+//! The positional budget argument (default: `RISCV_BUDGET`) is a cap, not a
+//! length — the kernels are finite programs and each run ends when its
+//! `ecall` retires.
+use dkip_bench::FigureArgs;
+use dkip_sim::experiments::{figure_riscv_ipc, riscv_kernel_runs, RISCV_BUDGET};
+fn main() {
+    let args = FigureArgs::from_env();
+    if args.full_suite {
+        eprintln!("'full' selects the full SPEC suite and does not apply to the RISC-V kernels");
+        std::process::exit(2);
+    }
+    let fig = figure_riscv_ipc(&riscv_kernel_runs(), args.instr_budget(RISCV_BUDGET), &args.runner());
+    println!("{}", fig.render());
+}

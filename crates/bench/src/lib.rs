@@ -7,13 +7,15 @@
 //!   rows/series of one paper artefact using the drivers in
 //!   `dkip_sim::experiments`. Run them with, e.g.,
 //!   `cargo run -p dkip-bench --release --bin fig09_comparison`.
-//!   Every simulating binary (the nine `fig*` ones; `table1`/`table2_3`
-//!   just print static configuration tables and take no arguments) accepts
-//!   three optional positional arguments: the per-benchmark instruction
-//!   budget, `full` to use the complete benchmark suite instead of the
-//!   fast representative subset, and `threads=N` to fix the sweep-runner
-//!   worker-pool size (default: the `DKIP_THREADS` environment variable,
-//!   then the host's available parallelism).
+//!   Every simulating binary (the nine `fig*` paper figures plus
+//!   `fig_riscv_ipc`; `table1`/`table2_3` just print static configuration
+//!   tables and take no arguments) accepts three optional positional
+//!   arguments: the per-benchmark instruction budget, `full` to use the
+//!   complete benchmark suite instead of the fast representative subset,
+//!   and `threads=N` to fix the sweep-runner worker-pool size (default: the
+//!   `DKIP_THREADS` environment variable, then the host's available
+//!   parallelism). Malformed arguments exit with status 2 — an explicitly
+//!   stated budget or thread count never falls back silently.
 //! * **Criterion benches** (`benches/`) — component microbenchmarks and one
 //!   timed end-to-end simulation per core family.
 //!
@@ -30,8 +32,11 @@ pub const DEFAULT_BUDGET: u64 = 10_000;
 /// Parsed command line of a figure binary.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
 pub struct FigureArgs {
-    /// Instructions per benchmark per configuration.
-    pub budget: u64,
+    /// Explicit per-benchmark instruction budget, if one was given.
+    /// Binaries read it through [`FigureArgs::instr_budget`] so each can
+    /// pick its own default (`fig_riscv_ipc` needs a run-to-completion
+    /// budget, the synthetic sweeps use [`DEFAULT_BUDGET`]).
+    pub budget: Option<u64>,
     /// Whether to run the full 26-benchmark suite.
     pub full_suite: bool,
     /// Explicit worker-pool size (`threads=N`); `None` defers to
@@ -40,36 +45,70 @@ pub struct FigureArgs {
 }
 
 impl FigureArgs {
-    /// Parses `[budget] [full] [threads=N]` from `std::env::args`.
+    /// Parses `[budget] [full] [threads=N]` from `std::env::args`, exiting
+    /// with status 2 on a malformed argument.
     #[must_use]
     pub fn from_env() -> Self {
-        let mut budget = DEFAULT_BUDGET;
+        match Self::parse(std::env::args().skip(1)) {
+            Ok(args) => args,
+            Err(message) => {
+                eprintln!("{message}");
+                std::process::exit(2);
+            }
+        }
+    }
+
+    /// Parses the argument list. Arguments are positional and strict: any
+    /// token that is not `full`, `threads=N` or an unsigned integer budget
+    /// is an error — a mistyped budget must not fall back silently to the
+    /// default, exactly as a mistyped `threads=` must not.
+    ///
+    /// # Errors
+    ///
+    /// Returns a human-readable message naming the offending argument.
+    pub fn parse(args: impl Iterator<Item = String>) -> Result<Self, String> {
+        let mut budget = None;
         let mut full_suite = false;
         let mut threads = None;
-        for arg in std::env::args().skip(1) {
+        for arg in args {
             if arg == "full" {
                 full_suite = true;
             } else if let Some(v) = arg.strip_prefix("threads=") {
                 match v.parse::<usize>() {
-                    // `threads=` states intent explicitly, so unlike the
-                    // loosely-parsed positional budget it must not fall back
-                    // silently — a user pinning the pool size for a
-                    // reproducibility check should get what they asked for.
                     Ok(n) if n > 0 => threads = Some(n),
-                    _ => {
-                        eprintln!("invalid thread count {v:?}: expected threads=N with N >= 1");
-                        std::process::exit(2);
+                    _ => return Err(format!("invalid thread count {v:?}: expected threads=N with N >= 1")),
+                }
+            } else {
+                match arg.parse::<u64>() {
+                    Ok(0) => return Err("invalid budget 0: expected at least 1 instruction".to_owned()),
+                    Ok(n) => {
+                        if let Some(previous) = budget {
+                            return Err(format!(
+                                "conflicting budgets {previous} and {n}: pass at most one numeric budget"
+                            ));
+                        }
+                        budget = Some(n);
+                    }
+                    Err(_) => {
+                        return Err(format!(
+                            "invalid argument {arg:?}: expected a numeric budget, 'full' or 'threads=N'"
+                        ))
                     }
                 }
-            } else if let Ok(n) = arg.parse::<u64>() {
-                budget = n;
             }
         }
-        FigureArgs {
+        Ok(FigureArgs {
             budget,
             full_suite,
             threads,
-        }
+        })
+    }
+
+    /// The instruction budget: the explicit positional argument, or
+    /// `default` when none was given.
+    #[must_use]
+    pub fn instr_budget(&self, default: u64) -> u64 {
+        self.budget.unwrap_or(default)
     }
 
     /// The sweep runner selected by the command line / environment.
@@ -102,13 +141,13 @@ impl FigureArgs {
 mod tests {
     use super::*;
 
+    fn parse(args: &[&str]) -> Result<FigureArgs, String> {
+        FigureArgs::parse(args.iter().map(|s| (*s).to_owned()))
+    }
+
     #[test]
     fn representative_subset_is_split_by_suite() {
-        let args = FigureArgs {
-            budget: 1000,
-            full_suite: false,
-            threads: None,
-        };
+        let args = parse(&[]).unwrap();
         assert!(!args.benchmarks(Suite::Int).is_empty());
         assert!(!args.benchmarks(Suite::Fp).is_empty());
         assert!(args.benchmarks(Suite::Int).iter().all(|b| b.suite() == Suite::Int));
@@ -116,27 +155,51 @@ mod tests {
 
     #[test]
     fn full_suite_selects_all_benchmarks() {
-        let args = FigureArgs {
-            budget: 1000,
-            full_suite: true,
-            threads: None,
-        };
+        let args = parse(&["full"]).unwrap();
         assert_eq!(args.benchmarks(Suite::Int).len(), 12);
         assert_eq!(args.benchmarks(Suite::Fp).len(), 14);
     }
 
     #[test]
-    fn explicit_thread_count_overrides_the_environment() {
-        let args = FigureArgs {
-            budget: 1000,
-            full_suite: false,
-            threads: Some(3),
-        };
+    fn budget_and_threads_parse_positionally() {
+        let args = parse(&["2500", "full", "threads=3"]).unwrap();
+        assert_eq!(args.budget, Some(2500));
+        assert_eq!(args.instr_budget(DEFAULT_BUDGET), 2500);
+        assert!(args.full_suite);
+        assert_eq!(args.threads, Some(3));
         assert_eq!(args.runner().threads(), 3);
-        let auto = FigureArgs {
-            threads: None,
-            ..args
-        };
+    }
+
+    #[test]
+    fn missing_budget_falls_back_to_the_caller_default() {
+        let args = parse(&["full"]).unwrap();
+        assert_eq!(args.budget, None);
+        assert_eq!(args.instr_budget(DEFAULT_BUDGET), DEFAULT_BUDGET);
+        assert_eq!(args.instr_budget(123), 123);
+    }
+
+    #[test]
+    fn malformed_arguments_are_rejected_not_defaulted() {
+        assert!(parse(&["10k"]).unwrap_err().contains("10k"));
+        assert!(parse(&["-5"]).is_err(), "negative budgets are malformed");
+        assert!(parse(&["threads=0"]).is_err());
+        assert!(parse(&["threads=many"]).is_err());
+        assert!(parse(&["ful"]).is_err(), "typos must not be ignored");
+        assert!(
+            parse(&["50000", "5000"]).unwrap_err().contains("conflicting"),
+            "a second budget must not silently win"
+        );
+        assert!(
+            parse(&["0"]).unwrap_err().contains("budget 0"),
+            "a zero budget would print an all-zero figure"
+        );
+    }
+
+    #[test]
+    fn explicit_thread_count_overrides_the_environment() {
+        let args = parse(&["threads=3"]).unwrap();
+        assert_eq!(args.runner().threads(), 3);
+        let auto = parse(&[]).unwrap();
         assert!(auto.runner().threads() >= 1);
     }
 }

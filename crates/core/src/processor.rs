@@ -87,6 +87,10 @@ pub struct DkipProcessor {
     unresolved_mispredicts: VecDeque<u64>,
     fetch_resume_at: u64,
     refill_boundary: u64,
+    /// Whether the trace iterator has returned `None` (finite streams such
+    /// as the execution-driven RISC-V kernels end; the synthetic generators
+    /// never do).
+    trace_done: bool,
 
     stats: SimStats,
 }
@@ -130,6 +134,7 @@ impl DkipProcessor {
             unresolved_mispredicts: VecDeque::new(),
             fetch_resume_at: 0,
             refill_boundary: u64::MAX,
+            trace_done: false,
             stats: SimStats::new(),
             cfg,
         }
@@ -181,14 +186,29 @@ impl DkipProcessor {
         )
     }
 
-    /// Runs until `max_instrs` instructions have committed (or a safety
-    /// cycle bound is reached) and returns the accumulated statistics.
+    /// Runs until `max_instrs` instructions have committed, the trace ends
+    /// and the whole machine drains (finite execution-driven streams run to
+    /// completion), or a safety cycle bound is reached. Returns the
+    /// accumulated statistics.
     pub fn run(&mut self, trace: &mut dyn Iterator<Item = MicroOp>, max_instrs: u64) -> SimStats {
         let cycle_cap = self
             .cycle
             .saturating_add(max_instrs.saturating_mul(2000).max(1_000_000));
+        // Each run() call may bring a fresh trace, so exhaustion must not
+        // latch across calls (it re-latches on the first empty fetch).
+        self.trace_done = false;
         while self.stats.committed < max_instrs && self.cycle < cycle_cap {
             self.tick(trace);
+            // Drained: nothing left in the front end, the Aging-ROB, or on
+            // the low-locality side (LLIBs / Memory Processors / Address
+            // Processor, all tracked by `low_meta`).
+            if self.trace_done
+                && self.fetch_queue.is_empty()
+                && self.rob.is_empty()
+                && self.low_meta.is_empty()
+            {
+                break;
+            }
         }
         self.finalize_stats();
         self.stats.clone()
@@ -796,11 +816,34 @@ impl DkipProcessor {
             if self.fetch_queue.len() >= limit {
                 break;
             }
-            let Some(op) = trace.next() else { break };
+            let Some(op) = trace.next() else {
+                self.trace_done = true;
+                break;
+            };
             self.stats.fetched += 1;
             self.fetch_queue.push_back(op);
         }
     }
+}
+
+/// Runs an arbitrary correct-path [`MicroOp`] stream for up to `max_instrs`
+/// committed instructions on a D-KIP with configuration `cfg` and memory
+/// hierarchy `mem_cfg`. Finite streams (e.g. the `dkip-riscv` kernels) run
+/// to completion and drain the whole machine.
+///
+/// # Panics
+///
+/// Panics if the memory or processor configuration is invalid.
+#[must_use]
+pub fn run_dkip_stream(
+    cfg: &DkipConfig,
+    mem_cfg: &MemoryHierarchyConfig,
+    stream: &mut dyn Iterator<Item = MicroOp>,
+    max_instrs: u64,
+) -> SimStats {
+    let mem = MemoryHierarchy::new(mem_cfg.clone()).expect("invalid memory configuration");
+    let mut proc = DkipProcessor::new(cfg.clone(), mem);
+    proc.run(stream, max_instrs)
 }
 
 /// Runs `benchmark` for `max_instrs` committed instructions on a D-KIP with
@@ -817,10 +860,7 @@ pub fn run_dkip(
     max_instrs: u64,
     seed: u64,
 ) -> SimStats {
-    let mem = MemoryHierarchy::new(mem_cfg.clone()).expect("invalid memory configuration");
-    let mut proc = DkipProcessor::new(cfg.clone(), mem);
-    let mut trace = TraceGenerator::new(benchmark, seed);
-    proc.run(&mut trace, max_instrs)
+    run_dkip_stream(cfg, mem_cfg, &mut TraceGenerator::new(benchmark, seed), max_instrs)
 }
 
 #[cfg(test)]

@@ -39,7 +39,7 @@
 use dkip_bpred::PredictorKind;
 use dkip_mem::MemoryHierarchy;
 use dkip_model::config::{KiloConfig, MemoryHierarchyConfig};
-use dkip_model::SimStats;
+use dkip_model::{MicroOp, SimStats};
 use dkip_ooo::{CoreParams, OooCore};
 use dkip_trace::{Benchmark, TraceGenerator};
 
@@ -77,6 +77,26 @@ pub fn build_kilo_core(cfg: &KiloConfig, mem: MemoryHierarchy) -> OooCore {
     OooCore::new(kilo_core_params(cfg), mem)
 }
 
+/// Runs an arbitrary correct-path [`MicroOp`] stream for up to `max_instrs`
+/// committed instructions on the traditional KILO baseline. Finite streams
+/// (e.g. the `dkip-riscv` kernels) run to completion and drain the
+/// pipeline.
+///
+/// # Panics
+///
+/// Panics if the memory or processor configuration is invalid.
+#[must_use]
+pub fn run_kilo_stream(
+    cfg: &KiloConfig,
+    mem_cfg: &MemoryHierarchyConfig,
+    stream: &mut dyn Iterator<Item = MicroOp>,
+    max_instrs: u64,
+) -> SimStats {
+    let mem = MemoryHierarchy::new(mem_cfg.clone()).expect("invalid memory configuration");
+    let mut core = build_kilo_core(cfg, mem);
+    core.run(stream, max_instrs)
+}
+
 /// Runs `benchmark` for `max_instrs` committed instructions on the
 /// traditional KILO baseline.
 ///
@@ -91,10 +111,7 @@ pub fn run_kilo(
     max_instrs: u64,
     seed: u64,
 ) -> SimStats {
-    let mem = MemoryHierarchy::new(mem_cfg.clone()).expect("invalid memory configuration");
-    let mut core = build_kilo_core(cfg, mem);
-    let mut trace = TraceGenerator::new(benchmark, seed);
-    core.run(&mut trace, max_instrs)
+    run_kilo_stream(cfg, mem_cfg, &mut TraceGenerator::new(benchmark, seed), max_instrs)
 }
 
 #[cfg(test)]

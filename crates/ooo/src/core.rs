@@ -118,6 +118,10 @@ pub struct OooCore {
     /// Instructions that produce a long-latency (memory) value and have not
     /// completed yet.
     long_latency_producers: HashSet<u64>,
+    /// Whether the trace iterator has returned `None` (finite traces such as
+    /// the execution-driven RISC-V kernels end; the synthetic generators
+    /// never do).
+    trace_done: bool,
     stats: SimStats,
     issue_hist: Option<Histogram>,
 }
@@ -147,6 +151,7 @@ impl OooCore {
             slow_lane: HashSet::new(),
             reinsert_queue: VecDeque::new(),
             long_latency_producers: HashSet::new(),
+            trace_done: false,
             stats: SimStats::new(),
             issue_hist,
             cycle: 0,
@@ -174,14 +179,22 @@ impl OooCore {
         self.cycle
     }
 
-    /// Runs the core until `max_instrs` instructions have committed (or a
-    /// safety cycle bound is hit) and returns the accumulated statistics.
+    /// Runs the core until `max_instrs` instructions have committed, the
+    /// trace ends and the pipeline drains (finite execution-driven streams
+    /// run to completion), or a safety cycle bound is hit. Returns the
+    /// accumulated statistics.
     pub fn run(&mut self, trace: &mut dyn Iterator<Item = MicroOp>, max_instrs: u64) -> SimStats {
         let cycle_cap = self
             .cycle
             .saturating_add(max_instrs.saturating_mul(2000).max(1_000_000));
+        // Each run() call may bring a fresh trace, so exhaustion must not
+        // latch across calls (it re-latches on the first empty fetch).
+        self.trace_done = false;
         while self.stats.committed < max_instrs && self.cycle < cycle_cap {
             self.tick(trace);
+            if self.trace_done && self.fetch_queue.is_empty() && self.rob.is_empty() {
+                break;
+            }
         }
         self.finalize_stats();
         self.stats.clone()
@@ -539,11 +552,37 @@ impl OooCore {
             if self.fetch_queue.len() >= limit {
                 break;
             }
-            let Some(op) = trace.next() else { break };
+            let Some(op) = trace.next() else {
+                self.trace_done = true;
+                break;
+            };
             self.stats.fetched += 1;
             self.fetch_queue.push_back(op);
         }
     }
+}
+
+/// Runs an arbitrary correct-path [`MicroOp`] stream for up to `max_instrs`
+/// committed instructions on the baseline configuration `cfg` with memory
+/// hierarchy `mem_cfg`. Finite streams (e.g. the execution-driven RISC-V
+/// kernels of `dkip-riscv`) run to completion and drain the pipeline.
+///
+/// This is the single entry point every workload source funnels through;
+/// [`run_baseline`] is the synthetic-benchmark convenience wrapper.
+///
+/// # Panics
+///
+/// Panics if the memory configuration is invalid.
+#[must_use]
+pub fn run_baseline_stream(
+    cfg: &BaselineConfig,
+    mem_cfg: &MemoryHierarchyConfig,
+    stream: &mut dyn Iterator<Item = MicroOp>,
+    max_instrs: u64,
+) -> SimStats {
+    let mem = MemoryHierarchy::new(mem_cfg.clone()).expect("invalid memory configuration");
+    let mut core = OooCore::from_baseline(cfg, mem);
+    core.run(stream, max_instrs)
 }
 
 /// Runs `benchmark` for `max_instrs` committed instructions on the baseline
@@ -562,10 +601,7 @@ pub fn run_baseline(
     max_instrs: u64,
     seed: u64,
 ) -> SimStats {
-    let mem = MemoryHierarchy::new(mem_cfg.clone()).expect("invalid memory configuration");
-    let mut core = OooCore::from_baseline(cfg, mem);
-    let mut trace = TraceGenerator::new(benchmark, seed);
-    core.run(&mut trace, max_instrs)
+    run_baseline_stream(cfg, mem_cfg, &mut TraceGenerator::new(benchmark, seed), max_instrs)
 }
 
 #[cfg(test)]

@@ -1,0 +1,96 @@
+# 3x3 box blur over an n x n int64 grid (interior cells only), then
+# checksum of the output grid -> a0. The per-pixel divide exercises the
+# multiply/divide unit; the 2-D neighbourhood reads exercise spatial
+# locality.
+#
+# Inputs from the harness:
+#   a0 = data base (input grid; output grid follows contiguously)
+#   a1 = n (grid edge)
+#
+# Initialisation: in[y][x] = (7*x + 13*y) & 63. Memory starts zeroed, so
+# the untouched border of the output grid contributes 0 to the checksum.
+
+setup:
+        mul     t0, a1, a1
+        slli    t0, t0, 3
+        add     t6, a0, t0          # out base
+        mul     t5, a1, a1          # total cells
+
+        li      t0, 0               # init: idx
+init:
+        bge     t0, t5, init_done
+        rem     t1, t0, a1          # x
+        div     t2, t0, a1          # y
+        slli    s0, t1, 3
+        sub     s0, s0, t1          # 7*x
+        slli    s1, t2, 4
+        sub     s1, s1, t2
+        sub     s1, s1, t2
+        sub     s1, s1, t2          # 13*y
+        add     s0, s0, s1
+        andi    s0, s0, 63
+        slli    s1, t0, 3
+        add     s1, a0, s1
+        sd      s0, 0(s1)
+        addi    t0, t0, 1
+        j       init
+init_done:
+
+        li      s2, 1               # y
+y_loop:
+        addi    t0, a1, -1
+        bge     s2, t0, blur_done
+        li      s3, 1               # x
+x_loop:
+        addi    t0, a1, -1
+        bge     s3, t0, y_next
+        li      s4, 0               # acc
+        li      s5, -1              # dy
+dy_loop:
+        li      t0, 2
+        bge     s5, t0, dy_done
+        li      s6, -1              # dx
+dx_loop:
+        li      t0, 2
+        bge     s6, t0, dx_done
+        add     t1, s2, s5          # y + dy
+        mul     t2, t1, a1
+        add     t3, s3, s6          # x + dx
+        add     t2, t2, t3
+        slli    t2, t2, 3
+        add     t2, a0, t2
+        ld      t4, 0(t2)
+        add     s4, s4, t4
+        addi    s6, s6, 1
+        j       dx_loop
+dx_done:
+        addi    s5, s5, 1
+        j       dy_loop
+dy_done:
+        li      t0, 9
+        div     s4, s4, t0
+        mul     t1, s2, a1
+        add     t1, t1, s3
+        slli    t1, t1, 3
+        add     t1, t6, t1
+        sd      s4, 0(t1)
+        addi    s3, s3, 1
+        j       x_loop
+y_next:
+        addi    s2, s2, 1
+        j       y_loop
+blur_done:
+
+        li      t0, 0               # checksum out grid
+        li      s0, 0
+sum:
+        bge     t0, t5, sum_done
+        slli    t1, t0, 3
+        add     t1, t6, t1
+        ld      t2, 0(t1)
+        add     s0, s0, t2
+        addi    t0, t0, 1
+        j       sum
+sum_done:
+        mv      a0, s0
+        ecall

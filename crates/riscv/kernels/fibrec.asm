@@ -1,0 +1,30 @@
+# Recursive Fibonacci: a0 = fib(n). Exercises the call/return stack
+# (jal/jalr with ra) and short data-dependent control flow.
+#
+# Inputs from the harness:
+#   a1 = n
+
+main:
+        mv      a0, a1
+        call    fib
+        ecall
+
+fib:                                # a0 = fib(a0)
+        li      t0, 2
+        blt     a0, t0, fib_base    # fib(0) = 0, fib(1) = 1
+        addi    sp, sp, -16
+        sd      ra, 8(sp)
+        sd      a0, 0(sp)           # save n
+        addi    a0, a0, -1
+        call    fib                 # a0 = fib(n-1)
+        ld      t1, 0(sp)           # t1 = n
+        sd      a0, 0(sp)           # save fib(n-1)
+        addi    a0, t1, -2
+        call    fib                 # a0 = fib(n-2)
+        ld      t1, 0(sp)           # t1 = fib(n-1)
+        add     a0, a0, t1
+        ld      ra, 8(sp)
+        addi    sp, sp, 16
+        ret
+fib_base:
+        ret

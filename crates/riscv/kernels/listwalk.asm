@@ -1,0 +1,40 @@
+# Pointer-chasing linked-list traversal (mcf-like dependence chains).
+#
+# Inputs from the harness:
+#   a0 = data base (node array)
+#   a1 = node count n
+#   a2 = walk steps
+#
+# Nodes are 16 bytes: [next: *node, value: i64]. Node i links to node
+# (i + 7) mod n, so for n coprime with 7 the walk covers a long cycle and
+# every step's load address depends on the previous step's loaded value.
+
+build:
+        li      t0, 0               # i
+build_loop:
+        bge     t0, a1, build_done
+        slli    t1, t0, 4
+        add     t1, a0, t1          # &node[i]
+        addi    t2, t0, 7
+        rem     t2, t2, a1          # (i + 7) mod n
+        slli    t2, t2, 4
+        add     t2, a0, t2          # &node[(i+7) mod n]
+        sd      t2, 0(t1)           # node[i].next
+        sd      t0, 8(t1)           # node[i].value = i
+        addi    t0, t0, 1
+        j       build_loop
+build_done:
+
+        mv      t0, a0              # cursor
+        li      t1, 0               # sum
+        li      t2, 0               # step
+walk:
+        bge     t2, a2, walk_done
+        ld      t3, 8(t0)           # value
+        add     t1, t1, t3
+        ld      t0, 0(t0)           # chase the next pointer
+        addi    t2, t2, 1
+        j       walk
+walk_done:
+        mv      a0, t1
+        ecall

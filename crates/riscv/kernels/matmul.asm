@@ -1,0 +1,83 @@
+# Dense int64 matrix multiply: c = a * b, then checksum(c) -> a0.
+#
+# Inputs from the harness:
+#   a0 = data base (matrix a; b and c follow contiguously)
+#   a1 = dim (matrices are dim x dim)
+#
+# Initialisation is done in-program so the kernel is self-contained:
+#   a[n] = n            (n = flat index)
+#   b[n] = (n & 7) + 1
+
+matmul:
+        mul     t0, a1, a1          # cells per matrix
+        slli    t0, t0, 3           # bytes per matrix
+        add     t1, a0, t0          # b base
+        add     t2, t1, t0          # c base
+
+        mul     t3, a1, a1          # init: cells to fill
+        mv      t4, a0              # cursor into a
+        mv      t5, t1              # cursor into b
+        li      t6, 0               # n
+init:
+        bge     t6, t3, init_done
+        sd      t6, 0(t4)
+        andi    s0, t6, 7
+        addi    s0, s0, 1
+        sd      s0, 0(t5)
+        addi    t4, t4, 8
+        addi    t5, t5, 8
+        addi    t6, t6, 1
+        j       init
+init_done:
+
+        li      s0, 0               # i
+loop_i:
+        bge     s0, a1, mm_done
+        li      s1, 0               # j
+loop_j:
+        bge     s1, a1, i_next
+        li      s2, 0               # k
+        li      s3, 0               # acc
+loop_k:
+        bge     s2, a1, k_done
+        mul     s4, s0, a1
+        add     s4, s4, s2
+        slli    s4, s4, 3
+        add     s4, a0, s4          # &a[i][k]
+        ld      s5, 0(s4)
+        mul     s6, s2, a1
+        add     s6, s6, s1
+        slli    s6, s6, 3
+        add     s6, t1, s6          # &b[k][j]
+        ld      s7, 0(s6)
+        mul     s5, s5, s7
+        add     s3, s3, s5
+        addi    s2, s2, 1
+        j       loop_k
+k_done:
+        mul     s4, s0, a1
+        add     s4, s4, s1
+        slli    s4, s4, 3
+        add     s4, t2, s4          # &c[i][j]
+        sd      s3, 0(s4)
+        addi    s1, s1, 1
+        j       loop_j
+i_next:
+        addi    s0, s0, 1
+        j       loop_i
+mm_done:
+
+        mul     t3, a1, a1          # checksum c
+        li      t4, 0               # n
+        li      t5, 0               # sum
+sum_loop:
+        bge     t4, t3, sum_done
+        slli    s0, t4, 3
+        add     s0, t2, s0
+        ld      s1, 0(s0)
+        add     t5, t5, s1
+        addi    t4, t4, 1
+        j       sum_loop
+sum_done:
+        mv      a0, t5
+        ecall

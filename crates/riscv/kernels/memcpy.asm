@@ -1,0 +1,50 @@
+# Streaming copy: initialise a source array of n doublewords, copy it to a
+# destination array, checksum the destination -> a0. Swim-like strided
+# streaming with minimal reuse.
+#
+# Inputs from the harness:
+#   a0 = data base (source array; destination follows contiguously)
+#   a1 = n (doublewords)
+
+setup:
+        slli    t0, a1, 3
+        add     t1, a0, t0          # dst base
+
+        li      t2, 0               # init: src[i] = 3*i + 1
+init:
+        bge     t2, a1, init_done
+        slli    t3, t2, 3
+        add     t3, a0, t3
+        slli    t4, t2, 1
+        add     t4, t4, t2          # 3*i
+        addi    t4, t4, 1
+        sd      t4, 0(t3)
+        addi    t2, t2, 1
+        j       init
+init_done:
+
+        li      t2, 0               # copy
+copy:
+        bge     t2, a1, copy_done
+        slli    t3, t2, 3
+        add     t4, a0, t3
+        ld      t5, 0(t4)
+        add     t4, t1, t3
+        sd      t5, 0(t4)
+        addi    t2, t2, 1
+        j       copy
+copy_done:
+
+        li      t2, 0               # checksum dst
+        li      t6, 0
+sum:
+        bge     t2, a1, sum_done
+        slli    t3, t2, 3
+        add     t3, t1, t3
+        ld      t4, 0(t3)
+        add     t6, t6, t4
+        addi    t2, t2, 1
+        j       sum
+sum_done:
+        mv      a0, t6
+        ecall

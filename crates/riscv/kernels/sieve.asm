@@ -1,0 +1,49 @@
+# Sieve of Eratosthenes over a byte array; prime count -> a0.
+#
+# Inputs from the harness:
+#   a0 = data base (one flag byte per candidate)
+#   a1 = limit N (primes counted in [2, N))
+
+clear:
+        li      t0, 0
+clear_loop:
+        bge     t0, a1, clear_done
+        add     t1, a0, t0
+        sb      zero, 0(t1)
+        addi    t0, t0, 1
+        j       clear_loop
+clear_done:
+
+        li      t0, 2               # p
+outer:
+        mul     t1, t0, t0          # p*p
+        bge     t1, a1, count
+        add     t2, a0, t0
+        lb      t3, 0(t2)
+        bnez    t3, next_p          # p already composite
+        li      t4, 1
+mark:
+        bge     t1, a1, next_p
+        add     t2, a0, t1
+        sb      t4, 0(t2)
+        add     t1, t1, t0
+        j       mark
+next_p:
+        addi    t0, t0, 1
+        j       outer
+
+count:
+        li      t0, 2
+        li      t1, 0               # prime count
+count_loop:
+        bge     t0, a1, count_done
+        add     t2, a0, t0
+        lb      t3, 0(t2)
+        bnez    t3, composite
+        addi    t1, t1, 1
+composite:
+        addi    t0, t0, 1
+        j       count_loop
+count_done:
+        mv      a0, t1
+        ecall

@@ -1,0 +1,461 @@
+//! A functional RV64IM emulator over a flat little-endian memory.
+//!
+//! The emulator executes an assembled [`Program`] architecturally — no
+//! timing, no speculation — and reports one [`Retired`] record per executed
+//! instruction. The record carries exactly what the trace frontend
+//! ([`crate::stream::RiscvStream`]) needs to crack the instruction into a
+//! [`dkip_model::MicroOp`]: the PC, the decoded instruction, the next PC
+//! (from which branch outcomes follow) and the effective address of a
+//! memory access.
+//!
+//! Execution halts on `ecall`, on a jump outside the code region (so a
+//! stray `ret` from the outermost frame falls off cleanly) or when
+//! [`Emulator::MAX_STEPS`] instructions have retired (a backstop against
+//! kernels that fail to terminate).
+
+use crate::asm::Program;
+use crate::isa::{AluImmOp, AluOp, BranchCond, Inst, MemWidth, Reg};
+
+/// Base address of the code region (all kernels are assembled here).
+pub const CODE_BASE: u64 = 0x1000;
+
+/// Base address kernels use for their data (passed in `a0`).
+pub const DATA_BASE: u64 = 0x1_0000;
+
+/// Size of the flat memory in bytes. The stack pointer starts at the top
+/// and grows down; kernel data lives at [`DATA_BASE`].
+pub const MEM_SIZE: u64 = 1 << 20;
+
+/// One architecturally executed instruction.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct Retired {
+    /// Address of the instruction.
+    pub pc: u64,
+    /// The decoded instruction.
+    pub inst: Inst,
+    /// The PC of the next instruction.
+    pub next_pc: u64,
+    /// Effective address of a load or store.
+    pub mem_addr: Option<u64>,
+    /// The evaluated condition of a conditional branch (`false` for
+    /// anything else). Recorded directly rather than derived from
+    /// `next_pc`, so a taken branch whose offset happens to be +4 is still
+    /// reported as taken.
+    pub taken: bool,
+}
+
+impl Retired {
+    /// Whether a conditional branch was taken (`false` for anything else).
+    #[must_use]
+    pub fn branch_taken(&self) -> bool {
+        self.taken
+    }
+}
+
+/// The functional emulator.
+#[derive(Debug, Clone)]
+pub struct Emulator {
+    regs: [u64; 32],
+    pc: u64,
+    mem: Vec<u8>,
+    insts: Vec<Inst>,
+    base: u64,
+    halted: bool,
+    step_limited: bool,
+    step_limit: u64,
+    retired: u64,
+}
+
+impl Emulator {
+    /// Backstop on retired instructions; [`Emulator::step`] reports the
+    /// machine halted once it is reached.
+    pub const MAX_STEPS: u64 = 50_000_000;
+
+    /// Creates an emulator for `program` with zeroed registers and memory,
+    /// `sp` at the top of memory and `pc` at the program base.
+    #[must_use]
+    pub fn new(program: &Program) -> Self {
+        let mut emu = Emulator {
+            regs: [0; 32],
+            pc: program.base,
+            mem: vec![0; MEM_SIZE as usize],
+            insts: program.insts.clone(),
+            base: program.base,
+            halted: false,
+            step_limited: false,
+            step_limit: Self::MAX_STEPS,
+            retired: 0,
+        };
+        emu.regs[Reg::SP.index() as usize] = MEM_SIZE;
+        emu
+    }
+
+    /// Reads a register (`x0` always reads zero).
+    #[must_use]
+    pub fn reg(&self, reg: Reg) -> u64 {
+        self.regs[reg.index() as usize]
+    }
+
+    /// Writes a register (writes to `x0` are discarded).
+    pub fn set_reg(&mut self, reg: Reg, value: u64) {
+        if !reg.is_zero() {
+            self.regs[reg.index() as usize] = value;
+        }
+    }
+
+    /// The current program counter.
+    #[must_use]
+    pub fn pc(&self) -> u64 {
+        self.pc
+    }
+
+    /// Whether execution has ended (cleanly or via the step backstop).
+    #[must_use]
+    pub fn halted(&self) -> bool {
+        self.halted
+    }
+
+    /// Whether execution ended *cleanly* — `ecall` or falling off the
+    /// program — rather than by hitting the [`Emulator::MAX_STEPS`]
+    /// backstop. A runaway kernel halts but does not complete; tests assert
+    /// this so a truncated stream cannot masquerade as a finished run.
+    #[must_use]
+    pub fn ran_to_completion(&self) -> bool {
+        self.halted && !self.step_limited
+    }
+
+    /// Lowers the retired-instruction backstop (clamped to
+    /// [`Emulator::MAX_STEPS`]); mainly for tests exercising the runaway
+    /// path without spinning 50M steps.
+    pub fn set_step_limit(&mut self, limit: u64) {
+        self.step_limit = limit.min(Self::MAX_STEPS);
+    }
+
+    /// Number of instructions retired so far.
+    #[must_use]
+    pub fn retired(&self) -> u64 {
+        self.retired
+    }
+
+    /// Reads a naturally-sized little-endian doubleword for tests.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the address is outside memory.
+    #[must_use]
+    pub fn read_u64(&self, addr: u64) -> u64 {
+        self.load(addr, MemWidth::D, false)
+    }
+
+    fn check_addr(&self, addr: u64, bytes: u8) {
+        assert!(
+            addr.checked_add(u64::from(bytes)).is_some_and(|end| end <= MEM_SIZE),
+            "memory access at {addr:#x}+{bytes} outside the {MEM_SIZE:#x}-byte memory"
+        );
+    }
+
+    fn load(&self, addr: u64, width: MemWidth, sign: bool) -> u64 {
+        let bytes = width.bytes();
+        self.check_addr(addr, bytes);
+        let mut raw = [0u8; 8];
+        raw[..bytes as usize].copy_from_slice(&self.mem[addr as usize..addr as usize + bytes as usize]);
+        let value = u64::from_le_bytes(raw);
+        if !sign {
+            return value;
+        }
+        match width {
+            MemWidth::B => value as u8 as i8 as i64 as u64,
+            MemWidth::H => value as u16 as i16 as i64 as u64,
+            MemWidth::W => value as u32 as i32 as i64 as u64,
+            MemWidth::D => value,
+        }
+    }
+
+    fn store(&mut self, addr: u64, width: MemWidth, value: u64) {
+        let bytes = width.bytes();
+        self.check_addr(addr, bytes);
+        self.mem[addr as usize..addr as usize + bytes as usize]
+            .copy_from_slice(&value.to_le_bytes()[..bytes as usize]);
+    }
+
+    fn alu(op: AluOp, a: u64, b: u64) -> u64 {
+        let sext32 = |v: u32| v as i32 as i64 as u64;
+        match op {
+            AluOp::Add => a.wrapping_add(b),
+            AluOp::Sub => a.wrapping_sub(b),
+            AluOp::Sll => a << (b & 63),
+            AluOp::Slt => u64::from((a as i64) < (b as i64)),
+            AluOp::Sltu => u64::from(a < b),
+            AluOp::Xor => a ^ b,
+            AluOp::Srl => a >> (b & 63),
+            AluOp::Sra => ((a as i64) >> (b & 63)) as u64,
+            AluOp::Or => a | b,
+            AluOp::And => a & b,
+            AluOp::Mul => a.wrapping_mul(b),
+            AluOp::Mulh => (((a as i64 as i128) * (b as i64 as i128)) >> 64) as u64,
+            AluOp::Mulhu => ((u128::from(a) * u128::from(b)) >> 64) as u64,
+            AluOp::Div => match (a as i64, b as i64) {
+                (_, 0) => u64::MAX,
+                (i64::MIN, -1) => i64::MIN as u64,
+                (x, y) => (x / y) as u64,
+            },
+            AluOp::Divu => {
+                if b == 0 {
+                    u64::MAX
+                } else {
+                    a / b
+                }
+            }
+            AluOp::Rem => match (a as i64, b as i64) {
+                (x, 0) => x as u64,
+                (i64::MIN, -1) => 0,
+                (x, y) => (x % y) as u64,
+            },
+            AluOp::Remu => {
+                if b == 0 {
+                    a
+                } else {
+                    a % b
+                }
+            }
+            AluOp::Addw => sext32((a as u32).wrapping_add(b as u32)),
+            AluOp::Subw => sext32((a as u32).wrapping_sub(b as u32)),
+            AluOp::Sllw => sext32((a as u32) << (b & 31)),
+            AluOp::Srlw => sext32((a as u32) >> (b & 31)),
+            AluOp::Sraw => sext32(((a as i32) >> (b & 31)) as u32),
+            AluOp::Mulw => sext32((a as u32).wrapping_mul(b as u32)),
+            AluOp::Divw => match (a as i32, b as i32) {
+                (_, 0) => u64::MAX,
+                (i32::MIN, -1) => i32::MIN as i64 as u64,
+                (x, y) => (x / y) as i64 as u64,
+            },
+            AluOp::Remw => match (a as i32, b as i32) {
+                (x, 0) => x as i64 as u64,
+                (i32::MIN, -1) => 0,
+                (x, y) => (x % y) as i64 as u64,
+            },
+        }
+    }
+
+    fn alu_imm(op: AluImmOp, a: u64, imm: i32) -> u64 {
+        let b = imm as i64 as u64;
+        match op {
+            AluImmOp::Addi => Self::alu(AluOp::Add, a, b),
+            AluImmOp::Slti => Self::alu(AluOp::Slt, a, b),
+            AluImmOp::Sltiu => Self::alu(AluOp::Sltu, a, b),
+            AluImmOp::Xori => Self::alu(AluOp::Xor, a, b),
+            AluImmOp::Ori => Self::alu(AluOp::Or, a, b),
+            AluImmOp::Andi => Self::alu(AluOp::And, a, b),
+            AluImmOp::Slli => Self::alu(AluOp::Sll, a, b),
+            AluImmOp::Srli => Self::alu(AluOp::Srl, a, b),
+            AluImmOp::Srai => Self::alu(AluOp::Sra, a, b),
+            AluImmOp::Addiw => Self::alu(AluOp::Addw, a, b),
+            AluImmOp::Slliw => Self::alu(AluOp::Sllw, a, b),
+            AluImmOp::Srliw => Self::alu(AluOp::Srlw, a, b),
+            AluImmOp::Sraiw => Self::alu(AluOp::Sraw, a, b),
+        }
+    }
+
+    fn cond(cond: BranchCond, a: u64, b: u64) -> bool {
+        match cond {
+            BranchCond::Eq => a == b,
+            BranchCond::Ne => a != b,
+            BranchCond::Lt => (a as i64) < (b as i64),
+            BranchCond::Ge => (a as i64) >= (b as i64),
+            BranchCond::Ltu => a < b,
+            BranchCond::Geu => a >= b,
+        }
+    }
+
+    /// Executes one instruction and returns its retirement record, or
+    /// `None` once the machine has halted.
+    #[allow(clippy::cast_possible_wrap)]
+    pub fn step(&mut self) -> Option<Retired> {
+        if self.halted {
+            return None;
+        }
+        if self.retired >= self.step_limit {
+            self.halted = true;
+            self.step_limited = true;
+            return None;
+        }
+        let offset = self.pc.wrapping_sub(self.base);
+        let index = (offset / 4) as usize;
+        if offset % 4 != 0 || index >= self.insts.len() {
+            // Fell off the program (e.g. a top-level `ret` to ra == 0).
+            self.halted = true;
+            return None;
+        }
+        let inst = self.insts[index];
+        let pc = self.pc;
+        let mut next_pc = pc + 4;
+        let mut mem_addr = None;
+        let mut taken = false;
+        match inst {
+            Inst::Op { op, rd, rs1, rs2 } => {
+                let value = Self::alu(op, self.reg(rs1), self.reg(rs2));
+                self.set_reg(rd, value);
+            }
+            Inst::OpImm { op, rd, rs1, imm } => {
+                let value = Self::alu_imm(op, self.reg(rs1), imm);
+                self.set_reg(rd, value);
+            }
+            Inst::Lui { rd, imm20 } => {
+                self.set_reg(rd, ((imm20 as i64) << 12) as u64);
+            }
+            Inst::Auipc { rd, imm20 } => {
+                self.set_reg(rd, pc.wrapping_add(((imm20 as i64) << 12) as u64));
+            }
+            Inst::Load { width, signed, rd, rs1, imm } => {
+                let addr = self.reg(rs1).wrapping_add(imm as i64 as u64);
+                let value = self.load(addr, width, signed);
+                self.set_reg(rd, value);
+                mem_addr = Some(addr);
+            }
+            Inst::Store { width, rs2, rs1, imm } => {
+                let addr = self.reg(rs1).wrapping_add(imm as i64 as u64);
+                self.store(addr, width, self.reg(rs2));
+                mem_addr = Some(addr);
+            }
+            Inst::Branch { cond, rs1, rs2, imm } => {
+                taken = Self::cond(cond, self.reg(rs1), self.reg(rs2));
+                if taken {
+                    next_pc = pc.wrapping_add(imm as i64 as u64);
+                }
+            }
+            Inst::Jal { rd, imm } => {
+                self.set_reg(rd, pc + 4);
+                next_pc = pc.wrapping_add(imm as i64 as u64);
+            }
+            Inst::Jalr { rd, rs1, imm } => {
+                let target = self.reg(rs1).wrapping_add(imm as i64 as u64) & !1;
+                self.set_reg(rd, pc + 4);
+                next_pc = target;
+            }
+            Inst::Ecall => {
+                self.halted = true;
+            }
+        }
+        self.pc = next_pc;
+        self.retired += 1;
+        Some(Retired { pc, inst, next_pc, mem_addr, taken })
+    }
+
+    /// Runs until the machine halts and returns the number of retired
+    /// instructions.
+    pub fn run_to_halt(&mut self) -> u64 {
+        while self.step().is_some() {}
+        self.retired
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::asm::assemble;
+
+    fn run(src: &str) -> Emulator {
+        let prog = assemble(src, CODE_BASE).expect("assembles");
+        let mut emu = Emulator::new(&prog);
+        emu.run_to_halt();
+        emu
+    }
+
+    #[test]
+    fn arithmetic_and_halt() {
+        let emu = run("li a0, 6\nli a1, 7\nmul a0, a0, a1\necall");
+        assert!(emu.halted());
+        assert_eq!(emu.reg(Reg::A0), 42);
+        assert_eq!(emu.retired(), 4);
+    }
+
+    #[test]
+    fn x0_is_hardwired_to_zero() {
+        let emu = run("addi zero, zero, 5\nmv a0, zero\necall");
+        assert_eq!(emu.reg(Reg::A0), 0);
+        assert_eq!(emu.reg(Reg::ZERO), 0);
+    }
+
+    #[test]
+    fn loads_sign_and_zero_extend() {
+        let emu = run(
+            "li t0, 0x10000\nli t1, -1\nsb t1, 0(t0)\nlb a0, 0(t0)\nlbu a1, 0(t0)\nsw t1, 8(t0)\nlw a2, 8(t0)\nlwu a3, 8(t0)\necall",
+        );
+        assert_eq!(emu.reg(Reg::A0), u64::MAX);
+        assert_eq!(emu.reg(Reg::A1), 0xff);
+        assert_eq!(emu.reg(Reg::A2), u64::MAX);
+        assert_eq!(emu.reg(Reg::A3), 0xffff_ffff);
+    }
+
+    #[test]
+    fn division_follows_riscv_edge_rules() {
+        let emu = run("li a0, 7\nli a1, 0\ndiv a2, a0, a1\nrem a3, a0, a1\necall");
+        assert_eq!(emu.reg(Reg::A2), u64::MAX, "division by zero yields -1");
+        assert_eq!(emu.reg(Reg::A3), 7, "remainder by zero yields the dividend");
+    }
+
+    #[test]
+    fn word_ops_sign_extend_their_results() {
+        let emu = run("li a0, 0x7fffffff\naddiw a1, a0, 1\necall");
+        assert_eq!(emu.reg(Reg::A1), 0x8000_0000u64 as i32 as i64 as u64);
+    }
+
+    #[test]
+    fn call_and_ret_use_the_stack_convention() {
+        let emu = run("main:\n  li a0, 5\n  call double\n  ecall\ndouble:\n  add a0, a0, a0\n  ret");
+        assert_eq!(emu.reg(Reg::A0), 10);
+    }
+
+    #[test]
+    fn conditional_branches_report_taken() {
+        let prog = assemble("li t0, 1\nbeq t0, zero, 8\nbne t0, zero, 8\nnop\necall", CODE_BASE).unwrap();
+        let mut emu = Emulator::new(&prog);
+        let _li = emu.step().unwrap();
+        let beq = emu.step().unwrap();
+        assert!(!beq.branch_taken());
+        let bne = emu.step().unwrap();
+        assert!(bne.branch_taken());
+        assert_eq!(bne.next_pc, bne.pc + 8);
+    }
+
+    #[test]
+    fn taken_branch_with_offset_four_is_still_reported_taken() {
+        let prog = assemble("beq zero, zero, 4\necall", CODE_BASE).unwrap();
+        let mut emu = Emulator::new(&prog);
+        let beq = emu.step().unwrap();
+        assert!(beq.branch_taken(), "offset +4 equals the fallthrough PC but the branch is taken");
+        assert_eq!(beq.next_pc, beq.pc + 4);
+        // Non-branches never report taken.
+        let ecall = emu.step().unwrap();
+        assert!(!ecall.branch_taken());
+    }
+
+    #[test]
+    fn falling_off_the_program_halts() {
+        // ra starts at 0, so a top-level ret jumps to 0 and halts.
+        let emu = run("nop\nret\nnop");
+        assert!(emu.halted());
+        assert!(emu.ran_to_completion());
+        assert_eq!(emu.retired(), 2);
+    }
+
+    #[test]
+    fn a_runaway_kernel_halts_but_does_not_complete() {
+        let prog = assemble("spin:\n  j spin", CODE_BASE).unwrap();
+        let mut emu = Emulator::new(&prog);
+        emu.set_step_limit(100);
+        emu.run_to_halt();
+        assert!(emu.halted(), "the backstop still ends the stream");
+        assert!(!emu.ran_to_completion(), "but it must not look like a clean halt");
+        assert_eq!(emu.retired(), 100);
+        // A clean ecall halt reports completion.
+        let clean = run("ecall");
+        assert!(clean.ran_to_completion());
+    }
+
+    #[test]
+    #[should_panic(expected = "outside")]
+    fn out_of_range_accesses_panic() {
+        let _ = run("li t0, -8\nld a0, 0(t0)\necall");
+    }
+}

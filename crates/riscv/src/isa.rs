@@ -1,0 +1,876 @@
+//! The supported RV64IM instruction set: decoded form, binary encoding and
+//! disassembly.
+//!
+//! The subset covers everything the shipped kernels (and compiler output of
+//! similar shape) need: the full RV64I integer register-register and
+//! register-immediate groups, loads/stores of all four widths, conditional
+//! branches, `jal`/`jalr`, `lui`/`auipc`, `ecall` (used as the halt
+//! convention) and the M-extension multiply/divide/remainder family
+//! (`mulhsu`, `divuw` and `remuw` are deliberately left out).
+//!
+//! [`Inst::encode`] and [`decode`] round-trip through the standard RISC-V
+//! 32-bit instruction formats, and [`Inst`]'s `Display` output parses back
+//! through the assembler — both properties are pinned by proptests in
+//! `tests/riscv_frontend.rs`.
+
+use std::fmt;
+
+/// An integer architectural register, `x0`–`x31`.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord)]
+pub struct Reg(u8);
+
+impl Reg {
+    /// The hardwired zero register `x0`.
+    pub const ZERO: Reg = Reg(0);
+    /// The return-address register `x1` (`ra`).
+    pub const RA: Reg = Reg(1);
+    /// The stack pointer `x2` (`sp`).
+    pub const SP: Reg = Reg(2);
+    /// The first argument/return register `x10` (`a0`).
+    pub const A0: Reg = Reg(10);
+    /// The second argument register `x11` (`a1`).
+    pub const A1: Reg = Reg(11);
+    /// The third argument register `x12` (`a2`).
+    pub const A2: Reg = Reg(12);
+    /// The fourth argument register `x13` (`a3`).
+    pub const A3: Reg = Reg(13);
+
+    /// Creates a register from its index.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `index >= 32`.
+    #[must_use]
+    pub fn new(index: u8) -> Self {
+        assert!(index < 32, "register index {index} out of range");
+        Reg(index)
+    }
+
+    /// The register index (0–31).
+    #[must_use]
+    pub fn index(self) -> u8 {
+        self.0
+    }
+
+    /// Whether this is the hardwired zero register.
+    #[must_use]
+    pub fn is_zero(self) -> bool {
+        self.0 == 0
+    }
+
+    /// The ABI name (`zero`, `ra`, `sp`, …, `t6`).
+    #[must_use]
+    pub fn abi_name(self) -> &'static str {
+        const NAMES: [&str; 32] = [
+            "zero", "ra", "sp", "gp", "tp", "t0", "t1", "t2", "s0", "s1", "a0", "a1", "a2", "a3",
+            "a4", "a5", "a6", "a7", "s2", "s3", "s4", "s5", "s6", "s7", "s8", "s9", "s10", "s11",
+            "t3", "t4", "t5", "t6",
+        ];
+        NAMES[self.0 as usize]
+    }
+
+    /// Parses a register name: `x<N>`, an ABI name, or `fp` (alias of `s0`).
+    #[must_use]
+    pub fn from_name(name: &str) -> Option<Reg> {
+        if let Some(num) = name.strip_prefix('x') {
+            return num.parse::<u8>().ok().filter(|&n| n < 32).map(Reg);
+        }
+        if name == "fp" {
+            return Some(Reg(8));
+        }
+        (0..32u8).map(Reg).find(|r| r.abi_name() == name)
+    }
+}
+
+impl fmt::Display for Reg {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.write_str(self.abi_name())
+    }
+}
+
+/// Register-register ALU operations (`OP` and `OP-32` major opcodes,
+/// including the supported M-extension subset).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+#[allow(missing_docs)]
+pub enum AluOp {
+    Add,
+    Sub,
+    Sll,
+    Slt,
+    Sltu,
+    Xor,
+    Srl,
+    Sra,
+    Or,
+    And,
+    Mul,
+    Mulh,
+    Mulhu,
+    Div,
+    Divu,
+    Rem,
+    Remu,
+    Addw,
+    Subw,
+    Sllw,
+    Srlw,
+    Sraw,
+    Mulw,
+    Divw,
+    Remw,
+}
+
+impl AluOp {
+    /// All register-register operations, for table-driven tests.
+    pub const ALL: [AluOp; 25] = [
+        AluOp::Add,
+        AluOp::Sub,
+        AluOp::Sll,
+        AluOp::Slt,
+        AluOp::Sltu,
+        AluOp::Xor,
+        AluOp::Srl,
+        AluOp::Sra,
+        AluOp::Or,
+        AluOp::And,
+        AluOp::Mul,
+        AluOp::Mulh,
+        AluOp::Mulhu,
+        AluOp::Div,
+        AluOp::Divu,
+        AluOp::Rem,
+        AluOp::Remu,
+        AluOp::Addw,
+        AluOp::Subw,
+        AluOp::Sllw,
+        AluOp::Srlw,
+        AluOp::Sraw,
+        AluOp::Mulw,
+        AluOp::Divw,
+        AluOp::Remw,
+    ];
+
+    /// Whether the operation belongs to the M extension (multiply/divide).
+    #[must_use]
+    pub fn is_muldiv(self) -> bool {
+        matches!(
+            self,
+            AluOp::Mul
+                | AluOp::Mulh
+                | AluOp::Mulhu
+                | AluOp::Div
+                | AluOp::Divu
+                | AluOp::Rem
+                | AluOp::Remu
+                | AluOp::Mulw
+                | AluOp::Divw
+                | AluOp::Remw
+        )
+    }
+
+    /// The assembly mnemonic.
+    #[must_use]
+    pub fn mnemonic(self) -> &'static str {
+        match self {
+            AluOp::Add => "add",
+            AluOp::Sub => "sub",
+            AluOp::Sll => "sll",
+            AluOp::Slt => "slt",
+            AluOp::Sltu => "sltu",
+            AluOp::Xor => "xor",
+            AluOp::Srl => "srl",
+            AluOp::Sra => "sra",
+            AluOp::Or => "or",
+            AluOp::And => "and",
+            AluOp::Mul => "mul",
+            AluOp::Mulh => "mulh",
+            AluOp::Mulhu => "mulhu",
+            AluOp::Div => "div",
+            AluOp::Divu => "divu",
+            AluOp::Rem => "rem",
+            AluOp::Remu => "remu",
+            AluOp::Addw => "addw",
+            AluOp::Subw => "subw",
+            AluOp::Sllw => "sllw",
+            AluOp::Srlw => "srlw",
+            AluOp::Sraw => "sraw",
+            AluOp::Mulw => "mulw",
+            AluOp::Divw => "divw",
+            AluOp::Remw => "remw",
+        }
+    }
+
+    /// `(opcode, funct3, funct7)` of the R-type encoding.
+    fn encoding(self) -> (u32, u32, u32) {
+        let (f3, f7, word32) = match self {
+            AluOp::Add => (0b000, 0b000_0000, false),
+            AluOp::Sub => (0b000, 0b010_0000, false),
+            AluOp::Sll => (0b001, 0b000_0000, false),
+            AluOp::Slt => (0b010, 0b000_0000, false),
+            AluOp::Sltu => (0b011, 0b000_0000, false),
+            AluOp::Xor => (0b100, 0b000_0000, false),
+            AluOp::Srl => (0b101, 0b000_0000, false),
+            AluOp::Sra => (0b101, 0b010_0000, false),
+            AluOp::Or => (0b110, 0b000_0000, false),
+            AluOp::And => (0b111, 0b000_0000, false),
+            AluOp::Mul => (0b000, 0b000_0001, false),
+            AluOp::Mulh => (0b001, 0b000_0001, false),
+            AluOp::Mulhu => (0b011, 0b000_0001, false),
+            AluOp::Div => (0b100, 0b000_0001, false),
+            AluOp::Divu => (0b101, 0b000_0001, false),
+            AluOp::Rem => (0b110, 0b000_0001, false),
+            AluOp::Remu => (0b111, 0b000_0001, false),
+            AluOp::Addw => (0b000, 0b000_0000, true),
+            AluOp::Subw => (0b000, 0b010_0000, true),
+            AluOp::Sllw => (0b001, 0b000_0000, true),
+            AluOp::Srlw => (0b101, 0b000_0000, true),
+            AluOp::Sraw => (0b101, 0b010_0000, true),
+            AluOp::Mulw => (0b000, 0b000_0001, true),
+            AluOp::Divw => (0b100, 0b000_0001, true),
+            AluOp::Remw => (0b110, 0b000_0001, true),
+        };
+        (if word32 { OPC_OP_32 } else { OPC_OP }, f3, f7)
+    }
+}
+
+/// Register-immediate ALU operations (`OP-IMM` and `OP-IMM-32`).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+#[allow(missing_docs)]
+pub enum AluImmOp {
+    Addi,
+    Slti,
+    Sltiu,
+    Xori,
+    Ori,
+    Andi,
+    Slli,
+    Srli,
+    Srai,
+    Addiw,
+    Slliw,
+    Srliw,
+    Sraiw,
+}
+
+impl AluImmOp {
+    /// All register-immediate operations, for table-driven tests.
+    pub const ALL: [AluImmOp; 13] = [
+        AluImmOp::Addi,
+        AluImmOp::Slti,
+        AluImmOp::Sltiu,
+        AluImmOp::Xori,
+        AluImmOp::Ori,
+        AluImmOp::Andi,
+        AluImmOp::Slli,
+        AluImmOp::Srli,
+        AluImmOp::Srai,
+        AluImmOp::Addiw,
+        AluImmOp::Slliw,
+        AluImmOp::Srliw,
+        AluImmOp::Sraiw,
+    ];
+
+    /// Whether the immediate is a shift amount rather than a 12-bit value.
+    #[must_use]
+    pub fn is_shift(self) -> bool {
+        matches!(
+            self,
+            AluImmOp::Slli
+                | AluImmOp::Srli
+                | AluImmOp::Srai
+                | AluImmOp::Slliw
+                | AluImmOp::Srliw
+                | AluImmOp::Sraiw
+        )
+    }
+
+    /// The maximum shift amount (63 for 64-bit shifts, 31 for `*w` shifts).
+    #[must_use]
+    pub fn max_shamt(self) -> i32 {
+        match self {
+            AluImmOp::Slli | AluImmOp::Srli | AluImmOp::Srai => 63,
+            _ => 31,
+        }
+    }
+
+    /// The assembly mnemonic.
+    #[must_use]
+    pub fn mnemonic(self) -> &'static str {
+        match self {
+            AluImmOp::Addi => "addi",
+            AluImmOp::Slti => "slti",
+            AluImmOp::Sltiu => "sltiu",
+            AluImmOp::Xori => "xori",
+            AluImmOp::Ori => "ori",
+            AluImmOp::Andi => "andi",
+            AluImmOp::Slli => "slli",
+            AluImmOp::Srli => "srli",
+            AluImmOp::Srai => "srai",
+            AluImmOp::Addiw => "addiw",
+            AluImmOp::Slliw => "slliw",
+            AluImmOp::Srliw => "srliw",
+            AluImmOp::Sraiw => "sraiw",
+        }
+    }
+}
+
+/// Width of a memory access.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum MemWidth {
+    /// One byte.
+    B,
+    /// Two bytes.
+    H,
+    /// Four bytes.
+    W,
+    /// Eight bytes.
+    D,
+}
+
+impl MemWidth {
+    /// Access size in bytes.
+    #[must_use]
+    pub fn bytes(self) -> u8 {
+        match self {
+            MemWidth::B => 1,
+            MemWidth::H => 2,
+            MemWidth::W => 4,
+            MemWidth::D => 8,
+        }
+    }
+
+    fn funct3(self) -> u32 {
+        match self {
+            MemWidth::B => 0b000,
+            MemWidth::H => 0b001,
+            MemWidth::W => 0b010,
+            MemWidth::D => 0b011,
+        }
+    }
+}
+
+/// Condition of a conditional branch.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+#[allow(missing_docs)]
+pub enum BranchCond {
+    Eq,
+    Ne,
+    Lt,
+    Ge,
+    Ltu,
+    Geu,
+}
+
+impl BranchCond {
+    /// All branch conditions, for table-driven tests.
+    pub const ALL: [BranchCond; 6] = [
+        BranchCond::Eq,
+        BranchCond::Ne,
+        BranchCond::Lt,
+        BranchCond::Ge,
+        BranchCond::Ltu,
+        BranchCond::Geu,
+    ];
+
+    /// The assembly mnemonic.
+    #[must_use]
+    pub fn mnemonic(self) -> &'static str {
+        match self {
+            BranchCond::Eq => "beq",
+            BranchCond::Ne => "bne",
+            BranchCond::Lt => "blt",
+            BranchCond::Ge => "bge",
+            BranchCond::Ltu => "bltu",
+            BranchCond::Geu => "bgeu",
+        }
+    }
+
+    fn funct3(self) -> u32 {
+        match self {
+            BranchCond::Eq => 0b000,
+            BranchCond::Ne => 0b001,
+            BranchCond::Lt => 0b100,
+            BranchCond::Ge => 0b101,
+            BranchCond::Ltu => 0b110,
+            BranchCond::Geu => 0b111,
+        }
+    }
+}
+
+const OPC_OP: u32 = 0b011_0011;
+const OPC_OP_32: u32 = 0b011_1011;
+const OPC_OP_IMM: u32 = 0b001_0011;
+const OPC_OP_IMM_32: u32 = 0b001_1011;
+const OPC_LOAD: u32 = 0b000_0011;
+const OPC_STORE: u32 = 0b010_0011;
+const OPC_BRANCH: u32 = 0b110_0011;
+const OPC_JAL: u32 = 0b110_1111;
+const OPC_JALR: u32 = 0b110_0111;
+const OPC_LUI: u32 = 0b011_0111;
+const OPC_AUIPC: u32 = 0b001_0111;
+const OPC_SYSTEM: u32 = 0b111_0011;
+
+/// One decoded RV64IM instruction.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum Inst {
+    /// Register-register ALU operation.
+    Op {
+        /// The operation.
+        op: AluOp,
+        /// Destination.
+        rd: Reg,
+        /// First source.
+        rs1: Reg,
+        /// Second source.
+        rs2: Reg,
+    },
+    /// Register-immediate ALU operation. For shifts `imm` is the shift
+    /// amount; otherwise a sign-extended 12-bit immediate.
+    OpImm {
+        /// The operation.
+        op: AluImmOp,
+        /// Destination.
+        rd: Reg,
+        /// Source.
+        rs1: Reg,
+        /// Immediate (−2048..=2047, or 0..=63 for shifts).
+        imm: i32,
+    },
+    /// Load upper immediate: `rd = sext((imm20 << 12))`.
+    Lui {
+        /// Destination.
+        rd: Reg,
+        /// Signed 20-bit upper immediate (−524288..=524287).
+        imm20: i32,
+    },
+    /// Add upper immediate to PC.
+    Auipc {
+        /// Destination.
+        rd: Reg,
+        /// Signed 20-bit upper immediate.
+        imm20: i32,
+    },
+    /// Memory load. `signed` selects sign versus zero extension (`ld` is
+    /// always "signed": the full doubleword needs no extension).
+    Load {
+        /// Access width.
+        width: MemWidth,
+        /// Sign-extend the loaded value.
+        signed: bool,
+        /// Destination.
+        rd: Reg,
+        /// Base address register.
+        rs1: Reg,
+        /// Address offset (−2048..=2047).
+        imm: i32,
+    },
+    /// Memory store.
+    Store {
+        /// Access width.
+        width: MemWidth,
+        /// Data register.
+        rs2: Reg,
+        /// Base address register.
+        rs1: Reg,
+        /// Address offset (−2048..=2047).
+        imm: i32,
+    },
+    /// Conditional branch with a PC-relative byte offset.
+    Branch {
+        /// Condition.
+        cond: BranchCond,
+        /// First compared register.
+        rs1: Reg,
+        /// Second compared register.
+        rs2: Reg,
+        /// PC-relative offset in bytes (even, ±4 KiB).
+        imm: i32,
+    },
+    /// Jump and link with a PC-relative byte offset.
+    Jal {
+        /// Link register (x0 for a plain jump).
+        rd: Reg,
+        /// PC-relative offset in bytes (even, ±1 MiB).
+        imm: i32,
+    },
+    /// Indirect jump and link.
+    Jalr {
+        /// Link register.
+        rd: Reg,
+        /// Base address register.
+        rs1: Reg,
+        /// Address offset (−2048..=2047).
+        imm: i32,
+    },
+    /// Environment call — the kernels' halt convention.
+    Ecall,
+}
+
+/// An undecodable instruction word.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct DecodeError {
+    /// The offending instruction word.
+    pub word: u32,
+}
+
+impl fmt::Display for DecodeError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "cannot decode instruction word {:#010x}", self.word)
+    }
+}
+
+impl std::error::Error for DecodeError {}
+
+fn imm12(imm: i32) -> u32 {
+    assert!((-2048..=2047).contains(&imm), "12-bit immediate {imm} out of range");
+    (imm as u32) & 0xfff
+}
+
+impl Inst {
+    /// Encodes the instruction into its 32-bit binary form.
+    ///
+    /// # Panics
+    ///
+    /// Panics if an immediate is out of range for the instruction format
+    /// (the assembler validates ranges before calling this).
+    #[must_use]
+    #[allow(clippy::cast_sign_loss)]
+    pub fn encode(&self) -> u32 {
+        match *self {
+            Inst::Op { op, rd, rs1, rs2 } => {
+                let (opc, f3, f7) = op.encoding();
+                (f7 << 25)
+                    | (u32::from(rs2.index()) << 20)
+                    | (u32::from(rs1.index()) << 15)
+                    | (f3 << 12)
+                    | (u32::from(rd.index()) << 7)
+                    | opc
+            }
+            Inst::OpImm { op, rd, rs1, imm } => {
+                let (opc, f3, raw) = match op {
+                    AluImmOp::Addi => (OPC_OP_IMM, 0b000, imm12(imm)),
+                    AluImmOp::Slti => (OPC_OP_IMM, 0b010, imm12(imm)),
+                    AluImmOp::Sltiu => (OPC_OP_IMM, 0b011, imm12(imm)),
+                    AluImmOp::Xori => (OPC_OP_IMM, 0b100, imm12(imm)),
+                    AluImmOp::Ori => (OPC_OP_IMM, 0b110, imm12(imm)),
+                    AluImmOp::Andi => (OPC_OP_IMM, 0b111, imm12(imm)),
+                    AluImmOp::Slli | AluImmOp::Srli | AluImmOp::Srai | AluImmOp::Slliw
+                    | AluImmOp::Srliw | AluImmOp::Sraiw => {
+                        assert!(
+                            (0..=op.max_shamt()).contains(&imm),
+                            "shift amount {imm} out of range for {}",
+                            op.mnemonic()
+                        );
+                        let opc = if op.max_shamt() == 63 { OPC_OP_IMM } else { OPC_OP_IMM_32 };
+                        let f3 = if op == AluImmOp::Slli || op == AluImmOp::Slliw { 0b001 } else { 0b101 };
+                        let arith = matches!(op, AluImmOp::Srai | AluImmOp::Sraiw);
+                        let top = if arith { 0b0100_0000u32 << 4 } else { 0 };
+                        (opc, f3, top | imm as u32)
+                    }
+                    AluImmOp::Addiw => (OPC_OP_IMM_32, 0b000, imm12(imm)),
+                };
+                (raw << 20) | (u32::from(rs1.index()) << 15) | (f3 << 12) | (u32::from(rd.index()) << 7) | opc
+            }
+            Inst::Lui { rd, imm20 } => {
+                assert!((-(1 << 19)..(1 << 19)).contains(&imm20), "20-bit immediate {imm20} out of range");
+                (((imm20 as u32) & 0xf_ffff) << 12) | (u32::from(rd.index()) << 7) | OPC_LUI
+            }
+            Inst::Auipc { rd, imm20 } => {
+                assert!((-(1 << 19)..(1 << 19)).contains(&imm20), "20-bit immediate {imm20} out of range");
+                (((imm20 as u32) & 0xf_ffff) << 12) | (u32::from(rd.index()) << 7) | OPC_AUIPC
+            }
+            Inst::Load { width, signed, rd, rs1, imm } => {
+                assert!(
+                    signed || width != MemWidth::D,
+                    "ldu does not exist: 64-bit loads need no extension"
+                );
+                let f3 = width.funct3() | if signed { 0 } else { 0b100 };
+                (imm12(imm) << 20) | (u32::from(rs1.index()) << 15) | (f3 << 12) | (u32::from(rd.index()) << 7) | OPC_LOAD
+            }
+            Inst::Store { width, rs2, rs1, imm } => {
+                let raw = imm12(imm);
+                ((raw >> 5) << 25)
+                    | (u32::from(rs2.index()) << 20)
+                    | (u32::from(rs1.index()) << 15)
+                    | (width.funct3() << 12)
+                    | ((raw & 0x1f) << 7)
+                    | OPC_STORE
+            }
+            Inst::Branch { cond, rs1, rs2, imm } => {
+                assert!(
+                    (-4096..=4094).contains(&imm) && imm % 2 == 0,
+                    "branch offset {imm} out of range or odd"
+                );
+                let raw = (imm as u32) & 0x1fff;
+                (((raw >> 12) & 1) << 31)
+                    | (((raw >> 5) & 0x3f) << 25)
+                    | (u32::from(rs2.index()) << 20)
+                    | (u32::from(rs1.index()) << 15)
+                    | (cond.funct3() << 12)
+                    | (((raw >> 1) & 0xf) << 8)
+                    | (((raw >> 11) & 1) << 7)
+                    | OPC_BRANCH
+            }
+            Inst::Jal { rd, imm } => {
+                assert!(
+                    (-(1 << 20)..(1 << 20)).contains(&imm) && imm % 2 == 0,
+                    "jal offset {imm} out of range or odd"
+                );
+                let raw = (imm as u32) & 0x1f_ffff;
+                (((raw >> 20) & 1) << 31)
+                    | (((raw >> 1) & 0x3ff) << 21)
+                    | (((raw >> 11) & 1) << 20)
+                    | (((raw >> 12) & 0xff) << 12)
+                    | (u32::from(rd.index()) << 7)
+                    | OPC_JAL
+            }
+            Inst::Jalr { rd, rs1, imm } => {
+                (imm12(imm) << 20) | (u32::from(rs1.index()) << 15) | (u32::from(rd.index()) << 7) | OPC_JALR
+            }
+            Inst::Ecall => OPC_SYSTEM,
+        }
+    }
+}
+
+fn field(word: u32, lo: u32, bits: u32) -> u32 {
+    (word >> lo) & ((1 << bits) - 1)
+}
+
+fn sext(value: u32, bits: u32) -> i32 {
+    let shift = 32 - bits;
+    ((value << shift) as i32) >> shift
+}
+
+/// Decodes a 32-bit instruction word into the supported RV64IM subset.
+///
+/// # Errors
+///
+/// Returns a [`DecodeError`] for opcodes, funct fields or immediates outside
+/// the supported subset.
+#[allow(clippy::too_many_lines)]
+pub fn decode(word: u32) -> Result<Inst, DecodeError> {
+    let err = Err(DecodeError { word });
+    let opc = field(word, 0, 7);
+    let rd = Reg::new(field(word, 7, 5) as u8);
+    let f3 = field(word, 12, 3);
+    let rs1 = Reg::new(field(word, 15, 5) as u8);
+    let rs2 = Reg::new(field(word, 20, 5) as u8);
+    let f7 = field(word, 25, 7);
+    let i_imm = sext(field(word, 20, 12), 12);
+    match opc {
+        OPC_OP | OPC_OP_32 => {
+            let op = AluOp::ALL
+                .into_iter()
+                .find(|op| op.encoding() == (opc, f3, f7));
+            match op {
+                Some(op) => Ok(Inst::Op { op, rd, rs1, rs2 }),
+                None => err,
+            }
+        }
+        OPC_OP_IMM => match f3 {
+            0b000 => Ok(Inst::OpImm { op: AluImmOp::Addi, rd, rs1, imm: i_imm }),
+            0b010 => Ok(Inst::OpImm { op: AluImmOp::Slti, rd, rs1, imm: i_imm }),
+            0b011 => Ok(Inst::OpImm { op: AluImmOp::Sltiu, rd, rs1, imm: i_imm }),
+            0b100 => Ok(Inst::OpImm { op: AluImmOp::Xori, rd, rs1, imm: i_imm }),
+            0b110 => Ok(Inst::OpImm { op: AluImmOp::Ori, rd, rs1, imm: i_imm }),
+            0b111 => Ok(Inst::OpImm { op: AluImmOp::Andi, rd, rs1, imm: i_imm }),
+            0b001 if f7 >> 1 == 0 => Ok(Inst::OpImm {
+                op: AluImmOp::Slli,
+                rd,
+                rs1,
+                imm: field(word, 20, 6) as i32,
+            }),
+            0b101 if f7 >> 1 == 0 => Ok(Inst::OpImm {
+                op: AluImmOp::Srli,
+                rd,
+                rs1,
+                imm: field(word, 20, 6) as i32,
+            }),
+            0b101 if f7 >> 1 == 0b01_0000 => Ok(Inst::OpImm {
+                op: AluImmOp::Srai,
+                rd,
+                rs1,
+                imm: field(word, 20, 6) as i32,
+            }),
+            _ => err,
+        },
+        OPC_OP_IMM_32 => match (f3, f7) {
+            (0b000, _) => Ok(Inst::OpImm { op: AluImmOp::Addiw, rd, rs1, imm: i_imm }),
+            (0b001, 0) => Ok(Inst::OpImm { op: AluImmOp::Slliw, rd, rs1, imm: field(word, 20, 5) as i32 }),
+            (0b101, 0) => Ok(Inst::OpImm { op: AluImmOp::Srliw, rd, rs1, imm: field(word, 20, 5) as i32 }),
+            (0b101, 0b010_0000) => Ok(Inst::OpImm { op: AluImmOp::Sraiw, rd, rs1, imm: field(word, 20, 5) as i32 }),
+            _ => err,
+        },
+        OPC_LOAD => {
+            let (width, signed) = match f3 {
+                0b000 => (MemWidth::B, true),
+                0b001 => (MemWidth::H, true),
+                0b010 => (MemWidth::W, true),
+                0b011 => (MemWidth::D, true),
+                0b100 => (MemWidth::B, false),
+                0b101 => (MemWidth::H, false),
+                0b110 => (MemWidth::W, false),
+                _ => return err,
+            };
+            Ok(Inst::Load { width, signed, rd, rs1, imm: i_imm })
+        }
+        OPC_STORE => {
+            let width = match f3 {
+                0b000 => MemWidth::B,
+                0b001 => MemWidth::H,
+                0b010 => MemWidth::W,
+                0b011 => MemWidth::D,
+                _ => return err,
+            };
+            let imm = sext((field(word, 25, 7) << 5) | field(word, 7, 5), 12);
+            Ok(Inst::Store { width, rs2, rs1, imm })
+        }
+        OPC_BRANCH => {
+            let cond = match f3 {
+                0b000 => BranchCond::Eq,
+                0b001 => BranchCond::Ne,
+                0b100 => BranchCond::Lt,
+                0b101 => BranchCond::Ge,
+                0b110 => BranchCond::Ltu,
+                0b111 => BranchCond::Geu,
+                _ => return err,
+            };
+            let raw = (field(word, 31, 1) << 12)
+                | (field(word, 7, 1) << 11)
+                | (field(word, 25, 6) << 5)
+                | (field(word, 8, 4) << 1);
+            Ok(Inst::Branch { cond, rs1, rs2, imm: sext(raw, 13) })
+        }
+        OPC_JAL => {
+            let raw = (field(word, 31, 1) << 20)
+                | (field(word, 12, 8) << 12)
+                | (field(word, 20, 1) << 11)
+                | (field(word, 21, 10) << 1);
+            Ok(Inst::Jal { rd, imm: sext(raw, 21) })
+        }
+        OPC_JALR if f3 == 0 => Ok(Inst::Jalr { rd, rs1, imm: i_imm }),
+        OPC_LUI => Ok(Inst::Lui { rd, imm20: sext(field(word, 12, 20), 20) }),
+        OPC_AUIPC => Ok(Inst::Auipc { rd, imm20: sext(field(word, 12, 20), 20) }),
+        OPC_SYSTEM if word == OPC_SYSTEM => Ok(Inst::Ecall),
+        _ => err,
+    }
+}
+
+impl fmt::Display for Inst {
+    /// Disassembles the instruction in a form the assembler parses back
+    /// (branch and jump targets print as relative byte offsets).
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match *self {
+            Inst::Op { op, rd, rs1, rs2 } => write!(f, "{} {rd}, {rs1}, {rs2}", op.mnemonic()),
+            Inst::OpImm { op, rd, rs1, imm } => write!(f, "{} {rd}, {rs1}, {imm}", op.mnemonic()),
+            Inst::Lui { rd, imm20 } => write!(f, "lui {rd}, {imm20}"),
+            Inst::Auipc { rd, imm20 } => write!(f, "auipc {rd}, {imm20}"),
+            Inst::Load { width, signed, rd, rs1, imm } => {
+                let m = match (width, signed) {
+                    (MemWidth::B, true) => "lb",
+                    (MemWidth::H, true) => "lh",
+                    (MemWidth::W, true) => "lw",
+                    (MemWidth::D, _) => "ld",
+                    (MemWidth::B, false) => "lbu",
+                    (MemWidth::H, false) => "lhu",
+                    (MemWidth::W, false) => "lwu",
+                };
+                write!(f, "{m} {rd}, {imm}({rs1})")
+            }
+            Inst::Store { width, rs2, rs1, imm } => {
+                let m = match width {
+                    MemWidth::B => "sb",
+                    MemWidth::H => "sh",
+                    MemWidth::W => "sw",
+                    MemWidth::D => "sd",
+                };
+                write!(f, "{m} {rs2}, {imm}({rs1})")
+            }
+            Inst::Branch { cond, rs1, rs2, imm } => {
+                write!(f, "{} {rs1}, {rs2}, {imm}", cond.mnemonic())
+            }
+            Inst::Jal { rd, imm } => write!(f, "jal {rd}, {imm}"),
+            Inst::Jalr { rd, rs1, imm } => write!(f, "jalr {rd}, {imm}({rs1})"),
+            Inst::Ecall => f.write_str("ecall"),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn register_names_round_trip() {
+        for idx in 0..32u8 {
+            let reg = Reg::new(idx);
+            assert_eq!(Reg::from_name(reg.abi_name()), Some(reg));
+            assert_eq!(Reg::from_name(&format!("x{idx}")), Some(reg));
+        }
+        assert_eq!(Reg::from_name("fp"), Some(Reg::new(8)));
+        assert_eq!(Reg::from_name("x32"), None);
+        assert_eq!(Reg::from_name("q0"), None);
+    }
+
+    #[test]
+    fn known_encodings_match_the_spec() {
+        // Cross-checked against riscv-tests / an external assembler.
+        let add = Inst::Op { op: AluOp::Add, rd: Reg::new(3), rs1: Reg::new(1), rs2: Reg::new(2) };
+        assert_eq!(add.encode(), 0x0020_81b3);
+        let addi = Inst::OpImm { op: AluImmOp::Addi, rd: Reg::A0, rs1: Reg::ZERO, imm: -1 };
+        assert_eq!(addi.encode(), 0xfff0_0513);
+        let ld = Inst::Load { width: MemWidth::D, signed: true, rd: Reg::A1, rs1: Reg::SP, imm: 8 };
+        assert_eq!(ld.encode(), 0x0081_3583);
+        let sd = Inst::Store { width: MemWidth::D, rs2: Reg::A1, rs1: Reg::SP, imm: 8 };
+        assert_eq!(sd.encode(), 0x00b1_3423);
+        let beq = Inst::Branch { cond: BranchCond::Eq, rs1: Reg::A0, rs2: Reg::ZERO, imm: -4 };
+        assert_eq!(beq.encode(), 0xfe05_0ee3);
+        assert_eq!(Inst::Ecall.encode(), 0x0000_0073);
+    }
+
+    #[test]
+    fn every_alu_op_round_trips() {
+        for op in AluOp::ALL {
+            let inst = Inst::Op { op, rd: Reg::new(5), rs1: Reg::new(6), rs2: Reg::new(7) };
+            assert_eq!(decode(inst.encode()), Ok(inst), "{}", op.mnemonic());
+        }
+    }
+
+    #[test]
+    fn every_imm_op_round_trips() {
+        for op in AluImmOp::ALL {
+            let imm = if op.is_shift() { op.max_shamt() } else { -2048 };
+            let inst = Inst::OpImm { op, rd: Reg::new(8), rs1: Reg::new(9), imm };
+            assert_eq!(decode(inst.encode()), Ok(inst), "{}", op.mnemonic());
+        }
+    }
+
+    #[test]
+    fn branch_offsets_round_trip_at_the_extremes() {
+        for imm in [-4096, -2, 0, 2, 4094] {
+            let inst = Inst::Branch { cond: BranchCond::Geu, rs1: Reg::A0, rs2: Reg::A1, imm };
+            assert_eq!(decode(inst.encode()), Ok(inst), "imm={imm}");
+        }
+        for imm in [-(1 << 20), -2, 0, 2, (1 << 20) - 2] {
+            let inst = Inst::Jal { rd: Reg::RA, imm };
+            assert_eq!(decode(inst.encode()), Ok(inst), "imm={imm}");
+        }
+    }
+
+    #[test]
+    fn unsupported_words_decode_to_errors() {
+        assert!(decode(0).is_err(), "all-zero word is not an instruction");
+        assert!(decode(0xffff_ffff).is_err());
+        // mulhsu: in RV64M but outside the supported subset.
+        let mulhsu = (0b000_0001 << 25) | (0b010 << 12) | OPC_OP;
+        assert!(decode(mulhsu).is_err());
+    }
+
+    #[test]
+    fn display_is_parseable_assembly_shape() {
+        let inst = Inst::Load { width: MemWidth::W, signed: false, rd: Reg::A0, rs1: Reg::SP, imm: -16 };
+        assert_eq!(inst.to_string(), "lwu a0, -16(sp)");
+        let b = Inst::Branch { cond: BranchCond::Ne, rs1: Reg::new(5), rs2: Reg::ZERO, imm: -8 };
+        assert_eq!(b.to_string(), "bne t0, zero, -8");
+    }
+}

@@ -12,12 +12,20 @@
 
 use crate::report::{Figure, Series};
 use crate::runner::{mean_ipc_by_label, Job, Machine, SweepRunner};
+use crate::workload::Workload;
 use dkip_model::config::{BaselineConfig, DkipConfig, KiloConfig, MemoryHierarchyConfig, SchedPolicy};
 use dkip_model::Histogram;
+use dkip_riscv::{Kernel, KernelRun};
 use dkip_trace::{Benchmark, Suite};
 
 /// Default random seed used by every experiment.
 pub const SEED: u64 = 1;
+
+/// Default instruction budget for the RISC-V kernel figure: generous enough
+/// that every shipped kernel at its default size runs to completion (the
+/// kernels halt after a few thousand to a few tens of thousands of dynamic
+/// instructions).
+pub const RISCV_BUDGET: u64 = 200_000;
 
 /// Table 1: the six memory-subsystem configurations.
 #[must_use]
@@ -63,6 +71,25 @@ impl SweepBuilder {
         }
     }
 
+    /// Adds the figure point `(series, x)`, averaging over `workloads`.
+    fn point_workloads(
+        &mut self,
+        series: impl Into<String>,
+        x: impl Into<String>,
+        machine: &Machine,
+        mem: &MemoryHierarchyConfig,
+        workloads: &[Workload],
+        budget: u64,
+    ) {
+        let series = series.into();
+        let x = x.into();
+        let label = format!("{series}|{x}");
+        for &workload in workloads {
+            self.jobs.push(Job::new(label.clone(), machine.clone(), mem.clone(), workload, budget));
+        }
+        self.points.push((series, x));
+    }
+
     /// Adds the figure point `(series, x)`, averaging over `benchmarks`.
     fn point(
         &mut self,
@@ -73,13 +100,8 @@ impl SweepBuilder {
         benchmarks: &[Benchmark],
         budget: u64,
     ) {
-        let series = series.into();
-        let x = x.into();
-        let label = format!("{series}|{x}");
-        for &bench in benchmarks {
-            self.jobs.push(Job::new(label.clone(), machine.clone(), mem.clone(), bench, budget));
-        }
-        self.points.push((series, x));
+        let workloads: Vec<Workload> = benchmarks.iter().map(|&b| Workload::from(b)).collect();
+        self.point_workloads(series, x, machine, mem, &workloads, budget);
     }
 
     /// Runs the sweep and folds the per-point means into figure series.
@@ -293,6 +315,54 @@ pub fn figure_cache_sweep(
     fig
 }
 
+/// The kernel runs compared by the RISC-V IPC figure: every shipped kernel
+/// at its default size.
+#[must_use]
+pub fn riscv_kernel_runs() -> Vec<KernelRun> {
+    Kernel::ALL.into_iter().map(Kernel::default_run).collect()
+}
+
+/// The machines compared by the RISC-V IPC figure, with their series
+/// labels: the small and the traditional-KILO baselines versus the D-KIP.
+#[must_use]
+pub fn riscv_machines() -> Vec<(String, Machine)> {
+    vec![
+        ("R10-64".to_owned(), Machine::Baseline(BaselineConfig::r10_64())),
+        ("KILO-1024".to_owned(), Machine::Kilo(KiloConfig::kilo_1024())),
+        ("DKIP-2048".to_owned(), Machine::Dkip(DkipConfig::paper_default())),
+    ]
+}
+
+/// RISC-V kernel IPC: per-kernel IPC of R10-64, KILO-1024 and D-KIP-2048 on
+/// the execution-driven RV64IM kernels (paper-default memory hierarchy).
+///
+/// Unlike the synthetic sweeps, every point is one finite program run to
+/// completion — the budget only caps runaway configurations and
+/// [`RISCV_BUDGET`] clears every shipped kernel.
+#[must_use]
+pub fn figure_riscv_ipc(runs: &[KernelRun], budget: u64, runner: &SweepRunner) -> Figure {
+    let mut fig = Figure::new(
+        "RISC-V kernel IPC: execution-driven RV64IM workloads on all three core families",
+        "kernel",
+        "IPC",
+    );
+    let mut sweep = SweepBuilder::new();
+    for (label, machine) in riscv_machines() {
+        for &run in runs {
+            sweep.point_workloads(
+                &label,
+                run.name(),
+                &machine,
+                &MemoryHierarchyConfig::paper_default(),
+                &[Workload::Riscv(run)],
+                budget,
+            );
+        }
+    }
+    fig.series = sweep.into_series(runner);
+    fig
+}
+
 /// Figures 13 and 14: maximum number of instructions and registers in the
 /// LLIB for each benchmark of the given suite.
 #[must_use]
@@ -404,6 +474,28 @@ mod tests {
             assert_eq!(series.points.len(), 2);
             assert_eq!(series.points[0], series.points[1]);
         }
+    }
+
+    #[test]
+    fn riscv_figure_covers_all_kernels_and_machines() {
+        // One small kernel keeps the unit test fast; the full matrix runs in
+        // the fig_riscv_ipc binary and the riscv golden test.
+        let runs = vec![KernelRun::new(Kernel::FibRec, 10)];
+        let fig = figure_riscv_ipc(&runs, RISCV_BUDGET, &runner());
+        assert_eq!(fig.series.len(), 3);
+        for series in &fig.series {
+            assert_eq!(series.points.len(), 1);
+            let (x, ipc) = &series.points[0];
+            assert_eq!(x, "fibrec/10");
+            assert!(*ipc > 0.0, "{} must complete with non-zero IPC", series.label);
+        }
+    }
+
+    #[test]
+    fn riscv_kernel_runs_cover_every_kernel() {
+        let runs = riscv_kernel_runs();
+        assert_eq!(runs.len(), Kernel::ALL.len());
+        assert!(runs.iter().all(|run| run.size == run.kernel.default_size()));
     }
 
     #[test]

@@ -9,6 +9,9 @@
 //!   metric of Figures 1, 2, 9, 10, 11 and 12,
 //! * [`experiments`] — one driver function per paper figure/table, each
 //!   returning a structured [`report::Series`] collection,
+//! * [`workload`] — the [`Workload`] abstraction: a job runs either a
+//!   synthetic benchmark or an execution-driven RISC-V kernel from
+//!   `dkip-riscv`, both through one `Iterator<Item = MicroOp>` path,
 //! * [`runner`] — the parallel sweep runner: an explicit job list fanned out
 //!   over a `std::thread::scope` worker pool with deterministic result
 //!   ordering (`DKIP_THREADS` selects the pool size),
@@ -30,11 +33,13 @@ pub mod experiments;
 pub mod golden;
 pub mod report;
 pub mod runner;
+pub mod workload;
 
-pub use dkip_core::run_dkip;
-pub use dkip_kilo::run_kilo;
-pub use dkip_ooo::run_baseline;
+pub use dkip_core::{run_dkip, run_dkip_stream};
+pub use dkip_kilo::{run_kilo, run_kilo_stream};
+pub use dkip_ooo::{run_baseline, run_baseline_stream};
 pub use runner::{Job, JobResult, Machine, SweepRunner};
+pub use workload::{Workload, WorkloadStream};
 
 use dkip_model::config::MemoryHierarchyConfig;
 use dkip_model::stats::MeanIpc;

@@ -23,12 +23,12 @@ use std::sync::atomic::{AtomicUsize, Ordering};
 use std::sync::Mutex;
 use std::time::{Duration, Instant};
 
-use dkip_core::run_dkip;
-use dkip_kilo::run_kilo;
+use crate::workload::Workload;
+use dkip_core::run_dkip_stream;
+use dkip_kilo::run_kilo_stream;
 use dkip_model::config::{BaselineConfig, DkipConfig, KiloConfig, MemoryHierarchyConfig};
 use dkip_model::SimStats;
-use dkip_ooo::run_baseline;
-use dkip_trace::Benchmark;
+use dkip_ooo::run_baseline_stream;
 
 /// Environment variable overriding the worker-pool size.
 pub const THREADS_ENV: &str = "DKIP_THREADS";
@@ -68,13 +68,20 @@ impl Machine {
         }
     }
 
-    /// Runs this machine on one benchmark and returns its statistics.
+    /// Runs this machine on one workload and returns its statistics.
+    ///
+    /// This is the single path every (family × workload) combination runs
+    /// through: the workload opens its [`dkip_model::MicroOp`] stream and
+    /// the matching `run_*_stream` entry point consumes it. Synthetic
+    /// benchmarks run for `budget` committed instructions; finite
+    /// execution-driven kernels run to completion (bounded by `budget`).
     #[must_use]
-    pub fn simulate(&self, mem: &MemoryHierarchyConfig, benchmark: Benchmark, budget: u64, seed: u64) -> SimStats {
+    pub fn simulate(&self, mem: &MemoryHierarchyConfig, workload: &Workload, budget: u64, seed: u64) -> SimStats {
+        let mut stream = workload.stream(seed);
         match self {
-            Machine::Baseline(cfg) => run_baseline(cfg, mem, benchmark, budget, seed),
-            Machine::Kilo(cfg) => run_kilo(cfg, mem, benchmark, budget, seed),
-            Machine::Dkip(cfg) => run_dkip(cfg, mem, benchmark, budget, seed),
+            Machine::Baseline(cfg) => run_baseline_stream(cfg, mem, &mut stream, budget),
+            Machine::Kilo(cfg) => run_kilo_stream(cfg, mem, &mut stream, budget),
+            Machine::Dkip(cfg) => run_dkip_stream(cfg, mem, &mut stream, budget),
         }
     }
 }
@@ -89,30 +96,32 @@ pub struct Job {
     pub machine: Machine,
     /// The memory hierarchy to attach.
     pub mem: MemoryHierarchyConfig,
-    /// The workload.
-    pub benchmark: Benchmark,
-    /// Instructions to simulate.
+    /// The workload (synthetic benchmark or RISC-V kernel).
+    pub workload: Workload,
+    /// Instructions to simulate (finite workloads may end earlier).
     pub budget: u64,
-    /// Trace-generator seed.
+    /// Trace-generator seed (ignored by execution-driven workloads).
     pub seed: u64,
 }
 
 impl Job {
     /// Creates a job with the default experiment seed
-    /// ([`crate::experiments::SEED`]).
+    /// ([`crate::experiments::SEED`]). `workload` accepts a
+    /// [`dkip_trace::Benchmark`], a [`dkip_riscv::Kernel`] or a
+    /// [`dkip_riscv::KernelRun`] as well as a [`Workload`].
     #[must_use]
     pub fn new(
         label: impl Into<String>,
         machine: Machine,
         mem: MemoryHierarchyConfig,
-        benchmark: Benchmark,
+        workload: impl Into<Workload>,
         budget: u64,
     ) -> Self {
         Job {
             label: label.into(),
             machine,
             mem,
-            benchmark,
+            workload: workload.into(),
             budget,
             seed: crate::experiments::SEED,
         }
@@ -129,13 +138,13 @@ impl Job {
     #[must_use]
     pub fn run(&self) -> JobResult {
         let start = Instant::now();
-        let stats = self.machine.simulate(&self.mem, self.benchmark, self.budget, self.seed);
+        let stats = self.machine.simulate(&self.mem, &self.workload, self.budget, self.seed);
         JobResult {
             label: self.label.clone(),
             machine_name: self.machine.name().to_owned(),
             family: self.machine.family(),
             mem_name: self.mem.name.clone(),
-            benchmark: self.benchmark,
+            workload: self.workload,
             seed: self.seed,
             budget: self.budget,
             stats,
@@ -156,7 +165,7 @@ pub struct JobResult {
     /// The memory-hierarchy configuration name ("MEM-400", "L2-11", …).
     pub mem_name: String,
     /// The workload that ran.
-    pub benchmark: Benchmark,
+    pub workload: Workload,
     /// The seed that was used.
     pub seed: u64,
     /// The instruction budget that was used.
@@ -180,7 +189,7 @@ impl JobResult {
             self.family,
             self.machine_name,
             self.mem_name,
-            self.benchmark.name(),
+            self.workload.name(),
             self.seed,
             self.budget,
             self.stats.to_kv()
@@ -334,6 +343,8 @@ impl Default for SweepRunner {
 #[cfg(test)]
 mod tests {
     use super::*;
+    use dkip_riscv::Kernel;
+    use dkip_trace::Benchmark;
 
     fn smoke_jobs() -> Vec<Job> {
         let mem = MemoryHierarchyConfig::mem_400();
@@ -357,8 +368,27 @@ mod tests {
         assert_eq!(results.len(), jobs.len());
         for (job, result) in jobs.iter().zip(&results) {
             assert_eq!(job.label, result.label);
-            assert_eq!(job.benchmark, result.benchmark);
+            assert_eq!(job.workload, result.workload);
             assert!(result.stats.committed > 0);
+        }
+    }
+
+    #[test]
+    fn riscv_workloads_run_through_the_same_path() {
+        let mem = MemoryHierarchyConfig::mem_400();
+        let jobs = vec![
+            Job::new("rv-base", Machine::Baseline(BaselineConfig::r10_64()), mem.clone(), Kernel::FibRec, 100_000),
+            Job::new("rv-dkip", Machine::Dkip(DkipConfig::paper_default()), mem, Kernel::FibRec, 100_000),
+        ];
+        let results = SweepRunner::new(2).run(&jobs);
+        let dynamic_len = Workload::from(Kernel::FibRec).stream(1).count() as u64;
+        for result in &results {
+            assert_eq!(
+                result.stats.committed, dynamic_len,
+                "{}: finite kernels run to completion",
+                result.label
+            );
+            assert!(result.to_kv().contains("bench=riscv:fibrec/14"));
         }
     }
 

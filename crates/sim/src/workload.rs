@@ -1,0 +1,130 @@
+//! The workload abstraction: what a simulation job actually runs.
+//!
+//! Historically every job named a synthetic SPEC-like [`Benchmark`] from
+//! `dkip-trace`. Since the `dkip-riscv` frontend landed, a job can instead
+//! run a real RV64IM kernel ([`KernelRun`]) execution-driven. Both sources
+//! satisfy the same `Iterator<Item = MicroOp>` contract, so
+//! [`Workload::stream`] is the single point every core family consumes a
+//! workload through (see [`crate::runner::Machine::simulate`]).
+//!
+//! `From` conversions keep call sites terse: anywhere a [`crate::Job`] is
+//! built, a bare `Benchmark`, [`Kernel`] or [`KernelRun`] coerces into a
+//! `Workload`.
+
+use dkip_model::MicroOp;
+use dkip_riscv::{Kernel, KernelRun, RiscvStream};
+use dkip_trace::{Benchmark, TraceGenerator};
+
+/// A simulation workload: a synthetic statistical benchmark or an
+/// execution-driven RISC-V kernel.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum Workload {
+    /// A synthetic SPEC CPU2000-like workload from `dkip-trace`.
+    Spec(Benchmark),
+    /// An RV64IM kernel executed by the `dkip-riscv` emulator.
+    Riscv(KernelRun),
+}
+
+impl Workload {
+    /// The stable display name used in labels and golden-snapshot headers:
+    /// the SPEC name (`gcc`, `swim`, …) or `riscv:<kernel>/<size>`.
+    #[must_use]
+    pub fn name(&self) -> String {
+        match self {
+            Workload::Spec(benchmark) => benchmark.name().to_owned(),
+            Workload::Riscv(run) => format!("riscv:{}", run.name()),
+        }
+    }
+
+    /// Whether the workload is a finite execution-driven stream (it ends on
+    /// its own) rather than an endless synthetic generator.
+    #[must_use]
+    pub fn is_finite(&self) -> bool {
+        matches!(self, Workload::Riscv(_))
+    }
+
+    /// Opens the dynamic correct-path [`MicroOp`] stream.
+    ///
+    /// The `seed` steers the synthetic trace generators; execution-driven
+    /// RISC-V kernels are architecturally deterministic and ignore it.
+    #[must_use]
+    pub fn stream(&self, seed: u64) -> WorkloadStream {
+        match self {
+            Workload::Spec(benchmark) => WorkloadStream::Spec(TraceGenerator::new(*benchmark, seed)),
+            Workload::Riscv(run) => WorkloadStream::Riscv(RiscvStream::new(run)),
+        }
+    }
+}
+
+impl From<Benchmark> for Workload {
+    fn from(benchmark: Benchmark) -> Self {
+        Workload::Spec(benchmark)
+    }
+}
+
+impl From<KernelRun> for Workload {
+    fn from(run: KernelRun) -> Self {
+        Workload::Riscv(run)
+    }
+}
+
+impl From<Kernel> for Workload {
+    fn from(kernel: Kernel) -> Self {
+        Workload::Riscv(kernel.default_run())
+    }
+}
+
+/// An open [`MicroOp`] stream for one workload (see [`Workload::stream`]).
+#[derive(Debug)]
+pub enum WorkloadStream {
+    /// Stream from a synthetic trace generator (endless).
+    Spec(TraceGenerator),
+    /// Stream from the RISC-V emulator (ends when the kernel halts).
+    Riscv(RiscvStream),
+}
+
+impl Iterator for WorkloadStream {
+    type Item = MicroOp;
+
+    fn next(&mut self) -> Option<MicroOp> {
+        match self {
+            WorkloadStream::Spec(generator) => generator.next(),
+            WorkloadStream::Riscv(stream) => stream.next(),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn names_distinguish_the_sources() {
+        assert_eq!(Workload::from(Benchmark::Gcc).name(), "gcc");
+        assert_eq!(Workload::from(Kernel::Matmul).name(), "riscv:matmul/8");
+        assert_eq!(
+            Workload::from(KernelRun::new(Kernel::Sieve, 64)).name(),
+            "riscv:sieve/64"
+        );
+    }
+
+    #[test]
+    fn spec_streams_honour_the_seed() {
+        let a: Vec<_> = Workload::from(Benchmark::Mcf).stream(1).take(200).collect();
+        let b: Vec<_> = Workload::from(Benchmark::Mcf).stream(1).take(200).collect();
+        let c: Vec<_> = Workload::from(Benchmark::Mcf).stream(2).take(200).collect();
+        assert_eq!(a, b);
+        assert_ne!(a, c);
+    }
+
+    #[test]
+    fn riscv_streams_are_finite_and_seed_independent() {
+        let workload = Workload::from(Kernel::FibRec);
+        assert!(workload.is_finite());
+        assert!(!Workload::from(Benchmark::Gcc).is_finite());
+        let a: Vec<_> = workload.stream(1).collect();
+        let b: Vec<_> = workload.stream(99).collect();
+        assert_eq!(a, b, "kernel execution ignores the seed");
+        assert!(a.len() > 1_000);
+    }
+}

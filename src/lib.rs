@@ -7,6 +7,8 @@
 //!
 //! * [`model`] — shared instruction/register/configuration/statistics types,
 //! * [`trace`] — synthetic SPEC2000-like workload generators,
+//! * [`riscv`] — the execution-driven RV64IM frontend (assembler, emulator,
+//!   embedded kernels) feeding real instruction streams to every core,
 //! * [`mem`] — the two-level cache hierarchy and main-memory model,
 //! * [`bpred`] — branch predictors (perceptron, gshare, bimodal),
 //! * [`ooo`] — the R10000-style out-of-order baseline core,
@@ -41,5 +43,6 @@ pub use dkip_kilo as kilo;
 pub use dkip_mem as mem;
 pub use dkip_model as model;
 pub use dkip_ooo as ooo;
+pub use dkip_riscv as riscv;
 pub use dkip_sim as sim;
 pub use dkip_trace as trace;

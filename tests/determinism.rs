@@ -103,7 +103,7 @@ fn runner_results_match_direct_calls() {
     let jobs = job_matrix();
     let results = SweepRunner::new(4).run(&jobs);
     for (job, result) in jobs.iter().zip(&results) {
-        let direct = job.machine.simulate(&job.mem, job.benchmark, job.budget, job.seed);
+        let direct = job.machine.simulate(&job.mem, &job.workload, job.budget, job.seed);
         assert_eq!(direct, result.stats, "job {} must match a direct run_* call", job.label);
     }
 }

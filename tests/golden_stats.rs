@@ -14,6 +14,7 @@
 use std::path::PathBuf;
 
 use dkip::model::config::{BaselineConfig, DkipConfig, KiloConfig, MemoryHierarchyConfig};
+use dkip::sim::experiments::{riscv_kernel_runs, riscv_machines, RISCV_BUDGET};
 use dkip::sim::golden;
 use dkip::sim::runner::results_to_kv;
 use dkip::sim::{Job, Machine, SweepRunner};
@@ -123,6 +124,29 @@ fn golden_dkip_family() {
     check_family("dkip.golden", &jobs);
 }
 
+#[test]
+fn golden_riscv_family() {
+    // The exact matrix the `fig_riscv_ipc` binary simulates: every shipped
+    // RV64IM kernel, run to completion on all three core families over the
+    // paper-default memory hierarchy. Execution-driven workloads are
+    // seed-independent, so these snapshots pin the frontend (assembler,
+    // emulator, cracking) as well as the core models.
+    let mem = MemoryHierarchyConfig::paper_default();
+    let mut jobs = Vec::new();
+    for (tag, machine) in riscv_machines() {
+        for run in riscv_kernel_runs() {
+            jobs.push(Job::new(
+                format!("{}/{}", tag.to_lowercase(), run.name()),
+                machine.clone(),
+                mem.clone(),
+                run,
+                RISCV_BUDGET,
+            ));
+        }
+    }
+    check_family("riscv.golden", &jobs);
+}
+
 /// The golden files themselves must carry real data: every job section has
 /// a non-zero committed count, so a perturbed IPC can't hide behind zeros.
 #[test]
@@ -132,7 +156,7 @@ fn golden_snapshots_contain_live_counters() {
         // check would validate whichever generation it happened to read.
         return;
     }
-    for name in ["baseline.golden", "kilo.golden", "dkip.golden"] {
+    for name in ["baseline.golden", "kilo.golden", "dkip.golden", "riscv.golden"] {
         let path = golden_path(name);
         let Ok(content) = std::fs::read_to_string(&path) else {
             // Snapshot not created yet (first run before blessing); the
