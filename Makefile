@@ -7,7 +7,7 @@ FIG_BINS = table1 table2_3 fig01_window_specint fig02_window_specfp \
            fig13_llib_occupancy_specint fig14_llib_occupancy_specfp \
            fig_riscv_ipc
 
-.PHONY: build test doc verify bench bench-figures golden bless riscv clean
+.PHONY: build test doc verify lint bench bench-figures golden bless riscv perf perf-smoke clean
 
 build:
 	cargo build --release
@@ -22,11 +22,18 @@ verify:
 doc:
 	cargo doc --no-deps
 
+## Static checks, exactly as the CI lint job runs them.
+lint:
+	cargo clippy --all-targets -- -D warnings
+	cargo fmt --check
+
 ## Golden-stats regression checks: compare fresh runs against the pinned
 ## snapshots in tests/golden/ (incl. the RISC-V kernel sweep), single- and
 ## multi-threaded (see EXPERIMENTS.md).
+## perf_invariance hard-pins its own 1- and 8-thread runners (it ignores
+## DKIP_THREADS), so one invocation covers both thread counts.
 golden:
-	DKIP_THREADS=1 cargo test -q -p dkip --test golden_stats --test determinism --test riscv_frontend
+	DKIP_THREADS=1 cargo test -q -p dkip --test golden_stats --test determinism --test riscv_frontend --test perf_invariance
 	DKIP_THREADS=8 cargo test -q -p dkip --test golden_stats --test determinism --test riscv_frontend
 
 ## Regenerate the golden snapshots after an *intended* behavioural change,
@@ -39,9 +46,23 @@ bless:
 riscv: build
 	./target/release/fig_riscv_ipc
 
-## Simulator-throughput benches (criterion shim).
+## Simulator-throughput benches (criterion shim). Set CRITERION_JSON=path
+## (or pass `-- --save-baseline NAME`) to persist the measurements as JSON.
 bench:
 	cargo bench -p dkip-bench
+
+## Simulator-throughput harness: times every core family on Spec and RISC-V
+## workloads and writes BENCH_sim_throughput.json (MIPS + cycles/sec per
+## family/workload). See EXPERIMENTS.md "Measuring simulator throughput".
+perf: build
+	./target/release/perf
+
+## Reduced-budget throughput check against the committed baseline
+## (ci/perf_baseline.json): fails on a >30% per-family regression or if the
+## D-KIP family drops below the absolute MIPS floor. Mirrored by the CI
+## perf-smoke job.
+perf-smoke: build
+	./target/release/perf budget=40000 samples=3 check=ci/perf_baseline.json tolerance=0.30 floor=0.25
 
 ## Regenerate every table/figure of the paper on stdout.
 bench-figures: build

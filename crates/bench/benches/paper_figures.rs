@@ -45,13 +45,37 @@ fn bench_cores(c: &mut Criterion) {
     let mut group = c.benchmark_group("cores");
     group.sample_size(10);
     group.bench_function("r10_64_swim", |b| {
-        b.iter(|| black_box(run_baseline(&BaselineConfig::r10_64(), &mem, Benchmark::Swim, BUDGET, 1)));
+        b.iter(|| {
+            black_box(run_baseline(
+                &BaselineConfig::r10_64(),
+                &mem,
+                Benchmark::Swim,
+                BUDGET,
+                1,
+            ))
+        });
     });
     group.bench_function("kilo_1024_swim", |b| {
-        b.iter(|| black_box(run_kilo(&KiloConfig::kilo_1024(), &mem, Benchmark::Swim, BUDGET, 1)));
+        b.iter(|| {
+            black_box(run_kilo(
+                &KiloConfig::kilo_1024(),
+                &mem,
+                Benchmark::Swim,
+                BUDGET,
+                1,
+            ))
+        });
     });
     group.bench_function("dkip_2048_swim", |b| {
-        b.iter(|| black_box(run_dkip(&DkipConfig::paper_default(), &mem, Benchmark::Swim, BUDGET, 1)));
+        b.iter(|| {
+            black_box(run_dkip(
+                &DkipConfig::paper_default(),
+                &mem,
+                Benchmark::Swim,
+                BUDGET,
+                1,
+            ))
+        });
     });
     group.finish();
 }
@@ -70,35 +94,89 @@ fn bench_figures(c: &mut Criterion) {
     group.sample_size(10);
     group.bench_function("table1", |b| b.iter(|| black_box(experiments::table1())));
     group.bench_function("fig01_window_specint", |b| {
-        b.iter(|| black_box(experiments::figure_window_scaling(Suite::Int, &reps_int, &[32, 256], BUDGET, &runner)));
+        b.iter(|| {
+            black_box(experiments::figure_window_scaling(
+                Suite::Int,
+                &reps_int,
+                &[32, 256],
+                BUDGET,
+                &runner,
+            ))
+        });
     });
     group.bench_function("fig02_window_specfp", |b| {
-        b.iter(|| black_box(experiments::figure_window_scaling(Suite::Fp, &reps_fp, &[32, 256], BUDGET, &runner)));
+        b.iter(|| {
+            black_box(experiments::figure_window_scaling(
+                Suite::Fp,
+                &reps_fp,
+                &[32, 256],
+                BUDGET,
+                &runner,
+            ))
+        });
     });
     group.bench_function("fig03_issue_histogram", |b| {
-        b.iter(|| black_box(experiments::figure3_issue_histogram(&reps_fp, BUDGET, &runner)));
+        b.iter(|| {
+            black_box(experiments::figure3_issue_histogram(
+                &reps_fp, BUDGET, &runner,
+            ))
+        });
     });
     group.bench_function("fig09_comparison", |b| {
-        b.iter(|| black_box(experiments::figure9_comparison(&reps_int, &reps_fp, BUDGET, &runner)));
+        b.iter(|| {
+            black_box(experiments::figure9_comparison(
+                &reps_int, &reps_fp, BUDGET, &runner,
+            ))
+        });
     });
     group.bench_function("fig10_scheduler_sweep", |b| {
-        b.iter(|| black_box(experiments::figure10_scheduler_sweep(&reps_fp, 1_500, &runner)));
+        b.iter(|| {
+            black_box(experiments::figure10_scheduler_sweep(
+                &reps_fp, 1_500, &runner,
+            ))
+        });
     });
     group.bench_function("fig11_cache_sweep_specint", |b| {
         b.iter(|| {
-            black_box(experiments::figure_cache_sweep(Suite::Int, &reps_int, &[64, 512, 4096], 1_500, &runner))
+            black_box(experiments::figure_cache_sweep(
+                Suite::Int,
+                &reps_int,
+                &[64, 512, 4096],
+                1_500,
+                &runner,
+            ))
         });
     });
     group.bench_function("fig12_cache_sweep_specfp", |b| {
         b.iter(|| {
-            black_box(experiments::figure_cache_sweep(Suite::Fp, &reps_fp, &[64, 512, 4096], 1_500, &runner))
+            black_box(experiments::figure_cache_sweep(
+                Suite::Fp,
+                &reps_fp,
+                &[64, 512, 4096],
+                1_500,
+                &runner,
+            ))
         });
     });
     group.bench_function("fig13_llib_occupancy_specint", |b| {
-        b.iter(|| black_box(experiments::figure_llib_occupancy(Suite::Int, &reps_int, BUDGET, &runner)));
+        b.iter(|| {
+            black_box(experiments::figure_llib_occupancy(
+                Suite::Int,
+                &reps_int,
+                BUDGET,
+                &runner,
+            ))
+        });
     });
     group.bench_function("fig14_llib_occupancy_specfp", |b| {
-        b.iter(|| black_box(experiments::figure_llib_occupancy(Suite::Fp, &reps_fp, BUDGET, &runner)));
+        b.iter(|| {
+            black_box(experiments::figure_llib_occupancy(
+                Suite::Fp,
+                &reps_fp,
+                BUDGET,
+                &runner,
+            ))
+        });
     });
     group.finish();
 }

@@ -7,6 +7,12 @@ use dkip_trace::Suite;
 fn main() {
     let args = FigureArgs::from_env();
     let windows = BaselineConfig::figure1_window_sizes();
-    let fig = figure_window_scaling(Suite::Fp, &args.benchmarks(Suite::Fp), &windows, args.instr_budget(dkip_bench::DEFAULT_BUDGET), &args.runner());
+    let fig = figure_window_scaling(
+        Suite::Fp,
+        &args.benchmarks(Suite::Fp),
+        &windows,
+        args.instr_budget(dkip_bench::DEFAULT_BUDGET),
+        &args.runner(),
+    );
     println!("{}", fig.render());
 }

@@ -4,6 +4,11 @@ use dkip_sim::experiments::figure9_comparison;
 use dkip_trace::Suite;
 fn main() {
     let args = FigureArgs::from_env();
-    let fig = figure9_comparison(&args.benchmarks(Suite::Int), &args.benchmarks(Suite::Fp), args.instr_budget(dkip_bench::DEFAULT_BUDGET), &args.runner());
+    let fig = figure9_comparison(
+        &args.benchmarks(Suite::Int),
+        &args.benchmarks(Suite::Fp),
+        args.instr_budget(dkip_bench::DEFAULT_BUDGET),
+        &args.runner(),
+    );
     println!("{}", fig.render());
 }

@@ -5,6 +5,12 @@ use dkip_sim::figure11_l2_sizes_kb;
 use dkip_trace::Suite;
 fn main() {
     let args = FigureArgs::from_env();
-    let fig = figure_cache_sweep(Suite::Fp, &args.benchmarks(Suite::Fp), &figure11_l2_sizes_kb(), args.instr_budget(dkip_bench::DEFAULT_BUDGET), &args.runner());
+    let fig = figure_cache_sweep(
+        Suite::Fp,
+        &args.benchmarks(Suite::Fp),
+        &figure11_l2_sizes_kb(),
+        args.instr_budget(dkip_bench::DEFAULT_BUDGET),
+        &args.runner(),
+    );
     println!("{}", fig.render());
 }

@@ -4,6 +4,11 @@ use dkip_sim::experiments::figure_llib_occupancy;
 use dkip_trace::Suite;
 fn main() {
     let args = FigureArgs::from_env();
-    let fig = figure_llib_occupancy(Suite::Int, &args.benchmarks(Suite::Int), args.instr_budget(dkip_bench::DEFAULT_BUDGET), &args.runner());
+    let fig = figure_llib_occupancy(
+        Suite::Int,
+        &args.benchmarks(Suite::Int),
+        args.instr_budget(dkip_bench::DEFAULT_BUDGET),
+        &args.runner(),
+    );
     println!("{}", fig.render());
 }

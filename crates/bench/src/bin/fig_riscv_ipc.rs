@@ -12,6 +12,10 @@ fn main() {
         eprintln!("'full' selects the full SPEC suite and does not apply to the RISC-V kernels");
         std::process::exit(2);
     }
-    let fig = figure_riscv_ipc(&riscv_kernel_runs(), args.instr_budget(RISCV_BUDGET), &args.runner());
+    let fig = figure_riscv_ipc(
+        &riscv_kernel_runs(),
+        args.instr_budget(RISCV_BUDGET),
+        &args.runner(),
+    );
     println!("{}", fig.render());
 }

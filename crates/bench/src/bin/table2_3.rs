@@ -4,15 +4,34 @@ fn main() {
     let cfg = DkipConfig::paper_default();
     let mem = MemoryHierarchyConfig::paper_default();
     println!("# Table 2/3: default D-KIP parameters");
-    println!("cache_processor: rob={} timer={} iq_int={} iq_fp={} sched={:?} fetch={}",
-        cfg.cache_processor.rob_capacity, cfg.cache_processor.rob_timer,
-        cfg.cache_processor.int_iq_capacity, cfg.cache_processor.fp_iq_capacity,
-        cfg.cache_processor.sched, cfg.cache_processor.widths.fetch);
-    println!("llib: entries={} insertion={} llrf_banks={} regs_per_bank={}",
-        cfg.llib.capacity, cfg.llib.insertion_rate, cfg.llib.llrf_banks, cfg.llib.llrf_regs_per_bank);
-    println!("memory_processor: queue={} sched={:?} decode={}",
-        cfg.memory_processor.queue_capacity, cfg.memory_processor.sched, cfg.memory_processor.decode_width);
-    println!("address_processor: lsq={} ports={}", cfg.address_processor.lsq_capacity, cfg.address_processor.memory_ports);
-    println!("memory: l1={:?}B l1_lat={} l2={:?}B l2_lat={} mem_lat={}",
-        mem.l1_size, mem.l1_latency, mem.l2_size, mem.l2_latency, mem.memory_latency);
+    println!(
+        "cache_processor: rob={} timer={} iq_int={} iq_fp={} sched={:?} fetch={}",
+        cfg.cache_processor.rob_capacity,
+        cfg.cache_processor.rob_timer,
+        cfg.cache_processor.int_iq_capacity,
+        cfg.cache_processor.fp_iq_capacity,
+        cfg.cache_processor.sched,
+        cfg.cache_processor.widths.fetch
+    );
+    println!(
+        "llib: entries={} insertion={} llrf_banks={} regs_per_bank={}",
+        cfg.llib.capacity,
+        cfg.llib.insertion_rate,
+        cfg.llib.llrf_banks,
+        cfg.llib.llrf_regs_per_bank
+    );
+    println!(
+        "memory_processor: queue={} sched={:?} decode={}",
+        cfg.memory_processor.queue_capacity,
+        cfg.memory_processor.sched,
+        cfg.memory_processor.decode_width
+    );
+    println!(
+        "address_processor: lsq={} ports={}",
+        cfg.address_processor.lsq_capacity, cfg.address_processor.memory_ports
+    );
+    println!(
+        "memory: l1={:?}B l1_lat={} l2={:?}B l2_lat={} mem_lat={}",
+        mem.l1_size, mem.l1_latency, mem.l2_size, mem.l2_latency, mem.memory_latency
+    );
 }

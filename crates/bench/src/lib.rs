@@ -23,6 +23,8 @@
 
 #![warn(missing_docs)]
 
+pub mod throughput;
+
 use dkip_sim::SweepRunner;
 use dkip_trace::{Benchmark, Suite};
 
@@ -76,7 +78,11 @@ impl FigureArgs {
             } else if let Some(v) = arg.strip_prefix("threads=") {
                 match v.parse::<usize>() {
                     Ok(n) if n > 0 => threads = Some(n),
-                    _ => return Err(format!("invalid thread count {v:?}: expected threads=N with N >= 1")),
+                    _ => {
+                        return Err(format!(
+                            "invalid thread count {v:?}: expected threads=N with N >= 1"
+                        ))
+                    }
                 }
             } else {
                 match arg.parse::<u64>() {
@@ -150,7 +156,10 @@ mod tests {
         let args = parse(&[]).unwrap();
         assert!(!args.benchmarks(Suite::Int).is_empty());
         assert!(!args.benchmarks(Suite::Fp).is_empty());
-        assert!(args.benchmarks(Suite::Int).iter().all(|b| b.suite() == Suite::Int));
+        assert!(args
+            .benchmarks(Suite::Int)
+            .iter()
+            .all(|b| b.suite() == Suite::Int));
     }
 
     #[test]
@@ -186,7 +195,9 @@ mod tests {
         assert!(parse(&["threads=many"]).is_err());
         assert!(parse(&["ful"]).is_err(), "typos must not be ignored");
         assert!(
-            parse(&["50000", "5000"]).unwrap_err().contains("conflicting"),
+            parse(&["50000", "5000"])
+                .unwrap_err()
+                .contains("conflicting"),
             "a second budget must not silently win"
         );
         assert!(

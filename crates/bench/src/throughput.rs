@@ -1,0 +1,631 @@
+//! The simulator-throughput harness behind `make perf` and the `perf-smoke`
+//! CI job.
+//!
+//! Each [`perf_jobs`] point runs one core family on one workload (a
+//! synthetic SPEC benchmark or an execution-driven RISC-V kernel), timed by
+//! the vendored criterion shim's measurement machinery ([`criterion::run_one`]
+//! with [`criterion::Throughput::Elements`] = committed instructions), so
+//! `cargo bench -p dkip-bench` and `make perf` share one timing + JSON code
+//! path. The report is written as `BENCH_sim_throughput.json`:
+//!
+//! ```json
+//! {
+//!   "schema": "dkip-sim-throughput/v1",
+//!   "entries": [ { "family": "dkip", "workload": "swim", "mips": ..., ... } ],
+//!   "families": [ { "family": "dkip", "mips_geomean": ... } ]
+//! }
+//! ```
+//!
+//! `mips` is millions of *simulated committed instructions* per host second;
+//! `cycles_per_sec` is simulated cycles per host second. Both are host
+//! metadata — the simulated statistics themselves stay bit-identical and are
+//! pinned by the golden snapshots, not by this harness.
+
+use criterion::{run_one, Measurement, Throughput};
+use dkip_model::config::{BaselineConfig, DkipConfig, KiloConfig, MemoryHierarchyConfig};
+use dkip_riscv::Kernel;
+use dkip_sim::{Job, Machine, Workload};
+use dkip_trace::Benchmark;
+use std::fmt::Write as _;
+use std::path::PathBuf;
+
+/// Default per-point instruction budget for `make perf`.
+pub const DEFAULT_PERF_BUDGET: u64 = 150_000;
+
+/// Default number of timed samples per point.
+pub const DEFAULT_SAMPLES: usize = 3;
+
+/// Default output file, relative to the invocation directory.
+pub const DEFAULT_OUT: &str = "BENCH_sim_throughput.json";
+
+/// Default tolerated per-family regression when checking against a committed
+/// baseline (0.30 = a family may be up to 30% slower before the check
+/// fails).
+pub const DEFAULT_TOLERANCE: f64 = 0.30;
+
+/// One timed simulation point of the throughput report.
+#[derive(Debug, Clone, PartialEq)]
+pub struct ThroughputEntry {
+    /// Core family tag ("baseline" / "kilo" / "dkip").
+    pub family: &'static str,
+    /// Machine configuration name ("R10-64", "KILO-1024", "D-KIP-2048").
+    pub machine: String,
+    /// Workload name ("swim", "riscv:matmul/8", …).
+    pub workload: String,
+    /// Instruction budget the point ran with.
+    pub budget: u64,
+    /// Simulated instructions committed per iteration.
+    pub committed: u64,
+    /// Simulated cycles per iteration.
+    pub cycles: u64,
+    /// Millions of simulated committed instructions per host second.
+    pub mips: f64,
+    /// Simulated cycles per host second.
+    pub cycles_per_sec: f64,
+    /// The underlying timing measurement.
+    pub measurement: Measurement,
+}
+
+impl ThroughputEntry {
+    fn to_json(&self) -> String {
+        format!(
+            "{{\"family\": {}, \"machine\": {}, \"workload\": {}, \"budget\": {}, \
+             \"committed\": {}, \"cycles\": {}, \"samples\": {}, \"mean_ns\": {}, \
+             \"mips\": {}, \"cycles_per_sec\": {}}}",
+            criterion::json_string(self.family),
+            criterion::json_string(&self.machine),
+            criterion::json_string(&self.workload),
+            self.budget,
+            self.committed,
+            self.cycles,
+            self.measurement.samples,
+            criterion::json_number(self.measurement.mean_ns),
+            criterion::json_number(self.mips),
+            criterion::json_number(self.cycles_per_sec),
+        )
+    }
+}
+
+/// The standard throughput matrix: every core family on two synthetic SPEC
+/// workloads (one integer, one memory-bound FP) and two RISC-V kernels (one
+/// dense, one pointer-chasing).
+#[must_use]
+pub fn perf_jobs(budget: u64) -> Vec<Job> {
+    let mem = MemoryHierarchyConfig::mem_400();
+    let machines = [
+        Machine::Baseline(BaselineConfig::r10_64()),
+        Machine::Kilo(KiloConfig::kilo_1024()),
+        Machine::Dkip(DkipConfig::paper_default()),
+    ];
+    let workloads = [
+        Workload::Spec(Benchmark::Gcc),
+        Workload::Spec(Benchmark::Swim),
+        Workload::from(Kernel::Matmul),
+        Workload::from(Kernel::ListWalk),
+    ];
+    let mut jobs = Vec::new();
+    for machine in &machines {
+        for workload in &workloads {
+            jobs.push(Job::new(
+                format!("{}/{}", machine.family(), workload.name()),
+                machine.clone(),
+                mem.clone(),
+                *workload,
+                budget,
+            ));
+        }
+    }
+    jobs
+}
+
+/// Times every job (`samples` runs each, after one untimed warm-up that also
+/// yields the simulated statistics) and returns the per-point report
+/// entries.
+#[must_use]
+pub fn measure(jobs: &[Job], samples: usize) -> Vec<ThroughputEntry> {
+    jobs.iter()
+        .map(|job| {
+            // The warm-up run provides the (deterministic) simulated stats,
+            // so the timed iterations can declare instructions/iteration as
+            // criterion throughput.
+            let stats = job.run().stats;
+            let measurement = run_one(
+                job.machine.family(),
+                &job.workload.name(),
+                samples,
+                Some(Throughput::Elements(stats.committed)),
+                |b| b.iter(|| job.run().stats.cycles),
+            );
+            let mips = measurement.elements_per_sec().unwrap_or(0.0) / 1e6;
+            let cycles_per_sec = if measurement.mean_ns > 0.0 {
+                stats.cycles as f64 * 1e9 / measurement.mean_ns
+            } else {
+                0.0
+            };
+            ThroughputEntry {
+                family: job.machine.family(),
+                machine: job.machine.name().to_owned(),
+                workload: job.workload.name(),
+                budget: job.budget,
+                committed: stats.committed,
+                cycles: stats.cycles,
+                mips,
+                cycles_per_sec,
+                measurement,
+            }
+        })
+        .collect()
+}
+
+/// Per-family geometric-mean MIPS, preserving first-occurrence order.
+#[must_use]
+pub fn family_geomeans(entries: &[ThroughputEntry]) -> Vec<(String, f64)> {
+    let mut order: Vec<String> = Vec::new();
+    let mut logs: Vec<(f64, u32)> = Vec::new();
+    for entry in entries {
+        let idx = match order.iter().position(|f| f == entry.family) {
+            Some(idx) => idx,
+            None => {
+                order.push(entry.family.to_owned());
+                logs.push((0.0, 0));
+                order.len() - 1
+            }
+        };
+        logs[idx].0 += entry.mips.max(f64::MIN_POSITIVE).ln();
+        logs[idx].1 += 1;
+    }
+    order
+        .into_iter()
+        .zip(logs)
+        .map(|(family, (sum, n))| (family, (sum / f64::from(n.max(1))).exp()))
+        .collect()
+}
+
+/// Serialises the full throughput report.
+#[must_use]
+pub fn report_to_json(entries: &[ThroughputEntry]) -> String {
+    let mut out = String::from("{\n  \"schema\": \"dkip-sim-throughput/v1\",\n  \"entries\": [\n");
+    let body: Vec<String> = entries
+        .iter()
+        .map(|e| format!("    {}", e.to_json()))
+        .collect();
+    out.push_str(&body.join(",\n"));
+    out.push_str("\n  ],\n  \"families\": [\n");
+    let families: Vec<String> = family_geomeans(entries)
+        .into_iter()
+        .map(|(family, geomean)| {
+            format!(
+                "    {{\"family\": {}, \"mips_geomean\": {}}}",
+                criterion::json_string(&family),
+                criterion::json_number(geomean)
+            )
+        })
+        .collect();
+    out.push_str(&families.join(",\n"));
+    out.push_str("\n  ]\n}\n");
+    out
+}
+
+/// Extracts the `(family, mips_geomean)` pairs from a throughput report
+/// produced by [`report_to_json`]. The scanner only relies on the fixed
+/// `{"family": "...", "mips_geomean": N}` shape inside the `"families"`
+/// array, so it tolerates added fields elsewhere.
+#[must_use]
+pub fn parse_family_geomeans(json: &str) -> Vec<(String, f64)> {
+    let mut result = Vec::new();
+    let Some(families_at) = json.find("\"families\"") else {
+        return result;
+    };
+    let section = &json[families_at..];
+    let mut rest = section;
+    while let Some(fam_at) = rest.find("\"family\": \"") {
+        let after = &rest[fam_at + "\"family\": \"".len()..];
+        let Some(fam_end) = after.find('"') else {
+            break;
+        };
+        let family = &after[..fam_end];
+        let tail = &after[fam_end..];
+        let Some(geo_at) = tail.find("\"mips_geomean\": ") else {
+            break;
+        };
+        let number = &tail[geo_at + "\"mips_geomean\": ".len()..];
+        let end = number
+            .find(|c: char| {
+                !(c.is_ascii_digit() || c == '.' || c == '-' || c == '+' || c == 'e' || c == 'E')
+            })
+            .unwrap_or(number.len());
+        if let Ok(value) = number[..end].parse::<f64>() {
+            result.push((family.to_owned(), value));
+        }
+        rest = &tail[geo_at..];
+    }
+    result
+}
+
+/// The outcome of comparing a fresh report against a committed baseline.
+#[derive(Debug, Clone, PartialEq)]
+pub struct RegressionReport {
+    /// Human-readable per-family lines.
+    pub lines: Vec<String>,
+    /// Families slower than `(1 - tolerance) ×` their baseline geomean.
+    pub regressed: Vec<String>,
+}
+
+/// Compares fresh per-family geomeans against a baseline report. A family
+/// present in the baseline but absent from the fresh run counts as
+/// regressed (the harness silently dropping a family must fail the check).
+#[must_use]
+pub fn compare_to_baseline(
+    fresh: &[(String, f64)],
+    baseline_json: &str,
+    tolerance: f64,
+) -> RegressionReport {
+    let baseline = parse_family_geomeans(baseline_json);
+    let mut lines = Vec::new();
+    let mut regressed = Vec::new();
+    for (family, base_mips) in &baseline {
+        match fresh.iter().find(|(f, _)| f == family) {
+            None => {
+                lines.push(format!(
+                    "{family}: missing from fresh run (baseline {base_mips:.3} MIPS)"
+                ));
+                regressed.push(family.clone());
+            }
+            Some((_, new_mips)) => {
+                let floor = base_mips * (1.0 - tolerance);
+                let ratio = new_mips / base_mips.max(f64::MIN_POSITIVE);
+                let verdict = if *new_mips < floor { "REGRESSED" } else { "ok" };
+                lines.push(format!(
+                    "{family}: {new_mips:.3} MIPS vs baseline {base_mips:.3} ({:+.1}%) [{verdict}]",
+                    (ratio - 1.0) * 100.0
+                ));
+                if *new_mips < floor {
+                    regressed.push(family.clone());
+                }
+            }
+        }
+    }
+    RegressionReport { lines, regressed }
+}
+
+/// Parsed command line of the `perf` binary.
+#[derive(Debug, Clone, PartialEq)]
+pub struct PerfArgs {
+    /// Per-point instruction budget.
+    pub budget: u64,
+    /// Timed samples per point.
+    pub samples: usize,
+    /// Report output path.
+    pub out: PathBuf,
+    /// Baseline report to compare against, if any.
+    pub check: Option<PathBuf>,
+    /// Tolerated per-family fractional slowdown for `check`.
+    pub tolerance: f64,
+    /// Absolute MIPS floor for the `dkip` family (0 disables the check).
+    pub floor: f64,
+}
+
+impl Default for PerfArgs {
+    fn default() -> Self {
+        PerfArgs {
+            budget: DEFAULT_PERF_BUDGET,
+            samples: DEFAULT_SAMPLES,
+            out: PathBuf::from(DEFAULT_OUT),
+            check: None,
+            tolerance: DEFAULT_TOLERANCE,
+            floor: 0.0,
+        }
+    }
+}
+
+impl PerfArgs {
+    /// Parses `budget=N samples=N out=PATH check=PATH tolerance=F floor=F`
+    /// (any order). Like the figure binaries, malformed arguments are
+    /// errors, never silent fallbacks.
+    ///
+    /// # Errors
+    ///
+    /// Returns a message naming the offending argument.
+    pub fn parse(args: impl Iterator<Item = String>) -> Result<Self, String> {
+        let mut parsed = PerfArgs::default();
+        for arg in args {
+            if let Some(v) = arg.strip_prefix("budget=") {
+                parsed.budget =
+                    v.parse::<u64>().ok().filter(|&n| n > 0).ok_or_else(|| {
+                        format!("invalid budget {v:?}: expected a positive integer")
+                    })?;
+            } else if let Some(v) = arg.strip_prefix("samples=") {
+                parsed.samples =
+                    v.parse::<usize>().ok().filter(|&n| n > 0).ok_or_else(|| {
+                        format!("invalid samples {v:?}: expected a positive integer")
+                    })?;
+            } else if let Some(v) = arg.strip_prefix("out=") {
+                if v.is_empty() {
+                    return Err("invalid out=: expected a path".to_owned());
+                }
+                parsed.out = PathBuf::from(v);
+            } else if let Some(v) = arg.strip_prefix("check=") {
+                if v.is_empty() {
+                    return Err("invalid check=: expected a path".to_owned());
+                }
+                parsed.check = Some(PathBuf::from(v));
+            } else if let Some(v) = arg.strip_prefix("tolerance=") {
+                parsed.tolerance = v
+                    .parse::<f64>()
+                    .ok()
+                    .filter(|t| (0.0..1.0).contains(t))
+                    .ok_or_else(|| {
+                        format!("invalid tolerance {v:?}: expected a fraction in [0, 1)")
+                    })?;
+            } else if let Some(v) = arg.strip_prefix("floor=") {
+                parsed.floor = v.parse::<f64>().ok().filter(|f| *f >= 0.0).ok_or_else(|| {
+                    format!("invalid floor {v:?}: expected a non-negative MIPS value")
+                })?;
+            } else {
+                return Err(format!(
+                    "invalid argument {arg:?}: expected budget=N, samples=N, out=PATH, \
+                     check=PATH, tolerance=F or floor=F"
+                ));
+            }
+        }
+        Ok(parsed)
+    }
+
+    /// Parses `std::env::args`, exiting with status 2 on a malformed
+    /// argument.
+    #[must_use]
+    pub fn from_env() -> Self {
+        match Self::parse(std::env::args().skip(1)) {
+            Ok(args) => args,
+            Err(message) => {
+                eprintln!("{message}");
+                std::process::exit(2);
+            }
+        }
+    }
+}
+
+/// Runs the full harness: measure, write the report, and apply the optional
+/// baseline / floor checks. Returns the process exit code.
+#[must_use]
+pub fn run(args: &PerfArgs) -> i32 {
+    let jobs = perf_jobs(args.budget);
+    println!(
+        "measuring {} points (budget={}, samples={}) ...",
+        jobs.len(),
+        args.budget,
+        args.samples
+    );
+    let entries = measure(&jobs, args.samples);
+    let mut table = String::new();
+    for entry in &entries {
+        let _ = writeln!(
+            table,
+            "  {:8} {:24} {:>10.3} MIPS  {:>12.0} cycles/s",
+            entry.family, entry.workload, entry.mips, entry.cycles_per_sec
+        );
+    }
+    print!("{table}");
+    let fresh = family_geomeans(&entries);
+    for (family, geomean) in &fresh {
+        println!("family {family}: {geomean:.3} MIPS (geomean)");
+    }
+    let json = report_to_json(&entries);
+    if let Err(err) = std::fs::write(&args.out, &json) {
+        eprintln!("failed to write {}: {err}", args.out.display());
+        return 1;
+    }
+    println!("wrote {}", args.out.display());
+
+    let mut failed = false;
+    if args.floor > 0.0 {
+        match fresh.iter().find(|(f, _)| f == "dkip") {
+            Some((_, mips)) if *mips >= args.floor => {
+                println!(
+                    "dkip throughput floor: {mips:.3} >= {} MIPS [ok]",
+                    args.floor
+                );
+            }
+            Some((_, mips)) => {
+                eprintln!(
+                    "dkip throughput floor: {mips:.3} < {} MIPS [FAILED]",
+                    args.floor
+                );
+                failed = true;
+            }
+            None => {
+                eprintln!("dkip throughput floor: family missing from run [FAILED]");
+                failed = true;
+            }
+        }
+    }
+    if let Some(check) = &args.check {
+        match std::fs::read_to_string(check) {
+            Err(err) => {
+                eprintln!("failed to read baseline {}: {err}", check.display());
+                failed = true;
+            }
+            Ok(baseline_json) => {
+                let report = compare_to_baseline(&fresh, &baseline_json, args.tolerance);
+                for line in &report.lines {
+                    println!("{line}");
+                }
+                if report.lines.is_empty() {
+                    eprintln!("baseline {} contains no families [FAILED]", check.display());
+                    failed = true;
+                }
+                if !report.regressed.is_empty() {
+                    eprintln!(
+                        "throughput regression (> {:.0}%) in: {}",
+                        args.tolerance * 100.0,
+                        report.regressed.join(", ")
+                    );
+                    failed = true;
+                }
+            }
+        }
+    }
+    i32::from(failed)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn entry(family: &'static str, workload: &str, mips: f64) -> ThroughputEntry {
+        ThroughputEntry {
+            family,
+            machine: family.to_uppercase(),
+            workload: workload.to_owned(),
+            budget: 1000,
+            committed: 1000,
+            cycles: 2000,
+            mips,
+            cycles_per_sec: mips * 2e6,
+            measurement: Measurement {
+                group: family.to_owned(),
+                name: workload.to_owned(),
+                samples: 2,
+                mean_ns: 1e6,
+                min_ns: 1e6,
+                max_ns: 1e6,
+                total_ns: 2e6,
+                elements_per_iter: Some(1000),
+            },
+        }
+    }
+
+    #[test]
+    fn geomeans_group_by_family_in_order() {
+        let entries = vec![
+            entry("baseline", "gcc", 4.0),
+            entry("baseline", "swim", 1.0),
+            entry("dkip", "gcc", 3.0),
+        ];
+        let means = family_geomeans(&entries);
+        assert_eq!(means.len(), 2);
+        assert_eq!(means[0].0, "baseline");
+        assert!((means[0].1 - 2.0).abs() < 1e-12, "geomean(4, 1) = 2");
+        assert_eq!(means[1].0, "dkip");
+    }
+
+    #[test]
+    fn report_json_round_trips_family_geomeans() {
+        let entries = vec![
+            entry("baseline", "gcc", 4.0),
+            entry("baseline", "swim", 1.0),
+            entry("kilo", "gcc", 2.5),
+            entry("dkip", "swim", 1.5),
+        ];
+        let json = report_to_json(&entries);
+        let parsed = parse_family_geomeans(&json);
+        let direct = family_geomeans(&entries);
+        assert_eq!(parsed.len(), direct.len());
+        for ((pf, pv), (df, dv)) in parsed.iter().zip(&direct) {
+            assert_eq!(pf, df);
+            assert!((pv - dv).abs() < 1e-9, "{pf}: {pv} vs {dv}");
+        }
+    }
+
+    #[test]
+    fn parser_ignores_entry_section_families() {
+        // "family" keys also appear inside "entries"; only the "families"
+        // summary must be parsed.
+        let entries = vec![entry("baseline", "gcc", 4.0)];
+        let json = report_to_json(&entries);
+        let parsed = parse_family_geomeans(&json);
+        assert_eq!(parsed, vec![("baseline".to_owned(), 4.0)]);
+    }
+
+    #[test]
+    fn regressions_are_detected_with_tolerance() {
+        let baseline_entries = vec![entry("baseline", "gcc", 4.0), entry("dkip", "swim", 2.0)];
+        let baseline_json = report_to_json(&baseline_entries);
+        // baseline family fine, dkip 40% slower than baseline.
+        let fresh = vec![("baseline".to_owned(), 3.9), ("dkip".to_owned(), 1.2)];
+        let report = compare_to_baseline(&fresh, &baseline_json, 0.30);
+        assert_eq!(report.regressed, vec!["dkip".to_owned()]);
+        assert!(report.lines.iter().any(|l| l.contains("REGRESSED")));
+    }
+
+    #[test]
+    fn faster_runs_never_regress() {
+        let baseline_json = report_to_json(&[entry("dkip", "swim", 1.0)]);
+        let fresh = vec![("dkip".to_owned(), 10.0)];
+        let report = compare_to_baseline(&fresh, &baseline_json, 0.30);
+        assert!(report.regressed.is_empty());
+    }
+
+    #[test]
+    fn missing_families_count_as_regressions() {
+        let baseline_json = report_to_json(&[entry("dkip", "swim", 1.0)]);
+        let report = compare_to_baseline(&[], &baseline_json, 0.30);
+        assert_eq!(report.regressed, vec!["dkip".to_owned()]);
+    }
+
+    #[test]
+    fn perf_args_parse_strictly() {
+        let ok = PerfArgs::parse(
+            [
+                "budget=5000",
+                "samples=2",
+                "out=x.json",
+                "tolerance=0.2",
+                "floor=0.5",
+            ]
+            .iter()
+            .map(|s| (*s).to_owned()),
+        )
+        .unwrap();
+        assert_eq!(ok.budget, 5000);
+        assert_eq!(ok.samples, 2);
+        assert_eq!(ok.out, PathBuf::from("x.json"));
+        assert!((ok.tolerance - 0.2).abs() < 1e-12);
+        assert!((ok.floor - 0.5).abs() < 1e-12);
+        assert!(PerfArgs::parse(["budget=0"].iter().map(|s| (*s).to_owned())).is_err());
+        assert!(PerfArgs::parse(["samples=none"].iter().map(|s| (*s).to_owned())).is_err());
+        assert!(PerfArgs::parse(["tolerance=1.5"].iter().map(|s| (*s).to_owned())).is_err());
+        assert!(PerfArgs::parse(["bogus"].iter().map(|s| (*s).to_owned())).is_err());
+        assert!(PerfArgs::parse(["out="].iter().map(|s| (*s).to_owned())).is_err());
+    }
+
+    #[test]
+    fn perf_jobs_cover_every_family_and_both_workload_kinds() {
+        let jobs = perf_jobs(10_000);
+        assert_eq!(jobs.len(), 12, "3 families x 4 workloads");
+        for family in ["baseline", "kilo", "dkip"] {
+            let of_family: Vec<_> = jobs
+                .iter()
+                .filter(|j| j.machine.family() == family)
+                .collect();
+            assert_eq!(of_family.len(), 4);
+            assert!(
+                of_family.iter().any(|j| j.workload.is_finite()),
+                "{family} runs RISC-V"
+            );
+            assert!(
+                of_family.iter().any(|j| !j.workload.is_finite()),
+                "{family} runs Spec"
+            );
+        }
+    }
+
+    #[test]
+    fn measure_produces_positive_rates() {
+        let jobs = vec![Job::new(
+            "smoke",
+            Machine::Baseline(BaselineConfig::r10_64()),
+            MemoryHierarchyConfig::mem_400(),
+            Benchmark::Gcc,
+            1_000,
+        )];
+        let entries = measure(&jobs, 1);
+        assert_eq!(entries.len(), 1);
+        assert!(entries[0].mips > 0.0);
+        assert!(entries[0].cycles_per_sec > 0.0);
+        assert_eq!(
+            entries[0].committed,
+            entries[0].measurement.elements_per_iter.unwrap()
+        );
+    }
+}

@@ -81,9 +81,10 @@ pub trait BranchPredictor: std::fmt::Debug {
 }
 
 /// Selects and constructs a branch predictor implementation.
-#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq, Hash)]
 pub enum PredictorKind {
     /// The perceptron predictor of Table 2 (default).
+    #[default]
     Perceptron,
     /// A gshare predictor with 14 bits of global history.
     Gshare,
@@ -106,12 +107,6 @@ impl PredictorKind {
             PredictorKind::AlwaysTaken => Box::new(AlwaysTaken::new()),
             PredictorKind::NotTaken => Box::new(StaticNotTaken::new()),
         }
-    }
-}
-
-impl Default for PredictorKind {
-    fn default() -> Self {
-        PredictorKind::Perceptron
     }
 }
 
@@ -158,7 +153,10 @@ mod tests {
         // history; bimodal cannot do better than ~50%.
         let mut perceptron = PredictorKind::Perceptron.build();
         let rate = train_alternating(perceptron.as_mut(), 2000);
-        assert!(rate < 0.2, "perceptron should learn alternation, rate={rate}");
+        assert!(
+            rate < 0.2,
+            "perceptron should learn alternation, rate={rate}"
+        );
 
         let mut gshare = PredictorKind::Gshare.build();
         let rate = train_alternating(gshare.as_mut(), 2000);

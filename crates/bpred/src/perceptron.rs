@@ -81,7 +81,11 @@ impl PerceptronPredictor {
         let perceptron = &self.weights[self.index(pc)];
         let mut y = perceptron[0];
         for bit in 0..self.history_len {
-            let h = if (self.history >> bit) & 1 == 1 { 1 } else { -1 };
+            let h = if (self.history >> bit) & 1 == 1 {
+                1
+            } else {
+                -1
+            };
             y += perceptron[bit + 1] * h;
         }
         y
@@ -140,7 +144,11 @@ impl BranchPredictor for PerceptronPredictor {
             let perceptron = &mut self.weights[idx];
             Self::saturating_adjust(&mut perceptron[0], t);
             for bit in 0..self.history_len {
-                let h = if (seen_history >> bit) & 1 == 1 { 1 } else { -1 };
+                let h = if (seen_history >> bit) & 1 == 1 {
+                    1
+                } else {
+                    -1
+                };
                 Self::saturating_adjust(&mut perceptron[bit + 1], t * h);
             }
         }
@@ -177,7 +185,10 @@ mod tests {
                 wrong_late += 1;
             }
         }
-        assert_eq!(wrong_late, 0, "a always-taken branch must become perfectly predicted");
+        assert_eq!(
+            wrong_late, 0,
+            "a always-taken branch must become perfectly predicted"
+        );
     }
 
     #[test]
@@ -210,13 +221,18 @@ mod tests {
         let mut p = PerceptronPredictor::paper_default();
         let mut state = 0x12345678u64;
         for _ in 0..4000 {
-            state = state.wrapping_mul(6364136223846793005).wrapping_add(1442695040888963407);
+            state = state
+                .wrapping_mul(6364136223846793005)
+                .wrapping_add(1442695040888963407);
             let taken = (state >> 62) & 1 == 1;
             let guess = p.predict(0x3000);
             p.update(0x3000, taken, guess);
         }
         let rate = p.mispredict_rate();
-        assert!(rate > 0.3 && rate < 0.7, "random stream should be near chance, got {rate}");
+        assert!(
+            rate > 0.3 && rate < 0.7,
+            "random stream should be near chance, got {rate}"
+        );
     }
 
     #[test]

@@ -38,7 +38,10 @@ impl BimodalPredictor {
     /// Panics if `index_bits` is zero or larger than 28.
     #[must_use]
     pub fn new(index_bits: u32) -> Self {
-        assert!((1..=28).contains(&index_bits), "index_bits must be in 1..=28");
+        assert!(
+            (1..=28).contains(&index_bits),
+            "index_bits must be in 1..=28"
+        );
         let size = 1usize << index_bits;
         BimodalPredictor {
             table: vec![TwoBit::WEAKLY_NOT_TAKEN; size],
@@ -95,7 +98,10 @@ impl GsharePredictor {
     /// Panics if `index_bits` is zero or larger than 28.
     #[must_use]
     pub fn new(index_bits: u32) -> Self {
-        assert!((1..=28).contains(&index_bits), "index_bits must be in 1..=28");
+        assert!(
+            (1..=28).contains(&index_bits),
+            "index_bits must be in 1..=28"
+        );
         let size = 1usize << index_bits;
         GsharePredictor {
             table: vec![TwoBit::WEAKLY_NOT_TAKEN; size],
@@ -180,7 +186,10 @@ mod tests {
             let guess = p.predict(0x900);
             p.update(0x900, taken, guess);
         }
-        assert!(p.mispredict_rate() > 0.4, "alternation defeats a two-bit counter");
+        assert!(
+            p.mispredict_rate() > 0.4,
+            "alternation defeats a two-bit counter"
+        );
     }
 
     #[test]

@@ -12,9 +12,10 @@
 
 use dkip_mem::{AccessOutcome, MemStats, MemoryHierarchy};
 use dkip_model::config::AddressProcessorConfig;
+use dkip_model::{fast_set_with_capacity, FastHashSet};
 use dkip_ooo::{Lsq, MemPorts};
 use std::cmp::Reverse;
-use std::collections::{BinaryHeap, HashSet};
+use std::collections::BinaryHeap;
 
 /// The Address Processor.
 #[derive(Debug)]
@@ -25,7 +26,7 @@ pub struct AddressProcessor {
     /// Long-latency loads in flight: (completion cycle, load seq).
     pending_loads: BinaryHeap<Reverse<(u64, u64)>>,
     /// Long-latency loads whose value is available in the load-value FIFO.
-    available_values: HashSet<u64>,
+    available_values: FastHashSet<u64>,
     total_long_latency_loads: u64,
 }
 
@@ -37,18 +38,18 @@ impl AddressProcessor {
             lsq: Lsq::new(config.lsq_capacity),
             ports: MemPorts::new(config.memory_ports),
             mem,
-            pending_loads: BinaryHeap::new(),
-            available_values: HashSet::new(),
+            pending_loads: BinaryHeap::with_capacity(config.lsq_capacity),
+            available_values: fast_set_with_capacity(4 * config.lsq_capacity),
             total_long_latency_loads: 0,
         }
     }
 
-    /// Starts a new cycle: refreshes the memory ports and returns the
-    /// long-latency loads whose data arrives this cycle (their values enter
-    /// the load-value FIFO).
-    pub fn begin_cycle(&mut self, now: u64) -> Vec<u64> {
+    /// Starts a new cycle: refreshes the memory ports and appends the
+    /// long-latency loads whose data arrives this cycle to `arrived` (their
+    /// values enter the load-value FIFO). The caller reuses the buffer
+    /// across cycles.
+    pub fn begin_cycle_into(&mut self, now: u64, arrived: &mut Vec<u64>) {
         self.ports.begin_cycle();
-        let mut arrived = Vec::new();
         while let Some(&Reverse((cycle, seq))) = self.pending_loads.peek() {
             if cycle > now {
                 break;
@@ -57,6 +58,12 @@ impl AddressProcessor {
             self.available_values.insert(seq);
             arrived.push(seq);
         }
+    }
+
+    /// Allocating convenience form of [`AddressProcessor::begin_cycle_into`].
+    pub fn begin_cycle(&mut self, now: u64) -> Vec<u64> {
+        let mut arrived = Vec::new();
+        self.begin_cycle_into(now, &mut arrived);
         arrived
     }
 
@@ -147,7 +154,10 @@ mod tests {
         ap.begin_cycle(0);
         assert!(ap.ports_mut().try_issue());
         assert!(ap.ports_mut().try_issue());
-        assert!(!ap.ports_mut().try_issue(), "Table 2: two global memory ports");
+        assert!(
+            !ap.ports_mut().try_issue(),
+            "Table 2: two global memory ports"
+        );
         ap.begin_cycle(1);
         assert!(ap.ports_mut().try_issue());
     }

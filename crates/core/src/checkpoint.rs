@@ -151,9 +151,17 @@ mod tests {
         assert_eq!(stack.len(), 2);
 
         stack.complete_instruction(e0);
-        assert_eq!(stack.len(), 2, "epoch 0 still has one outstanding instruction");
+        assert_eq!(
+            stack.len(),
+            2,
+            "epoch 0 still has one outstanding instruction"
+        );
         stack.complete_instruction(e0);
-        assert_eq!(stack.len(), 1, "epoch 0 drained and a newer checkpoint exists");
+        assert_eq!(
+            stack.len(),
+            1,
+            "epoch 0 drained and a newer checkpoint exists"
+        );
         assert_eq!(stack.current_epoch(), Some(e1));
     }
 
@@ -163,7 +171,11 @@ mod tests {
         let e0 = stack.take(10).unwrap();
         stack.register_instruction(e0);
         stack.complete_instruction(e0);
-        assert_eq!(stack.len(), 1, "a lone checkpoint stays as the recovery point");
+        assert_eq!(
+            stack.len(),
+            1,
+            "a lone checkpoint stays as the recovery point"
+        );
     }
 
     #[test]

@@ -126,7 +126,10 @@ mod tests {
         llbv.mark(ArchReg::fp(1), LowLocalityWriter::Load(1));
         llbv.mark(ArchReg::fp(1), LowLocalityWriter::MpInstr(9));
         assert_eq!(llbv.marked_count(), 1);
-        assert_eq!(llbv.writer(ArchReg::fp(1)), Some(LowLocalityWriter::MpInstr(9)));
+        assert_eq!(
+            llbv.writer(ArchReg::fp(1)),
+            Some(LowLocalityWriter::MpInstr(9))
+        );
         llbv.clear(ArchReg::fp(1));
         llbv.clear(ArchReg::fp(1));
         assert_eq!(llbv.marked_count(), 0);

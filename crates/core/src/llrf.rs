@@ -117,7 +117,11 @@ mod tests {
         let mut llrf = Llrf::new(&small());
         let slots: Vec<_> = (0..8).map(|_| llrf.allocate().unwrap()).collect();
         let banks: std::collections::HashSet<_> = slots.iter().map(|s| s.bank).collect();
-        assert_eq!(banks.len(), 8, "first eight allocations hit eight distinct banks");
+        assert_eq!(
+            banks.len(),
+            8,
+            "first eight allocations hit eight distinct banks"
+        );
     }
 
     #[test]

@@ -11,10 +11,10 @@
 //! return and older MP instructions complete.
 
 use dkip_model::config::MemoryProcessorConfig;
-use dkip_model::OpClass;
+use dkip_model::{FastHashMap, OpClass};
 use dkip_ooo::{FunctionalUnits, IssueQueue, MemPorts};
 use std::cmp::Reverse;
-use std::collections::{BinaryHeap, HashMap};
+use std::collections::BinaryHeap;
 
 /// One integer or floating-point Memory Processor.
 #[derive(Debug)]
@@ -23,7 +23,7 @@ pub struct MemoryProcessor {
     fus: FunctionalUnits,
     /// Outstanding operand counts for instructions still waiting in the
     /// queue.
-    pending: HashMap<u64, u8>,
+    pending: FastHashMap<u64, u8>,
     /// Completion events (cycle, seq).
     completions: BinaryHeap<Reverse<(u64, u64)>>,
     /// Instructions currently inside the MP (inserted, not yet completed).
@@ -39,7 +39,7 @@ impl MemoryProcessor {
         MemoryProcessor {
             queue: IssueQueue::new(config.queue_capacity, config.sched),
             fus: FunctionalUnits::new(config.fu),
-            pending: HashMap::new(),
+            pending: FastHashMap::default(),
             completions: BinaryHeap::new(),
             occupancy: 0,
             peak_occupancy: 0,
@@ -106,7 +106,18 @@ impl MemoryProcessor {
 
     /// Selects up to `width` ready instructions to start executing this
     /// cycle, honouring the scheduling policy, this MP's functional units
-    /// and the shared Address Processor memory ports.
+    /// and the shared Address Processor memory ports. Selected pairs are
+    /// appended to `issued` (the caller reuses the buffer across cycles).
+    pub fn select_into(
+        &mut self,
+        width: usize,
+        ports: &mut MemPorts,
+        issued: &mut Vec<(u64, OpClass)>,
+    ) {
+        self.queue.select_into(width, &mut self.fus, ports, issued);
+    }
+
+    /// Allocating convenience form of [`MemoryProcessor::select_into`].
     pub fn select(&mut self, width: usize, ports: &mut MemPorts) -> Vec<(u64, OpClass)> {
         self.queue.select(width, &mut self.fus, ports)
     }
@@ -116,9 +127,9 @@ impl MemoryProcessor {
         self.completions.push(Reverse((at_cycle, seq)));
     }
 
-    /// Drains the instructions whose execution finishes at or before `now`.
-    pub fn drain_completed(&mut self, now: u64) -> Vec<u64> {
-        let mut done = Vec::new();
+    /// Appends the instructions whose execution finishes at or before `now`
+    /// to `done` (the caller reuses the buffer across cycles).
+    pub fn drain_completed_into(&mut self, now: u64, done: &mut Vec<u64>) {
         while let Some(&Reverse((cycle, seq))) = self.completions.peek() {
             if cycle > now {
                 break;
@@ -128,6 +139,12 @@ impl MemoryProcessor {
             self.total_executed += 1;
             done.push(seq);
         }
+    }
+
+    /// Allocating convenience form of [`MemoryProcessor::drain_completed_into`].
+    pub fn drain_completed(&mut self, now: u64) -> Vec<u64> {
+        let mut done = Vec::new();
+        self.drain_completed_into(now, &mut done);
         done
     }
 }
@@ -166,7 +183,10 @@ mod tests {
         let mut ports = MemPorts::new(2);
         mp.insert(5, OpClass::IntAlu, 1);
         mp.insert(6, OpClass::IntAlu, 0);
-        assert!(mp.select(4, &mut ports).is_empty(), "head is waiting for an operand");
+        assert!(
+            mp.select(4, &mut ports).is_empty(),
+            "head is waiting for an operand"
+        );
         mp.satisfy(5);
         let issued = mp.select(4, &mut ports);
         assert_eq!(issued.len(), 2, "both issue once the head is satisfied");
@@ -181,7 +201,10 @@ mod tests {
         let issued = mp.select(4, &mut ports);
         assert_eq!(issued, vec![(6, OpClass::IntAlu)]);
         mp.satisfy(5);
-        assert!(mp.select(4, &mut ports).is_empty(), "still one operand missing");
+        assert!(
+            mp.select(4, &mut ports).is_empty(),
+            "still one operand missing"
+        );
         mp.satisfy(5);
         assert_eq!(mp.select(4, &mut ports).len(), 1);
     }

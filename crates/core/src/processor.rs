@@ -25,12 +25,15 @@ use crate::memory_processor::MemoryProcessor;
 use dkip_bpred::{BranchPredictor, PredictorKind};
 use dkip_mem::{AccessLevel, MemoryHierarchy};
 use dkip_model::config::{DkipConfig, MemoryHierarchyConfig};
-use dkip_model::{ArchReg, MicroOp, OpClass, RegClass, SimStats};
+use dkip_model::{
+    fast_map_with_capacity, fast_set_with_capacity, ConsumerTable, DepList, FastHashMap,
+    FastHashSet, LastWriters, MicroOp, OpClass, RegClass, SimStats,
+};
 use dkip_ooo::lsq::FORWARD_LATENCY;
 use dkip_ooo::{FunctionalUnits, IssueQueue, Rob, RobEntry};
 use dkip_trace::{Benchmark, TraceGenerator};
 use std::cmp::Reverse;
-use std::collections::{BinaryHeap, HashMap, HashSet, VecDeque};
+use std::collections::{BinaryHeap, VecDeque};
 
 /// Metadata kept for every instruction that left the Cache Processor as low
 /// locality (parked in an LLIB, executing in a Memory Processor, or a
@@ -57,10 +60,10 @@ pub struct DkipProcessor {
     cp_fp_iq: IssueQueue,
     cp_fus: FunctionalUnits,
     cp_completions: BinaryHeap<Reverse<(u64, u64)>>,
-    cp_consumers: HashMap<u64, Vec<u64>>,
-    last_writer: HashMap<ArchReg, u64>,
+    cp_consumers: ConsumerTable,
+    last_writer: LastWriters,
     /// Loads that issued in the CP and were discovered to miss to memory.
-    cp_long_latency_loads: HashSet<u64>,
+    cp_long_latency_loads: FastHashSet<u64>,
 
     // Low-locality machinery.
     llbv: Llbv,
@@ -75,12 +78,11 @@ pub struct DkipProcessor {
     mp_int: MemoryProcessor,
     mp_fp: MemoryProcessor,
     ap: AddressProcessor,
-    low_meta: HashMap<u64, LowMeta>,
+    low_meta: FastHashMap<u64, LowMeta>,
     /// Producer (MP instruction) → consumers inserted in an MP waiting on it.
-    mp_consumers: HashMap<u64, Vec<u64>>,
+    mp_consumers: ConsumerTable,
     /// Long-latency load → consumers inserted in an MP waiting on its value.
-    load_waiters: HashMap<u64, Vec<u64>>,
-    completed_mp: HashSet<u64>,
+    load_waiters: ConsumerTable,
 
     // Front end.
     fetch_queue: VecDeque<MicroOp>,
@@ -93,6 +95,12 @@ pub struct DkipProcessor {
     trace_done: bool,
 
     stats: SimStats,
+
+    // Reusable per-cycle buffers (cleared and refilled every tick; they keep
+    // the steady-state cycle loop free of heap allocation).
+    arrived_scratch: Vec<u64>,
+    mp_done_scratch: Vec<u64>,
+    select_scratch: Vec<(u64, OpClass)>,
 }
 
 impl DkipProcessor {
@@ -112,10 +120,10 @@ impl DkipProcessor {
             cp_int_iq: IssueQueue::new(cp.int_iq_capacity, cp.sched),
             cp_fp_iq: IssueQueue::new(cp.fp_iq_capacity, cp.sched),
             cp_fus: FunctionalUnits::new(cp.fu),
-            cp_completions: BinaryHeap::new(),
-            cp_consumers: HashMap::new(),
-            last_writer: HashMap::new(),
-            cp_long_latency_loads: HashSet::new(),
+            cp_completions: BinaryHeap::with_capacity(cp.rob_capacity),
+            cp_consumers: ConsumerTable::with_capacity(cp.rob_capacity),
+            last_writer: LastWriters::new(),
+            cp_long_latency_loads: fast_set_with_capacity(cp.rob_capacity),
             llbv: Llbv::new(),
             llib_int: Llib::new(cfg.llib.capacity),
             llib_fp: Llib::new(cfg.llib.capacity),
@@ -126,16 +134,22 @@ impl DkipProcessor {
             mp_int: MemoryProcessor::new(&cfg.memory_processor),
             mp_fp: MemoryProcessor::new(&cfg.memory_processor),
             ap: AddressProcessor::new(&cfg.address_processor, mem),
-            low_meta: HashMap::new(),
-            mp_consumers: HashMap::new(),
-            load_waiters: HashMap::new(),
-            completed_mp: HashSet::new(),
+            // Low-locality population is bounded by the two LLIBs plus the
+            // two MP queues plus the AP's outstanding loads.
+            low_meta: fast_map_with_capacity(
+                2 * cfg.llib.capacity.min(16_384) + 2 * cfg.memory_processor.queue_capacity,
+            ),
+            mp_consumers: ConsumerTable::with_capacity(2 * cfg.memory_processor.queue_capacity),
+            load_waiters: ConsumerTable::with_capacity(cfg.address_processor.lsq_capacity),
             fetch_queue: VecDeque::new(),
             unresolved_mispredicts: VecDeque::new(),
             fetch_resume_at: 0,
             refill_boundary: u64::MAX,
             trace_done: false,
             stats: SimStats::new(),
+            arrived_scratch: Vec::new(),
+            mp_done_scratch: Vec::new(),
+            select_scratch: Vec::new(),
             cfg,
         }
     }
@@ -151,7 +165,6 @@ impl DkipProcessor {
     pub fn cycle(&self) -> u64 {
         self.cycle
     }
-
 
     /// A one-line snapshot of the main pipeline state, for debugging and
     /// the examples' progress output.
@@ -220,10 +233,13 @@ impl DkipProcessor {
         self.cp_fus.begin_cycle();
         self.mp_int.begin_cycle();
         self.mp_fp.begin_cycle();
-        let arrived_loads = self.ap.begin_cycle(self.cycle);
-        for load in arrived_loads {
+        let mut arrived_loads = std::mem::take(&mut self.arrived_scratch);
+        arrived_loads.clear();
+        self.ap.begin_cycle_into(self.cycle, &mut arrived_loads);
+        for &load in &arrived_loads {
             self.handle_load_value_arrival(load);
         }
+        self.arrived_scratch = arrived_loads;
         self.drain_mp_completions();
         self.mp_issue();
         self.llib_to_mp_transfer();
@@ -275,32 +291,36 @@ impl DkipProcessor {
             // stage commits it as an ordinary executed load.
             self.complete_cp_instruction(load_seq);
         }
-        if let Some(waiters) = self.load_waiters.remove(&load_seq) {
-            for consumer in waiters {
-                let queue = self.low_meta.get(&consumer).map(|m| m.queue);
-                match queue {
-                    Some(RegClass::Int) => self.mp_int.satisfy(consumer),
-                    Some(RegClass::Fp) => self.mp_fp.satisfy(consumer),
-                    None => {}
-                }
+        let waiters = self.load_waiters.take(load_seq);
+        for &consumer in &waiters {
+            let queue = self.low_meta.get(&consumer).map(|m| m.queue);
+            match queue {
+                Some(RegClass::Int) => self.mp_int.satisfy(consumer),
+                Some(RegClass::Fp) => self.mp_fp.satisfy(consumer),
+                None => {}
             }
         }
+        self.load_waiters.recycle(waiters);
     }
 
     // ------------------------------------------------------------------
     // Memory Processor completion and issue.
     // ------------------------------------------------------------------
     fn drain_mp_completions(&mut self) {
-        let mut done = self.mp_int.drain_completed(self.cycle);
-        done.extend(self.mp_fp.drain_completed(self.cycle));
-        for seq in done {
+        let mut done = std::mem::take(&mut self.mp_done_scratch);
+        done.clear();
+        self.mp_int.drain_completed_into(self.cycle, &mut done);
+        self.mp_fp.drain_completed_into(self.cycle, &mut done);
+        for &seq in &done {
             self.handle_mp_completion(seq);
         }
+        self.mp_done_scratch = done;
     }
 
     fn handle_mp_completion(&mut self, seq: u64) {
-        let Some(meta) = self.low_meta.remove(&seq) else { return };
-        self.completed_mp.insert(seq);
+        let Some(meta) = self.low_meta.remove(&seq) else {
+            return;
+        };
         self.stats.committed += 1;
         self.stats.low_locality_instrs += 1;
         self.checkpoints.complete_instruction(meta.epoch);
@@ -314,7 +334,8 @@ impl DkipProcessor {
         if meta.op.is_conditional_branch() {
             let taken = meta.op.branch.expect("conditional branch").taken;
             self.stats.cond_branches += 1;
-            self.predictor.update(meta.op.pc, taken, meta.predicted_taken);
+            self.predictor
+                .update(meta.op.pc, taken, meta.predicted_taken);
             if meta.mispredicted {
                 self.stats.branch_mispredicts += 1;
                 if self.unresolved_mispredicts.front() == Some(&seq) {
@@ -323,33 +344,40 @@ impl DkipProcessor {
                     // stack: pay the refill penalty plus the checkpoint
                     // restore penalty.
                     self.checkpoints.recover();
-                    self.fetch_resume_at =
-                        self.cycle + self.cfg.cache_processor.mispredict_penalty + self.cfg.checkpoint.recovery_penalty;
+                    self.fetch_resume_at = self.cycle
+                        + self.cfg.cache_processor.mispredict_penalty
+                        + self.cfg.checkpoint.recovery_penalty;
                     self.refill_boundary = seq;
                 }
             }
         }
         // Wake MP consumers of this value.
-        if let Some(waiters) = self.mp_consumers.remove(&seq) {
-            for consumer in waiters {
-                let queue = self.low_meta.get(&consumer).map(|m| m.queue);
-                match queue {
-                    Some(RegClass::Int) => self.mp_int.satisfy(consumer),
-                    Some(RegClass::Fp) => self.mp_fp.satisfy(consumer),
-                    None => {}
-                }
+        let waiters = self.mp_consumers.take(seq);
+        for &consumer in &waiters {
+            let queue = self.low_meta.get(&consumer).map(|m| m.queue);
+            match queue {
+                Some(RegClass::Int) => self.mp_int.satisfy(consumer),
+                Some(RegClass::Fp) => self.mp_fp.satisfy(consumer),
+                None => {}
             }
         }
+        self.mp_consumers.recycle(waiters);
     }
 
     fn mp_issue(&mut self) {
         let width = self.cfg.memory_processor.decode_width;
         for class in [RegClass::Int, RegClass::Fp] {
-            let selected = match class {
-                RegClass::Int => self.mp_int.select(width, self.ap.ports_mut()),
-                RegClass::Fp => self.mp_fp.select(width, self.ap.ports_mut()),
-            };
-            for (seq, op_class) in selected {
+            let mut selected = std::mem::take(&mut self.select_scratch);
+            selected.clear();
+            match class {
+                RegClass::Int => self
+                    .mp_int
+                    .select_into(width, self.ap.ports_mut(), &mut selected),
+                RegClass::Fp => self
+                    .mp_fp
+                    .select_into(width, self.ap.ports_mut(), &mut selected),
+            }
+            for &(seq, op_class) in &selected {
                 let latency = if op_class.is_mem() {
                     let addr = self
                         .low_meta
@@ -366,10 +394,15 @@ impl DkipProcessor {
                     op_class.exec_latency()
                 };
                 match class {
-                    RegClass::Int => self.mp_int.schedule_completion(seq, self.cycle + latency.max(1)),
-                    RegClass::Fp => self.mp_fp.schedule_completion(seq, self.cycle + latency.max(1)),
+                    RegClass::Int => self
+                        .mp_int
+                        .schedule_completion(seq, self.cycle + latency.max(1)),
+                    RegClass::Fp => self
+                        .mp_fp
+                        .schedule_completion(seq, self.cycle + latency.max(1)),
                 }
             }
+            self.select_scratch = selected;
         }
     }
 
@@ -407,13 +440,16 @@ impl DkipProcessor {
                         SourceState::WaitsForLoad(load) => {
                             if !self.ap.load_value_ready(*load) {
                                 unavailable += 1;
-                                self.load_waiters.entry(*load).or_default().push(seq);
+                                self.load_waiters.push(*load, seq);
                             }
                         }
                         SourceState::WaitsForMp(producer) => {
-                            if !self.completed_mp.contains(producer) && self.low_meta.contains_key(producer) {
+                            // A producer still in `low_meta` has not
+                            // completed (completion removes it), so this one
+                            // membership test decides availability.
+                            if self.low_meta.contains_key(producer) {
                                 unavailable += 1;
-                                self.mp_consumers.entry(*producer).or_default().push(seq);
+                                self.mp_consumers.push(*producer, seq);
                             }
                         }
                     }
@@ -438,7 +474,9 @@ impl DkipProcessor {
 
     fn complete_cp_instruction(&mut self, seq: u64) {
         let (is_cond, taken, predicted, mispredicted, pc) = {
-            let Some(entry) = self.rob.get_mut(seq) else { return };
+            let Some(entry) = self.rob.get_mut(seq) else {
+                return;
+            };
             entry.completed = true;
             (
                 entry.op.is_conditional_branch(),
@@ -460,15 +498,17 @@ impl DkipProcessor {
                 }
             }
         }
-        if let Some(waiters) = self.cp_consumers.remove(&seq) {
-            for consumer in waiters {
-                self.wake_cp_consumer(consumer);
-            }
+        let waiters = self.cp_consumers.take(seq);
+        for &consumer in &waiters {
+            self.wake_cp_consumer(consumer);
         }
+        self.cp_consumers.recycle(waiters);
     }
 
     fn wake_cp_consumer(&mut self, seq: u64) {
-        let Some(entry) = self.rob.get_mut(seq) else { return };
+        let Some(entry) = self.rob.get_mut(seq) else {
+            return;
+        };
         if entry.pending_srcs == 0 {
             return;
         }
@@ -585,7 +625,7 @@ impl DkipProcessor {
     /// and the Analyze stage must stall.
     fn insert_into_llib(&mut self, seq: u64) -> bool {
         let head = self.rob.head().expect("caller checked");
-        let op = head.op.clone();
+        let op = head.op;
         let class = Self::queue_class(&op);
         let llib_has_space = match class {
             RegClass::Int => self.llib_int.has_space(),
@@ -651,7 +691,7 @@ impl DkipProcessor {
             RegClass::Fp => &mut self.llib_fp,
         };
         llib.push(LlibEntry {
-            op: entry.op.clone(),
+            op: entry.op,
             sources,
             llrf_slot,
             checkpoint_epoch: epoch,
@@ -673,17 +713,21 @@ impl DkipProcessor {
 
     fn cp_issue(&mut self) {
         let width = self.cfg.cache_processor.widths.issue;
-        let mut selected = self
-            .cp_int_iq
-            .select(width, &mut self.cp_fus, self.ap.ports_mut());
+        let mut selected = std::mem::take(&mut self.select_scratch);
+        selected.clear();
+        self.cp_int_iq
+            .select_into(width, &mut self.cp_fus, self.ap.ports_mut(), &mut selected);
         let remaining = width.saturating_sub(selected.len());
-        selected.extend(
-            self.cp_fp_iq
-                .select(remaining, &mut self.cp_fus, self.ap.ports_mut()),
+        self.cp_fp_iq.select_into(
+            remaining,
+            &mut self.cp_fus,
+            self.ap.ports_mut(),
+            &mut selected,
         );
-        for (seq, class) in selected {
+        for &(seq, class) in &selected {
             self.start_cp_execution(seq, class);
         }
+        self.select_scratch = selected;
     }
 
     fn start_cp_execution(&mut self, seq: u64, class: OpClass) {
@@ -698,7 +742,8 @@ impl DkipProcessor {
             OpClass::Load => {
                 let addr = addr.expect("load has an address");
                 if self.ap.lsq().forwards_from_store(seq, addr) {
-                    self.cp_completions.push(Reverse((now + FORWARD_LATENCY, seq)));
+                    self.cp_completions
+                        .push(Reverse((now + FORWARD_LATENCY, seq)));
                     return;
                 }
                 let outcome = self.ap.access(addr, false, now);
@@ -707,9 +752,11 @@ impl DkipProcessor {
                     // destination register will be flagged in the LLBV when
                     // the load reaches Analyze.
                     self.cp_long_latency_loads.insert(seq);
-                    self.ap.register_long_latency_load(seq, now + outcome.latency);
+                    self.ap
+                        .register_long_latency_load(seq, now + outcome.latency);
                 } else {
-                    self.cp_completions.push(Reverse((now + outcome.latency, seq)));
+                    self.cp_completions
+                        .push(Reverse((now + outcome.latency, seq)));
                 }
             }
             OpClass::Store => {
@@ -726,7 +773,9 @@ impl DkipProcessor {
 
     fn cp_dispatch(&mut self) {
         for _ in 0..self.cfg.cache_processor.widths.decode {
-            let Some(op) = self.fetch_queue.front() else { break };
+            let Some(op) = self.fetch_queue.front() else {
+                break;
+            };
             if let Some(&blocking) = self.unresolved_mispredicts.front() {
                 if op.seq > blocking {
                     break;
@@ -758,17 +807,25 @@ impl DkipProcessor {
             // Wire dependencies on producers still in the Cache Processor.
             // Producers that have already moved to the low-locality side are
             // not wired here: this instruction will be classified by the
-            // LLBV at Analyze instead.
-            let mut pending = 0u8;
+            // LLBV at Analyze instead. The producer list is inline
+            // ([`DepList`]): at most two sources, no heap.
+            let mut pending_producers = DepList::new();
             for src in entry.op.sources() {
-                if let Some(&producer) = self.last_writer.get(&src) {
-                    if self.rob.get(producer).map(|e| !e.completed).unwrap_or(false) {
-                        self.cp_consumers.entry(producer).or_default().push(seq);
-                        pending += 1;
+                if let Some(producer) = self.last_writer.get(src) {
+                    if self
+                        .rob
+                        .get(producer)
+                        .map(|e| !e.completed)
+                        .unwrap_or(false)
+                    {
+                        pending_producers.push(producer);
                     }
                 }
             }
-            entry.pending_srcs = pending;
+            for producer in pending_producers.iter() {
+                self.cp_consumers.push(producer, seq);
+            }
+            entry.pending_srcs = pending_producers.len();
 
             if entry.op.is_conditional_branch() {
                 let predicted = self.predictor.predict(entry.op.pc);
@@ -793,7 +850,7 @@ impl DkipProcessor {
                 _ => {}
             }
             if let Some(dst) = entry.op.dst {
-                self.last_writer.insert(dst, seq);
+                self.last_writer.set(dst, seq);
             }
 
             let ready = entry.pending_srcs == 0;
@@ -860,15 +917,20 @@ pub fn run_dkip(
     max_instrs: u64,
     seed: u64,
 ) -> SimStats {
-    run_dkip_stream(cfg, mem_cfg, &mut TraceGenerator::new(benchmark, seed), max_instrs)
+    run_dkip_stream(
+        cfg,
+        mem_cfg,
+        &mut TraceGenerator::new(benchmark, seed),
+        max_instrs,
+    )
 }
 
 #[cfg(test)]
 mod tests {
     use super::*;
+    use dkip_model::config::BaselineConfig;
     use dkip_model::config::SchedPolicy;
     use dkip_ooo::run_baseline;
-    use dkip_model::config::BaselineConfig;
 
     fn run(cfg: &DkipConfig, mem: MemoryHierarchyConfig, bench: Benchmark, n: u64) -> SimStats {
         run_dkip(cfg, &mem, bench, n, 1)
@@ -902,7 +964,10 @@ mod tests {
             frac > 0.3 && frac < 1.0,
             "the CP should process a substantial share of swim but not everything: {frac}"
         );
-        assert!(stats.low_locality_instrs > 0, "swim misses must create low-locality slices");
+        assert!(
+            stats.low_locality_instrs > 0,
+            "swim misses must create low-locality slices"
+        );
     }
 
     #[test]
@@ -923,7 +988,12 @@ mod tests {
     #[test]
     fn dkip_beats_an_equally_sized_conventional_core_on_memory_bound_fp() {
         let mem = MemoryHierarchyConfig::mem_400();
-        let dkip = run(&DkipConfig::paper_default(), mem.clone(), Benchmark::Swim, 15_000);
+        let dkip = run(
+            &DkipConfig::paper_default(),
+            mem.clone(),
+            Benchmark::Swim,
+            15_000,
+        );
         let r10_64 = run_baseline(&BaselineConfig::r10_64(), &mem, Benchmark::Swim, 15_000, 1);
         assert!(
             dkip.ipc() > r10_64.ipc() * 1.2,
@@ -941,7 +1011,10 @@ mod tests {
             Benchmark::Swim,
             15_000,
         );
-        assert!(stats.llib_fp_peak_instrs > 0, "FP slices must park in the FP LLIB");
+        assert!(
+            stats.llib_fp_peak_instrs > 0,
+            "FP slices must park in the FP LLIB"
+        );
         assert!(stats.llib_fp_peak_instrs <= 2048);
         assert!(stats.llrf_fp_peak_regs <= 8 * 256);
         assert!(
@@ -995,7 +1068,10 @@ mod tests {
             8_000,
         );
         assert!(stats.committed >= 8_000);
-        assert!(stats.low_locality_instrs > 0, "mcf chases pointers through the MP");
+        assert!(
+            stats.low_locality_instrs > 0,
+            "mcf chases pointers through the MP"
+        );
     }
 
     #[test]
@@ -1021,9 +1097,25 @@ mod tests {
         let small_l2 = MemoryHierarchyConfig::mem_400().with_l2_kb(64);
         let big_l2 = MemoryHierarchyConfig::mem_400().with_l2_kb(4096);
         let n = 12_000;
-        let dkip_small = run(&DkipConfig::paper_default(), small_l2.clone(), Benchmark::Applu, n);
-        let dkip_big = run(&DkipConfig::paper_default(), big_l2.clone(), Benchmark::Applu, n);
-        let r10_small = run_baseline(&BaselineConfig::r10_256(), &small_l2, Benchmark::Applu, n, 1);
+        let dkip_small = run(
+            &DkipConfig::paper_default(),
+            small_l2.clone(),
+            Benchmark::Applu,
+            n,
+        );
+        let dkip_big = run(
+            &DkipConfig::paper_default(),
+            big_l2.clone(),
+            Benchmark::Applu,
+            n,
+        );
+        let r10_small = run_baseline(
+            &BaselineConfig::r10_256(),
+            &small_l2,
+            Benchmark::Applu,
+            n,
+            1,
+        );
         let r10_big = run_baseline(&BaselineConfig::r10_256(), &big_l2, Benchmark::Applu, n, 1);
         let dkip_gain = dkip_big.ipc() / dkip_small.ipc().max(1e-9);
         let r10_gain = r10_big.ipc() / r10_small.ipc().max(1e-9);

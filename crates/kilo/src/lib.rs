@@ -14,7 +14,11 @@
 //! The model reuses the `dkip-ooo` engine with its slow-lane option: the
 //! in-flight window is bounded by the SLIQ capacity, the issue queues by
 //! the KILO queue size, and miss-dependent instructions are parked in the
-//! slow lane.
+//! slow lane. The KILO configurations are the most demanding users of that
+//! engine's hot path (a 1088-entry window and 72-entry issue queues), so
+//! they benefit directly from its sorted-slot issue-queue scoreboards,
+//! pooled consumer tables and fast deterministic hashing (see
+//! ARCHITECTURE.md, "Hot-path data structures").
 //!
 //! # Example
 //!
@@ -111,7 +115,12 @@ pub fn run_kilo(
     max_instrs: u64,
     seed: u64,
 ) -> SimStats {
-    run_kilo_stream(cfg, mem_cfg, &mut TraceGenerator::new(benchmark, seed), max_instrs)
+    run_kilo_stream(
+        cfg,
+        mem_cfg,
+        &mut TraceGenerator::new(benchmark, seed),
+        max_instrs,
+    )
 }
 
 #[cfg(test)]

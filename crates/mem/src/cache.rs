@@ -47,12 +47,15 @@ impl SetAssocCache {
     /// `line_size * assoc`.
     pub fn new(size_bytes: usize, assoc: usize, line_size: usize) -> Result<Self, ConfigError> {
         if !line_size.is_power_of_two() || line_size == 0 {
-            return Err(ConfigError::new("line_size", "must be a positive power of two"));
+            return Err(ConfigError::new(
+                "line_size",
+                "must be a positive power of two",
+            ));
         }
         if assoc == 0 {
             return Err(ConfigError::new("assoc", "must be positive"));
         }
-        if size_bytes == 0 || size_bytes % (line_size * assoc) != 0 {
+        if size_bytes == 0 || !size_bytes.is_multiple_of(line_size * assoc) {
             return Err(ConfigError::new(
                 "size_bytes",
                 "must be a positive multiple of line_size * assoc",
@@ -232,8 +235,8 @@ mod tests {
     #[test]
     fn working_set_larger_than_cache_always_misses_after_warmup() {
         let mut cache = SetAssocCache::new(1024, 1, 64).unwrap(); // 16 lines
-        // Stream over 64 distinct lines twice: direct-mapped, every line is
-        // evicted before reuse, so the second pass misses every time.
+                                                                  // Stream over 64 distinct lines twice: direct-mapped, every line is
+                                                                  // evicted before reuse, so the second pass misses every time.
         for pass in 0..2 {
             for i in 0..64u64 {
                 let hit = cache.access(i * 64, false);

@@ -262,7 +262,10 @@ mod tests {
 
     #[test]
     fn perfect_l2_configs_never_reach_memory() {
-        for cfg in [MemoryHierarchyConfig::l2_11(), MemoryHierarchyConfig::l2_21()] {
+        for cfg in [
+            MemoryHierarchyConfig::l2_11(),
+            MemoryHierarchyConfig::l2_21(),
+        ] {
             let expected = 2 + cfg.l2_latency;
             let mut mem = MemoryHierarchy::new(cfg).unwrap();
             // Miss the 32 KB L1 by streaming far apart addresses.

@@ -81,13 +81,22 @@ impl FuConfig {
     /// Returns a [`ConfigError`] naming the empty pool.
     pub fn validate(&self) -> Result<(), ConfigError> {
         if self.int_alu == 0 {
-            return Err(ConfigError::new("fu.int_alu", "at least one integer ALU is required"));
+            return Err(ConfigError::new(
+                "fu.int_alu",
+                "at least one integer ALU is required",
+            ));
         }
         if self.int_mul == 0 {
-            return Err(ConfigError::new("fu.int_mul", "at least one integer multiplier is required"));
+            return Err(ConfigError::new(
+                "fu.int_mul",
+                "at least one integer multiplier is required",
+            ));
         }
         if self.fp_add == 0 {
-            return Err(ConfigError::new("fu.fp_add", "at least one FP adder is required"));
+            return Err(ConfigError::new(
+                "fu.fp_add",
+                "at least one FP adder is required",
+            ));
         }
         if self.fp_mul_div == 0 {
             return Err(ConfigError::new(
@@ -264,10 +273,16 @@ impl MemoryHierarchyConfig {
             return Err(ConfigError::new("l1_latency", "must be positive"));
         }
         if self.l2_latency < self.l1_latency {
-            return Err(ConfigError::new("l2_latency", "must be at least the L1 latency"));
+            return Err(ConfigError::new(
+                "l2_latency",
+                "must be at least the L1 latency",
+            ));
         }
         if !self.l2_perfect && self.memory_latency < self.l2_latency {
-            return Err(ConfigError::new("memory_latency", "must be at least the L2 latency"));
+            return Err(ConfigError::new(
+                "memory_latency",
+                "must be at least the L2 latency",
+            ));
         }
         if !self.line_size.is_power_of_two() {
             return Err(ConfigError::new("line_size", "must be a power of two"));
@@ -469,7 +484,10 @@ impl BaselineConfig {
             return Err(ConfigError::new("rob_capacity", "must be positive"));
         }
         if self.int_iq_capacity == 0 || self.fp_iq_capacity == 0 {
-            return Err(ConfigError::new("iq_capacity", "issue queues must be non-empty"));
+            return Err(ConfigError::new(
+                "iq_capacity",
+                "issue queues must be non-empty",
+            ));
         }
         if self.lsq_capacity == 0 {
             return Err(ConfigError::new("lsq_capacity", "must be positive"));
@@ -538,10 +556,16 @@ impl CacheProcessorConfig {
     /// Returns a [`ConfigError`] naming the first invalid field.
     pub fn validate(&self) -> Result<(), ConfigError> {
         if self.rob_capacity == 0 {
-            return Err(ConfigError::new("cache_processor.rob_capacity", "must be positive"));
+            return Err(ConfigError::new(
+                "cache_processor.rob_capacity",
+                "must be positive",
+            ));
         }
         if self.rob_timer == 0 {
-            return Err(ConfigError::new("cache_processor.rob_timer", "must be positive"));
+            return Err(ConfigError::new(
+                "cache_processor.rob_timer",
+                "must be positive",
+            ));
         }
         if self.rob_capacity < self.rob_timer as usize * self.widths.commit {
             return Err(ConfigError::new(
@@ -600,10 +624,16 @@ impl MemoryProcessorConfig {
     /// Returns a [`ConfigError`] naming the first invalid field.
     pub fn validate(&self) -> Result<(), ConfigError> {
         if self.queue_capacity == 0 {
-            return Err(ConfigError::new("memory_processor.queue_capacity", "must be positive"));
+            return Err(ConfigError::new(
+                "memory_processor.queue_capacity",
+                "must be positive",
+            ));
         }
         if self.decode_width == 0 {
-            return Err(ConfigError::new("memory_processor.decode_width", "must be positive"));
+            return Err(ConfigError::new(
+                "memory_processor.decode_width",
+                "must be positive",
+            ));
         }
         self.fu.validate()?;
         Ok(())
@@ -665,10 +695,16 @@ impl LlibConfig {
             return Err(ConfigError::new("llib.capacity", "must be positive"));
         }
         if self.insertion_rate == 0 || self.extraction_rate == 0 {
-            return Err(ConfigError::new("llib.rates", "insertion and extraction rates must be positive"));
+            return Err(ConfigError::new(
+                "llib.rates",
+                "insertion and extraction rates must be positive",
+            ));
         }
         if self.llrf_banks == 0 || self.llrf_regs_per_bank == 0 {
-            return Err(ConfigError::new("llib.llrf", "LLRF banks and entries must be positive"));
+            return Err(ConfigError::new(
+                "llib.llrf",
+                "LLRF banks and entries must be positive",
+            ));
         }
         if self.llrf_banks < self.insertion_rate + self.extraction_rate {
             return Err(ConfigError::new(
@@ -715,10 +751,16 @@ impl AddressProcessorConfig {
     /// Returns a [`ConfigError`] naming the first invalid field.
     pub fn validate(&self) -> Result<(), ConfigError> {
         if self.lsq_capacity == 0 {
-            return Err(ConfigError::new("address_processor.lsq_capacity", "must be positive"));
+            return Err(ConfigError::new(
+                "address_processor.lsq_capacity",
+                "must be positive",
+            ));
         }
         if self.memory_ports == 0 {
-            return Err(ConfigError::new("address_processor.memory_ports", "must be positive"));
+            return Err(ConfigError::new(
+                "address_processor.memory_ports",
+                "must be positive",
+            ));
         }
         if self.load_value_fifo_capacity == 0 {
             return Err(ConfigError::new(
@@ -768,10 +810,16 @@ impl CheckpointConfig {
     /// Returns a [`ConfigError`] naming the first invalid field.
     pub fn validate(&self) -> Result<(), ConfigError> {
         if self.stack_entries == 0 {
-            return Err(ConfigError::new("checkpoint.stack_entries", "must be positive"));
+            return Err(ConfigError::new(
+                "checkpoint.stack_entries",
+                "must be positive",
+            ));
         }
         if self.interval_instrs == 0 {
-            return Err(ConfigError::new("checkpoint.interval_instrs", "must be positive"));
+            return Err(ConfigError::new(
+                "checkpoint.interval_instrs",
+                "must be positive",
+            ));
         }
         Ok(())
     }
@@ -924,7 +972,10 @@ impl KiloConfig {
     /// Returns a [`ConfigError`] naming the first invalid field.
     pub fn validate(&self) -> Result<(), ConfigError> {
         if self.pseudo_rob_capacity == 0 {
-            return Err(ConfigError::new("kilo.pseudo_rob_capacity", "must be positive"));
+            return Err(ConfigError::new(
+                "kilo.pseudo_rob_capacity",
+                "must be positive",
+            ));
         }
         if self.sliq_capacity == 0 {
             return Err(ConfigError::new("kilo.sliq_capacity", "must be positive"));

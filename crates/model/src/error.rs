@@ -39,7 +39,11 @@ impl ConfigError {
 
 impl fmt::Display for ConfigError {
     fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
-        write!(f, "invalid configuration for `{}`: {}", self.field, self.message)
+        write!(
+            f,
+            "invalid configuration for `{}`: {}",
+            self.field, self.message
+        )
     }
 }
 
@@ -51,7 +55,10 @@ mod tests {
 
     #[test]
     fn display_mentions_field_and_message() {
-        let err = ConfigError::new("rob_capacity", "must be a positive multiple of the commit width");
+        let err = ConfigError::new(
+            "rob_capacity",
+            "must be a positive multiple of the commit width",
+        );
         let text = err.to_string();
         assert!(text.contains("rob_capacity"));
         assert!(text.contains("multiple"));

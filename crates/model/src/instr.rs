@@ -64,7 +64,7 @@ impl BranchInfo {
 /// assert_eq!(op.sources().count(), 2);
 /// assert_eq!(op.dst, Some(ArchReg::int(1)));
 /// ```
-#[derive(Debug, Clone, PartialEq, Eq)]
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
 pub struct MicroOp {
     /// Dynamic sequence number (dense, starting at 0).
     pub seq: u64,
@@ -245,32 +245,38 @@ mod tests {
         assert!(load.is_well_formed());
 
         let bad_load = MicroOp::new(0, 0, OpClass::Load).with_dst(ArchReg::int(1));
-        assert!(!bad_load.is_well_formed(), "load without address is malformed");
+        assert!(
+            !bad_load.is_well_formed(),
+            "load without address is malformed"
+        );
 
         let store = MicroOp::new(0, 0, OpClass::Store)
             .with_src(ArchReg::int(1))
             .with_mem_addr(0x100);
         assert!(store.is_well_formed());
 
-        let bad_store = store.clone().with_dst(ArchReg::int(2));
-        assert!(!bad_store.is_well_formed(), "store must not write a register");
+        let bad_store = store.with_dst(ArchReg::int(2));
+        assert!(
+            !bad_store.is_well_formed(),
+            "store must not write a register"
+        );
 
-        let branch = MicroOp::new(0, 0, OpClass::Branch)
-            .with_branch(BranchInfo::conditional(true, 0x2000));
+        let branch =
+            MicroOp::new(0, 0, OpClass::Branch).with_branch(BranchInfo::conditional(true, 0x2000));
         assert!(branch.is_well_formed());
 
         let bad_branch = MicroOp::new(0, 0, OpClass::Branch);
         assert!(!bad_branch.is_well_formed(), "branch needs branch info");
 
-        let alu_with_branch = MicroOp::new(0, 0, OpClass::IntAlu)
-            .with_branch(BranchInfo::conditional(false, 0));
+        let alu_with_branch =
+            MicroOp::new(0, 0, OpClass::IntAlu).with_branch(BranchInfo::conditional(false, 0));
         assert!(!alu_with_branch.is_well_formed());
     }
 
     #[test]
     fn conditional_branch_detection() {
-        let cond = MicroOp::new(0, 0, OpClass::Branch)
-            .with_branch(BranchInfo::conditional(true, 8));
+        let cond =
+            MicroOp::new(0, 0, OpClass::Branch).with_branch(BranchInfo::conditional(true, 8));
         assert!(cond.is_conditional_branch());
         let jump = MicroOp::new(0, 0, OpClass::Branch).with_branch(BranchInfo {
             kind: BranchKind::Jump,

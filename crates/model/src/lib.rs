@@ -13,6 +13,8 @@
 //!   D-KIP itself, including the presets of Tables 1, 2 and 3 of the paper,
 //! * [`stats`] — counters, histograms and the aggregate [`stats::SimStats`]
 //!   record reported by every simulation,
+//! * [`collections`] — deterministic, allocation-conscious containers for
+//!   the per-cycle hot path of the core models,
 //! * [`error`] — configuration validation errors.
 //!
 //! # Example
@@ -29,6 +31,7 @@
 #![warn(missing_docs)]
 #![warn(missing_debug_implementations)]
 
+pub mod collections;
 pub mod config;
 pub mod error;
 pub mod instr;
@@ -36,6 +39,10 @@ pub mod op;
 pub mod reg;
 pub mod stats;
 
+pub use collections::{
+    fast_map_with_capacity, fast_set_with_capacity, ConsumerTable, DepList, FastHashMap,
+    FastHashSet, LastWriters, MAX_SOURCES,
+};
 pub use config::{
     BaselineConfig, CacheProcessorConfig, DkipConfig, KiloConfig, MemoryHierarchyConfig,
     MemoryProcessorConfig, SchedPolicy,

@@ -159,7 +159,12 @@ pub enum FuPool {
 
 impl FuPool {
     /// All functional-unit pools.
-    pub const ALL: [FuPool; 4] = [FuPool::IntAlu, FuPool::IntMul, FuPool::FpAdd, FuPool::FpMulDiv];
+    pub const ALL: [FuPool; 4] = [
+        FuPool::IntAlu,
+        FuPool::IntMul,
+        FuPool::FpAdd,
+        FuPool::FpMulDiv,
+    ];
 
     /// A dense index for table lookups.
     #[must_use]
@@ -203,7 +208,10 @@ mod tests {
     #[test]
     fn latencies_are_positive() {
         for class in OpClass::ALL {
-            assert!(class.exec_latency() >= 1, "{class} latency must be at least 1");
+            assert!(
+                class.exec_latency() >= 1,
+                "{class} latency must be at least 1"
+            );
         }
     }
 

@@ -237,7 +237,10 @@ mod tests {
 
     #[test]
     fn ordering_is_total() {
-        let mut regs: Vec<ArchReg> = (0..8).map(ArchReg::fp).chain((0..8).map(ArchReg::int)).collect();
+        let mut regs: Vec<ArchReg> = (0..8)
+            .map(ArchReg::fp)
+            .chain((0..8).map(ArchReg::int))
+            .collect();
         regs.sort();
         // Int sorts before Fp because of enum ordering.
         assert_eq!(regs[0], ArchReg::int(0));

@@ -158,8 +158,15 @@ impl Histogram {
     ///
     /// Panics if the bucket widths or bucket counts differ.
     pub fn merge(&mut self, other: &Histogram) {
-        assert_eq!(self.bucket_width, other.bucket_width, "bucket widths must match");
-        assert_eq!(self.buckets.len(), other.buckets.len(), "bucket counts must match");
+        assert_eq!(
+            self.bucket_width, other.bucket_width,
+            "bucket widths must match"
+        );
+        assert_eq!(
+            self.buckets.len(),
+            other.buckets.len(),
+            "bucket counts must match"
+        );
         for (a, b) in self.buckets.iter_mut().zip(other.buckets.iter()) {
             *a += b;
         }

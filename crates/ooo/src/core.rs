@@ -18,11 +18,16 @@ use crate::lsq::{Lsq, FORWARD_LATENCY};
 use crate::rob::{Rob, RobEntry};
 use dkip_bpred::{BranchPredictor, PredictorKind};
 use dkip_mem::{AccessLevel, MemoryHierarchy};
-use dkip_model::config::{BaselineConfig, FuConfig, MemoryHierarchyConfig, SchedPolicy, WidthConfig};
-use dkip_model::{Histogram, MicroOp, OpClass, RegClass, SimStats};
+use dkip_model::config::{
+    BaselineConfig, FuConfig, MemoryHierarchyConfig, SchedPolicy, WidthConfig,
+};
+use dkip_model::{
+    fast_set_with_capacity, ConsumerTable, DepList, FastHashSet, Histogram, LastWriters, MicroOp,
+    OpClass, RegClass, SimStats,
+};
 use dkip_trace::{Benchmark, TraceGenerator};
 use std::cmp::Reverse;
-use std::collections::{BinaryHeap, HashMap, HashSet, VecDeque};
+use std::collections::{BinaryHeap, VecDeque};
 
 /// An outstanding memory access is considered *long latency* (and therefore
 /// creates low execution locality) when its total latency is at least this
@@ -96,10 +101,11 @@ pub struct OooCore {
     ports: MemPorts,
     /// Completion events: (cycle, seq).
     completions: BinaryHeap<Reverse<(u64, u64)>>,
-    /// Producer seq → consumer seqs still waiting on it.
-    consumers: HashMap<u64, Vec<u64>>,
-    /// Architectural register → seq of its most recent producer.
-    last_writer: HashMap<dkip_model::ArchReg, u64>,
+    /// Producer seq → consumer seqs still waiting on it (pooled spines).
+    consumers: ConsumerTable,
+    /// Architectural register → seq of its most recent producer (flat
+    /// scoreboard).
+    last_writer: LastWriters,
     /// Fetched but not yet dispatched instructions.
     fetch_queue: VecDeque<MicroOp>,
     /// Dispatched, mispredicted, not-yet-resolved conditional branches
@@ -111,19 +117,23 @@ pub struct OooCore {
     /// dispatch while the refill penalty is being paid.
     refill_boundary: u64,
     /// Instructions parked in the slow lane (present only when configured).
-    slow_lane: HashSet<u64>,
+    slow_lane: FastHashSet<u64>,
     /// Parked instructions whose operands are now ready, waiting for issue
     /// queue space.
     reinsert_queue: VecDeque<u64>,
     /// Instructions that produce a long-latency (memory) value and have not
     /// completed yet.
-    long_latency_producers: HashSet<u64>,
+    long_latency_producers: FastHashSet<u64>,
     /// Whether the trace iterator has returned `None` (finite traces such as
     /// the execution-driven RISC-V kernels end; the synthetic generators
     /// never do).
     trace_done: bool,
     stats: SimStats,
     issue_hist: Option<Histogram>,
+    /// Reusable per-cycle selection buffer (see [`IssueQueue::select_into`]).
+    issue_scratch: Vec<(u64, OpClass)>,
+    /// Reusable traversal frontier for [`OooCore::mark_long_latency`].
+    frontier_scratch: Vec<u64>,
 }
 
 impl OooCore {
@@ -141,19 +151,21 @@ impl OooCore {
             lsq: Lsq::new(params.lsq),
             fus: FunctionalUnits::new(params.fu),
             ports: MemPorts::new(params.memory_ports),
-            completions: BinaryHeap::new(),
-            consumers: HashMap::new(),
-            last_writer: HashMap::new(),
+            completions: BinaryHeap::with_capacity(params.window.min(4096)),
+            consumers: ConsumerTable::with_capacity(params.window.min(4096)),
+            last_writer: LastWriters::new(),
             fetch_queue: VecDeque::new(),
             unresolved_mispredicts: VecDeque::new(),
             fetch_resume_at: 0,
             refill_boundary: u64::MAX,
-            slow_lane: HashSet::new(),
+            slow_lane: fast_set_with_capacity(params.slow_lane.unwrap_or(0).min(4096)),
             reinsert_queue: VecDeque::new(),
-            long_latency_producers: HashSet::new(),
+            long_latency_producers: fast_set_with_capacity(params.window.min(4096)),
             trace_done: false,
             stats: SimStats::new(),
             issue_hist,
+            issue_scratch: Vec::new(),
+            frontier_scratch: Vec::new(),
             cycle: 0,
             predictor,
             mem,
@@ -266,11 +278,19 @@ impl OooCore {
     fn complete_instruction(&mut self, seq: u64) {
         self.long_latency_producers.remove(&seq);
         let (is_cond_branch, taken, predicted, mispredicted, pc) = {
-            let Some(entry) = self.rob.get_mut(seq) else { return };
+            let Some(entry) = self.rob.get_mut(seq) else {
+                return;
+            };
             entry.completed = true;
             let is_cond = entry.op.is_conditional_branch();
             let taken = entry.op.branch.map(|b| b.taken).unwrap_or(false);
-            (is_cond, taken, entry.predicted_taken, entry.mispredicted, entry.op.pc)
+            (
+                is_cond,
+                taken,
+                entry.predicted_taken,
+                entry.mispredicted,
+                entry.op.pc,
+            )
         };
 
         if is_cond_branch {
@@ -287,15 +307,17 @@ impl OooCore {
         }
 
         // Wake consumers.
-        if let Some(waiters) = self.consumers.remove(&seq) {
-            for consumer in waiters {
-                self.wake_consumer(consumer);
-            }
+        let waiters = self.consumers.take(seq);
+        for &consumer in &waiters {
+            self.wake_consumer(consumer);
         }
+        self.consumers.recycle(waiters);
     }
 
     fn wake_consumer(&mut self, seq: u64) {
-        let Some(entry) = self.rob.get_mut(seq) else { return };
+        let Some(entry) = self.rob.get_mut(seq) else {
+            return;
+        };
         if entry.pending_srcs == 0 {
             return;
         }
@@ -321,7 +343,9 @@ impl OooCore {
     fn do_reinsert(&mut self) {
         let budget = self.params.widths.decode;
         for _ in 0..budget {
-            let Some(&seq) = self.reinsert_queue.front() else { break };
+            let Some(&seq) = self.reinsert_queue.front() else {
+                break;
+            };
             let Some(entry) = self.rob.get(seq) else {
                 self.reinsert_queue.pop_front();
                 continue;
@@ -345,19 +369,27 @@ impl OooCore {
     // ------------------------------------------------------------------
     fn do_issue(&mut self) {
         let width = self.params.widths.issue;
-        let mut selected = self.int_iq.select(width, &mut self.fus, &mut self.ports);
+        let mut selected = std::mem::take(&mut self.issue_scratch);
+        selected.clear();
+        self.int_iq
+            .select_into(width, &mut self.fus, &mut self.ports, &mut selected);
         let remaining = width.saturating_sub(selected.len());
-        selected.extend(self.fp_iq.select(remaining, &mut self.fus, &mut self.ports));
+        self.fp_iq
+            .select_into(remaining, &mut self.fus, &mut self.ports, &mut selected);
 
-        for (seq, class) in selected {
+        for &(seq, class) in &selected {
             self.start_execution(seq, class);
         }
+        self.issue_scratch = selected;
     }
 
     fn start_execution(&mut self, seq: u64, class: OpClass) {
         let now = self.cycle;
         let (addr, dispatch_cycle) = {
-            let entry = self.rob.get_mut(seq).expect("issued instruction must be in flight");
+            let entry = self
+                .rob
+                .get_mut(seq)
+                .expect("issued instruction must be in flight");
             entry.issued = true;
             entry.issue_cycle = Some(now);
             (entry.op.mem_addr, entry.dispatch_cycle)
@@ -400,11 +432,14 @@ impl OooCore {
         if self.params.slow_lane.is_none() {
             return;
         }
-        let mut frontier = vec![seq];
+        let mut frontier = std::mem::take(&mut self.frontier_scratch);
+        frontier.clear();
+        frontier.push(seq);
         while let Some(producer) = frontier.pop() {
-            let Some(waiters) = self.consumers.get(&producer) else { continue };
-            for &consumer in waiters {
-                let Some(entry) = self.rob.get(consumer) else { continue };
+            for &consumer in self.consumers.get(producer) {
+                let Some(entry) = self.rob.get(consumer) else {
+                    continue;
+                };
                 if entry.issued || self.slow_lane.contains(&consumer) {
                     continue;
                 }
@@ -418,6 +453,7 @@ impl OooCore {
                 }
             }
         }
+        self.frontier_scratch = frontier;
     }
 
     // ------------------------------------------------------------------
@@ -425,7 +461,9 @@ impl OooCore {
     // ------------------------------------------------------------------
     fn do_dispatch(&mut self) {
         for _ in 0..self.params.widths.decode {
-            let Some(op) = self.fetch_queue.front() else { break };
+            let Some(op) = self.fetch_queue.front() else {
+                break;
+            };
             // Instructions younger than an unresolved mispredicted branch are
             // (conceptually) wrong-path refetches: they only enter the
             // pipeline once the branch has resolved and the refill penalty
@@ -447,20 +485,25 @@ impl OooCore {
             }
             let queue_class = Self::queue_class(op);
             // Decide whether the instruction goes to an issue queue or is
-            // parked in the slow lane before checking queue space.
-            let pending_producers: Vec<u64> = op
-                .sources()
-                .filter_map(|src| self.last_writer.get(&src).copied())
-                .filter(|&producer| {
-                    self.rob
+            // parked in the slow lane before checking queue space. The
+            // producer list is inline ([`DepList`]): a micro-op has at most
+            // two sources, so dispatch never touches the heap for it.
+            let mut pending_producers = DepList::new();
+            for src in op.sources() {
+                if let Some(producer) = self.last_writer.get(src) {
+                    if self
+                        .rob
                         .get(producer)
                         .map(|e| !e.completed)
                         .unwrap_or(false)
-                })
-                .collect();
-            let depends_on_long_latency = pending_producers.iter().any(|p| {
-                self.long_latency_producers.contains(p) || self.slow_lane.contains(p)
-            });
+                    {
+                        pending_producers.push(producer);
+                    }
+                }
+            }
+            let depends_on_long_latency = pending_producers
+                .iter()
+                .any(|p| self.long_latency_producers.contains(&p) || self.slow_lane.contains(&p));
             let park = self.params.slow_lane.is_some()
                 && depends_on_long_latency
                 && !pending_producers.is_empty();
@@ -483,16 +526,14 @@ impl OooCore {
             let mut entry = RobEntry::new(op, self.cycle, queue_class);
 
             // Wire dependencies.
-            let mut pending = 0u8;
-            for producer in &pending_producers {
-                self.consumers.entry(*producer).or_default().push(seq);
-                pending += 1;
+            for producer in pending_producers.iter() {
+                self.consumers.push(producer, seq);
             }
             // A pointer-chasing load can name the same producer twice via
             // dst==src; dedup is unnecessary because sources() yields each
             // register slot once and distinct slots may legitimately wait on
             // the same producer (two wakeups, counted twice at dispatch).
-            entry.pending_srcs = pending;
+            entry.pending_srcs = pending_producers.len();
 
             if entry.op.is_conditional_branch() {
                 let predicted = self.predictor.predict(entry.op.pc);
@@ -518,7 +559,7 @@ impl OooCore {
             }
 
             if let Some(dst) = entry.op.dst {
-                self.last_writer.insert(dst, seq);
+                self.last_writer.set(dst, seq);
             }
 
             let ready = entry.pending_srcs == 0;
@@ -601,7 +642,12 @@ pub fn run_baseline(
     max_instrs: u64,
     seed: u64,
 ) -> SimStats {
-    run_baseline_stream(cfg, mem_cfg, &mut TraceGenerator::new(benchmark, seed), max_instrs)
+    run_baseline_stream(
+        cfg,
+        mem_cfg,
+        &mut TraceGenerator::new(benchmark, seed),
+        max_instrs,
+    )
 }
 
 #[cfg(test)]
@@ -623,7 +669,11 @@ mod tests {
         );
         // Commit is up to 4 wide, so the run may overshoot by at most
         // commit_width - 1 instructions.
-        assert!(stats.committed >= 5_000 && stats.committed < 5_004, "committed={}", stats.committed);
+        assert!(
+            stats.committed >= 5_000 && stats.committed < 5_004,
+            "committed={}",
+            stats.committed
+        );
         assert!(stats.cycles > 0);
         assert!(stats.fetched >= stats.committed);
     }
@@ -637,7 +687,10 @@ mod tests {
             10_000,
         );
         assert!(stats.ipc() <= 4.0 + 1e-9, "ipc={}", stats.ipc());
-        assert!(stats.ipc() > 0.5, "a perfect-L1 machine should sustain decent IPC");
+        assert!(
+            stats.ipc() > 0.5,
+            "a perfect-L1 machine should sustain decent IPC"
+        );
     }
 
     #[test]
@@ -747,7 +800,12 @@ mod tests {
     fn issue_histogram_is_collected_when_requested() {
         let mut cfg = BaselineConfig::idealized(512);
         cfg.collect_issue_histogram = true;
-        let stats = run(&cfg, MemoryHierarchyConfig::mem_400(), Benchmark::Swim, 8_000);
+        let stats = run(
+            &cfg,
+            MemoryHierarchyConfig::mem_400(),
+            Benchmark::Swim,
+            8_000,
+        );
         let hist = stats.issue_latency.expect("histogram requested");
         assert!(hist.total_samples() > 4_000);
         // Most instructions issue quickly; some wait for the 400-cycle memory.

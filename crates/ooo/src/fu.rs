@@ -107,7 +107,10 @@ mod tests {
     fn pool_budgets_reset_each_cycle() {
         let mut fus = FunctionalUnits::new(FuConfig::paper_default());
         assert!(fus.try_issue(FuPool::IntMul));
-        assert!(!fus.try_issue(FuPool::IntMul), "only one integer multiplier");
+        assert!(
+            !fus.try_issue(FuPool::IntMul),
+            "only one integer multiplier"
+        );
         fus.begin_cycle();
         assert!(fus.try_issue(FuPool::IntMul));
     }

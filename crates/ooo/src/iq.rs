@@ -1,13 +1,23 @@
 //! Issue queues with in-order and out-of-order scheduling policies.
+//!
+//! The queue is the hottest structure of the cycle loop: every core family
+//! consults it every cycle. It is therefore stored as a single `Vec` of
+//! slots kept sorted by sequence number (age order), with the ready flag
+//! inline — a contiguous scoreboard the selection loop scans front-to-back
+//! instead of walking a `BTreeMap`. Capacities are small (the paper's
+//! queues hold 20–72 entries), so sorted-insert and compacting removal are
+//! cheap, and [`IssueQueue::select_into`] lets callers reuse one selection
+//! buffer across cycles so steady-state selection performs no heap
+//! allocation at all.
 
 use crate::fu::{FunctionalUnits, MemPorts};
 use dkip_model::config::SchedPolicy;
 use dkip_model::OpClass;
-use std::collections::{BTreeMap, BTreeSet};
 
 /// One waiting instruction in an issue queue.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
-struct IqEntry {
+struct IqSlot {
+    seq: u64,
     class: OpClass,
     ready: bool,
 }
@@ -23,8 +33,11 @@ struct IqEntry {
 pub struct IssueQueue {
     capacity: usize,
     policy: SchedPolicy,
-    entries: BTreeMap<u64, IqEntry>,
-    ready: BTreeSet<u64>,
+    /// Slots sorted by sequence number (oldest first).
+    slots: Vec<IqSlot>,
+    /// Number of slots with `ready == true`; lets selection skip the scan
+    /// entirely on (frequent) cycles where nothing can issue.
+    ready_count: usize,
 }
 
 impl IssueQueue {
@@ -39,27 +52,27 @@ impl IssueQueue {
         IssueQueue {
             capacity,
             policy,
-            entries: BTreeMap::new(),
-            ready: BTreeSet::new(),
+            slots: Vec::with_capacity(capacity.min(4096)),
+            ready_count: 0,
         }
     }
 
     /// Number of instructions currently waiting.
     #[must_use]
     pub fn len(&self) -> usize {
-        self.entries.len()
+        self.slots.len()
     }
 
     /// Whether the queue is empty.
     #[must_use]
     pub fn is_empty(&self) -> bool {
-        self.entries.is_empty()
+        self.slots.is_empty()
     }
 
     /// Whether another instruction can be dispatched into the queue.
     #[must_use]
     pub fn has_space(&self) -> bool {
-        self.entries.len() < self.capacity
+        self.slots.len() < self.capacity
     }
 
     /// The queue capacity.
@@ -74,6 +87,17 @@ impl IssueQueue {
         self.policy
     }
 
+    /// The insertion point keeping `slots` sorted by seq: `Ok(idx)` when the
+    /// seq is already present, `Err(idx)` otherwise. Dispatch inserts in
+    /// program order (append), so probe the tail before binary-searching.
+    fn position(&self, seq: u64) -> Result<usize, usize> {
+        match self.slots.last() {
+            None => Err(0),
+            Some(last) if last.seq < seq => Err(self.slots.len()),
+            _ => self.slots.binary_search_by_key(&seq, |slot| slot.seq),
+        }
+    }
+
     /// Dispatches instruction `seq` into the queue.
     ///
     /// # Panics
@@ -82,42 +106,117 @@ impl IssueQueue {
     /// present.
     pub fn insert(&mut self, seq: u64, class: OpClass, ready: bool) {
         assert!(self.has_space(), "issue queue overflow");
-        let previous = self.entries.insert(seq, IqEntry { class, ready });
-        assert!(previous.is_none(), "sequence number {seq} already in issue queue");
-        if ready {
-            self.ready.insert(seq);
+        match self.position(seq) {
+            Ok(_) => panic!("sequence number {seq} already in issue queue"),
+            Err(idx) => self.slots.insert(idx, IqSlot { seq, class, ready }),
         }
+        self.ready_count += usize::from(ready);
     }
 
     /// Marks instruction `seq` as having all sources available. Unknown
     /// sequence numbers are ignored (the instruction may have been squashed
     /// or moved elsewhere).
     pub fn mark_ready(&mut self, seq: u64) {
-        if let Some(entry) = self.entries.get_mut(&seq) {
-            if !entry.ready {
-                entry.ready = true;
-                self.ready.insert(seq);
-            }
+        if let Ok(idx) = self.position(seq) {
+            self.ready_count += usize::from(!self.slots[idx].ready);
+            self.slots[idx].ready = true;
         }
     }
 
     /// Whether the queue currently holds instruction `seq`.
     #[must_use]
     pub fn contains(&self, seq: u64) -> bool {
-        self.entries.contains_key(&seq)
+        self.position(seq).is_ok()
     }
 
     /// Removes instruction `seq` without issuing it (used when an
     /// instruction is reclassified, e.g. moved to a slow lane or an LLIB).
     pub fn remove(&mut self, seq: u64) -> bool {
-        self.ready.remove(&seq);
-        self.entries.remove(&seq).is_some()
+        match self.position(seq) {
+            Ok(idx) => {
+                self.ready_count -= usize::from(self.slots[idx].ready);
+                self.slots.remove(idx);
+                true
+            }
+            Err(_) => false,
+        }
+    }
+
+    /// Selects up to `max_issue` instructions to issue this cycle, consuming
+    /// functional units / memory ports, removes them from the queue, and
+    /// appends the selected `(seq, class)` pairs — oldest first — to
+    /// `issued`.
+    ///
+    /// This is the allocation-free form of [`IssueQueue::select`]: the
+    /// caller owns (and reuses) the output buffer.
+    pub fn select_into(
+        &mut self,
+        max_issue: usize,
+        fus: &mut FunctionalUnits,
+        ports: &mut MemPorts,
+        issued: &mut Vec<(u64, OpClass)>,
+    ) {
+        if max_issue == 0 || self.ready_count == 0 {
+            return;
+        }
+        let mut taken = 0usize;
+        match self.policy {
+            SchedPolicy::OutOfOrder => {
+                // Walk age order, skipping non-ready and resource-blocked
+                // entries; compact survivors in place (stable, single pass).
+                // The scan stops as soon as no further issue is possible —
+                // the width is filled or every ready entry has been
+                // considered — and the untouched tail is bulk-shifted over
+                // the gap left by the issued entries.
+                let len = self.slots.len();
+                let mut write = 0usize;
+                let mut read = 0usize;
+                let mut ready_seen = 0usize;
+                while read < len {
+                    if taken == max_issue || ready_seen == self.ready_count {
+                        break;
+                    }
+                    let slot = self.slots[read];
+                    ready_seen += usize::from(slot.ready);
+                    if slot.ready && Self::acquire_resources(slot.class, fus, ports) {
+                        issued.push((slot.seq, slot.class));
+                        taken += 1;
+                    } else {
+                        self.slots[write] = slot;
+                        write += 1;
+                    }
+                    read += 1;
+                }
+                if taken > 0 && read < len {
+                    self.slots.copy_within(read..len, write);
+                }
+                self.slots.truncate(len - taken);
+            }
+            SchedPolicy::InOrder => {
+                // Strict in-order issue: walk from the oldest entry and stop
+                // at the first instruction that is not ready or cannot get
+                // its resources.
+                while taken < max_issue {
+                    let Some(&slot) = self.slots.get(taken) else {
+                        break;
+                    };
+                    if !slot.ready || !Self::acquire_resources(slot.class, fus, ports) {
+                        break;
+                    }
+                    issued.push((slot.seq, slot.class));
+                    taken += 1;
+                }
+                self.slots.drain(..taken);
+            }
+        }
+        self.ready_count -= taken;
     }
 
     /// Selects up to `max_issue` instructions to issue this cycle, consuming
     /// functional units / memory ports, and removes them from the queue.
     ///
-    /// Returns the selected `(seq, class)` pairs, oldest first.
+    /// Returns the selected `(seq, class)` pairs, oldest first. Hot callers
+    /// use [`IssueQueue::select_into`] with a reused buffer instead.
     pub fn select(
         &mut self,
         max_issue: usize,
@@ -125,48 +224,7 @@ impl IssueQueue {
         ports: &mut MemPorts,
     ) -> Vec<(u64, OpClass)> {
         let mut issued = Vec::new();
-        if max_issue == 0 {
-            return issued;
-        }
-        match self.policy {
-            SchedPolicy::OutOfOrder => {
-                let candidates: Vec<u64> = self.ready.iter().copied().collect();
-                for seq in candidates {
-                    if issued.len() >= max_issue {
-                        break;
-                    }
-                    let class = self.entries[&seq].class;
-                    if Self::acquire_resources(class, fus, ports) {
-                        self.ready.remove(&seq);
-                        self.entries.remove(&seq);
-                        issued.push((seq, class));
-                    }
-                }
-            }
-            SchedPolicy::InOrder => {
-                // Strict in-order issue: walk from the oldest entry and stop
-                // at the first instruction that is not ready or cannot get
-                // its resources.
-                loop {
-                    if issued.len() >= max_issue {
-                        break;
-                    }
-                    let Some((&seq, entry)) = self.entries.iter().next() else {
-                        break;
-                    };
-                    if !entry.ready {
-                        break;
-                    }
-                    let class = entry.class;
-                    if !Self::acquire_resources(class, fus, ports) {
-                        break;
-                    }
-                    self.ready.remove(&seq);
-                    self.entries.remove(&seq);
-                    issued.push((seq, class));
-                }
-            }
-        }
+        self.select_into(max_issue, fus, ports, &mut issued);
         issued
     }
 
@@ -187,7 +245,10 @@ mod tests {
     use dkip_model::config::FuConfig;
 
     fn resources() -> (FunctionalUnits, MemPorts) {
-        (FunctionalUnits::new(FuConfig::paper_default()), MemPorts::new(2))
+        (
+            FunctionalUnits::new(FuConfig::paper_default()),
+            MemPorts::new(2),
+        )
     }
 
     #[test]
@@ -226,7 +287,11 @@ mod tests {
         assert!(iq.select(4, &mut fus, &mut ports).is_empty());
         iq.mark_ready(1);
         let issued = iq.select(4, &mut fus, &mut ports);
-        assert_eq!(issued.len(), 2, "once the head is ready both issue in order");
+        assert_eq!(
+            issued.len(),
+            2,
+            "once the head is ready both issue in order"
+        );
         assert_eq!(issued[0].0, 1);
         assert_eq!(issued[1].0, 2);
     }
@@ -239,7 +304,11 @@ mod tests {
         iq.insert(3, OpClass::IntAlu, true);
         let (mut fus, mut ports) = resources();
         let issued = iq.select(4, &mut fus, &mut ports);
-        assert_eq!(issued, vec![(1, OpClass::IntMul)], "second multiply blocks the head");
+        assert_eq!(
+            issued,
+            vec![(1, OpClass::IntMul)],
+            "second multiply blocks the head"
+        );
     }
 
     #[test]
@@ -267,6 +336,34 @@ mod tests {
     }
 
     #[test]
+    fn select_into_appends_to_a_reused_buffer() {
+        let mut iq = IssueQueue::new(8, SchedPolicy::OutOfOrder);
+        iq.insert(1, OpClass::IntAlu, true);
+        iq.insert(2, OpClass::IntAlu, true);
+        let (mut fus, mut ports) = resources();
+        let mut buffer = vec![(99, OpClass::Load)];
+        iq.select_into(1, &mut fus, &mut ports, &mut buffer);
+        assert_eq!(buffer, vec![(99, OpClass::Load), (1, OpClass::IntAlu)]);
+    }
+
+    #[test]
+    fn out_of_order_insertion_keeps_age_order() {
+        // Slow-lane reinsertion can insert an *older* seq after younger ones
+        // were dispatched; selection must still be oldest-first.
+        let mut iq = IssueQueue::new(8, SchedPolicy::OutOfOrder);
+        iq.insert(20, OpClass::IntAlu, true);
+        iq.insert(5, OpClass::IntAlu, true);
+        iq.insert(12, OpClass::IntAlu, true);
+        let (mut fus, mut ports) = resources();
+        let issued = iq.select(3, &mut fus, &mut ports);
+        assert_eq!(
+            issued.iter().map(|(s, _)| *s).collect::<Vec<_>>(),
+            vec![5, 12, 20],
+            "selection follows age order regardless of insertion order"
+        );
+    }
+
+    #[test]
     fn capacity_is_enforced() {
         let mut iq = IssueQueue::new(2, SchedPolicy::OutOfOrder);
         assert!(iq.has_space());
@@ -281,6 +378,14 @@ mod tests {
         let mut iq = IssueQueue::new(1, SchedPolicy::OutOfOrder);
         iq.insert(1, OpClass::IntAlu, true);
         iq.insert(2, OpClass::IntAlu, true);
+    }
+
+    #[test]
+    #[should_panic(expected = "already in issue queue")]
+    fn duplicate_sequence_numbers_panic() {
+        let mut iq = IssueQueue::new(4, SchedPolicy::OutOfOrder);
+        iq.insert(1, OpClass::IntAlu, true);
+        iq.insert(1, OpClass::IntAlu, false);
     }
 
     #[test]

@@ -42,7 +42,9 @@ pub mod iq;
 pub mod lsq;
 pub mod rob;
 
-pub use crate::core::{run_baseline, run_baseline_stream, CoreParams, OooCore, LONG_LATENCY_THRESHOLD};
+pub use crate::core::{
+    run_baseline, run_baseline_stream, CoreParams, OooCore, LONG_LATENCY_THRESHOLD,
+};
 pub use fu::{FunctionalUnits, MemPorts};
 pub use iq::IssueQueue;
 pub use lsq::Lsq;

@@ -5,20 +5,33 @@
 //! the timing-relevant behaviour: a bounded number of in-flight memory
 //! operations, a bounded number of memory ports per cycle (enforced by
 //! [`crate::fu::MemPorts`]), and store-to-load forwarding by address.
+//!
+//! Forwarding lookups are the per-load hot path, so pending stores are
+//! indexed *by 8-byte slot*: each slot keeps its in-flight store sequence
+//! numbers in ascending (program) order, which makes "does any older store
+//! to this slot exist?" a two-step hash probe instead of a scan over the
+//! whole store queue (the D-KIP's Address Processor LSQ holds 512 entries).
+//! Emptied slot lists are recycled through a pool, so the steady state
+//! allocates nothing.
 
-use std::collections::BTreeMap;
+use dkip_model::{fast_map_with_capacity, FastHashMap};
 
 /// Latency of a load satisfied by store-to-load forwarding.
 pub const FORWARD_LATENCY: u64 = 2;
 
 /// A load/store queue.
-#[derive(Debug, Clone)]
+#[derive(Debug, Clone, Default)]
 pub struct Lsq {
     capacity: usize,
     occupancy: usize,
     /// In-flight (dispatched, not yet committed) stores: seq → 8-byte
-    /// aligned address.
-    pending_stores: BTreeMap<u64, u64>,
+    /// aligned slot (consulted at retire to unindex the store).
+    store_slots: FastHashMap<u64, u64>,
+    /// Slot → in-flight store seqs, ascending (stores dispatch in program
+    /// order).
+    stores_by_slot: FastHashMap<u64, Vec<u64>>,
+    /// Recycled slot-list spines.
+    spine_pool: Vec<Vec<u64>>,
 }
 
 impl Lsq {
@@ -34,7 +47,9 @@ impl Lsq {
         Lsq {
             capacity,
             occupancy: 0,
-            pending_stores: BTreeMap::new(),
+            store_slots: fast_map_with_capacity(capacity),
+            stores_by_slot: fast_map_with_capacity(capacity),
+            spine_pool: Vec::new(),
         }
     }
 
@@ -79,17 +94,24 @@ impl Lsq {
     pub fn dispatch_store(&mut self, seq: u64, addr: u64) {
         assert!(self.has_space(), "LSQ overflow");
         self.occupancy += 1;
-        self.pending_stores.insert(seq, Self::slot(addr));
+        let slot = Self::slot(addr);
+        self.store_slots.insert(seq, slot);
+        self.stores_by_slot
+            .entry(slot)
+            .or_insert_with(|| self.spine_pool.pop().unwrap_or_default())
+            .push(seq);
     }
 
     /// Whether a load with sequence number `seq` and address `addr` can be
     /// satisfied by forwarding from an older in-flight store.
     #[must_use]
     pub fn forwards_from_store(&self, seq: u64, addr: u64) -> bool {
-        let slot = Self::slot(addr);
-        self.pending_stores
-            .range(..seq)
-            .any(|(_, &store_slot)| store_slot == slot)
+        // Slot lists are ascending, so "any in-flight store older than the
+        // load" is just a check against the oldest entry.
+        self.stores_by_slot
+            .get(&Self::slot(addr))
+            .and_then(|stores| stores.first())
+            .is_some_and(|&oldest| oldest < seq)
     }
 
     /// Releases the entry of a committed load.
@@ -110,7 +132,23 @@ impl Lsq {
     pub fn retire_store(&mut self, seq: u64) {
         assert!(self.occupancy > 0, "LSQ underflow");
         self.occupancy -= 1;
-        self.pending_stores.remove(&seq);
+        let Some(slot) = self.store_slots.remove(&seq) else {
+            return;
+        };
+        let Some(stores) = self.stores_by_slot.get_mut(&slot) else {
+            return;
+        };
+        // Stores retire in program order, so the match is (almost always)
+        // the front entry.
+        if let Some(idx) = stores.iter().position(|&s| s == seq) {
+            stores.remove(idx);
+        }
+        if stores.is_empty() {
+            let spine = self.stores_by_slot.remove(&slot).expect("slot list exists");
+            if spine.capacity() > 0 {
+                self.spine_pool.push(spine);
+            }
+        }
     }
 }
 
@@ -152,7 +190,10 @@ mod tests {
         lsq.dispatch_store(5, 0x1000);
         assert!(lsq.forwards_from_store(7, 0x1004), "same 8-byte slot");
         assert!(!lsq.forwards_from_store(7, 0x1008), "different slot");
-        assert!(!lsq.forwards_from_store(3, 0x1000), "younger stores do not forward");
+        assert!(
+            !lsq.forwards_from_store(3, 0x1000),
+            "younger stores do not forward"
+        );
     }
 
     #[test]

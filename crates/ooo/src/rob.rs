@@ -118,7 +118,10 @@ impl Rob {
     pub fn push(&mut self, entry: RobEntry) {
         assert!(self.has_space(), "ROB overflow");
         let expected = self.head_seq + self.entries.len() as u64;
-        assert_eq!(entry.op.seq, expected, "ROB entries must be pushed in program order");
+        assert_eq!(
+            entry.op.seq, expected,
+            "ROB entries must be pushed in program order"
+        );
         self.entries.push_back(entry);
     }
 
@@ -160,7 +163,11 @@ mod tests {
     use dkip_model::{MicroOp, OpClass};
 
     fn entry(seq: u64) -> RobEntry {
-        RobEntry::new(MicroOp::new(seq, 0x400 + seq * 4, OpClass::IntAlu), 0, RegClass::Int)
+        RobEntry::new(
+            MicroOp::new(seq, 0x400 + seq * 4, OpClass::IntAlu),
+            0,
+            RegClass::Int,
+        )
     }
 
     #[test]

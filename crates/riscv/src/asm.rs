@@ -58,7 +58,7 @@ impl Program {
     /// program (4-byte aligned).
     #[must_use]
     pub fn inst_at(&self, addr: u64) -> Option<Inst> {
-        if addr < self.base || (addr - self.base) % 4 != 0 {
+        if addr < self.base || !(addr - self.base).is_multiple_of(4) {
             return None;
         }
         self.insts.get(((addr - self.base) / 4) as usize).copied()
@@ -88,8 +88,16 @@ enum Target {
 #[derive(Debug, Clone)]
 enum Proto {
     Ready(Inst),
-    Branch { cond: BranchCond, rs1: Reg, rs2: Reg, target: Target },
-    Jal { rd: Reg, target: Target },
+    Branch {
+        cond: BranchCond,
+        rs1: Reg,
+        rs2: Reg,
+        target: Target,
+    },
+    Jal {
+        rd: Reg,
+        target: Target,
+    },
 }
 
 struct Parser<'a> {
@@ -149,7 +157,11 @@ impl Parser<'_> {
             .filter(|&c| c > open && token[c + 1..].trim().is_empty())
             .ok_or_else(|| self.err(format!("unbalanced memory operand '{token}'")))?;
         let offset = token[..open].trim();
-        let offset = if offset.is_empty() { Ok(0) } else { self.imm12(offset) }?;
+        let offset = if offset.is_empty() {
+            Ok(0)
+        } else {
+            self.imm12(offset)
+        }?;
         let base = self.reg(token[open + 1..close].trim())?;
         Ok((offset, base))
     }
@@ -161,7 +173,10 @@ impl Parser<'_> {
             .ok_or_else(|| self.err("empty branch target"))?;
         if first == '-' || first.is_ascii_digit() {
             Ok(Target::Rel(self.imm(token)?))
-        } else if token.chars().all(|c| c.is_ascii_alphanumeric() || c == '_' || c == '.') {
+        } else if token
+            .chars()
+            .all(|c| c.is_ascii_alphanumeric() || c == '_' || c == '.')
+        {
             Ok(Target::Label(token.to_owned()))
         } else {
             Err(self.err(format!("invalid label '{token}'")))
@@ -170,7 +185,10 @@ impl Parser<'_> {
 }
 
 fn split_operands(rest: &str) -> Vec<&str> {
-    rest.split(',').map(str::trim).filter(|t| !t.is_empty()).collect()
+    rest.split(',')
+        .map(str::trim)
+        .filter(|t| !t.is_empty())
+        .collect()
 }
 
 /// Expands a small-enough `li` into one `addi`, anything else that fits in
@@ -188,12 +206,17 @@ fn expand_li(rd: Reg, value: i64, p: &Parser<'_>) -> Result<Vec<Proto>, AsmError
         return Err(p.err(format!("li immediate {value} does not fit in 32 bits")));
     }
     let lo = ((value << 52) >> 52) as i32; // sign-extended low 12 bits
-    // Upper 20 bits, wrapped to the signed lui range; `addiw`'s 32-bit
-    // wrap-and-sign-extend makes the pair exact for any i32 value.
+                                           // Upper 20 bits, wrapped to the signed lui range; `addiw`'s 32-bit
+                                           // wrap-and-sign-extend makes the pair exact for any i32 value.
     let hi = ((((value + 0x800) >> 12) & 0xf_ffff) << 44 >> 44) as i32;
     let mut out = vec![Proto::Ready(Inst::Lui { rd, imm20: hi })];
     if lo != 0 {
-        out.push(Proto::Ready(Inst::OpImm { op: AluImmOp::Addiw, rd, rs1: rd, imm: lo }));
+        out.push(Proto::Ready(Inst::OpImm {
+            op: AluImmOp::Addiw,
+            rd,
+            rs1: rd,
+            imm: lo,
+        }));
     }
     Ok(out)
 }
@@ -206,7 +229,10 @@ fn parse_inst(mnemonic: &str, rest: &str, p: &Parser<'_>) -> Result<Vec<Proto>, 
         if ops.len() == n {
             Ok(())
         } else {
-            Err(p.err(format!("{mnemonic} expects {n} operands, got {}", ops.len())))
+            Err(p.err(format!(
+                "{mnemonic} expects {n} operands, got {}",
+                ops.len()
+            )))
         }
     };
 
@@ -219,7 +245,10 @@ fn parse_inst(mnemonic: &str, rest: &str, p: &Parser<'_>) -> Result<Vec<Proto>, 
             rs2: p.reg(ops[2])?,
         })]);
     }
-    if let Some(op) = AluImmOp::ALL.into_iter().find(|op| op.mnemonic() == mnemonic) {
+    if let Some(op) = AluImmOp::ALL
+        .into_iter()
+        .find(|op| op.mnemonic() == mnemonic)
+    {
         need(3)?;
         let imm = if op.is_shift() {
             let v = p.imm(ops[2])?;
@@ -240,24 +269,49 @@ fn parse_inst(mnemonic: &str, rest: &str, p: &Parser<'_>) -> Result<Vec<Proto>, 
     let load = |width, signed| -> Result<Vec<Proto>, AsmError> {
         need(2)?;
         let (imm, rs1) = p.mem(ops[1])?;
-        Ok(vec![Proto::Ready(Inst::Load { width, signed, rd: p.reg(ops[0])?, rs1, imm })])
+        Ok(vec![Proto::Ready(Inst::Load {
+            width,
+            signed,
+            rd: p.reg(ops[0])?,
+            rs1,
+            imm,
+        })])
     };
     let store = |width| -> Result<Vec<Proto>, AsmError> {
         need(2)?;
         let (imm, rs1) = p.mem(ops[1])?;
-        Ok(vec![Proto::Ready(Inst::Store { width, rs2: p.reg(ops[0])?, rs1, imm })])
+        Ok(vec![Proto::Ready(Inst::Store {
+            width,
+            rs2: p.reg(ops[0])?,
+            rs1,
+            imm,
+        })])
     };
     let branch = |cond, swap: bool| -> Result<Vec<Proto>, AsmError> {
         need(3)?;
         let (a, b) = (p.reg(ops[0])?, p.reg(ops[1])?);
         let (rs1, rs2) = if swap { (b, a) } else { (a, b) };
-        Ok(vec![Proto::Branch { cond, rs1, rs2, target: p.target(ops[2])? }])
+        Ok(vec![Proto::Branch {
+            cond,
+            rs1,
+            rs2,
+            target: p.target(ops[2])?,
+        }])
     };
     let branch_zero = |cond, reg_is_rs2: bool| -> Result<Vec<Proto>, AsmError> {
         need(2)?;
         let r = p.reg(ops[0])?;
-        let (rs1, rs2) = if reg_is_rs2 { (Reg::ZERO, r) } else { (r, Reg::ZERO) };
-        Ok(vec![Proto::Branch { cond, rs1, rs2, target: p.target(ops[1])? }])
+        let (rs1, rs2) = if reg_is_rs2 {
+            (Reg::ZERO, r)
+        } else {
+            (r, Reg::ZERO)
+        };
+        Ok(vec![Proto::Branch {
+            cond,
+            rs1,
+            rs2,
+            target: p.target(ops[1])?,
+        }])
     };
 
     match mnemonic {
@@ -289,26 +343,46 @@ fn parse_inst(mnemonic: &str, rest: &str, p: &Parser<'_>) -> Result<Vec<Proto>, 
         "bgtz" => branch_zero(BranchCond::Lt, true),
         "blez" => branch_zero(BranchCond::Ge, true),
         "jal" => match ops.len() {
-            1 => Ok(vec![Proto::Jal { rd: Reg::RA, target: p.target(ops[0])? }]),
-            2 => Ok(vec![Proto::Jal { rd: p.reg(ops[0])?, target: p.target(ops[1])? }]),
+            1 => Ok(vec![Proto::Jal {
+                rd: Reg::RA,
+                target: p.target(ops[0])?,
+            }]),
+            2 => Ok(vec![Proto::Jal {
+                rd: p.reg(ops[0])?,
+                target: p.target(ops[1])?,
+            }]),
             n => Err(p.err(format!("jal expects 1 or 2 operands, got {n}"))),
         },
         "j" => {
             need(1)?;
-            Ok(vec![Proto::Jal { rd: Reg::ZERO, target: p.target(ops[0])? }])
+            Ok(vec![Proto::Jal {
+                rd: Reg::ZERO,
+                target: p.target(ops[0])?,
+            }])
         }
         "call" => {
             need(1)?;
-            Ok(vec![Proto::Jal { rd: Reg::RA, target: p.target(ops[0])? }])
+            Ok(vec![Proto::Jal {
+                rd: Reg::RA,
+                target: p.target(ops[0])?,
+            }])
         }
         "jalr" => {
             need(2)?;
             let (imm, rs1) = p.mem(ops[1])?;
-            Ok(vec![Proto::Ready(Inst::Jalr { rd: p.reg(ops[0])?, rs1, imm })])
+            Ok(vec![Proto::Ready(Inst::Jalr {
+                rd: p.reg(ops[0])?,
+                rs1,
+                imm,
+            })])
         }
         "ret" => {
             need(0)?;
-            Ok(vec![Proto::Ready(Inst::Jalr { rd: Reg::ZERO, rs1: Reg::RA, imm: 0 })])
+            Ok(vec![Proto::Ready(Inst::Jalr {
+                rd: Reg::ZERO,
+                rs1: Reg::RA,
+                imm: 0,
+            })])
         }
         "lui" => {
             need(2)?;
@@ -316,7 +390,10 @@ fn parse_inst(mnemonic: &str, rest: &str, p: &Parser<'_>) -> Result<Vec<Proto>, 
             if !(-(1 << 19)..(1 << 19)).contains(&v) {
                 return Err(p.err(format!("lui immediate {v} does not fit in 20 bits")));
             }
-            Ok(vec![Proto::Ready(Inst::Lui { rd: p.reg(ops[0])?, imm20: v as i32 })])
+            Ok(vec![Proto::Ready(Inst::Lui {
+                rd: p.reg(ops[0])?,
+                imm20: v as i32,
+            })])
         }
         "auipc" => {
             need(2)?;
@@ -324,7 +401,10 @@ fn parse_inst(mnemonic: &str, rest: &str, p: &Parser<'_>) -> Result<Vec<Proto>, 
             if !(-(1 << 19)..(1 << 19)).contains(&v) {
                 return Err(p.err(format!("auipc immediate {v} does not fit in 20 bits")));
             }
-            Ok(vec![Proto::Ready(Inst::Auipc { rd: p.reg(ops[0])?, imm20: v as i32 })])
+            Ok(vec![Proto::Ready(Inst::Auipc {
+                rd: p.reg(ops[0])?,
+                imm20: v as i32,
+            })])
         }
         "li" => {
             need(2)?;
@@ -414,7 +494,10 @@ pub fn assemble(source: &str, base: u64) -> Result<Program, AsmError> {
     let mut protos: Vec<(usize, Proto)> = Vec::new();
     let mut labels: HashMap<String, u64> = HashMap::new();
     for (idx, raw_line) in source.lines().enumerate() {
-        let p = Parser { line: idx + 1, text: raw_line };
+        let p = Parser {
+            line: idx + 1,
+            text: raw_line,
+        };
         let mut text = strip_comment(p.text).trim();
         while let Some(colon) = text.find(':') {
             let name = text[..colon].trim();
@@ -423,7 +506,9 @@ pub fn assemble(source: &str, base: u64) -> Result<Program, AsmError> {
             // numeric relative offsets, never as label references.
             if name.is_empty()
                 || name.chars().next().is_some_and(|c| c.is_ascii_digit())
-                || !name.chars().all(|c| c.is_ascii_alphanumeric() || c == '_' || c == '.')
+                || !name
+                    .chars()
+                    .all(|c| c.is_ascii_alphanumeric() || c == '_' || c == '.')
             {
                 return Err(p.err(format!("invalid label definition '{name}'")));
             }
@@ -446,7 +531,10 @@ pub fn assemble(source: &str, base: u64) -> Result<Program, AsmError> {
     let mut insts = Vec::with_capacity(protos.len());
     for (pos, (line, proto)) in protos.iter().enumerate() {
         let pc = base + 4 * pos as u64;
-        let p = Parser { line: *line, text: "" };
+        let p = Parser {
+            line: *line,
+            text: "",
+        };
         let resolve = |target: &Target| -> Result<i64, AsmError> {
             match target {
                 Target::Rel(offset) => Ok(*offset),
@@ -458,25 +546,43 @@ pub fn assemble(source: &str, base: u64) -> Result<Program, AsmError> {
         };
         let inst = match proto {
             Proto::Ready(inst) => *inst,
-            Proto::Branch { cond, rs1, rs2, target } => {
+            Proto::Branch {
+                cond,
+                rs1,
+                rs2,
+                target,
+            } => {
                 let offset = resolve(target)?;
                 if !(-4096..=4094).contains(&offset) || offset % 2 != 0 {
                     return Err(p.err(format!("branch offset {offset} out of range")));
                 }
-                Inst::Branch { cond: *cond, rs1: *rs1, rs2: *rs2, imm: offset as i32 }
+                Inst::Branch {
+                    cond: *cond,
+                    rs1: *rs1,
+                    rs2: *rs2,
+                    imm: offset as i32,
+                }
             }
             Proto::Jal { rd, target } => {
                 let offset = resolve(target)?;
                 if !(-(1 << 20)..(1 << 20)).contains(&offset) || offset % 2 != 0 {
                     return Err(p.err(format!("jump offset {offset} out of range")));
                 }
-                Inst::Jal { rd: *rd, imm: offset as i32 }
+                Inst::Jal {
+                    rd: *rd,
+                    imm: offset as i32,
+                }
             }
         };
         insts.push(inst);
     }
     let words = insts.iter().map(Inst::encode).collect();
-    Ok(Program { base, insts, words, labels })
+    Ok(Program {
+        base,
+        insts,
+        words,
+        labels,
+    })
 }
 
 #[cfg(test)]
@@ -491,8 +597,24 @@ mod tests {
     fn labels_resolve_forwards_and_backwards() {
         let prog = asm("top:\n  addi a0, a0, 1\n  bne a0, a1, top\n  beq a0, a1, done\n  nop\ndone:\n  ecall\n");
         assert_eq!(prog.len(), 5);
-        assert_eq!(prog.insts[1], Inst::Branch { cond: BranchCond::Ne, rs1: Reg::A0, rs2: Reg::A1, imm: -4 });
-        assert_eq!(prog.insts[2], Inst::Branch { cond: BranchCond::Eq, rs1: Reg::A0, rs2: Reg::A1, imm: 8 });
+        assert_eq!(
+            prog.insts[1],
+            Inst::Branch {
+                cond: BranchCond::Ne,
+                rs1: Reg::A0,
+                rs2: Reg::A1,
+                imm: -4
+            }
+        );
+        assert_eq!(
+            prog.insts[2],
+            Inst::Branch {
+                cond: BranchCond::Eq,
+                rs1: Reg::A0,
+                rs2: Reg::A1,
+                imm: 8
+            }
+        );
         assert_eq!(prog.labels["done"], 0x1000 + 16);
     }
 
@@ -502,7 +624,13 @@ mod tests {
         let big = asm("li t0, 0x12345");
         assert_eq!(big.len(), 2);
         assert!(matches!(big.insts[0], Inst::Lui { .. }));
-        assert!(matches!(big.insts[1], Inst::OpImm { op: AluImmOp::Addiw, .. }));
+        assert!(matches!(
+            big.insts[1],
+            Inst::OpImm {
+                op: AluImmOp::Addiw,
+                ..
+            }
+        ));
         // A label after the expansion still lands on the right address.
         let prog = asm("li t0, 0x12345\nhere:\n  j here");
         assert_eq!(prog.labels["here"], 0x1000 + 8);
@@ -510,17 +638,55 @@ mod tests {
 
     #[test]
     fn pseudo_instructions_lower_to_base_forms() {
-        let prog = asm("mv a0, a1\nneg a1, a2\nseqz a2, a3\nsnez a3, a4\nj 0\nret\nnop\nnot t0, t1");
-        assert_eq!(prog.insts[0], Inst::OpImm { op: AluImmOp::Addi, rd: Reg::A0, rs1: Reg::A1, imm: 0 });
-        assert_eq!(prog.insts[4], Inst::Jal { rd: Reg::ZERO, imm: 0 });
-        assert_eq!(prog.insts[5], Inst::Jalr { rd: Reg::ZERO, rs1: Reg::RA, imm: 0 });
+        let prog =
+            asm("mv a0, a1\nneg a1, a2\nseqz a2, a3\nsnez a3, a4\nj 0\nret\nnop\nnot t0, t1");
+        assert_eq!(
+            prog.insts[0],
+            Inst::OpImm {
+                op: AluImmOp::Addi,
+                rd: Reg::A0,
+                rs1: Reg::A1,
+                imm: 0
+            }
+        );
+        assert_eq!(
+            prog.insts[4],
+            Inst::Jal {
+                rd: Reg::ZERO,
+                imm: 0
+            }
+        );
+        assert_eq!(
+            prog.insts[5],
+            Inst::Jalr {
+                rd: Reg::ZERO,
+                rs1: Reg::RA,
+                imm: 0
+            }
+        );
     }
 
     #[test]
     fn swapped_branches_swap_operands() {
         let prog = asm("ble a0, a1, 8\nbgt a0, a1, 8");
-        assert_eq!(prog.insts[0], Inst::Branch { cond: BranchCond::Ge, rs1: Reg::A1, rs2: Reg::A0, imm: 8 });
-        assert_eq!(prog.insts[1], Inst::Branch { cond: BranchCond::Lt, rs1: Reg::A1, rs2: Reg::A0, imm: 8 });
+        assert_eq!(
+            prog.insts[0],
+            Inst::Branch {
+                cond: BranchCond::Ge,
+                rs1: Reg::A1,
+                rs2: Reg::A0,
+                imm: 8
+            }
+        );
+        assert_eq!(
+            prog.insts[1],
+            Inst::Branch {
+                cond: BranchCond::Lt,
+                rs1: Reg::A1,
+                rs2: Reg::A0,
+                imm: 8
+            }
+        );
     }
 
     #[test]
@@ -564,6 +730,15 @@ mod tests {
     #[test]
     fn memory_operand_with_empty_offset_defaults_to_zero() {
         let prog = asm("ld a0, (sp)");
-        assert_eq!(prog.insts[0], Inst::Load { width: MemWidth::D, signed: true, rd: Reg::A0, rs1: Reg::SP, imm: 0 });
+        assert_eq!(
+            prog.insts[0],
+            Inst::Load {
+                width: MemWidth::D,
+                signed: true,
+                rd: Reg::A0,
+                rs1: Reg::SP,
+                imm: 0
+            }
+        );
     }
 }

@@ -149,7 +149,8 @@ impl Emulator {
 
     fn check_addr(&self, addr: u64, bytes: u8) {
         assert!(
-            addr.checked_add(u64::from(bytes)).is_some_and(|end| end <= MEM_SIZE),
+            addr.checked_add(u64::from(bytes))
+                .is_some_and(|end| end <= MEM_SIZE),
             "memory access at {addr:#x}+{bytes} outside the {MEM_SIZE:#x}-byte memory"
         );
     }
@@ -158,7 +159,8 @@ impl Emulator {
         let bytes = width.bytes();
         self.check_addr(addr, bytes);
         let mut raw = [0u8; 8];
-        raw[..bytes as usize].copy_from_slice(&self.mem[addr as usize..addr as usize + bytes as usize]);
+        raw[..bytes as usize]
+            .copy_from_slice(&self.mem[addr as usize..addr as usize + bytes as usize]);
         let value = u64::from_le_bytes(raw);
         if !sign {
             return value;
@@ -199,13 +201,7 @@ impl Emulator {
                 (i64::MIN, -1) => i64::MIN as u64,
                 (x, y) => (x / y) as u64,
             },
-            AluOp::Divu => {
-                if b == 0 {
-                    u64::MAX
-                } else {
-                    a / b
-                }
-            }
+            AluOp::Divu => a.checked_div(b).unwrap_or(u64::MAX),
             AluOp::Rem => match (a as i64, b as i64) {
                 (x, 0) => x as u64,
                 (i64::MIN, -1) => 0,
@@ -281,7 +277,7 @@ impl Emulator {
         }
         let offset = self.pc.wrapping_sub(self.base);
         let index = (offset / 4) as usize;
-        if offset % 4 != 0 || index >= self.insts.len() {
+        if !offset.is_multiple_of(4) || index >= self.insts.len() {
             // Fell off the program (e.g. a top-level `ret` to ra == 0).
             self.halted = true;
             return None;
@@ -306,18 +302,34 @@ impl Emulator {
             Inst::Auipc { rd, imm20 } => {
                 self.set_reg(rd, pc.wrapping_add(((imm20 as i64) << 12) as u64));
             }
-            Inst::Load { width, signed, rd, rs1, imm } => {
+            Inst::Load {
+                width,
+                signed,
+                rd,
+                rs1,
+                imm,
+            } => {
                 let addr = self.reg(rs1).wrapping_add(imm as i64 as u64);
                 let value = self.load(addr, width, signed);
                 self.set_reg(rd, value);
                 mem_addr = Some(addr);
             }
-            Inst::Store { width, rs2, rs1, imm } => {
+            Inst::Store {
+                width,
+                rs2,
+                rs1,
+                imm,
+            } => {
                 let addr = self.reg(rs1).wrapping_add(imm as i64 as u64);
                 self.store(addr, width, self.reg(rs2));
                 mem_addr = Some(addr);
             }
-            Inst::Branch { cond, rs1, rs2, imm } => {
+            Inst::Branch {
+                cond,
+                rs1,
+                rs2,
+                imm,
+            } => {
                 taken = Self::cond(cond, self.reg(rs1), self.reg(rs2));
                 if taken {
                     next_pc = pc.wrapping_add(imm as i64 as u64);
@@ -338,7 +350,13 @@ impl Emulator {
         }
         self.pc = next_pc;
         self.retired += 1;
-        Some(Retired { pc, inst, next_pc, mem_addr, taken })
+        Some(Retired {
+            pc,
+            inst,
+            next_pc,
+            mem_addr,
+            taken,
+        })
     }
 
     /// Runs until the machine halts and returns the number of retired
@@ -402,13 +420,18 @@ mod tests {
 
     #[test]
     fn call_and_ret_use_the_stack_convention() {
-        let emu = run("main:\n  li a0, 5\n  call double\n  ecall\ndouble:\n  add a0, a0, a0\n  ret");
+        let emu =
+            run("main:\n  li a0, 5\n  call double\n  ecall\ndouble:\n  add a0, a0, a0\n  ret");
         assert_eq!(emu.reg(Reg::A0), 10);
     }
 
     #[test]
     fn conditional_branches_report_taken() {
-        let prog = assemble("li t0, 1\nbeq t0, zero, 8\nbne t0, zero, 8\nnop\necall", CODE_BASE).unwrap();
+        let prog = assemble(
+            "li t0, 1\nbeq t0, zero, 8\nbne t0, zero, 8\nnop\necall",
+            CODE_BASE,
+        )
+        .unwrap();
         let mut emu = Emulator::new(&prog);
         let _li = emu.step().unwrap();
         let beq = emu.step().unwrap();
@@ -423,7 +446,10 @@ mod tests {
         let prog = assemble("beq zero, zero, 4\necall", CODE_BASE).unwrap();
         let mut emu = Emulator::new(&prog);
         let beq = emu.step().unwrap();
-        assert!(beq.branch_taken(), "offset +4 equals the fallthrough PC but the branch is taken");
+        assert!(
+            beq.branch_taken(),
+            "offset +4 equals the fallthrough PC but the branch is taken"
+        );
         assert_eq!(beq.next_pc, beq.pc + 4);
         // Non-branches never report taken.
         let ecall = emu.step().unwrap();
@@ -446,7 +472,10 @@ mod tests {
         emu.set_step_limit(100);
         emu.run_to_halt();
         assert!(emu.halted(), "the backstop still ends the stream");
-        assert!(!emu.ran_to_completion(), "but it must not look like a clean halt");
+        assert!(
+            !emu.ran_to_completion(),
+            "but it must not look like a clean halt"
+        );
         assert_eq!(emu.retired(), 100);
         // A clean ecall halt reports completion.
         let clean = run("ecall");

@@ -522,7 +522,10 @@ impl fmt::Display for DecodeError {
 impl std::error::Error for DecodeError {}
 
 fn imm12(imm: i32) -> u32 {
-    assert!((-2048..=2047).contains(&imm), "12-bit immediate {imm} out of range");
+    assert!(
+        (-2048..=2047).contains(&imm),
+        "12-bit immediate {imm} out of range"
+    );
     (imm as u32) & 0xfff
 }
 
@@ -554,40 +557,77 @@ impl Inst {
                     AluImmOp::Xori => (OPC_OP_IMM, 0b100, imm12(imm)),
                     AluImmOp::Ori => (OPC_OP_IMM, 0b110, imm12(imm)),
                     AluImmOp::Andi => (OPC_OP_IMM, 0b111, imm12(imm)),
-                    AluImmOp::Slli | AluImmOp::Srli | AluImmOp::Srai | AluImmOp::Slliw
-                    | AluImmOp::Srliw | AluImmOp::Sraiw => {
+                    AluImmOp::Slli
+                    | AluImmOp::Srli
+                    | AluImmOp::Srai
+                    | AluImmOp::Slliw
+                    | AluImmOp::Srliw
+                    | AluImmOp::Sraiw => {
                         assert!(
                             (0..=op.max_shamt()).contains(&imm),
                             "shift amount {imm} out of range for {}",
                             op.mnemonic()
                         );
-                        let opc = if op.max_shamt() == 63 { OPC_OP_IMM } else { OPC_OP_IMM_32 };
-                        let f3 = if op == AluImmOp::Slli || op == AluImmOp::Slliw { 0b001 } else { 0b101 };
+                        let opc = if op.max_shamt() == 63 {
+                            OPC_OP_IMM
+                        } else {
+                            OPC_OP_IMM_32
+                        };
+                        let f3 = if op == AluImmOp::Slli || op == AluImmOp::Slliw {
+                            0b001
+                        } else {
+                            0b101
+                        };
                         let arith = matches!(op, AluImmOp::Srai | AluImmOp::Sraiw);
                         let top = if arith { 0b0100_0000u32 << 4 } else { 0 };
                         (opc, f3, top | imm as u32)
                     }
                     AluImmOp::Addiw => (OPC_OP_IMM_32, 0b000, imm12(imm)),
                 };
-                (raw << 20) | (u32::from(rs1.index()) << 15) | (f3 << 12) | (u32::from(rd.index()) << 7) | opc
+                (raw << 20)
+                    | (u32::from(rs1.index()) << 15)
+                    | (f3 << 12)
+                    | (u32::from(rd.index()) << 7)
+                    | opc
             }
             Inst::Lui { rd, imm20 } => {
-                assert!((-(1 << 19)..(1 << 19)).contains(&imm20), "20-bit immediate {imm20} out of range");
+                assert!(
+                    (-(1 << 19)..(1 << 19)).contains(&imm20),
+                    "20-bit immediate {imm20} out of range"
+                );
                 (((imm20 as u32) & 0xf_ffff) << 12) | (u32::from(rd.index()) << 7) | OPC_LUI
             }
             Inst::Auipc { rd, imm20 } => {
-                assert!((-(1 << 19)..(1 << 19)).contains(&imm20), "20-bit immediate {imm20} out of range");
+                assert!(
+                    (-(1 << 19)..(1 << 19)).contains(&imm20),
+                    "20-bit immediate {imm20} out of range"
+                );
                 (((imm20 as u32) & 0xf_ffff) << 12) | (u32::from(rd.index()) << 7) | OPC_AUIPC
             }
-            Inst::Load { width, signed, rd, rs1, imm } => {
+            Inst::Load {
+                width,
+                signed,
+                rd,
+                rs1,
+                imm,
+            } => {
                 assert!(
                     signed || width != MemWidth::D,
                     "ldu does not exist: 64-bit loads need no extension"
                 );
                 let f3 = width.funct3() | if signed { 0 } else { 0b100 };
-                (imm12(imm) << 20) | (u32::from(rs1.index()) << 15) | (f3 << 12) | (u32::from(rd.index()) << 7) | OPC_LOAD
+                (imm12(imm) << 20)
+                    | (u32::from(rs1.index()) << 15)
+                    | (f3 << 12)
+                    | (u32::from(rd.index()) << 7)
+                    | OPC_LOAD
             }
-            Inst::Store { width, rs2, rs1, imm } => {
+            Inst::Store {
+                width,
+                rs2,
+                rs1,
+                imm,
+            } => {
                 let raw = imm12(imm);
                 ((raw >> 5) << 25)
                     | (u32::from(rs2.index()) << 20)
@@ -596,7 +636,12 @@ impl Inst {
                     | ((raw & 0x1f) << 7)
                     | OPC_STORE
             }
-            Inst::Branch { cond, rs1, rs2, imm } => {
+            Inst::Branch {
+                cond,
+                rs1,
+                rs2,
+                imm,
+            } => {
                 assert!(
                     (-4096..=4094).contains(&imm) && imm % 2 == 0,
                     "branch offset {imm} out of range or odd"
@@ -625,7 +670,10 @@ impl Inst {
                     | OPC_JAL
             }
             Inst::Jalr { rd, rs1, imm } => {
-                (imm12(imm) << 20) | (u32::from(rs1.index()) << 15) | (u32::from(rd.index()) << 7) | OPC_JALR
+                (imm12(imm) << 20)
+                    | (u32::from(rs1.index()) << 15)
+                    | (u32::from(rd.index()) << 7)
+                    | OPC_JALR
             }
             Inst::Ecall => OPC_SYSTEM,
         }
@@ -668,12 +716,42 @@ pub fn decode(word: u32) -> Result<Inst, DecodeError> {
             }
         }
         OPC_OP_IMM => match f3 {
-            0b000 => Ok(Inst::OpImm { op: AluImmOp::Addi, rd, rs1, imm: i_imm }),
-            0b010 => Ok(Inst::OpImm { op: AluImmOp::Slti, rd, rs1, imm: i_imm }),
-            0b011 => Ok(Inst::OpImm { op: AluImmOp::Sltiu, rd, rs1, imm: i_imm }),
-            0b100 => Ok(Inst::OpImm { op: AluImmOp::Xori, rd, rs1, imm: i_imm }),
-            0b110 => Ok(Inst::OpImm { op: AluImmOp::Ori, rd, rs1, imm: i_imm }),
-            0b111 => Ok(Inst::OpImm { op: AluImmOp::Andi, rd, rs1, imm: i_imm }),
+            0b000 => Ok(Inst::OpImm {
+                op: AluImmOp::Addi,
+                rd,
+                rs1,
+                imm: i_imm,
+            }),
+            0b010 => Ok(Inst::OpImm {
+                op: AluImmOp::Slti,
+                rd,
+                rs1,
+                imm: i_imm,
+            }),
+            0b011 => Ok(Inst::OpImm {
+                op: AluImmOp::Sltiu,
+                rd,
+                rs1,
+                imm: i_imm,
+            }),
+            0b100 => Ok(Inst::OpImm {
+                op: AluImmOp::Xori,
+                rd,
+                rs1,
+                imm: i_imm,
+            }),
+            0b110 => Ok(Inst::OpImm {
+                op: AluImmOp::Ori,
+                rd,
+                rs1,
+                imm: i_imm,
+            }),
+            0b111 => Ok(Inst::OpImm {
+                op: AluImmOp::Andi,
+                rd,
+                rs1,
+                imm: i_imm,
+            }),
             0b001 if f7 >> 1 == 0 => Ok(Inst::OpImm {
                 op: AluImmOp::Slli,
                 rd,
@@ -695,10 +773,30 @@ pub fn decode(word: u32) -> Result<Inst, DecodeError> {
             _ => err,
         },
         OPC_OP_IMM_32 => match (f3, f7) {
-            (0b000, _) => Ok(Inst::OpImm { op: AluImmOp::Addiw, rd, rs1, imm: i_imm }),
-            (0b001, 0) => Ok(Inst::OpImm { op: AluImmOp::Slliw, rd, rs1, imm: field(word, 20, 5) as i32 }),
-            (0b101, 0) => Ok(Inst::OpImm { op: AluImmOp::Srliw, rd, rs1, imm: field(word, 20, 5) as i32 }),
-            (0b101, 0b010_0000) => Ok(Inst::OpImm { op: AluImmOp::Sraiw, rd, rs1, imm: field(word, 20, 5) as i32 }),
+            (0b000, _) => Ok(Inst::OpImm {
+                op: AluImmOp::Addiw,
+                rd,
+                rs1,
+                imm: i_imm,
+            }),
+            (0b001, 0) => Ok(Inst::OpImm {
+                op: AluImmOp::Slliw,
+                rd,
+                rs1,
+                imm: field(word, 20, 5) as i32,
+            }),
+            (0b101, 0) => Ok(Inst::OpImm {
+                op: AluImmOp::Srliw,
+                rd,
+                rs1,
+                imm: field(word, 20, 5) as i32,
+            }),
+            (0b101, 0b010_0000) => Ok(Inst::OpImm {
+                op: AluImmOp::Sraiw,
+                rd,
+                rs1,
+                imm: field(word, 20, 5) as i32,
+            }),
             _ => err,
         },
         OPC_LOAD => {
@@ -712,7 +810,13 @@ pub fn decode(word: u32) -> Result<Inst, DecodeError> {
                 0b110 => (MemWidth::W, false),
                 _ => return err,
             };
-            Ok(Inst::Load { width, signed, rd, rs1, imm: i_imm })
+            Ok(Inst::Load {
+                width,
+                signed,
+                rd,
+                rs1,
+                imm: i_imm,
+            })
         }
         OPC_STORE => {
             let width = match f3 {
@@ -723,7 +827,12 @@ pub fn decode(word: u32) -> Result<Inst, DecodeError> {
                 _ => return err,
             };
             let imm = sext((field(word, 25, 7) << 5) | field(word, 7, 5), 12);
-            Ok(Inst::Store { width, rs2, rs1, imm })
+            Ok(Inst::Store {
+                width,
+                rs2,
+                rs1,
+                imm,
+            })
         }
         OPC_BRANCH => {
             let cond = match f3 {
@@ -739,18 +848,36 @@ pub fn decode(word: u32) -> Result<Inst, DecodeError> {
                 | (field(word, 7, 1) << 11)
                 | (field(word, 25, 6) << 5)
                 | (field(word, 8, 4) << 1);
-            Ok(Inst::Branch { cond, rs1, rs2, imm: sext(raw, 13) })
+            Ok(Inst::Branch {
+                cond,
+                rs1,
+                rs2,
+                imm: sext(raw, 13),
+            })
         }
         OPC_JAL => {
             let raw = (field(word, 31, 1) << 20)
                 | (field(word, 12, 8) << 12)
                 | (field(word, 20, 1) << 11)
                 | (field(word, 21, 10) << 1);
-            Ok(Inst::Jal { rd, imm: sext(raw, 21) })
+            Ok(Inst::Jal {
+                rd,
+                imm: sext(raw, 21),
+            })
         }
-        OPC_JALR if f3 == 0 => Ok(Inst::Jalr { rd, rs1, imm: i_imm }),
-        OPC_LUI => Ok(Inst::Lui { rd, imm20: sext(field(word, 12, 20), 20) }),
-        OPC_AUIPC => Ok(Inst::Auipc { rd, imm20: sext(field(word, 12, 20), 20) }),
+        OPC_JALR if f3 == 0 => Ok(Inst::Jalr {
+            rd,
+            rs1,
+            imm: i_imm,
+        }),
+        OPC_LUI => Ok(Inst::Lui {
+            rd,
+            imm20: sext(field(word, 12, 20), 20),
+        }),
+        OPC_AUIPC => Ok(Inst::Auipc {
+            rd,
+            imm20: sext(field(word, 12, 20), 20),
+        }),
         OPC_SYSTEM if word == OPC_SYSTEM => Ok(Inst::Ecall),
         _ => err,
     }
@@ -765,7 +892,13 @@ impl fmt::Display for Inst {
             Inst::OpImm { op, rd, rs1, imm } => write!(f, "{} {rd}, {rs1}, {imm}", op.mnemonic()),
             Inst::Lui { rd, imm20 } => write!(f, "lui {rd}, {imm20}"),
             Inst::Auipc { rd, imm20 } => write!(f, "auipc {rd}, {imm20}"),
-            Inst::Load { width, signed, rd, rs1, imm } => {
+            Inst::Load {
+                width,
+                signed,
+                rd,
+                rs1,
+                imm,
+            } => {
                 let m = match (width, signed) {
                     (MemWidth::B, true) => "lb",
                     (MemWidth::H, true) => "lh",
@@ -777,7 +910,12 @@ impl fmt::Display for Inst {
                 };
                 write!(f, "{m} {rd}, {imm}({rs1})")
             }
-            Inst::Store { width, rs2, rs1, imm } => {
+            Inst::Store {
+                width,
+                rs2,
+                rs1,
+                imm,
+            } => {
                 let m = match width {
                     MemWidth::B => "sb",
                     MemWidth::H => "sh",
@@ -786,7 +924,12 @@ impl fmt::Display for Inst {
                 };
                 write!(f, "{m} {rs2}, {imm}({rs1})")
             }
-            Inst::Branch { cond, rs1, rs2, imm } => {
+            Inst::Branch {
+                cond,
+                rs1,
+                rs2,
+                imm,
+            } => {
                 write!(f, "{} {rs1}, {rs2}, {imm}", cond.mnemonic())
             }
             Inst::Jal { rd, imm } => write!(f, "jal {rd}, {imm}"),
@@ -815,15 +958,41 @@ mod tests {
     #[test]
     fn known_encodings_match_the_spec() {
         // Cross-checked against riscv-tests / an external assembler.
-        let add = Inst::Op { op: AluOp::Add, rd: Reg::new(3), rs1: Reg::new(1), rs2: Reg::new(2) };
+        let add = Inst::Op {
+            op: AluOp::Add,
+            rd: Reg::new(3),
+            rs1: Reg::new(1),
+            rs2: Reg::new(2),
+        };
         assert_eq!(add.encode(), 0x0020_81b3);
-        let addi = Inst::OpImm { op: AluImmOp::Addi, rd: Reg::A0, rs1: Reg::ZERO, imm: -1 };
+        let addi = Inst::OpImm {
+            op: AluImmOp::Addi,
+            rd: Reg::A0,
+            rs1: Reg::ZERO,
+            imm: -1,
+        };
         assert_eq!(addi.encode(), 0xfff0_0513);
-        let ld = Inst::Load { width: MemWidth::D, signed: true, rd: Reg::A1, rs1: Reg::SP, imm: 8 };
+        let ld = Inst::Load {
+            width: MemWidth::D,
+            signed: true,
+            rd: Reg::A1,
+            rs1: Reg::SP,
+            imm: 8,
+        };
         assert_eq!(ld.encode(), 0x0081_3583);
-        let sd = Inst::Store { width: MemWidth::D, rs2: Reg::A1, rs1: Reg::SP, imm: 8 };
+        let sd = Inst::Store {
+            width: MemWidth::D,
+            rs2: Reg::A1,
+            rs1: Reg::SP,
+            imm: 8,
+        };
         assert_eq!(sd.encode(), 0x00b1_3423);
-        let beq = Inst::Branch { cond: BranchCond::Eq, rs1: Reg::A0, rs2: Reg::ZERO, imm: -4 };
+        let beq = Inst::Branch {
+            cond: BranchCond::Eq,
+            rs1: Reg::A0,
+            rs2: Reg::ZERO,
+            imm: -4,
+        };
         assert_eq!(beq.encode(), 0xfe05_0ee3);
         assert_eq!(Inst::Ecall.encode(), 0x0000_0073);
     }
@@ -831,7 +1000,12 @@ mod tests {
     #[test]
     fn every_alu_op_round_trips() {
         for op in AluOp::ALL {
-            let inst = Inst::Op { op, rd: Reg::new(5), rs1: Reg::new(6), rs2: Reg::new(7) };
+            let inst = Inst::Op {
+                op,
+                rd: Reg::new(5),
+                rs1: Reg::new(6),
+                rs2: Reg::new(7),
+            };
             assert_eq!(decode(inst.encode()), Ok(inst), "{}", op.mnemonic());
         }
     }
@@ -840,7 +1014,12 @@ mod tests {
     fn every_imm_op_round_trips() {
         for op in AluImmOp::ALL {
             let imm = if op.is_shift() { op.max_shamt() } else { -2048 };
-            let inst = Inst::OpImm { op, rd: Reg::new(8), rs1: Reg::new(9), imm };
+            let inst = Inst::OpImm {
+                op,
+                rd: Reg::new(8),
+                rs1: Reg::new(9),
+                imm,
+            };
             assert_eq!(decode(inst.encode()), Ok(inst), "{}", op.mnemonic());
         }
     }
@@ -848,7 +1027,12 @@ mod tests {
     #[test]
     fn branch_offsets_round_trip_at_the_extremes() {
         for imm in [-4096, -2, 0, 2, 4094] {
-            let inst = Inst::Branch { cond: BranchCond::Geu, rs1: Reg::A0, rs2: Reg::A1, imm };
+            let inst = Inst::Branch {
+                cond: BranchCond::Geu,
+                rs1: Reg::A0,
+                rs2: Reg::A1,
+                imm,
+            };
             assert_eq!(decode(inst.encode()), Ok(inst), "imm={imm}");
         }
         for imm in [-(1 << 20), -2, 0, 2, (1 << 20) - 2] {
@@ -868,9 +1052,20 @@ mod tests {
 
     #[test]
     fn display_is_parseable_assembly_shape() {
-        let inst = Inst::Load { width: MemWidth::W, signed: false, rd: Reg::A0, rs1: Reg::SP, imm: -16 };
+        let inst = Inst::Load {
+            width: MemWidth::W,
+            signed: false,
+            rd: Reg::A0,
+            rs1: Reg::SP,
+            imm: -16,
+        };
         assert_eq!(inst.to_string(), "lwu a0, -16(sp)");
-        let b = Inst::Branch { cond: BranchCond::Ne, rs1: Reg::new(5), rs2: Reg::ZERO, imm: -8 };
+        let b = Inst::Branch {
+            cond: BranchCond::Ne,
+            rs1: Reg::new(5),
+            rs2: Reg::ZERO,
+            imm: -8,
+        };
         assert_eq!(b.to_string(), "bne t0, zero, -8");
     }
 }

@@ -288,7 +288,11 @@ mod tests {
             let run = kernel.default_run();
             let mut emu = run.emulator();
             emu.run_to_halt();
-            assert!(emu.ran_to_completion(), "{} did not halt cleanly", run.name());
+            assert!(
+                emu.ran_to_completion(),
+                "{} did not halt cleanly",
+                run.name()
+            );
             assert_eq!(
                 emu.reg(Reg::A0),
                 run.expected_result(),
@@ -357,8 +361,14 @@ mod tests {
     #[test]
     fn footprints_of_default_runs_fit_comfortably() {
         for kernel in Kernel::ALL {
-            let bytes = kernel.data_bytes(kernel.default_size()).expect("no overflow");
-            assert!(bytes < crate::emu::MEM_SIZE / 2, "{}: {bytes} bytes", kernel.name());
+            let bytes = kernel
+                .data_bytes(kernel.default_size())
+                .expect("no overflow");
+            assert!(
+                bytes < crate::emu::MEM_SIZE / 2,
+                "{}: {bytes} bytes",
+                kernel.name()
+            );
         }
     }
 }

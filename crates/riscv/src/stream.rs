@@ -67,7 +67,9 @@ fn sources(inst: &Inst) -> [Option<Reg>; 2] {
     let (a, b) = match *inst {
         Inst::Op { rs1, rs2, .. } | Inst::Branch { rs1, rs2, .. } => (Some(rs1), Some(rs2)),
         Inst::Store { rs1, rs2, .. } => (Some(rs1), Some(rs2)),
-        Inst::OpImm { rs1, .. } | Inst::Load { rs1, .. } | Inst::Jalr { rs1, .. } => (Some(rs1), None),
+        Inst::OpImm { rs1, .. } | Inst::Load { rs1, .. } | Inst::Jalr { rs1, .. } => {
+            (Some(rs1), None)
+        }
         Inst::Lui { .. } | Inst::Auipc { .. } | Inst::Jal { .. } | Inst::Ecall => (None, None),
     };
     let keep = |r: Option<Reg>| r.filter(|r| !r.is_zero());
@@ -97,7 +99,9 @@ pub fn crack(retired: &Retired, seq: u64) -> MicroOp {
     let inst = &retired.inst;
     let class = match inst {
         Inst::Op { op, .. } if op.is_muldiv() => OpClass::IntMul,
-        Inst::Op { .. } | Inst::OpImm { .. } | Inst::Lui { .. } | Inst::Auipc { .. } => OpClass::IntAlu,
+        Inst::Op { .. } | Inst::OpImm { .. } | Inst::Lui { .. } | Inst::Auipc { .. } => {
+            OpClass::IntAlu
+        }
         Inst::Load { .. } => OpClass::Load,
         Inst::Store { .. } => OpClass::Store,
         Inst::Branch { .. } | Inst::Jal { .. } | Inst::Jalr { .. } => OpClass::Branch,
@@ -126,8 +130,16 @@ pub fn crack(retired: &Retired, seq: u64) -> MicroOp {
             });
         }
         Inst::Jal { rd, .. } => {
-            let kind = if rd == Reg::RA { BranchKind::Call } else { BranchKind::Jump };
-            op = op.with_branch(BranchInfo { kind, taken: true, target: retired.next_pc });
+            let kind = if rd == Reg::RA {
+                BranchKind::Call
+            } else {
+                BranchKind::Jump
+            };
+            op = op.with_branch(BranchInfo {
+                kind,
+                taken: true,
+                target: retired.next_pc,
+            });
         }
         Inst::Jalr { rd, rs1, .. } => {
             let kind = if rd == Reg::RA {
@@ -137,7 +149,11 @@ pub fn crack(retired: &Retired, seq: u64) -> MicroOp {
             } else {
                 BranchKind::Jump
             };
-            op = op.with_branch(BranchInfo { kind, taken: true, target: retired.next_pc });
+            op = op.with_branch(BranchInfo {
+                kind,
+                taken: true,
+                target: retired.next_pc,
+            });
         }
         _ => {}
     }
@@ -201,7 +217,10 @@ mod tests {
         let taken = conds.iter().filter(|op| op.branch.unwrap().taken).count();
         assert!(taken > 0 && taken < conds.len(), "both directions occur");
         // fibrec's calls/returns show up as Call/Return branch kinds.
-        let kinds: Vec<BranchKind> = ops.iter().filter_map(|op| op.branch.map(|b| b.kind)).collect();
+        let kinds: Vec<BranchKind> = ops
+            .iter()
+            .filter_map(|op| op.branch.map(|b| b.kind))
+            .collect();
         assert!(kinds.contains(&BranchKind::Call));
         assert!(kinds.contains(&BranchKind::Return));
     }
@@ -225,7 +244,11 @@ mod tests {
         for kernel in Kernel::ALL {
             let zero = ArchReg::int(0);
             for op in stream(kernel) {
-                assert!(op.sources().all(|src| src != zero), "{}: {op}", kernel.name());
+                assert!(
+                    op.sources().all(|src| src != zero),
+                    "{}: {op}",
+                    kernel.name()
+                );
                 if !op.is_load() {
                     assert_ne!(op.dst, Some(zero), "{}: {op}", kernel.name());
                 }

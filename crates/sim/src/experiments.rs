@@ -13,7 +13,9 @@
 use crate::report::{Figure, Series};
 use crate::runner::{mean_ipc_by_label, Job, Machine, SweepRunner};
 use crate::workload::Workload;
-use dkip_model::config::{BaselineConfig, DkipConfig, KiloConfig, MemoryHierarchyConfig, SchedPolicy};
+use dkip_model::config::{
+    BaselineConfig, DkipConfig, KiloConfig, MemoryHierarchyConfig, SchedPolicy,
+};
 use dkip_model::Histogram;
 use dkip_riscv::{Kernel, KernelRun};
 use dkip_trace::{Benchmark, Suite};
@@ -40,10 +42,21 @@ pub fn table1() -> Figure {
     let mut mem = Series::new("memory access");
     for cfg in MemoryHierarchyConfig::table1_presets() {
         l1.push(cfg.name.clone(), cfg.l1_latency as f64);
-        l2.push(cfg.name.clone(), if cfg.l2_perfect || cfg.l2_size.is_some() { cfg.l2_latency as f64 } else { f64::NAN });
+        l2.push(
+            cfg.name.clone(),
+            if cfg.l2_perfect || cfg.l2_size.is_some() {
+                cfg.l2_latency as f64
+            } else {
+                f64::NAN
+            },
+        );
         mem.push(
             cfg.name.clone(),
-            if cfg.l2_perfect { f64::NAN } else { cfg.memory_latency as f64 },
+            if cfg.l2_perfect {
+                f64::NAN
+            } else {
+                cfg.memory_latency as f64
+            },
         );
     }
     fig.series = vec![l1, l2, mem];
@@ -85,7 +98,13 @@ impl SweepBuilder {
         let x = x.into();
         let label = format!("{series}|{x}");
         for &workload in workloads {
-            self.jobs.push(Job::new(label.clone(), machine.clone(), mem.clone(), workload, budget));
+            self.jobs.push(Job::new(
+                label.clone(),
+                machine.clone(),
+                mem.clone(),
+                workload,
+                budget,
+            ));
         }
         self.points.push((series, x));
     }
@@ -119,7 +138,11 @@ impl SweepBuilder {
                 .iter()
                 .find(|(l, _)| *l == label)
                 .map_or(0.0, |&(_, ipc)| ipc);
-            if series_list.last().map(|s| s.label != series).unwrap_or(true) {
+            if series_list
+                .last()
+                .map(|s| s.label != series)
+                .unwrap_or(true)
+            {
                 series_list.push(Series::new(series));
             }
             series_list.last_mut().expect("just pushed").push(x, ipc);
@@ -140,7 +163,10 @@ pub fn figure_window_scaling(
 ) -> Figure {
     let number = if suite == Suite::Int { 1 } else { 2 };
     let mut fig = Figure::new(
-        format!("Figure {number}: effect of the memory subsystem on {}", suite.label()),
+        format!(
+            "Figure {number}: effect of the memory subsystem on {}",
+            suite.label()
+        ),
         "window",
         "average IPC (arith. mean)",
     );
@@ -148,7 +174,14 @@ pub fn figure_window_scaling(
     for mem_cfg in MemoryHierarchyConfig::table1_presets() {
         for &window in windows {
             let machine = Machine::Baseline(BaselineConfig::idealized(window));
-            sweep.point(&mem_cfg.name, window.to_string(), &machine, &mem_cfg, benchmarks, budget);
+            sweep.point(
+                &mem_cfg.name,
+                window.to_string(),
+                &machine,
+                &mem_cfg,
+                benchmarks,
+                budget,
+            );
         }
     }
     fig.series = sweep.into_series(runner);
@@ -158,13 +191,25 @@ pub fn figure_window_scaling(
 /// Figure 3: the decode→issue distance distribution on an effectively
 /// unbounded processor with 400-cycle memory (SpecFP).
 #[must_use]
-pub fn figure3_issue_histogram(benchmarks: &[Benchmark], budget: u64, runner: &SweepRunner) -> Histogram {
+pub fn figure3_issue_histogram(
+    benchmarks: &[Benchmark],
+    budget: u64,
+    runner: &SweepRunner,
+) -> Histogram {
     let mut merged = Histogram::new(20, 2000);
     let cfg = BaselineConfig::unbounded();
     let mem = MemoryHierarchyConfig::mem_400();
     let jobs: Vec<Job> = benchmarks
         .iter()
-        .map(|&bench| Job::new(bench.name(), Machine::Baseline(cfg.clone()), mem.clone(), bench, budget))
+        .map(|&bench| {
+            Job::new(
+                bench.name(),
+                Machine::Baseline(cfg.clone()),
+                mem.clone(),
+                bench,
+                budget,
+            )
+        })
         .collect();
     for stats in runner.run_stats(&jobs) {
         if let Some(hist) = stats.issue_latency {
@@ -189,7 +234,8 @@ pub fn figure9_comparison(
         "average IPC (arith. mean)",
     );
     let mem = MemoryHierarchyConfig::paper_default();
-    let suites: [(&str, &[Benchmark]); 2] = [("SpecINT", int_benchmarks), ("SpecFP", fp_benchmarks)];
+    let suites: [(&str, &[Benchmark]); 2] =
+        [("SpecINT", int_benchmarks), ("SpecFP", fp_benchmarks)];
     let machines: [(&str, Machine); 4] = [
         ("R10-64", Machine::Baseline(BaselineConfig::r10_64())),
         ("R10-256", Machine::Baseline(BaselineConfig::r10_256())),
@@ -222,7 +268,11 @@ pub fn figure10_cp_points() -> Vec<(String, SchedPolicy, usize)> {
 /// Figure 10: impact of the scheduling policy and queue sizes of the Cache
 /// Processor and the Memory Processor on SpecFP.
 #[must_use]
-pub fn figure10_scheduler_sweep(benchmarks: &[Benchmark], budget: u64, runner: &SweepRunner) -> Figure {
+pub fn figure10_scheduler_sweep(
+    benchmarks: &[Benchmark],
+    budget: u64,
+    runner: &SweepRunner,
+) -> Figure {
     let mut fig = Figure::new(
         "Figure 10: impact of scheduling policy and queue sizes in SpecFP",
         "CP config",
@@ -299,7 +349,10 @@ pub fn figure_cache_sweep(
 ) -> Figure {
     let number = if suite == Suite::Int { 11 } else { 12 };
     let mut fig = Figure::new(
-        format!("Figure {number}: impact of L2 cache size on {}", suite.label()),
+        format!(
+            "Figure {number}: impact of L2 cache size on {}",
+            suite.label()
+        ),
         "config",
         "IPC",
     );
@@ -308,7 +361,14 @@ pub fn figure_cache_sweep(
         let mem = MemoryHierarchyConfig::mem_400().with_l2_kb(kb);
         for config in figure11_configs() {
             let machine = figure11_machine(&config);
-            sweep.point(format!("{kb}KB"), config, &machine, &mem, benchmarks, budget);
+            sweep.point(
+                format!("{kb}KB"),
+                config,
+                &machine,
+                &mem,
+                benchmarks,
+                budget,
+            );
         }
     }
     fig.series = sweep.into_series(runner);
@@ -327,9 +387,18 @@ pub fn riscv_kernel_runs() -> Vec<KernelRun> {
 #[must_use]
 pub fn riscv_machines() -> Vec<(String, Machine)> {
     vec![
-        ("R10-64".to_owned(), Machine::Baseline(BaselineConfig::r10_64())),
-        ("KILO-1024".to_owned(), Machine::Kilo(KiloConfig::kilo_1024())),
-        ("DKIP-2048".to_owned(), Machine::Dkip(DkipConfig::paper_default())),
+        (
+            "R10-64".to_owned(),
+            Machine::Baseline(BaselineConfig::r10_64()),
+        ),
+        (
+            "KILO-1024".to_owned(),
+            Machine::Kilo(KiloConfig::kilo_1024()),
+        ),
+        (
+            "DKIP-2048".to_owned(),
+            Machine::Dkip(DkipConfig::paper_default()),
+        ),
     ]
 }
 
@@ -366,7 +435,12 @@ pub fn figure_riscv_ipc(runs: &[KernelRun], budget: u64, runner: &SweepRunner) -
 /// Figures 13 and 14: maximum number of instructions and registers in the
 /// LLIB for each benchmark of the given suite.
 #[must_use]
-pub fn figure_llib_occupancy(suite: Suite, benchmarks: &[Benchmark], budget: u64, runner: &SweepRunner) -> Figure {
+pub fn figure_llib_occupancy(
+    suite: Suite,
+    benchmarks: &[Benchmark],
+    budget: u64,
+    runner: &SweepRunner,
+) -> Figure {
     let number = if suite == Suite::Int { 13 } else { 14 };
     let mut fig = Figure::new(
         format!(
@@ -380,7 +454,15 @@ pub fn figure_llib_occupancy(suite: Suite, benchmarks: &[Benchmark], budget: u64
     let cfg = DkipConfig::paper_default();
     let jobs: Vec<Job> = benchmarks
         .iter()
-        .map(|&bench| Job::new(bench.name(), Machine::Dkip(cfg.clone()), mem.clone(), bench, budget))
+        .map(|&bench| {
+            Job::new(
+                bench.name(),
+                Machine::Dkip(cfg.clone()),
+                mem.clone(),
+                bench,
+                budget,
+            )
+        })
         .collect();
     let mut regs = Series::new("Max Registers");
     let mut instrs = Series::new("Max Instructions");
@@ -418,7 +500,8 @@ mod tests {
 
     #[test]
     fn window_scaling_produces_one_series_per_memory_config() {
-        let fig = figure_window_scaling(Suite::Fp, &[Benchmark::Mesa], &[32, 128], 2_000, &runner());
+        let fig =
+            figure_window_scaling(Suite::Fp, &[Benchmark::Mesa], &[32, 128], 2_000, &runner());
         assert_eq!(fig.series.len(), 6);
         for series in &fig.series {
             assert_eq!(series.points.len(), 2);
@@ -446,7 +529,12 @@ mod tests {
 
     #[test]
     fn figure13_reports_llib_occupancy_per_benchmark() {
-        let fig = figure_llib_occupancy(Suite::Fp, &[Benchmark::Swim, Benchmark::Mesa], 3_000, &runner());
+        let fig = figure_llib_occupancy(
+            Suite::Fp,
+            &[Benchmark::Swim, Benchmark::Mesa],
+            3_000,
+            &runner(),
+        );
         assert_eq!(fig.series.len(), 2);
         let instrs = &fig.series[1];
         assert!(instrs.value_at("swim").unwrap() >= instrs.value_at("mesa").unwrap());
@@ -487,7 +575,11 @@ mod tests {
             assert_eq!(series.points.len(), 1);
             let (x, ipc) = &series.points[0];
             assert_eq!(x, "fibrec/10");
-            assert!(*ipc > 0.0, "{} must complete with non-zero IPC", series.label);
+            assert!(
+                *ipc > 0.0,
+                "{} must complete with non-zero IPC",
+                series.label
+            );
         }
     }
 
@@ -500,8 +592,18 @@ mod tests {
 
     #[test]
     fn drivers_are_thread_count_invariant() {
-        let serial = figure9_comparison(&[Benchmark::Crafty], &[Benchmark::Mesa], 1_500, &SweepRunner::serial());
-        let parallel = figure9_comparison(&[Benchmark::Crafty], &[Benchmark::Mesa], 1_500, &SweepRunner::new(4));
+        let serial = figure9_comparison(
+            &[Benchmark::Crafty],
+            &[Benchmark::Mesa],
+            1_500,
+            &SweepRunner::serial(),
+        );
+        let parallel = figure9_comparison(
+            &[Benchmark::Crafty],
+            &[Benchmark::Mesa],
+            1_500,
+            &SweepRunner::new(4),
+        );
         assert_eq!(serial.render(), parallel.render());
     }
 }

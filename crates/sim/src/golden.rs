@@ -23,7 +23,7 @@ pub const BLESS_ENV: &str = "DKIP_BLESS";
 /// Whether the current process was asked to regenerate snapshots.
 #[must_use]
 pub fn bless_requested() -> bool {
-    std::env::var(BLESS_ENV).map_or(false, |v| v == "1")
+    std::env::var(BLESS_ENV).is_ok_and(|v| v == "1")
 }
 
 /// A golden-snapshot mismatch, with a human-readable explanation.
@@ -52,7 +52,10 @@ fn diff_summary(expected: &str, actual: &str) -> String {
     let actual_lines: Vec<&str> = actual.lines().collect();
     for (idx, (e, a)) in expected_lines.iter().zip(&actual_lines).enumerate() {
         if e != a {
-            return format!("first divergence at line {}:\n  golden: {e}\n  actual: {a}", idx + 1);
+            return format!(
+                "first divergence at line {}:\n  golden: {e}\n  actual: {a}",
+                idx + 1
+            );
         }
     }
     if expected_lines.len() == actual_lines.len() {
@@ -76,8 +79,9 @@ fn diff_summary(expected: &str, actual: &str) -> String {
 pub fn check(path: &Path, actual: &str) -> Result<(), GoldenError> {
     if bless_requested() {
         if let Some(parent) = path.parent() {
-            std::fs::create_dir_all(parent)
-                .map_err(|e| GoldenError::new(format!("cannot create {}: {e}", parent.display())))?;
+            std::fs::create_dir_all(parent).map_err(|e| {
+                GoldenError::new(format!("cannot create {}: {e}", parent.display()))
+            })?;
         }
         // Write-then-rename so concurrent readers (tests run in parallel)
         // never observe a truncated snapshot.

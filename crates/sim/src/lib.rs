@@ -17,6 +17,8 @@
 //!   ordering (`DKIP_THREADS` selects the pool size),
 //! * [`golden`] — golden-snapshot comparison for the regression tests under
 //!   `tests/golden/`, with a `DKIP_BLESS=1` regeneration path,
+//! * [`suites`] — the pinned job lists behind those snapshots, shared by the
+//!   golden-stats and perf-invariance tests,
 //! * [`report`] — plain-text table rendering used by the `fig*` binaries in
 //!   `dkip-bench` and by `EXPERIMENTS.md`.
 //!
@@ -33,6 +35,7 @@ pub mod experiments;
 pub mod golden;
 pub mod report;
 pub mod runner;
+pub mod suites;
 pub mod workload;
 
 pub use dkip_core::{run_dkip, run_dkip_stream};

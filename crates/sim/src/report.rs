@@ -30,7 +30,10 @@ impl Series {
     /// The y value for a given x label, if present.
     #[must_use]
     pub fn value_at(&self, x: &str) -> Option<f64> {
-        self.points.iter().find(|(label, _)| label == x).map(|(_, v)| *v)
+        self.points
+            .iter()
+            .find(|(label, _)| label == x)
+            .map(|(_, v)| *v)
     }
 }
 
@@ -50,7 +53,11 @@ pub struct Figure {
 impl Figure {
     /// Creates an empty figure.
     #[must_use]
-    pub fn new(title: impl Into<String>, x_label: impl Into<String>, y_label: impl Into<String>) -> Self {
+    pub fn new(
+        title: impl Into<String>,
+        x_label: impl Into<String>,
+        y_label: impl Into<String>,
+    ) -> Self {
         Figure {
             title: title.into(),
             x_label: x_label.into(),

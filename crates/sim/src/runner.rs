@@ -76,7 +76,13 @@ impl Machine {
     /// benchmarks run for `budget` committed instructions; finite
     /// execution-driven kernels run to completion (bounded by `budget`).
     #[must_use]
-    pub fn simulate(&self, mem: &MemoryHierarchyConfig, workload: &Workload, budget: u64, seed: u64) -> SimStats {
+    pub fn simulate(
+        &self,
+        mem: &MemoryHierarchyConfig,
+        workload: &Workload,
+        budget: u64,
+        seed: u64,
+    ) -> SimStats {
         let mut stream = workload.stream(seed);
         match self {
             Machine::Baseline(cfg) => run_baseline_stream(cfg, mem, &mut stream, budget),
@@ -138,7 +144,9 @@ impl Job {
     #[must_use]
     pub fn run(&self) -> JobResult {
         let start = Instant::now();
-        let stats = self.machine.simulate(&self.mem, &self.workload, self.budget, self.seed);
+        let stats = self
+            .machine
+            .simulate(&self.mem, &self.workload, self.budget, self.seed);
         JobResult {
             label: self.label.clone(),
             machine_name: self.machine.name().to_owned(),
@@ -308,7 +316,8 @@ impl SweepRunner {
             return jobs.iter().map(Job::run).collect();
         }
         let cursor = AtomicUsize::new(0);
-        let slots: Mutex<Vec<Option<JobResult>>> = Mutex::new((0..jobs.len()).map(|_| None).collect());
+        let slots: Mutex<Vec<Option<JobResult>>> =
+            Mutex::new((0..jobs.len()).map(|_| None).collect());
         std::thread::scope(|scope| {
             for _ in 0..self.threads.min(jobs.len()) {
                 scope.spawn(|| loop {
@@ -356,8 +365,20 @@ mod tests {
                 Benchmark::Gcc,
                 1_500,
             ),
-            Job::new("kilo", Machine::Kilo(KiloConfig::kilo_1024()), mem.clone(), Benchmark::Mesa, 1_500),
-            Job::new("dkip", Machine::Dkip(DkipConfig::paper_default()), mem, Benchmark::Swim, 1_500),
+            Job::new(
+                "kilo",
+                Machine::Kilo(KiloConfig::kilo_1024()),
+                mem.clone(),
+                Benchmark::Mesa,
+                1_500,
+            ),
+            Job::new(
+                "dkip",
+                Machine::Dkip(DkipConfig::paper_default()),
+                mem,
+                Benchmark::Swim,
+                1_500,
+            ),
         ]
     }
 
@@ -377,8 +398,20 @@ mod tests {
     fn riscv_workloads_run_through_the_same_path() {
         let mem = MemoryHierarchyConfig::mem_400();
         let jobs = vec![
-            Job::new("rv-base", Machine::Baseline(BaselineConfig::r10_64()), mem.clone(), Kernel::FibRec, 100_000),
-            Job::new("rv-dkip", Machine::Dkip(DkipConfig::paper_default()), mem, Kernel::FibRec, 100_000),
+            Job::new(
+                "rv-base",
+                Machine::Baseline(BaselineConfig::r10_64()),
+                mem.clone(),
+                Kernel::FibRec,
+                100_000,
+            ),
+            Job::new(
+                "rv-dkip",
+                Machine::Dkip(DkipConfig::paper_default()),
+                mem,
+                Kernel::FibRec,
+                100_000,
+            ),
         ];
         let results = SweepRunner::new(2).run(&jobs);
         let dynamic_len = Workload::from(Kernel::FibRec).stream(1).count() as u64;
@@ -421,9 +454,27 @@ mod tests {
     fn mean_ipc_groups_by_label_in_order() {
         let mem = MemoryHierarchyConfig::mem_400();
         let jobs = vec![
-            Job::new("a", Machine::Baseline(BaselineConfig::r10_64()), mem.clone(), Benchmark::Gcc, 1_000),
-            Job::new("b", Machine::Baseline(BaselineConfig::r10_64()), mem.clone(), Benchmark::Mesa, 1_000),
-            Job::new("a", Machine::Baseline(BaselineConfig::r10_64()), mem, Benchmark::Mcf, 1_000),
+            Job::new(
+                "a",
+                Machine::Baseline(BaselineConfig::r10_64()),
+                mem.clone(),
+                Benchmark::Gcc,
+                1_000,
+            ),
+            Job::new(
+                "b",
+                Machine::Baseline(BaselineConfig::r10_64()),
+                mem.clone(),
+                Benchmark::Mesa,
+                1_000,
+            ),
+            Job::new(
+                "a",
+                Machine::Baseline(BaselineConfig::r10_64()),
+                mem,
+                Benchmark::Mcf,
+                1_000,
+            ),
         ];
         let results = SweepRunner::new(2).run(&jobs);
         let means = mean_ipc_by_label(&results);

@@ -50,7 +50,9 @@ impl Workload {
     #[must_use]
     pub fn stream(&self, seed: u64) -> WorkloadStream {
         match self {
-            Workload::Spec(benchmark) => WorkloadStream::Spec(TraceGenerator::new(*benchmark, seed)),
+            Workload::Spec(benchmark) => {
+                WorkloadStream::Spec(TraceGenerator::new(*benchmark, seed))
+            }
             Workload::Riscv(run) => WorkloadStream::Riscv(RiscvStream::new(run)),
         }
     }

@@ -84,7 +84,10 @@ impl TraceGenerator {
             .map(|s| DATA_BASE + s as u64 * STREAM_REGION_GAP)
             .collect();
         let chain_states = (0..num_chains)
-            .map(|c| seed.wrapping_mul(0x5851_f42d_4c95_7f2d).wrapping_add(c as u64 + 1))
+            .map(|c| {
+                seed.wrapping_mul(0x5851_f42d_4c95_7f2d)
+                    .wrapping_add(c as u64 + 1)
+            })
             .collect();
         TraceGenerator {
             template,
@@ -126,13 +129,19 @@ impl TraceGenerator {
 
     fn next_address(&mut self, pattern: AddressPattern) -> u64 {
         match pattern {
-            AddressPattern::Streaming { stream, stride, region } => {
+            AddressPattern::Streaming {
+                stream,
+                stride,
+                region,
+            } => {
                 let cursor = &mut self.stream_cursors[stream];
                 let offset = *cursor * stride;
                 *cursor += 1;
                 match region {
                     Region::Hot => HOT_BASE + offset % HOT_REGION_BYTES,
-                    Region::Full => self.stream_bases[stream] + offset % self.working_set.max(stride),
+                    Region::Full => {
+                        self.stream_bases[stream] + offset % self.working_set.max(stride)
+                    }
                 }
             }
             AddressPattern::PointerChase { chain } => {
@@ -156,7 +165,10 @@ impl TraceGenerator {
                 taken: true,
                 target: self.template.loop_target(),
             },
-            BranchBehavior::Biased { bias, dominant_taken } => {
+            BranchBehavior::Biased {
+                bias,
+                dominant_taken,
+            } => {
                 let follow = self.rng.gen::<f64>() < bias;
                 BranchInfo {
                     kind: BranchKind::Conditional,
@@ -231,7 +243,9 @@ mod tests {
         let a: Vec<_> = TraceGenerator::new(Benchmark::Mcf, 99).take(3000).collect();
         let b: Vec<_> = TraceGenerator::new(Benchmark::Mcf, 99).take(3000).collect();
         assert_eq!(a, b);
-        let c: Vec<_> = TraceGenerator::new(Benchmark::Mcf, 100).take(3000).collect();
+        let c: Vec<_> = TraceGenerator::new(Benchmark::Mcf, 100)
+            .take(3000)
+            .collect();
         assert_ne!(a, c);
     }
 
@@ -259,7 +273,10 @@ mod tests {
             (load_frac - expected_loads).abs() < 0.06,
             "load fraction {load_frac} vs expected {expected_loads}"
         );
-        assert!(branch_frac > 0.01, "loop-back branches guarantee a branch per iteration");
+        assert!(
+            branch_frac > 0.01,
+            "loop-back branches guarantee a branch per iteration"
+        );
     }
 
     #[test]
@@ -267,7 +284,9 @@ mod tests {
         // Consecutive executions of the same static streaming load touch
         // nearby addresses, so the number of distinct cache lines is far
         // smaller than the number of loads for a streaming benchmark.
-        let ops: Vec<_> = TraceGenerator::new(Benchmark::Swim, 5).take(20_000).collect();
+        let ops: Vec<_> = TraceGenerator::new(Benchmark::Swim, 5)
+            .take(20_000)
+            .collect();
         let load_addrs: Vec<u64> = ops.iter().filter_map(|o| o.mem_addr).collect();
         let lines: HashSet<u64> = load_addrs.iter().map(|a| a / 64).collect();
         assert!(
@@ -281,10 +300,14 @@ mod tests {
     #[test]
     fn pointer_chase_addresses_are_spread_over_the_working_set() {
         let spec = Benchmark::Mcf.spec();
-        let ops: Vec<_> = TraceGenerator::new(Benchmark::Mcf, 5).take(50_000).collect();
+        let ops: Vec<_> = TraceGenerator::new(Benchmark::Mcf, 5)
+            .take(50_000)
+            .collect();
         let chase_addrs: Vec<u64> = ops
             .iter()
-            .filter(|o| o.is_load() && o.dst == o.srcs[0] && o.dst.map(|d| d.class()) == Some(RegClass::Int))
+            .filter(|o| {
+                o.is_load() && o.dst == o.srcs[0] && o.dst.map(|d| d.class()) == Some(RegClass::Int)
+            })
             .filter_map(|o| o.mem_addr)
             .collect();
         assert!(!chase_addrs.is_empty());
@@ -336,8 +359,14 @@ mod tests {
         };
         let fp_dev = count_taken_variation(Benchmark::Swim);
         let int_dev = count_taken_variation(Benchmark::Mcf);
-        assert!(fp_dev < 0.02, "SpecFP branches nearly perfectly biased, got {fp_dev}");
-        assert!(int_dev > fp_dev, "SpecINT branches must be harder: {int_dev} vs {fp_dev}");
+        assert!(
+            fp_dev < 0.02,
+            "SpecFP branches nearly perfectly biased, got {fp_dev}"
+        );
+        assert!(
+            int_dev > fp_dev,
+            "SpecINT branches must be harder: {int_dev} vs {fp_dev}"
+        );
     }
 
     #[test]

@@ -71,7 +71,9 @@ impl Benchmark {
     #[must_use]
     pub fn spec_int() -> Vec<Benchmark> {
         use Benchmark::*;
-        vec![Bzip2, Crafty, Eon, Gap, Gcc, Gzip, Mcf, Parser, Perlbmk, Twolf, Vortex, Vpr]
+        vec![
+            Bzip2, Crafty, Eon, Gap, Gcc, Gzip, Mcf, Parser, Perlbmk, Twolf, Vortex, Vpr,
+        ]
     }
 
     /// All SPECfp2000 benchmarks, in the order used by Figure 14.
@@ -97,7 +99,12 @@ impl Benchmark {
     /// suite.
     #[must_use]
     pub fn representative() -> Vec<Benchmark> {
-        vec![Benchmark::Crafty, Benchmark::Mcf, Benchmark::Mesa, Benchmark::Swim]
+        vec![
+            Benchmark::Crafty,
+            Benchmark::Mcf,
+            Benchmark::Mesa,
+            Benchmark::Swim,
+        ]
     }
 
     /// The lower-case name used by SPEC and the paper's figures.
@@ -467,7 +474,8 @@ impl WorkloadSpec {
             self.hot_fraction,
             self.fp_value_load_fraction,
         ];
-        let load_split = self.streaming_fraction + self.pointer_chase_fraction + self.random_fraction;
+        let load_split =
+            self.streaming_fraction + self.pointer_chase_fraction + self.random_fraction;
         fracs.iter().all(|f| (0.0..=1.0).contains(f))
             && (load_split - 1.0).abs() < 1e-6
             && self.mix.is_valid()
@@ -497,7 +505,11 @@ mod tests {
     fn every_spec_is_valid() {
         for bench in Benchmark::all() {
             let spec = bench.spec();
-            assert!(spec.is_valid(), "{} spec is invalid: {spec:?}", bench.name());
+            assert!(
+                spec.is_valid(),
+                "{} spec is invalid: {spec:?}",
+                bench.name()
+            );
             assert_eq!(spec.suite, bench.suite(), "{}", bench.name());
             assert_eq!(spec.name, bench.name());
         }
@@ -523,7 +535,10 @@ mod tests {
                 assert!(mcf.pointer_chase_fraction >= bench.spec().pointer_chase_fraction);
             }
         }
-        assert!(mcf.working_set_kb > 4 * 1024, "mcf must exceed the largest swept L2");
+        assert!(
+            mcf.working_set_kb > 4 * 1024,
+            "mcf must exceed the largest swept L2"
+        );
     }
 
     #[test]

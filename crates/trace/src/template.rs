@@ -371,7 +371,10 @@ impl ProgramTemplate {
                                 .rev()
                                 .find(|r| r.class() == RegClass::Int)
                                 .or_else(|| {
-                                    recent_load_dsts.iter().rev().find(|r| r.class() == RegClass::Int)
+                                    recent_load_dsts
+                                        .iter()
+                                        .rev()
+                                        .find(|r| r.class() == RegClass::Int)
                                 })
                                 .unwrap_or(&ArchReg::int(CONST_INT_REG))
                         }
@@ -408,13 +411,14 @@ impl ProgramTemplate {
                 }
                 OpClass::FpAdd | OpClass::FpMul | OpClass::FpDiv => {
                     let dst = alloc_fp(&mut next_fp);
-                    let pick_fp = |rng: &mut StdRng, iter_pool: &[ArchReg], recent_pool: &[ArchReg]| {
-                        if rng.gen::<f64>() < carried_frac || iter_pool.len() <= 1 {
-                            pick_recent(rng, recent_pool, spec.dep_distance_mean)
-                        } else {
-                            pick_recent(rng, iter_pool, spec.dep_distance_mean)
-                        }
-                    };
+                    let pick_fp =
+                        |rng: &mut StdRng, iter_pool: &[ArchReg], recent_pool: &[ArchReg]| {
+                            if rng.gen::<f64>() < carried_frac || iter_pool.len() <= 1 {
+                                pick_recent(rng, recent_pool, spec.dep_distance_mean)
+                            } else {
+                                pick_recent(rng, iter_pool, spec.dep_distance_mean)
+                            }
+                        };
                     let s0 = pick_fp(&mut rng, &iter_fp, &recent_fp);
                     let s1 = if rng.gen::<f64>() < 0.8 {
                         Some(pick_fp(&mut rng, &iter_fp, &recent_fp))
@@ -595,7 +599,11 @@ mod tests {
         let tpl = ProgramTemplate::generate(Benchmark::Swim.spec(), 11);
         for instr in tpl.instrs() {
             if let Some(AddressPattern::Streaming { .. }) = instr.address {
-                let addr_src = if instr.class.is_store() { instr.srcs[1] } else { instr.srcs[0] };
+                let addr_src = if instr.class.is_store() {
+                    instr.srcs[1]
+                } else {
+                    instr.srcs[0]
+                };
                 assert_eq!(addr_src, Some(ArchReg::int(INDUCTION_REG)));
             }
         }
@@ -638,10 +646,20 @@ mod tests {
         let mut full = 0;
         for instr in tpl.instrs() {
             match instr.address {
-                Some(AddressPattern::Streaming { region: Region::Hot, .. })
-                | Some(AddressPattern::Random { region: Region::Hot }) => hot += 1,
-                Some(AddressPattern::Streaming { region: Region::Full, .. })
-                | Some(AddressPattern::Random { region: Region::Full }) => full += 1,
+                Some(AddressPattern::Streaming {
+                    region: Region::Hot,
+                    ..
+                })
+                | Some(AddressPattern::Random {
+                    region: Region::Hot,
+                }) => hot += 1,
+                Some(AddressPattern::Streaming {
+                    region: Region::Full,
+                    ..
+                })
+                | Some(AddressPattern::Random {
+                    region: Region::Full,
+                }) => full += 1,
                 _ => {}
             }
         }

@@ -13,7 +13,10 @@ fn main() {
     let budget = 20_000;
 
     println!("Per-benchmark execution locality on the default D-KIP (MEM-400):");
-    println!("{:>10} {:>8} {:>14} {:>16} {:>14}", "benchmark", "IPC", "high-locality", "LLIB peak instrs", "LLRF peak regs");
+    println!(
+        "{:>10} {:>8} {:>14} {:>16} {:>14}",
+        "benchmark", "IPC", "high-locality", "LLIB peak instrs", "LLRF peak regs"
+    );
     for bench in Benchmark::representative() {
         let stats = run_dkip(&DkipConfig::paper_default(), &mem, bench, budget, 1);
         let (instrs, regs) = if bench.suite() == dkip::trace::Suite::Fp {
@@ -38,7 +41,12 @@ fn main() {
     let r256 = run_baseline(&BaselineConfig::r10_256(), &mem, swim, budget, 1);
     let kilo = run_kilo(&KiloConfig::kilo_1024(), &mem, swim, budget, 1);
     let dkip = run_dkip(&DkipConfig::paper_default(), &mem, swim, budget, 1);
-    for (name, stats) in [("R10-64", &r64), ("R10-256", &r256), ("KILO-1024", &kilo), ("D-KIP-2048", &dkip)] {
+    for (name, stats) in [
+        ("R10-64", &r64),
+        ("R10-256", &r256),
+        ("KILO-1024", &kilo),
+        ("D-KIP-2048", &dkip),
+    ] {
         println!("  {:>10}: IPC {:.3}", name, stats.ipc());
     }
     println!();

@@ -10,14 +10,25 @@ use dkip::trace::Benchmark;
 fn main() {
     let cfg = DkipConfig::paper_default();
     let mem = MemoryHierarchyConfig::mem_400();
-    println!("Simulating 50k instructions of a swim-like workload on {} ...", cfg.name);
+    println!(
+        "Simulating 50k instructions of a swim-like workload on {} ...",
+        cfg.name
+    );
     let stats = run_dkip(&cfg, &mem, Benchmark::Swim, 50_000, 1);
     println!("  cycles                 : {}", stats.cycles);
     println!("  committed instructions : {}", stats.committed);
     println!("  IPC                    : {:.3}", stats.ipc());
-    println!("  high-locality fraction : {:.1}%", 100.0 * stats.high_locality_fraction());
-    println!("  branch mispredict rate : {:.2}%", 100.0 * stats.mispredict_rate());
-    println!("  peak FP LLIB occupancy : {} instructions, {} registers",
-        stats.llib_fp_peak_instrs, stats.llrf_fp_peak_regs);
+    println!(
+        "  high-locality fraction : {:.1}%",
+        100.0 * stats.high_locality_fraction()
+    );
+    println!(
+        "  branch mispredict rate : {:.2}%",
+        100.0 * stats.mispredict_rate()
+    );
+    println!(
+        "  peak FP LLIB occupancy : {} instructions, {} registers",
+        stats.llib_fp_peak_instrs, stats.llrf_fp_peak_regs
+    );
     println!("  checkpoints taken      : {}", stats.checkpoints_taken);
 }

@@ -64,9 +64,14 @@ fn job_matrix() -> Vec<Job> {
     let mem = MemoryHierarchyConfig::mem_400();
     let mut jobs = Vec::new();
     for machine in machines() {
-        for (i, &bench) in [Benchmark::Gcc, Benchmark::Mcf, Benchmark::Swim, Benchmark::Mesa]
-            .iter()
-            .enumerate()
+        for (i, &bench) in [
+            Benchmark::Gcc,
+            Benchmark::Mcf,
+            Benchmark::Swim,
+            Benchmark::Mesa,
+        ]
+        .iter()
+        .enumerate()
         {
             let budget = 2_000 + 1_000 * i as u64;
             jobs.push(
@@ -103,7 +108,13 @@ fn runner_results_match_direct_calls() {
     let jobs = job_matrix();
     let results = SweepRunner::new(4).run(&jobs);
     for (job, result) in jobs.iter().zip(&results) {
-        let direct = job.machine.simulate(&job.mem, &job.workload, job.budget, job.seed);
-        assert_eq!(direct, result.stats, "job {} must match a direct run_* call", job.label);
+        let direct = job
+            .machine
+            .simulate(&job.mem, &job.workload, job.budget, job.seed);
+        assert_eq!(
+            direct, result.stats,
+            "job {} must match a direct run_* call",
+            job.label
+        );
     }
 }

@@ -26,16 +26,42 @@ fn assert_dkip_degenerates_to_baseline(mem: &MemoryHierarchyConfig) {
         let base = run_baseline(&BaselineConfig::r10_64(), mem, bench, BUDGET, SEED);
 
         assert_eq!(
-            dkip.low_locality_instrs, 0,
+            dkip.low_locality_instrs,
+            0,
             "{}/{}: no instruction may be extracted to the LLIB under a perfect L2",
             mem.name,
             bench.name()
         );
-        assert_eq!(dkip.llib_int_peak_instrs, 0, "{}: integer LLIB must stay empty", bench.name());
-        assert_eq!(dkip.llib_fp_peak_instrs, 0, "{}: FP LLIB must stay empty", bench.name());
-        assert_eq!(dkip.llrf_int_peak_regs, 0, "{}: integer LLRF must stay empty", bench.name());
-        assert_eq!(dkip.llrf_fp_peak_regs, 0, "{}: FP LLRF must stay empty", bench.name());
-        assert_eq!(dkip.mem_accesses, 0, "{}: a perfect L2 never reaches memory", bench.name());
+        assert_eq!(
+            dkip.llib_int_peak_instrs,
+            0,
+            "{}: integer LLIB must stay empty",
+            bench.name()
+        );
+        assert_eq!(
+            dkip.llib_fp_peak_instrs,
+            0,
+            "{}: FP LLIB must stay empty",
+            bench.name()
+        );
+        assert_eq!(
+            dkip.llrf_int_peak_regs,
+            0,
+            "{}: integer LLRF must stay empty",
+            bench.name()
+        );
+        assert_eq!(
+            dkip.llrf_fp_peak_regs,
+            0,
+            "{}: FP LLRF must stay empty",
+            bench.name()
+        );
+        assert_eq!(
+            dkip.mem_accesses,
+            0,
+            "{}: a perfect L2 never reaches memory",
+            bench.name()
+        );
 
         let ratio = dkip.ipc() / base.ipc();
         assert!(
@@ -69,8 +95,12 @@ fn real_memory_does_populate_the_llib() {
     let spilled = BENCHES
         .iter()
         .filter(|&&bench| {
-            run_dkip(&DkipConfig::paper_default(), &mem, bench, BUDGET, SEED).low_locality_instrs > 0
+            run_dkip(&DkipConfig::paper_default(), &mem, bench, BUDGET, SEED).low_locality_instrs
+                > 0
         })
         .count();
-    assert!(spilled >= 3, "expected most benchmarks to spill, got {spilled}/5");
+    assert!(
+        spilled >= 3,
+        "expected most benchmarks to spill, got {spilled}/5"
+    );
 }

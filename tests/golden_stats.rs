@@ -13,12 +13,10 @@
 
 use std::path::PathBuf;
 
-use dkip::model::config::{BaselineConfig, DkipConfig, KiloConfig, MemoryHierarchyConfig};
-use dkip::sim::experiments::{riscv_kernel_runs, riscv_machines, RISCV_BUDGET};
 use dkip::sim::golden;
 use dkip::sim::runner::results_to_kv;
-use dkip::sim::{Job, Machine, SweepRunner};
-use dkip::trace::Benchmark;
+use dkip::sim::suites;
+use dkip::sim::{Job, SweepRunner};
 
 fn golden_path(name: &str) -> PathBuf {
     PathBuf::from(env!("CARGO_MANIFEST_DIR"))
@@ -56,72 +54,17 @@ fn check_family(name: &str, jobs: &[Job]) {
 
 #[test]
 fn golden_baseline_family() {
-    let mem = MemoryHierarchyConfig::mem_400();
-    let mut jobs = vec![
-        Job::new("r10-64/gcc", Machine::Baseline(BaselineConfig::r10_64()), mem.clone(), Benchmark::Gcc, 4_000),
-        Job::new("r10-64/mcf", Machine::Baseline(BaselineConfig::r10_64()), mem.clone(), Benchmark::Mcf, 4_000),
-        Job::new(
-            "r10-256/swim",
-            Machine::Baseline(BaselineConfig::r10_256()),
-            mem.clone(),
-            Benchmark::Swim,
-            4_000,
-        ),
-        Job::new(
-            "r10-64/l1-2/crafty",
-            Machine::Baseline(BaselineConfig::r10_64()),
-            MemoryHierarchyConfig::l1_2(),
-            Benchmark::Crafty,
-            4_000,
-        ),
-    ];
-    // The unbounded characterisation core exercises the issue-latency
-    // histogram serialisation.
-    jobs.push(Job::new(
-        "unbounded/mesa",
-        Machine::Baseline(BaselineConfig::unbounded()),
-        mem,
-        Benchmark::Mesa,
-        2_000,
-    ));
-    check_family("baseline.golden", &jobs);
+    check_family("baseline.golden", &suites::golden_baseline_jobs());
 }
 
 #[test]
 fn golden_kilo_family() {
-    let mem = MemoryHierarchyConfig::mem_400();
-    let jobs = vec![
-        Job::new("kilo-1024/gcc", Machine::Kilo(KiloConfig::kilo_1024()), mem.clone(), Benchmark::Gcc, 4_000),
-        Job::new("kilo-1024/mcf", Machine::Kilo(KiloConfig::kilo_1024()), mem.clone(), Benchmark::Mcf, 4_000),
-        Job::new("kilo-1024/swim", Machine::Kilo(KiloConfig::kilo_1024()), mem, Benchmark::Swim, 4_000),
-    ];
-    check_family("kilo.golden", &jobs);
+    check_family("kilo.golden", &suites::golden_kilo_jobs());
 }
 
 #[test]
 fn golden_dkip_family() {
-    let mem = MemoryHierarchyConfig::mem_400();
-    let small_l2 = MemoryHierarchyConfig::mem_400().with_l2_kb(64);
-    let jobs = vec![
-        Job::new("dkip-2048/gcc", Machine::Dkip(DkipConfig::paper_default()), mem.clone(), Benchmark::Gcc, 4_000),
-        Job::new("dkip-2048/mcf", Machine::Dkip(DkipConfig::paper_default()), mem.clone(), Benchmark::Mcf, 4_000),
-        Job::new("dkip-2048/swim", Machine::Dkip(DkipConfig::paper_default()), mem.clone(), Benchmark::Swim, 4_000),
-        Job::new(
-            "dkip-512/applu",
-            Machine::Dkip(DkipConfig::paper_default().with_llib_capacity(512)),
-            mem,
-            Benchmark::Applu,
-            4_000,
-        ),
-        Job::new(
-            "dkip-2048/64kb-l2/equake",
-            Machine::Dkip(DkipConfig::paper_default()),
-            small_l2,
-            Benchmark::Equake,
-            4_000,
-        ),
-    ];
-    check_family("dkip.golden", &jobs);
+    check_family("dkip.golden", &suites::golden_dkip_jobs());
 }
 
 #[test]
@@ -131,20 +74,7 @@ fn golden_riscv_family() {
     // paper-default memory hierarchy. Execution-driven workloads are
     // seed-independent, so these snapshots pin the frontend (assembler,
     // emulator, cracking) as well as the core models.
-    let mem = MemoryHierarchyConfig::paper_default();
-    let mut jobs = Vec::new();
-    for (tag, machine) in riscv_machines() {
-        for run in riscv_kernel_runs() {
-            jobs.push(Job::new(
-                format!("{}/{}", tag.to_lowercase(), run.name()),
-                machine.clone(),
-                mem.clone(),
-                run,
-                RISCV_BUDGET,
-            ));
-        }
-    }
-    check_family("riscv.golden", &jobs);
+    check_family("riscv.golden", &suites::golden_riscv_jobs());
 }
 
 /// The golden files themselves must carry real data: every job section has
@@ -156,7 +86,12 @@ fn golden_snapshots_contain_live_counters() {
         // check would validate whichever generation it happened to read.
         return;
     }
-    for name in ["baseline.golden", "kilo.golden", "dkip.golden", "riscv.golden"] {
+    for name in [
+        "baseline.golden",
+        "kilo.golden",
+        "dkip.golden",
+        "riscv.golden",
+    ] {
         let path = golden_path(name);
         let Ok(content) = std::fs::read_to_string(&path) else {
             // Snapshot not created yet (first run before blessing); the

@@ -24,7 +24,11 @@ fn all_three_processor_families_run_every_representative_benchmark() {
                 bench.name(),
                 stats.committed
             );
-            assert!(stats.ipc() > 0.0 && stats.ipc() <= 4.0, "{name} on {}", bench.name());
+            assert!(
+                stats.ipc() > 0.0 && stats.ipc() <= 4.0,
+                "{name} on {}",
+                bench.name()
+            );
         }
     }
 }
@@ -65,9 +69,18 @@ fn perfect_l1_removes_the_benefit_of_the_dkip() {
     // With no memory wall there is (almost) no low-locality code, so the
     // D-KIP and a conventional core of the same CP size perform similarly.
     let mem = MemoryHierarchyConfig::l1_2();
-    let dkip = run_dkip(&DkipConfig::paper_default(), &mem, Benchmark::Mesa, BUDGET, 1);
+    let dkip = run_dkip(
+        &DkipConfig::paper_default(),
+        &mem,
+        Benchmark::Mesa,
+        BUDGET,
+        1,
+    );
     let r10 = run_baseline(&BaselineConfig::r10_64(), &mem, Benchmark::Mesa, BUDGET, 1);
-    assert!(dkip.low_locality_instrs == 0, "a perfect L1 creates no low-locality slices");
+    assert!(
+        dkip.low_locality_instrs == 0,
+        "a perfect L1 creates no low-locality slices"
+    );
     let ratio = dkip.ipc() / r10.ipc();
     assert!(ratio > 0.7 && ratio < 1.3, "ratio={ratio}");
 }
@@ -121,9 +134,27 @@ fn traces_are_reproducible_end_to_end() {
 #[test]
 fn different_seeds_produce_different_but_similar_behaviour() {
     let mem = MemoryHierarchyConfig::mem_400();
-    let a = run_dkip(&DkipConfig::paper_default(), &mem, Benchmark::Equake, BUDGET, 1);
-    let b = run_dkip(&DkipConfig::paper_default(), &mem, Benchmark::Equake, BUDGET, 2);
-    assert_ne!(a.cycles, b.cycles, "different seeds should not be cycle-identical");
+    let a = run_dkip(
+        &DkipConfig::paper_default(),
+        &mem,
+        Benchmark::Equake,
+        BUDGET,
+        1,
+    );
+    let b = run_dkip(
+        &DkipConfig::paper_default(),
+        &mem,
+        Benchmark::Equake,
+        BUDGET,
+        2,
+    );
+    assert_ne!(
+        a.cycles, b.cycles,
+        "different seeds should not be cycle-identical"
+    );
     let ratio = a.ipc() / b.ipc();
-    assert!(ratio > 0.5 && ratio < 2.0, "seeds change details, not the regime: {ratio}");
+    assert!(
+        ratio > 0.5 && ratio < 2.0,
+        "seeds change details, not the regime: {ratio}"
+    );
 }

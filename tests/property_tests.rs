@@ -2,11 +2,11 @@
 //! generators.
 
 use dkip::bpred::{BranchPredictor, PerceptronPredictor};
+use dkip::dkip::{CheckpointStack, Llbv, Llrf, LowLocalityWriter};
 use dkip::mem::SetAssocCache;
 use dkip::model::config::LlibConfig;
 use dkip::model::stats::Histogram;
 use dkip::model::{ArchReg, TOTAL_ARCH_REGS};
-use dkip::dkip::{CheckpointStack, Llbv, Llrf, LowLocalityWriter};
 use dkip::trace::{Benchmark, TraceGenerator};
 use proptest::prelude::*;
 

@@ -31,11 +31,21 @@ fn arb_inst(kind: usize, a: u8, b: u8, c: u8, raw: u32) -> Inst {
         }
         1 => {
             let op = AluImmOp::ALL[c as usize % AluImmOp::ALL.len()];
-            let imm = if op.is_shift() { (raw % (op.max_shamt() as u32 + 1)) as i32 } else { imm12 };
+            let imm = if op.is_shift() {
+                (raw % (op.max_shamt() as u32 + 1)) as i32
+            } else {
+                imm12
+            };
             Inst::OpImm { op, rd, rs1, imm }
         }
-        2 => Inst::Lui { rd, imm20: (raw % (1 << 20)) as i32 - (1 << 19) },
-        3 => Inst::Auipc { rd, imm20: (raw % (1 << 20)) as i32 - (1 << 19) },
+        2 => Inst::Lui {
+            rd,
+            imm20: (raw % (1 << 20)) as i32 - (1 << 19),
+        },
+        3 => Inst::Auipc {
+            rd,
+            imm20: (raw % (1 << 20)) as i32 - (1 << 19),
+        },
         4 => {
             let (width, signed) = [
                 (MemWidth::B, true),
@@ -46,19 +56,42 @@ fn arb_inst(kind: usize, a: u8, b: u8, c: u8, raw: u32) -> Inst {
                 (MemWidth::H, false),
                 (MemWidth::W, false),
             ][c as usize % 7];
-            Inst::Load { width, signed, rd, rs1, imm: imm12 }
+            Inst::Load {
+                width,
+                signed,
+                rd,
+                rs1,
+                imm: imm12,
+            }
         }
         5 => {
             let width = [MemWidth::B, MemWidth::H, MemWidth::W, MemWidth::D][c as usize % 4];
-            Inst::Store { width, rs2, rs1, imm: imm12 }
+            Inst::Store {
+                width,
+                rs2,
+                rs1,
+                imm: imm12,
+            }
         }
         6 => {
             let cond = BranchCond::ALL[c as usize % BranchCond::ALL.len()];
             let imm = ((raw % 4096) as i32 - 2048) * 2;
-            Inst::Branch { cond, rs1, rs2, imm }
+            Inst::Branch {
+                cond,
+                rs1,
+                rs2,
+                imm,
+            }
         }
-        7 => Inst::Jal { rd, imm: ((raw % (1 << 20)) as i32 - (1 << 19)) * 2 },
-        8 => Inst::Jalr { rd, rs1, imm: imm12 },
+        7 => Inst::Jal {
+            rd,
+            imm: ((raw % (1 << 20)) as i32 - (1 << 19)) * 2,
+        },
+        8 => Inst::Jalr {
+            rd,
+            rs1,
+            imm: imm12,
+        },
         _ => Inst::Ecall,
     }
 }
@@ -110,7 +143,11 @@ fn kernels_pin_final_register_state() {
         let run = kernel.default_run();
         let mut emu = run.emulator();
         emu.run_to_halt();
-        assert!(emu.ran_to_completion(), "{} must halt cleanly, not via the step backstop", run.name());
+        assert!(
+            emu.ran_to_completion(),
+            "{} must halt cleanly, not via the step backstop",
+            run.name()
+        );
         assert_eq!(
             emu.reg(Reg::A0),
             run.expected_result(),
@@ -119,7 +156,12 @@ fn kernels_pin_final_register_state() {
         );
         // x0 stays hardwired and sp is balanced back to the top of memory.
         assert_eq!(emu.reg(Reg::ZERO), 0);
-        assert_eq!(emu.reg(Reg::SP), dkip::riscv::MEM_SIZE, "{}: unbalanced stack", run.name());
+        assert_eq!(
+            emu.reg(Reg::SP),
+            dkip::riscv::MEM_SIZE,
+            "{}: unbalanced stack",
+            run.name()
+        );
     }
 }
 
@@ -144,7 +186,11 @@ fn kernels_pin_final_memory_state() {
     let dim = run.size;
     let cells = dim * dim;
     let expected_c00: u64 = (0..dim).map(|k| k * (((k * dim) & 7) + 1)).sum();
-    assert_eq!(emu.read_u64(DATA_BASE + 16 * cells), expected_c00, "c[0][0]");
+    assert_eq!(
+        emu.read_u64(DATA_BASE + 16 * cells),
+        expected_c00,
+        "c[0][0]"
+    );
 
     // listwalk: node i holds [next, value] with next = &node[(i+7) % n].
     let run = Kernel::ListWalk.default_run();
@@ -153,7 +199,11 @@ fn kernels_pin_final_memory_state() {
     for i in [0, 1, run.size - 1] {
         let next = emu.read_u64(DATA_BASE + 16 * i);
         let value = emu.read_u64(DATA_BASE + 16 * i + 8);
-        assert_eq!(next, DATA_BASE + 16 * ((i + 7) % run.size), "node[{i}].next");
+        assert_eq!(
+            next,
+            DATA_BASE + 16 * ((i + 7) % run.size),
+            "node[{i}].next"
+        );
         assert_eq!(value, i, "node[{i}].value");
     }
 }
@@ -187,7 +237,12 @@ fn same_kernel_yields_bit_identical_simstats_on_every_family() {
     for machine in machines {
         let a = machine.simulate(&mem, &workload, 1_000_000, 1);
         let b = machine.simulate(&mem, &workload, 1_000_000, 2);
-        assert_eq!(a, b, "{}: SimStats must be identical (seed-independent)", machine.name());
+        assert_eq!(
+            a,
+            b,
+            "{}: SimStats must be identical (seed-independent)",
+            machine.name()
+        );
         assert!(a.committed > 0 && a.cycles > 0);
     }
 }
@@ -204,7 +259,8 @@ fn finite_streams_commit_exactly_their_dynamic_length() {
     ] {
         let stats = machine.simulate(&mem, &Workload::from(run), 1_000_000, 1);
         assert_eq!(
-            stats.committed, dynamic_len,
+            stats.committed,
+            dynamic_len,
             "{}: every fetched instruction commits, then the machine drains",
             machine.name()
         );

@@ -2,15 +2,229 @@
 //!
 //! The build environment has no access to crates.io, so this shim provides
 //! just enough of the criterion 0.5 API for
-//! `crates/bench/benches/paper_figures.rs` to compile and run: benchmark
-//! groups, `sample_size`, `bench_function`, `Bencher::iter`, and the
-//! `criterion_group!`/`criterion_main!` macros. It times each benchmark with
-//! `std::time::Instant` and prints mean wall-clock time per iteration —
-//! no statistics, outlier analysis, or HTML reports.
+//! `crates/bench/benches/paper_figures.rs` and the `dkip-bench` throughput
+//! harness to compile and run: benchmark groups, `sample_size`,
+//! `throughput`, `bench_function`, `Bencher::iter`, and the
+//! `criterion_group!`/`criterion_main!` macros.
+//!
+//! Beyond the original stderr-style wall-clock printing, every timed run is
+//! recorded as a [`Measurement`] in a process-global registry, and the
+//! harness can persist the whole registry as machine-readable JSON —
+//! criterion's `--save-baseline` flow, reduced to one file:
+//!
+//! * `cargo bench -p dkip-bench -- --save-baseline NAME` writes
+//!   `target/criterion/NAME.json`;
+//! * setting `CRITERION_JSON=/path/file.json` writes to an explicit path;
+//! * library users (the `perf` throughput harness) call
+//!   [`take_measurements`] and [`write_json`] directly, so `cargo bench`
+//!   and `make perf` share one measurement + serialisation code path.
 
 #![warn(missing_docs)]
 
+use std::io::Write as _;
+use std::path::{Path, PathBuf};
+use std::sync::Mutex;
 use std::time::{Duration, Instant};
+
+/// Per-iteration work declared by a benchmark, mirroring
+/// `criterion::Throughput`. The JSON report derives an elements-per-second
+/// rate from it (for the simulator benches: simulated instructions per
+/// second).
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum Throughput {
+    /// Number of abstract elements processed per iteration.
+    Elements(u64),
+    /// Number of bytes processed per iteration.
+    Bytes(u64),
+}
+
+impl Throughput {
+    fn elements(self) -> u64 {
+        match self {
+            Throughput::Elements(n) | Throughput::Bytes(n) => n,
+        }
+    }
+}
+
+/// One completed benchmark: identification plus timing statistics.
+#[derive(Debug, Clone, PartialEq)]
+pub struct Measurement {
+    /// The benchmark group, or an empty string for stand-alone benchmarks.
+    pub group: String,
+    /// The benchmark name inside its group.
+    pub name: String,
+    /// Number of timed samples.
+    pub samples: u64,
+    /// Mean wall-clock nanoseconds per iteration.
+    pub mean_ns: f64,
+    /// Fastest sample, in nanoseconds.
+    pub min_ns: f64,
+    /// Slowest sample, in nanoseconds.
+    pub max_ns: f64,
+    /// Total wall-clock nanoseconds across all samples.
+    pub total_ns: f64,
+    /// Declared per-iteration work, if any (see [`Throughput`]).
+    pub elements_per_iter: Option<u64>,
+}
+
+impl Measurement {
+    /// The full `group/name` identifier.
+    #[must_use]
+    pub fn id(&self) -> String {
+        if self.group.is_empty() {
+            self.name.clone()
+        } else {
+            format!("{}/{}", self.group, self.name)
+        }
+    }
+
+    /// Elements processed per second, if a throughput was declared.
+    #[must_use]
+    pub fn elements_per_sec(&self) -> Option<f64> {
+        let elements = self.elements_per_iter? as f64;
+        if self.mean_ns <= 0.0 {
+            return None;
+        }
+        Some(elements * 1e9 / self.mean_ns)
+    }
+
+    /// Serialises the measurement as one JSON object.
+    #[must_use]
+    pub fn to_json(&self) -> String {
+        let mut fields = vec![
+            format!("\"group\": {}", json_string(&self.group)),
+            format!("\"name\": {}", json_string(&self.name)),
+            format!("\"samples\": {}", self.samples),
+            format!("\"mean_ns\": {}", json_number(self.mean_ns)),
+            format!("\"min_ns\": {}", json_number(self.min_ns)),
+            format!("\"max_ns\": {}", json_number(self.max_ns)),
+            format!("\"total_ns\": {}", json_number(self.total_ns)),
+        ];
+        if let Some(elements) = self.elements_per_iter {
+            fields.push(format!("\"elements_per_iter\": {elements}"));
+            if let Some(rate) = self.elements_per_sec() {
+                fields.push(format!("\"elements_per_sec\": {}", json_number(rate)));
+            }
+        }
+        format!("{{{}}}", fields.join(", "))
+    }
+}
+
+/// Escapes and quotes a string for JSON output.
+#[must_use]
+pub fn json_string(s: &str) -> String {
+    let mut out = String::with_capacity(s.len() + 2);
+    out.push('"');
+    for c in s.chars() {
+        match c {
+            '"' => out.push_str("\\\""),
+            '\\' => out.push_str("\\\\"),
+            '\n' => out.push_str("\\n"),
+            '\t' => out.push_str("\\t"),
+            '\r' => out.push_str("\\r"),
+            c if (c as u32) < 0x20 => out.push_str(&format!("\\u{:04x}", c as u32)),
+            c => out.push(c),
+        }
+    }
+    out.push('"');
+    out
+}
+
+/// Formats a float as a finite JSON number (JSON has no NaN/Infinity).
+#[must_use]
+pub fn json_number(value: f64) -> String {
+    if value.is_finite() {
+        format!("{value}")
+    } else {
+        "0".to_owned()
+    }
+}
+
+static REGISTRY: Mutex<Vec<Measurement>> = Mutex::new(Vec::new());
+
+fn record(measurement: Measurement) {
+    REGISTRY
+        .lock()
+        .expect("criterion registry poisoned")
+        .push(measurement);
+}
+
+/// Drains every measurement recorded so far, in completion order.
+#[must_use]
+pub fn take_measurements() -> Vec<Measurement> {
+    std::mem::take(&mut *REGISTRY.lock().expect("criterion registry poisoned"))
+}
+
+/// Writes a measurement list as one JSON document (`{"measurements": [...]}`).
+///
+/// # Errors
+///
+/// Returns any I/O error from creating or writing the file.
+pub fn write_json(path: &Path, measurements: &[Measurement]) -> std::io::Result<()> {
+    if let Some(parent) = path.parent() {
+        if !parent.as_os_str().is_empty() {
+            std::fs::create_dir_all(parent)?;
+        }
+    }
+    let mut file = std::fs::File::create(path)?;
+    let body: Vec<String> = measurements
+        .iter()
+        .map(|m| format!("    {}", m.to_json()))
+        .collect();
+    writeln!(
+        file,
+        "{{\n  \"measurements\": [\n{}\n  ]\n}}",
+        body.join(",\n")
+    )
+}
+
+/// The JSON output path requested via `--save-baseline NAME` (mapped to
+/// `target/criterion/NAME.json`) or the `CRITERION_JSON` environment
+/// variable (an explicit path). The environment variable wins.
+#[must_use]
+pub fn save_baseline_path() -> Option<PathBuf> {
+    if let Ok(path) = std::env::var("CRITERION_JSON") {
+        if !path.is_empty() {
+            return Some(PathBuf::from(path));
+        }
+    }
+    let mut args = std::env::args().skip(1);
+    while let Some(arg) = args.next() {
+        if arg == "--save-baseline" {
+            let name = args.next()?;
+            return Some(
+                PathBuf::from("target")
+                    .join("criterion")
+                    .join(format!("{name}.json")),
+            );
+        }
+        if let Some(name) = arg.strip_prefix("--save-baseline=") {
+            return Some(
+                PathBuf::from("target")
+                    .join("criterion")
+                    .join(format!("{name}.json")),
+            );
+        }
+    }
+    None
+}
+
+/// Called by `criterion_main!` after all groups ran: persists the registry
+/// as JSON when a baseline path was requested.
+pub fn finalize() {
+    let Some(path) = save_baseline_path() else {
+        return;
+    };
+    let measurements = take_measurements();
+    match write_json(&path, &measurements) {
+        Ok(()) => println!(
+            "wrote {} measurements to {}",
+            measurements.len(),
+            path.display()
+        ),
+        Err(err) => eprintln!("failed to write {}: {err}", path.display()),
+    }
+}
 
 /// Entry point mirroring `criterion::Criterion`.
 #[derive(Debug, Default)]
@@ -22,7 +236,11 @@ impl Criterion {
     /// Starts a named group of related benchmarks.
     pub fn benchmark_group(&mut self, name: &str) -> BenchmarkGroup {
         println!("group: {name}");
-        BenchmarkGroup { sample_size: 10 }
+        BenchmarkGroup {
+            name: name.to_owned(),
+            sample_size: 10,
+            throughput: None,
+        }
     }
 
     /// Runs a stand-alone benchmark outside any group.
@@ -30,15 +248,17 @@ impl Criterion {
     where
         F: FnMut(&mut Bencher),
     {
-        run_one(name, 10, f);
+        run_one("", name, 10, None, f);
         self
     }
 }
 
-/// A named group of benchmarks sharing a sample size.
+/// A named group of benchmarks sharing a sample size and throughput.
 #[derive(Debug)]
 pub struct BenchmarkGroup {
+    name: String,
     sample_size: usize,
+    throughput: Option<Throughput>,
 }
 
 impl BenchmarkGroup {
@@ -48,12 +268,20 @@ impl BenchmarkGroup {
         self
     }
 
-    /// Times `f` and prints the mean wall-clock time per iteration.
+    /// Declares the per-iteration work of subsequent benchmarks, enabling
+    /// rate reporting (e.g. simulated instructions per second).
+    pub fn throughput(&mut self, throughput: Throughput) -> &mut Self {
+        self.throughput = Some(throughput);
+        self
+    }
+
+    /// Times `f`, prints the mean wall-clock time per iteration, and records
+    /// a [`Measurement`] in the global registry.
     pub fn bench_function<F>(&mut self, name: &str, f: F) -> &mut Self
     where
         F: FnMut(&mut Bencher),
     {
-        run_one(name, self.sample_size, f);
+        run_one(&self.name, name, self.sample_size, self.throughput, f);
         self
     }
 
@@ -80,7 +308,15 @@ impl Bencher {
     }
 }
 
-fn run_one<F: FnMut(&mut Bencher)>(name: &str, sample_size: usize, mut f: F) {
+/// Times one benchmark, prints its mean, and returns the recorded
+/// [`Measurement`] (also pushed to the global registry).
+pub fn run_one<F: FnMut(&mut Bencher)>(
+    group: &str,
+    name: &str,
+    sample_size: usize,
+    throughput: Option<Throughput>,
+    mut f: F,
+) -> Measurement {
     let mut b = Bencher {
         samples: Vec::with_capacity(sample_size),
         sample_size,
@@ -89,6 +325,20 @@ fn run_one<F: FnMut(&mut Bencher)>(name: &str, sample_size: usize, mut f: F) {
     let n = b.samples.len().max(1);
     let total: Duration = b.samples.iter().sum();
     println!("  {name}: {:?} mean over {n} samples", total / n as u32);
+    let to_ns = |d: &Duration| d.as_secs_f64() * 1e9;
+    let min_ns = b.samples.iter().map(to_ns).fold(f64::INFINITY, f64::min);
+    let measurement = Measurement {
+        group: group.to_owned(),
+        name: name.to_owned(),
+        samples: n as u64,
+        mean_ns: to_ns(&total) / n as f64,
+        min_ns: if min_ns.is_finite() { min_ns } else { 0.0 },
+        max_ns: b.samples.iter().map(to_ns).fold(0.0, f64::max),
+        total_ns: to_ns(&total),
+        elements_per_iter: throughput.map(Throughput::elements),
+    };
+    record(measurement.clone());
+    measurement
 }
 
 /// Mirrors `criterion_group!`: bundles benchmark functions into one runner.
@@ -103,12 +353,67 @@ macro_rules! criterion_group {
 }
 
 /// Mirrors `criterion_main!`: emits `main` for a `harness = false` bench.
+/// After every group has run, the measurement registry is flushed to JSON
+/// when `--save-baseline NAME` or `CRITERION_JSON=path` was given.
 #[macro_export]
 macro_rules! criterion_main {
     ($($group:path),+ $(,)?) => {
         fn main() {
             // cargo bench passes harness flags like `--bench`; ignore them.
             $($group();)+
+            $crate::finalize();
         }
     };
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn measurements_record_timing_and_throughput() {
+        let m = run_one("g", "spin", 3, Some(Throughput::Elements(1000)), |b| {
+            b.iter(|| std::hint::black_box((0..100u64).sum::<u64>()))
+        });
+        assert_eq!(m.samples, 3);
+        assert!(m.mean_ns > 0.0);
+        assert!(m.min_ns <= m.mean_ns && m.mean_ns <= m.max_ns);
+        assert_eq!(m.elements_per_iter, Some(1000));
+        assert!(m.elements_per_sec().unwrap() > 0.0);
+        assert_eq!(m.id(), "g/spin");
+        // The registry saw it too (other tests may interleave, so only
+        // check presence).
+        assert!(take_measurements().iter().any(|r| r.id() == "g/spin"));
+    }
+
+    #[test]
+    fn json_serialisation_is_wellformed() {
+        let m = Measurement {
+            group: "cores".to_owned(),
+            name: "dkip \"2048\"".to_owned(),
+            samples: 2,
+            mean_ns: 1.5e6,
+            min_ns: 1.0e6,
+            max_ns: 2.0e6,
+            total_ns: 3.0e6,
+            elements_per_iter: Some(42),
+        };
+        let json = m.to_json();
+        assert!(json.starts_with('{') && json.ends_with('}'));
+        assert!(json.contains("\\\"2048\\\""));
+        assert!(json.contains("\"elements_per_iter\": 42"));
+    }
+
+    #[test]
+    fn json_number_never_emits_non_finite_values() {
+        assert_eq!(json_number(f64::NAN), "0");
+        assert_eq!(json_number(f64::INFINITY), "0");
+        assert_eq!(json_number(2.5), "2.5");
+    }
+
+    #[test]
+    fn json_strings_escape_control_characters() {
+        assert_eq!(json_string("a\"b\\c\nd"), "\"a\\\"b\\\\c\\nd\"");
+        assert_eq!(json_string("\u{1}"), "\"\\u0001\"");
+    }
 }
