@@ -30,10 +30,13 @@ lint:
 ## Golden-stats regression checks: compare fresh runs against the pinned
 ## snapshots in tests/golden/ (incl. the RISC-V kernel sweep), single- and
 ## multi-threaded (see EXPERIMENTS.md).
-## perf_invariance hard-pins its own 1- and 8-thread runners (it ignores
-## DKIP_THREADS), so one invocation covers both thread counts.
+## perf_invariance and skip_equivalence hard-pin their own 1- and 8-thread
+## runners (they ignore DKIP_THREADS), so one invocation covers both thread
+## counts; skip_equivalence additionally runs every suite with the
+## event-driven clock on and off (DKIP_NO_SKIP) and requires bit-identical
+## statistics.
 golden:
-	DKIP_THREADS=1 cargo test -q -p dkip --test golden_stats --test determinism --test riscv_frontend --test perf_invariance
+	DKIP_THREADS=1 cargo test -q -p dkip --test golden_stats --test determinism --test riscv_frontend --test perf_invariance --test skip_equivalence
 	DKIP_THREADS=8 cargo test -q -p dkip --test golden_stats --test determinism --test riscv_frontend
 
 ## Regenerate the golden snapshots after an *intended* behavioural change,

@@ -7,11 +7,11 @@
 //! `cargo bench --workspace` completes in a few minutes.
 
 use criterion::{criterion_group, criterion_main, Criterion};
-use dkip_core::run_dkip;
+use dkip_core::{run_dkip, DkipProcessor};
 use dkip_kilo::run_kilo;
 use dkip_mem::MemoryHierarchy;
 use dkip_model::config::{BaselineConfig, DkipConfig, KiloConfig, MemoryHierarchyConfig};
-use dkip_ooo::run_baseline;
+use dkip_ooo::{run_baseline, OooCore};
 use dkip_sim::experiments;
 use dkip_trace::{Benchmark, Suite, TraceGenerator};
 use std::hint::black_box;
@@ -77,6 +77,39 @@ fn bench_cores(c: &mut Criterion) {
             ))
         });
     });
+    group.finish();
+}
+
+/// The event-driven clock on a memory-bound sweep: the same simulations with
+/// quiesced-cycle skipping on vs forced single-stepping. The simulated
+/// statistics are bit-identical (pinned by `tests/skip_equivalence.rs`);
+/// only the host time differs, and this bench quantifies by how much.
+fn bench_clock_skip(c: &mut Criterion) {
+    let mem = MemoryHierarchyConfig::mem_1000();
+    let mut group = c.benchmark_group("clock_skip");
+    group.sample_size(10);
+    for (mode, single_step) in [("skip_on", false), ("skip_off", true)] {
+        let mem_cfg = mem.clone();
+        group.bench_function(&format!("r10_64_swim_mem1000_{mode}"), move |b| {
+            b.iter(|| {
+                let hierarchy = MemoryHierarchy::new(mem_cfg.clone()).unwrap();
+                let mut core = OooCore::from_baseline(&BaselineConfig::r10_64(), hierarchy);
+                core.set_single_step(single_step);
+                let mut trace = TraceGenerator::new(Benchmark::Swim, 1);
+                black_box(core.run(&mut trace, BUDGET))
+            });
+        });
+        let mem_cfg = mem.clone();
+        group.bench_function(&format!("dkip_2048_gcc_mem1000_{mode}"), move |b| {
+            b.iter(|| {
+                let hierarchy = MemoryHierarchy::new(mem_cfg.clone()).unwrap();
+                let mut proc = DkipProcessor::new(DkipConfig::paper_default(), hierarchy);
+                proc.set_single_step(single_step);
+                let mut trace = TraceGenerator::new(Benchmark::Gcc, 1);
+                black_box(proc.run(&mut trace, BUDGET))
+            });
+        });
+    }
     group.finish();
 }
 
@@ -181,5 +214,11 @@ fn bench_figures(c: &mut Criterion) {
     group.finish();
 }
 
-criterion_group!(benches, bench_components, bench_cores, bench_figures);
+criterion_group!(
+    benches,
+    bench_components,
+    bench_cores,
+    bench_clock_skip,
+    bench_figures
+);
 criterion_main!(benches);

@@ -10,8 +10,10 @@
 //!
 //! ```json
 //! {
-//!   "schema": "dkip-sim-throughput/v1",
-//!   "entries": [ { "family": "dkip", "workload": "swim", "mips": ..., ... } ],
+//!   "schema": "dkip-sim-throughput/v2",
+//!   "entries": [ { "family": "dkip", "workload": "swim", "mips": ...,
+//!                  "ticks_executed": ..., "cycles_skipped": ...,
+//!                  "skipped_frac": ..., ... } ],
 //!   "families": [ { "family": "dkip", "mips_geomean": ... } ]
 //! }
 //! ```
@@ -19,7 +21,12 @@
 //! `mips` is millions of *simulated committed instructions* per host second;
 //! `cycles_per_sec` is simulated cycles per host second. Both are host
 //! metadata — the simulated statistics themselves stay bit-identical and are
-//! pinned by the golden snapshots, not by this harness.
+//! pinned by the golden snapshots, not by this harness. Schema v2 adds the
+//! event-driven-clock telemetry: `ticks_executed` (real `tick()` calls),
+//! `cycles_skipped` (quiesced cycles fast-forwarded over) and
+//! `skipped_frac` (`cycles_skipped / cycles`); the harness additionally
+//! fails if no D-KIP workload skipped a single cycle, so the skip path
+//! cannot silently rot.
 
 use criterion::{run_one, Measurement, Throughput};
 use dkip_model::config::{BaselineConfig, DkipConfig, KiloConfig, MemoryHierarchyConfig};
@@ -58,6 +65,11 @@ pub struct ThroughputEntry {
     pub committed: u64,
     /// Simulated cycles per iteration.
     pub cycles: u64,
+    /// `tick()` invocations actually executed per iteration (schema v2).
+    pub ticks_executed: u64,
+    /// Quiesced cycles the event-driven clock skipped per iteration
+    /// (schema v2).
+    pub cycles_skipped: u64,
     /// Millions of simulated committed instructions per host second.
     pub mips: f64,
     /// Simulated cycles per host second.
@@ -67,10 +79,21 @@ pub struct ThroughputEntry {
 }
 
 impl ThroughputEntry {
+    /// Fraction of simulated cycles skipped by the event-driven clock.
+    #[must_use]
+    pub fn skipped_frac(&self) -> f64 {
+        if self.cycles == 0 {
+            0.0
+        } else {
+            self.cycles_skipped as f64 / self.cycles as f64
+        }
+    }
+
     fn to_json(&self) -> String {
         format!(
             "{{\"family\": {}, \"machine\": {}, \"workload\": {}, \"budget\": {}, \
-             \"committed\": {}, \"cycles\": {}, \"samples\": {}, \"mean_ns\": {}, \
+             \"committed\": {}, \"cycles\": {}, \"ticks_executed\": {}, \
+             \"cycles_skipped\": {}, \"skipped_frac\": {}, \"samples\": {}, \"mean_ns\": {}, \
              \"mips\": {}, \"cycles_per_sec\": {}}}",
             criterion::json_string(self.family),
             criterion::json_string(&self.machine),
@@ -78,6 +101,9 @@ impl ThroughputEntry {
             self.budget,
             self.committed,
             self.cycles,
+            self.ticks_executed,
+            self.cycles_skipped,
+            criterion::json_number(self.skipped_frac()),
             self.measurement.samples,
             criterion::json_number(self.measurement.mean_ns),
             criterion::json_number(self.mips),
@@ -149,6 +175,8 @@ pub fn measure(jobs: &[Job], samples: usize) -> Vec<ThroughputEntry> {
                 budget: job.budget,
                 committed: stats.committed,
                 cycles: stats.cycles,
+                ticks_executed: stats.ticks_executed,
+                cycles_skipped: stats.cycles_skipped,
                 mips,
                 cycles_per_sec,
                 measurement,
@@ -184,7 +212,7 @@ pub fn family_geomeans(entries: &[ThroughputEntry]) -> Vec<(String, f64)> {
 /// Serialises the full throughput report.
 #[must_use]
 pub fn report_to_json(entries: &[ThroughputEntry]) -> String {
-    let mut out = String::from("{\n  \"schema\": \"dkip-sim-throughput/v1\",\n  \"entries\": [\n");
+    let mut out = String::from("{\n  \"schema\": \"dkip-sim-throughput/v2\",\n  \"entries\": [\n");
     let body: Vec<String> = entries
         .iter()
         .map(|e| format!("    {}", e.to_json()))
@@ -401,8 +429,12 @@ pub fn run(args: &PerfArgs) -> i32 {
     for entry in &entries {
         let _ = writeln!(
             table,
-            "  {:8} {:24} {:>10.3} MIPS  {:>12.0} cycles/s",
-            entry.family, entry.workload, entry.mips, entry.cycles_per_sec
+            "  {:8} {:24} {:>10.3} MIPS  {:>12.0} cycles/s  {:>5.1}% skipped",
+            entry.family,
+            entry.workload,
+            entry.mips,
+            entry.cycles_per_sec,
+            entry.skipped_frac() * 100.0
         );
     }
     print!("{table}");
@@ -418,6 +450,22 @@ pub fn run(args: &PerfArgs) -> i32 {
     println!("wrote {}", args.out.display());
 
     let mut failed = false;
+    // The event-driven clock must actually engage: if no D-KIP workload
+    // skipped a single cycle while skipping is enabled, the fast path has
+    // silently rotted (every memory-bound sweep quiesces somewhere).
+    if dkip_model::event_clock_enabled() {
+        let dkip_skipped: u64 = entries
+            .iter()
+            .filter(|e| e.family == "dkip")
+            .map(|e| e.cycles_skipped)
+            .sum();
+        if dkip_skipped == 0 {
+            eprintln!("event-driven clock: no dkip workload skipped any cycle [FAILED]");
+            failed = true;
+        } else {
+            println!("event-driven clock: dkip skipped {dkip_skipped} quiesced cycles [ok]");
+        }
+    }
     if args.floor > 0.0 {
         match fresh.iter().find(|(f, _)| f == "dkip") {
             Some((_, mips)) if *mips >= args.floor => {
@@ -480,6 +528,8 @@ mod tests {
             budget: 1000,
             committed: 1000,
             cycles: 2000,
+            ticks_executed: 1500,
+            cycles_skipped: 500,
             mips,
             cycles_per_sec: mips * 2e6,
             measurement: Measurement {
@@ -561,6 +611,17 @@ mod tests {
         let baseline_json = report_to_json(&[entry("dkip", "swim", 1.0)]);
         let report = compare_to_baseline(&[], &baseline_json, 0.30);
         assert_eq!(report.regressed, vec!["dkip".to_owned()]);
+    }
+
+    #[test]
+    fn report_json_carries_v2_clock_telemetry() {
+        let entries = vec![entry("dkip", "swim", 2.0)];
+        let json = report_to_json(&entries);
+        assert!(json.contains("\"schema\": \"dkip-sim-throughput/v2\""));
+        assert!(json.contains("\"ticks_executed\": 1500"));
+        assert!(json.contains("\"cycles_skipped\": 500"));
+        assert!(json.contains("\"skipped_frac\": 0.25"));
+        assert!((entries[0].skipped_frac() - 0.25).abs() < 1e-12);
     }
 
     #[test]

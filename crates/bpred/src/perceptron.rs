@@ -2,6 +2,7 @@
 //! predictor used by the paper's Cache Processor (Table 2).
 
 use crate::{BranchPredictor, PredStats};
+use dkip_model::FastHashMap;
 
 /// A perceptron branch predictor.
 ///
@@ -11,10 +12,17 @@ use crate::{BranchPredictor, PredStats};
 /// and the history (encoded as ±1); training bumps the weights whenever the
 /// prediction was wrong or the magnitude of the output was below the
 /// threshold `⌊1.93·h + 14⌋` recommended by the original paper.
+///
+/// The predictor sits on the dispatch/writeback hot path of every core
+/// family, so the table is stored as one flat row-major weight array (no
+/// per-perceptron `Vec` indirection) and the in-flight outputs live in a
+/// deterministic [`FastHashMap`].
 #[derive(Debug, Clone)]
 pub struct PerceptronPredictor {
-    /// `weights[i]` holds `history_len + 1` weights (bias first).
-    weights: Vec<Vec<i32>>,
+    /// Row-major table: perceptron `i` occupies
+    /// `weights[i * (history_len + 1) ..][..history_len + 1]`, bias first.
+    weights: Vec<i32>,
+    table_size: usize,
     history: u64,
     history_len: usize,
     threshold: i32,
@@ -24,7 +32,7 @@ pub struct PerceptronPredictor {
     /// a handful of unresolved branches because fetch stalls on a predicted
     /// mispredict).
     stats: PredStats,
-    last_outputs: std::collections::HashMap<u64, i32>,
+    last_outputs: FastHashMap<u64, i32>,
 }
 
 impl PerceptronPredictor {
@@ -41,12 +49,13 @@ impl PerceptronPredictor {
         let table_size = table_size.next_power_of_two();
         let threshold = (1.93 * history_len as f64 + 14.0).floor() as i32;
         PerceptronPredictor {
-            weights: vec![vec![0; history_len + 1]; table_size],
+            weights: vec![0; table_size * (history_len + 1)],
+            table_size,
             history: 0,
             history_len,
             threshold,
             stats: PredStats::default(),
-            last_outputs: std::collections::HashMap::new(),
+            last_outputs: FastHashMap::default(),
         }
     }
 
@@ -74,19 +83,28 @@ impl PerceptronPredictor {
         // Fold the PC; low bits beyond the instruction alignment are the
         // most discriminating.
         let hashed = (pc >> 2) ^ (pc >> 13);
-        (hashed as usize) & (self.weights.len() - 1)
+        (hashed as usize) & (self.table_size - 1)
+    }
+
+    /// The weight row of perceptron `idx` (bias first).
+    fn row(&self, idx: usize) -> &[i32] {
+        let stride = self.history_len + 1;
+        &self.weights[idx * stride..(idx + 1) * stride]
+    }
+
+    /// Mutable form of [`PerceptronPredictor::row`].
+    fn row_mut(&mut self, idx: usize) -> &mut [i32] {
+        let stride = self.history_len + 1;
+        &mut self.weights[idx * stride..(idx + 1) * stride]
     }
 
     fn output(&self, pc: u64) -> i32 {
-        let perceptron = &self.weights[self.index(pc)];
+        let perceptron = self.row(self.index(pc));
         let mut y = perceptron[0];
-        for bit in 0..self.history_len {
-            let h = if (self.history >> bit) & 1 == 1 {
-                1
-            } else {
-                -1
-            };
-            y += perceptron[bit + 1] * h;
+        for (bit, &weight) in perceptron[1..].iter().enumerate() {
+            // history bit 1 → +weight, 0 → -weight (branchless ±1 encode).
+            let h = ((self.history >> bit) & 1) as i32 * 2 - 1;
+            y += weight * h;
         }
         y
     }
@@ -108,12 +126,7 @@ impl PerceptronPredictor {
     /// exceeds 128; the property tests assert exactly that bound.
     #[must_use]
     pub fn max_abs_weight(&self) -> i32 {
-        self.weights
-            .iter()
-            .flat_map(|perceptron| perceptron.iter())
-            .map(|w| w.abs())
-            .max()
-            .unwrap_or(0)
+        self.weights.iter().map(|w| w.abs()).max().unwrap_or(0)
     }
 }
 
@@ -141,15 +154,11 @@ impl BranchPredictor for PerceptronPredictor {
             let t = if taken { 1 } else { -1 };
             // Reconstruct the history the prediction saw (one bit older).
             let seen_history = self.history >> 1;
-            let perceptron = &mut self.weights[idx];
+            let perceptron = self.row_mut(idx);
             Self::saturating_adjust(&mut perceptron[0], t);
-            for bit in 0..self.history_len {
-                let h = if (seen_history >> bit) & 1 == 1 {
-                    1
-                } else {
-                    -1
-                };
-                Self::saturating_adjust(&mut perceptron[bit + 1], t * h);
+            for (bit, weight) in perceptron[1..].iter_mut().enumerate() {
+                let h = ((seen_history >> bit) & 1) as i32 * 2 - 1;
+                Self::saturating_adjust(weight, t * h);
             }
         }
     }
@@ -243,10 +252,8 @@ mod tests {
             p.update(0x4000, true, guess);
         }
         // All weights stay within the i8-like clamp.
-        for w in &p.weights {
-            for &v in w {
-                assert!((-128..=127).contains(&v));
-            }
+        for &v in &p.weights {
+            assert!((-128..=127).contains(&v));
         }
     }
 
@@ -259,6 +266,7 @@ mod tests {
     #[test]
     fn table_size_rounds_to_power_of_two() {
         let p = PerceptronPredictor::new(100, 8);
-        assert_eq!(p.weights.len(), 128);
+        assert_eq!(p.table_size, 128);
+        assert_eq!(p.weights.len(), 128 * 9, "flat row-major weight table");
     }
 }

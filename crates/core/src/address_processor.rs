@@ -102,6 +102,22 @@ impl AddressProcessor {
         self.available_values.contains(&seq)
     }
 
+    /// The earliest future cycle (strictly after `now`) at which the AP's
+    /// state can change on its own: the next long-latency load-value
+    /// arrival or the next outstanding cache fill. `None` when nothing is
+    /// in flight.
+    pub fn next_event(&mut self, now: u64) -> Option<u64> {
+        let arrival = self
+            .pending_loads
+            .peek()
+            .map(|&Reverse((cycle, _))| cycle)
+            .filter(|&cycle| cycle > now);
+        match (arrival, self.mem.next_event(now)) {
+            (Some(a), Some(b)) => Some(a.min(b)),
+            (a, b) => a.or(b),
+        }
+    }
+
     /// Number of long-latency loads handled by the AP so far.
     #[must_use]
     pub fn total_long_latency_loads(&self) -> u64 {
@@ -160,6 +176,21 @@ mod tests {
         );
         ap.begin_cycle(1);
         assert!(ap.ports_mut().try_issue());
+    }
+
+    #[test]
+    fn next_event_tracks_pending_loads_and_fills() {
+        let mut ap = ap();
+        assert_eq!(ap.next_event(0), None);
+        ap.register_long_latency_load(7, 500);
+        assert_eq!(ap.next_event(0), Some(500));
+        // An outstanding hierarchy fill completing earlier wins.
+        let outcome = ap.access(0xbeef_0000, false, 10);
+        assert_eq!(ap.next_event(10), Some(10 + outcome.latency));
+        // Once the fill expires only the load-value arrival remains, and an
+        // event is always strictly in the future.
+        assert_eq!(ap.next_event(499), Some(500));
+        assert_eq!(ap.next_event(500), None);
     }
 
     #[test]

@@ -127,6 +127,17 @@ impl MemoryProcessor {
         self.completions.push(Reverse((at_cycle, seq)));
     }
 
+    /// The earliest future cycle (strictly after `now`) at which an issued
+    /// instruction finishes executing in this MP, or `None` when nothing is
+    /// executing.
+    #[must_use]
+    pub fn next_event(&self, now: u64) -> Option<u64> {
+        self.completions
+            .peek()
+            .map(|&Reverse((cycle, _))| cycle)
+            .filter(|&cycle| cycle > now)
+    }
+
     /// Appends the instructions whose execution finishes at or before `now`
     /// to `done` (the caller reuses the buffer across cycles).
     pub fn drain_completed_into(&mut self, now: u64, done: &mut Vec<u64>) {
@@ -225,6 +236,16 @@ mod tests {
         mp.drain_completed(1);
         assert!(mp.occupancy() < 5);
         assert_eq!(mp.peak_occupancy(), 5);
+    }
+
+    #[test]
+    fn next_event_reports_the_earliest_completion() {
+        let mut mp = mp(SchedPolicy::InOrder, 4);
+        assert_eq!(mp.next_event(0), None);
+        mp.insert(1, OpClass::FpAdd, 0);
+        mp.schedule_completion(1, 9);
+        assert_eq!(mp.next_event(0), Some(9));
+        assert_eq!(mp.next_event(9), None, "events are strictly in the future");
     }
 
     #[test]

@@ -24,7 +24,7 @@ use crate::llrf::Llrf;
 use crate::memory_processor::MemoryProcessor;
 use dkip_bpred::{BranchPredictor, PredictorKind};
 use dkip_mem::{AccessLevel, MemoryHierarchy};
-use dkip_model::config::{DkipConfig, MemoryHierarchyConfig};
+use dkip_model::config::{event_clock_enabled, DkipConfig, MemoryHierarchyConfig};
 use dkip_model::{
     fast_map_with_capacity, fast_set_with_capacity, ConsumerTable, DepList, FastHashMap,
     FastHashSet, LastWriters, MicroOp, OpClass, RegClass, SimStats,
@@ -93,6 +93,11 @@ pub struct DkipProcessor {
     /// as the execution-driven RISC-V kernels end; the synthetic generators
     /// never do).
     trace_done: bool,
+    /// Force one `tick()` per simulated cycle instead of letting [`run`]
+    /// fast-forward over quiesced stretches (set by `DKIP_NO_SKIP=1`).
+    ///
+    /// [`run`]: DkipProcessor::run
+    single_step: bool,
 
     stats: SimStats,
 
@@ -146,6 +151,7 @@ impl DkipProcessor {
             fetch_resume_at: 0,
             refill_boundary: u64::MAX,
             trace_done: false,
+            single_step: !event_clock_enabled(),
             stats: SimStats::new(),
             arrived_scratch: Vec::new(),
             mp_done_scratch: Vec::new(),
@@ -199,10 +205,24 @@ impl DkipProcessor {
         )
     }
 
+    /// Forces (or releases) single-stepped simulation regardless of the
+    /// `DKIP_NO_SKIP` environment variable sampled at construction.
+    pub fn set_single_step(&mut self, single_step: bool) {
+        self.single_step = single_step;
+    }
+
     /// Runs until `max_instrs` instructions have committed, the trace ends
     /// and the whole machine drains (finite execution-driven streams run to
     /// completion), or a safety cycle bound is reached. Returns the
     /// accumulated statistics.
+    ///
+    /// Unless single-stepping is forced (`DKIP_NO_SKIP=1`), quiesced
+    /// stretches — a tick in which no load value arrived, no instruction
+    /// moved between pipeline structures and nothing fetched, issued,
+    /// completed or committed — are fast-forwarded to the earliest
+    /// [`DkipProcessor::next_event`], with the per-cycle stall counters
+    /// bumped by the skipped delta so every statistic stays bit-identical
+    /// to single-stepping.
     pub fn run(&mut self, trace: &mut dyn Iterator<Item = MicroOp>, max_instrs: u64) -> SimStats {
         let cycle_cap = self
             .cycle
@@ -211,7 +231,8 @@ impl DkipProcessor {
         // latch across calls (it re-latches on the first empty fetch).
         self.trace_done = false;
         while self.stats.committed < max_instrs && self.cycle < cycle_cap {
-            self.tick(trace);
+            let stalls_before = self.stats.stall_counter_snapshot();
+            let progress = self.tick_progress(trace);
             // Drained: nothing left in the front end, the Aging-ROB, or on
             // the low-locality side (LLIBs / Memory Processors / Address
             // Processor, all tracked by `low_meta`).
@@ -222,6 +243,9 @@ impl DkipProcessor {
             {
                 break;
             }
+            if !progress && !self.single_step {
+                self.skip_quiesced_cycles(cycle_cap, stalls_before);
+            }
         }
         self.finalize_stats();
         self.stats.clone()
@@ -229,7 +253,16 @@ impl DkipProcessor {
 
     /// Advances the whole machine by one cycle.
     pub fn tick(&mut self, trace: &mut dyn Iterator<Item = MicroOp>) {
+        let _ = self.tick_progress(trace);
+    }
+
+    /// Advances the whole machine by one cycle and reports whether any work
+    /// happened in any stage. A `false` return means the machine state is
+    /// unchanged apart from time-gated conditions, so every following cycle
+    /// until [`DkipProcessor::next_event`] would be identical.
+    fn tick_progress(&mut self, trace: &mut dyn Iterator<Item = MicroOp>) -> bool {
         self.cycle += 1;
+        self.stats.ticks_executed += 1;
         self.cp_fus.begin_cycle();
         self.mp_int.begin_cycle();
         self.mp_fp.begin_cycle();
@@ -239,15 +272,70 @@ impl DkipProcessor {
         for &load in &arrived_loads {
             self.handle_load_value_arrival(load);
         }
+        let mut progress = !arrived_loads.is_empty();
         self.arrived_scratch = arrived_loads;
-        self.drain_mp_completions();
-        self.mp_issue();
-        self.llib_to_mp_transfer();
-        self.cp_writeback();
-        self.analyze();
-        self.cp_issue();
-        self.cp_dispatch();
-        self.fetch(trace);
+        progress |= self.drain_mp_completions();
+        progress |= self.mp_issue();
+        progress |= self.llib_to_mp_transfer();
+        progress |= self.cp_writeback();
+        progress |= self.analyze();
+        progress |= self.cp_issue();
+        progress |= self.cp_dispatch();
+        progress |= self.fetch(trace);
+        progress
+    }
+
+    /// The earliest future cycle (strictly after the current one) at which
+    /// the machine's state can change without new work arriving: a Cache
+    /// Processor completion, a Memory Processor completion, a long-latency
+    /// load value arriving at the Address Processor (or any outstanding
+    /// cache fill), the end of the front-end refill penalty, or the
+    /// Aging-ROB head reaching the Analyze stage. `None` means no event is
+    /// pending and the machine can never wake on its own.
+    #[must_use]
+    pub fn next_event(&mut self) -> Option<u64> {
+        let now = self.cycle;
+        let mut next = self
+            .cp_completions
+            .peek()
+            .map(|&Reverse((cycle, _))| cycle)
+            .filter(|&cycle| cycle > now);
+        let mut consider = |candidate: Option<u64>| {
+            if let Some(cycle) = candidate {
+                next = Some(next.map_or(cycle, |n| n.min(cycle)));
+            }
+        };
+        consider(self.mp_int.next_event(now));
+        consider(self.mp_fp.next_event(now));
+        consider(self.ap.next_event(now));
+        consider(Some(self.fetch_resume_at).filter(|&at| at > now));
+        // The Aging-ROB: a head that has not aged yet becomes analyzable at
+        // a fixed future cycle even if nothing else happens.
+        consider(
+            self.rob
+                .head()
+                .map(|head| head.dispatch_cycle + self.cfg.cache_processor.rob_timer)
+                .filter(|&at| at > now),
+        );
+        next
+    }
+
+    /// Fast-forwards over a quiesced stretch: advances `cycle` to just
+    /// before the next event (or past `cycle_cap` when no event is pending,
+    /// matching a single-stepped spin to the cap) and replays the per-cycle
+    /// stall bumps the skipped ticks would have performed.
+    fn skip_quiesced_cycles(&mut self, cycle_cap: u64, stalls_before: [u64; 4]) {
+        let event = self
+            .next_event()
+            .unwrap_or_else(|| cycle_cap.saturating_add(1));
+        let target = event.min(cycle_cap.saturating_add(1)) - 1;
+        if target <= self.cycle {
+            return;
+        }
+        let skipped = target - self.cycle;
+        self.cycle = target;
+        self.stats.cycles_skipped += skipped;
+        self.stats.replay_stall_cycles(stalls_before, skipped);
     }
 
     fn finalize_stats(&mut self) {
@@ -306,7 +394,7 @@ impl DkipProcessor {
     // ------------------------------------------------------------------
     // Memory Processor completion and issue.
     // ------------------------------------------------------------------
-    fn drain_mp_completions(&mut self) {
+    fn drain_mp_completions(&mut self) -> bool {
         let mut done = std::mem::take(&mut self.mp_done_scratch);
         done.clear();
         self.mp_int.drain_completed_into(self.cycle, &mut done);
@@ -314,7 +402,9 @@ impl DkipProcessor {
         for &seq in &done {
             self.handle_mp_completion(seq);
         }
+        let completed = !done.is_empty();
         self.mp_done_scratch = done;
+        completed
     }
 
     fn handle_mp_completion(&mut self, seq: u64) {
@@ -364,7 +454,8 @@ impl DkipProcessor {
         self.mp_consumers.recycle(waiters);
     }
 
-    fn mp_issue(&mut self) {
+    fn mp_issue(&mut self) -> bool {
+        let mut issued = false;
         let width = self.cfg.memory_processor.decode_width;
         for class in [RegClass::Int, RegClass::Fp] {
             let mut selected = std::mem::take(&mut self.select_scratch);
@@ -377,6 +468,7 @@ impl DkipProcessor {
                     .mp_fp
                     .select_into(width, self.ap.ports_mut(), &mut selected),
             }
+            issued |= !selected.is_empty();
             for &(seq, op_class) in &selected {
                 let latency = if op_class.is_mem() {
                     let addr = self
@@ -404,12 +496,14 @@ impl DkipProcessor {
             }
             self.select_scratch = selected;
         }
+        issued
     }
 
     // ------------------------------------------------------------------
     // LLIB → MP transfer.
     // ------------------------------------------------------------------
-    fn llib_to_mp_transfer(&mut self) {
+    fn llib_to_mp_transfer(&mut self) -> bool {
+        let mut transferred = false;
         for class in [RegClass::Int, RegClass::Fp] {
             for _ in 0..self.cfg.llib.extraction_rate {
                 let (llib, mp, llrf) = match class {
@@ -429,6 +523,7 @@ impl DkipProcessor {
                     }
                 }
                 let entry = llib.pop().expect("head exists");
+                transferred = true;
                 if let Some(slot) = entry.llrf_slot {
                     llrf.free(slot);
                 }
@@ -457,19 +552,23 @@ impl DkipProcessor {
                 mp.insert(seq, entry.op.class, unavailable);
             }
         }
+        transferred
     }
 
     // ------------------------------------------------------------------
     // Cache Processor: writeback, analyze, issue, dispatch, fetch.
     // ------------------------------------------------------------------
-    fn cp_writeback(&mut self) {
+    fn cp_writeback(&mut self) -> bool {
+        let mut completed = false;
         while let Some(&Reverse((cycle, seq))) = self.cp_completions.peek() {
             if cycle > self.cycle {
                 break;
             }
+            completed = true;
             self.cp_completions.pop();
             self.complete_cp_instruction(seq);
         }
+        completed
     }
 
     fn complete_cp_instruction(&mut self, seq: u64) {
@@ -522,9 +621,11 @@ impl DkipProcessor {
     }
 
     /// The Analyze stage: classify up to `analyze width` aged instructions
-    /// from the head of the Aging-ROB.
+    /// from the head of the Aging-ROB. Returns whether any instruction left
+    /// the Aging-ROB.
     #[allow(clippy::too_many_lines)]
-    fn analyze(&mut self) {
+    fn analyze(&mut self) -> bool {
+        let mut advanced = false;
         let mut stalled = false;
         for _ in 0..self.cfg.cache_processor.widths.commit {
             let Some(head) = self.rob.head() else { break };
@@ -554,6 +655,7 @@ impl DkipProcessor {
                 self.stats.committed += 1;
                 self.stats.high_locality_instrs += 1;
                 self.analyzed_since_checkpoint += 1;
+                advanced = true;
                 continue;
             }
 
@@ -581,6 +683,7 @@ impl DkipProcessor {
                     },
                 );
                 self.analyzed_since_checkpoint += 1;
+                advanced = true;
                 continue;
             }
 
@@ -591,6 +694,7 @@ impl DkipProcessor {
                     break;
                 }
                 self.analyzed_since_checkpoint += 1;
+                advanced = true;
                 continue;
             }
 
@@ -603,6 +707,7 @@ impl DkipProcessor {
         if stalled {
             self.stats.analyze_stall_cycles += 1;
         }
+        advanced
     }
 
     /// Takes (or reuses) a checkpoint for a new low-locality instruction.
@@ -711,7 +816,7 @@ impl DkipProcessor {
         true
     }
 
-    fn cp_issue(&mut self) {
+    fn cp_issue(&mut self) -> bool {
         let width = self.cfg.cache_processor.widths.issue;
         let mut selected = std::mem::take(&mut self.select_scratch);
         selected.clear();
@@ -727,7 +832,9 @@ impl DkipProcessor {
         for &(seq, class) in &selected {
             self.start_cp_execution(seq, class);
         }
+        let issued = !selected.is_empty();
         self.select_scratch = selected;
+        issued
     }
 
     fn start_cp_execution(&mut self, seq: u64, class: OpClass) {
@@ -771,7 +878,8 @@ impl DkipProcessor {
         }
     }
 
-    fn cp_dispatch(&mut self) {
+    fn cp_dispatch(&mut self) -> bool {
+        let mut dispatched = false;
         for _ in 0..self.cfg.cache_processor.widths.decode {
             let Some(op) = self.fetch_queue.front() else {
                 break;
@@ -801,6 +909,7 @@ impl DkipProcessor {
             }
 
             let op = self.fetch_queue.pop_front().expect("checked non-empty");
+            dispatched = true;
             let seq = op.seq;
             let mut entry = RobEntry::new(op, self.cycle, queue_class);
 
@@ -861,13 +970,15 @@ impl DkipProcessor {
                 RegClass::Fp => self.cp_fp_iq.insert(seq, op_class, ready),
             }
         }
+        dispatched
     }
 
-    fn fetch(&mut self, trace: &mut dyn Iterator<Item = MicroOp>) {
+    fn fetch(&mut self, trace: &mut dyn Iterator<Item = MicroOp>) -> bool {
         if !self.unresolved_mispredicts.is_empty() || self.cycle < self.fetch_resume_at {
             self.stats.mispredict_stall_cycles += 1;
-            return;
+            return false;
         }
+        let mut fetched = false;
         let limit = self.cfg.cache_processor.widths.fetch * 3;
         for _ in 0..self.cfg.cache_processor.widths.fetch {
             if self.fetch_queue.len() >= limit {
@@ -879,7 +990,9 @@ impl DkipProcessor {
             };
             self.stats.fetched += 1;
             self.fetch_queue.push_back(op);
+            fetched = true;
         }
+        fetched
     }
 }
 
@@ -1072,6 +1185,33 @@ mod tests {
             stats.low_locality_instrs > 0,
             "mcf chases pointers through the MP"
         );
+    }
+
+    #[test]
+    fn event_clock_is_bit_identical_to_single_stepping() {
+        for bench in [Benchmark::Swim, Benchmark::Mcf] {
+            let run_mode = |single_step: bool| {
+                let mem = MemoryHierarchy::new(MemoryHierarchyConfig::mem_1000()).unwrap();
+                let mut proc = DkipProcessor::new(DkipConfig::paper_default(), mem);
+                proc.set_single_step(single_step);
+                let mut trace = TraceGenerator::new(bench, 1);
+                proc.run(&mut trace, 8_000)
+            };
+            let stepped = run_mode(true);
+            let skipped = run_mode(false);
+            assert_eq!(
+                stepped.to_kv(),
+                skipped.to_kv(),
+                "{bench:?}: skipping must be observationally pure"
+            );
+            assert_eq!(stepped.cycles_skipped, 0);
+            assert_eq!(stepped.ticks_executed, stepped.cycles);
+            assert_eq!(
+                skipped.ticks_executed + skipped.cycles_skipped,
+                skipped.cycles,
+                "{bench:?}: every simulated cycle is either ticked or skipped"
+            );
+        }
     }
 
     #[test]

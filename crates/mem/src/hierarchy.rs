@@ -14,7 +14,8 @@
 use crate::cache::SetAssocCache;
 use dkip_model::config::MemoryHierarchyConfig;
 use dkip_model::ConfigError;
-use std::collections::HashMap;
+use std::cmp::Reverse;
+use std::collections::{BinaryHeap, HashMap};
 
 /// The level of the hierarchy that serviced an access.
 #[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord)]
@@ -79,6 +80,12 @@ pub struct MemoryHierarchy {
     l2: Option<SetAssocCache>,
     /// Outstanding misses: line address → cycle at which the fill completes.
     outstanding: HashMap<u64, u64>,
+    /// Min-heap twin of `outstanding`: `(completion cycle, line address)`.
+    /// Every map entry has exactly one heap entry and vice versa (the two
+    /// are only ever mutated together), so the earliest in-flight fill is an
+    /// O(1) peek and expiring completed fills is O(log n) amortised instead
+    /// of the O(n) `retain` scan this replaces.
+    fill_queue: BinaryHeap<Reverse<(u64, u64)>>,
     stats: MemStats,
 }
 
@@ -105,6 +112,7 @@ impl MemoryHierarchy {
             l1,
             l2,
             outstanding: HashMap::new(),
+            fill_queue: BinaryHeap::new(),
             stats: MemStats::default(),
         })
     }
@@ -133,20 +141,19 @@ impl MemoryHierarchy {
     /// before the fill completes are merged.
     pub fn access(&mut self, addr: u64, is_write: bool, now: u64) -> AccessOutcome {
         let line = self.line_addr(addr);
+        self.expire_fills(now);
 
         // Merge with an outstanding miss for the same line if it has not
-        // completed yet.
+        // completed yet (every completed fill was just expired).
         if let Some(&complete) = self.outstanding.get(&line) {
-            if complete > now {
-                self.stats.memory_accesses += 1;
-                self.stats.merged_misses += 1;
-                return AccessOutcome {
-                    level: AccessLevel::Memory,
-                    latency: complete - now,
-                    merged: true,
-                };
-            }
-            self.outstanding.remove(&line);
+            debug_assert!(complete > now, "expired fills are pruned above");
+            self.stats.memory_accesses += 1;
+            self.stats.merged_misses += 1;
+            return AccessOutcome {
+                level: AccessLevel::Memory,
+                latency: complete - now,
+                merged: true,
+            };
         }
 
         // L1 lookup. A `None` L1 is perfect: it always hits.
@@ -182,15 +189,36 @@ impl MemoryHierarchy {
         self.stats.memory_accesses += 1;
         let latency = self.config.l1_latency + self.config.l2_latency + self.config.memory_latency;
         self.outstanding.insert(line, now + latency);
-        // Opportunistically prune completed entries so the map stays small.
-        if self.outstanding.len() > 4096 {
-            self.outstanding.retain(|_, &mut c| c > now);
-        }
+        self.fill_queue.push(Reverse((now + latency, line)));
         AccessOutcome {
             level: AccessLevel::Memory,
             latency,
             merged: false,
         }
+    }
+
+    /// Drops every in-flight fill that has completed by `now`.
+    fn expire_fills(&mut self, now: u64) {
+        while let Some(&Reverse((complete, line))) = self.fill_queue.peek() {
+            if complete > now {
+                break;
+            }
+            self.fill_queue.pop();
+            self.outstanding.remove(&line);
+        }
+    }
+
+    /// The earliest future cycle (strictly after `now`) at which an
+    /// in-flight fill completes, or `None` when no fill is outstanding.
+    ///
+    /// This is the memory hierarchy's contribution to the event-driven
+    /// clock: a quiesced core may fast-forward to this cycle without
+    /// observing any state change on the way.
+    pub fn next_event(&mut self, now: u64) -> Option<u64> {
+        self.expire_fills(now);
+        self.fill_queue
+            .peek()
+            .map(|&Reverse((complete, _))| complete)
     }
 
     /// Probes whether an access to `addr` would be serviced by main memory,
@@ -225,6 +253,7 @@ impl MemoryHierarchy {
             l2.invalidate_all();
         }
         self.outstanding.clear();
+        self.fill_queue.clear();
         self.stats = MemStats::default();
     }
 }
@@ -359,6 +388,37 @@ mod tests {
             let outcome = mem.access(0xABCD_0000, false, 0);
             assert_eq!(outcome.latency, expected);
         }
+    }
+
+    #[test]
+    fn next_event_tracks_the_earliest_outstanding_fill() {
+        let mut mem = MemoryHierarchy::new(small_config()).unwrap();
+        assert_eq!(mem.next_event(0), None);
+        let a = mem.access(0x10000, false, 100);
+        let _b = mem.access(0x90000, false, 150);
+        assert_eq!(mem.next_event(100), Some(100 + a.latency));
+        // Once the first fill completes, the event moves to the second fill.
+        assert_eq!(mem.next_event(100 + a.latency), Some(150 + a.latency));
+        // After both complete nothing is outstanding.
+        assert_eq!(mem.next_event(10_000), None);
+    }
+
+    #[test]
+    fn expired_fills_are_pruned_and_lines_can_miss_again() {
+        let mut mem = MemoryHierarchy::new(small_config()).unwrap();
+        let first = mem.access(0x10000, false, 0);
+        // Evict the line from both levels by streaming conflicting lines.
+        for i in 1..4096u64 {
+            mem.access(0x10000 + i * 8192, false, first.latency + i);
+        }
+        // A fresh miss to the original line re-registers an outstanding fill
+        // and next_event reflects its (new) completion cycle.
+        let now = 1_000_000;
+        let again = mem.access(0x10000, false, now);
+        assert_eq!(again.level, AccessLevel::Memory);
+        assert!(!again.merged);
+        let next = mem.next_event(now).expect("fill in flight");
+        assert_eq!(next, now + again.latency);
     }
 
     #[test]

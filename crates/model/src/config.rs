@@ -15,6 +15,27 @@
 
 use crate::error::ConfigError;
 
+/// Environment variable that forces every core to single-step quiesced
+/// cycles instead of skipping them with the event-driven clock.
+///
+/// Any value other than `0` or the empty string disables skipping. The
+/// equivalence tests use this to prove that the two clock modes produce
+/// bit-identical statistics.
+pub const NO_SKIP_ENV: &str = "DKIP_NO_SKIP";
+
+/// Whether the event-driven clock may skip quiesced cycles.
+///
+/// Reads [`NO_SKIP_ENV`] (`DKIP_NO_SKIP`); cores sample this once at
+/// construction time, so a test flipping the variable between runs affects
+/// every core built afterwards but never a simulation already in flight.
+#[must_use]
+pub fn event_clock_enabled() -> bool {
+    !matches!(
+        std::env::var(NO_SKIP_ENV).as_deref(),
+        Ok(v) if !v.is_empty() && v != "0"
+    )
+}
+
 /// Instruction scheduling policy of an issue queue.
 #[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
 pub enum SchedPolicy {

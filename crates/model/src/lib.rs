@@ -44,8 +44,8 @@ pub use collections::{
     FastHashSet, LastWriters, MAX_SOURCES,
 };
 pub use config::{
-    BaselineConfig, CacheProcessorConfig, DkipConfig, KiloConfig, MemoryHierarchyConfig,
-    MemoryProcessorConfig, SchedPolicy,
+    event_clock_enabled, BaselineConfig, CacheProcessorConfig, DkipConfig, KiloConfig,
+    MemoryHierarchyConfig, MemoryProcessorConfig, SchedPolicy, NO_SKIP_ENV,
 };
 pub use error::ConfigError;
 pub use instr::{BranchInfo, BranchKind, MicroOp};

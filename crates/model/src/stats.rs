@@ -287,6 +287,15 @@ pub struct SimStats {
     /// Histogram of decode→issue distances (only collected when the core is
     /// asked to characterise execution locality, Figure 3).
     pub issue_latency: Option<Histogram>,
+    /// `tick()` invocations actually executed by the core. With the
+    /// event-driven clock this is `cycles - cycles_skipped`; single-stepping
+    /// (`DKIP_NO_SKIP=1`) makes it equal to `cycles`. Host-side telemetry:
+    /// excluded from [`SimStats::to_kv`] so golden snapshots stay identical
+    /// across clock modes.
+    pub ticks_executed: u64,
+    /// Quiesced cycles the event-driven clock advanced over without running
+    /// a tick. Host-side telemetry: excluded from [`SimStats::to_kv`].
+    pub cycles_skipped: u64,
 }
 
 impl SimStats {
@@ -338,6 +347,52 @@ impl SimStats {
             self.high_locality_instrs as f64 / total as f64
         }
     }
+
+    /// Fraction of simulated cycles the event-driven clock skipped (0.0–1.0).
+    #[must_use]
+    pub fn skipped_fraction(&self) -> f64 {
+        if self.cycles == 0 {
+            0.0
+        } else {
+            self.cycles_skipped as f64 / self.cycles as f64
+        }
+    }
+
+    /// Snapshot of the counters that single-stepping bumps once per quiesced
+    /// cycle, in a fixed order. Taken immediately before a tick; see
+    /// [`SimStats::replay_stall_cycles`].
+    #[must_use]
+    pub fn stall_counter_snapshot(&self) -> [u64; 4] {
+        [
+            self.rob_full_stall_cycles,
+            self.mispredict_stall_cycles,
+            self.analyze_stall_cycles,
+            self.llib_full_stall_cycles,
+        ]
+    }
+
+    /// Replays the per-cycle stall bumps of a quiesced tick over `skipped`
+    /// additional cycles.
+    ///
+    /// When the event-driven clock proves a tick made no progress, every
+    /// skipped cycle up to the next event would have re-executed that exact
+    /// tick — including its stall-counter increments. `before` is the
+    /// [`SimStats::stall_counter_snapshot`] taken just before the quiesced
+    /// tick ran; the difference against the current counters is the
+    /// per-cycle bump, which this multiplies by `skipped` so the counters
+    /// end up bit-identical to single-stepping.
+    pub fn replay_stall_cycles(&mut self, before: [u64; 4], skipped: u64) {
+        let after = self.stall_counter_snapshot();
+        let bumped = [
+            &mut self.rob_full_stall_cycles,
+            &mut self.mispredict_stall_cycles,
+            &mut self.analyze_stall_cycles,
+            &mut self.llib_full_stall_cycles,
+        ];
+        for ((counter, before), after) in bumped.into_iter().zip(before).zip(after) {
+            *counter += (after - before) * skipped;
+        }
+    }
 }
 
 impl SimStats {
@@ -380,6 +435,12 @@ impl SimStats {
             llrf_int_peak_regs,
             llrf_fp_peak_regs,
             issue_latency,
+            // Clock telemetry is deliberately NOT serialised: it describes
+            // how the host advanced simulated time (event-driven skipping vs
+            // DKIP_NO_SKIP single-stepping), not what the simulated machine
+            // did, and golden snapshots must be identical in both modes.
+            ticks_executed: _,
+            cycles_skipped: _,
         } = self;
         let mut out = String::new();
         for (key, value) in [
@@ -642,6 +703,45 @@ mod tests {
         assert!(kv.contains("issue_latency.total=3\n"));
         assert!(kv.contains("issue_latency.overflow=1\n"));
         assert!(kv.contains("issue_latency.buckets=0:1,20:1\n"));
+    }
+
+    #[test]
+    fn kv_serialisation_excludes_clock_telemetry() {
+        let a = SimStats {
+            cycles: 1000,
+            committed: 500,
+            ..SimStats::default()
+        };
+        let mut b = a.clone();
+        b.ticks_executed = 123;
+        b.cycles_skipped = 877;
+        assert_eq!(
+            a.to_kv(),
+            b.to_kv(),
+            "clock mode must not leak into golden snapshots"
+        );
+        assert!((b.skipped_fraction() - 0.877).abs() < 1e-12);
+        assert_eq!(SimStats::default().skipped_fraction(), 0.0);
+    }
+
+    #[test]
+    fn stall_replay_multiplies_the_per_tick_bump() {
+        let mut stats = SimStats {
+            rob_full_stall_cycles: 10,
+            mispredict_stall_cycles: 20,
+            analyze_stall_cycles: 30,
+            llib_full_stall_cycles: 40,
+            ..SimStats::default()
+        };
+        let before = stats.stall_counter_snapshot();
+        // One quiesced tick bumps two of the four counters.
+        stats.mispredict_stall_cycles += 1;
+        stats.analyze_stall_cycles += 1;
+        stats.replay_stall_cycles(before, 99);
+        assert_eq!(stats.rob_full_stall_cycles, 10);
+        assert_eq!(stats.mispredict_stall_cycles, 20 + 1 + 99);
+        assert_eq!(stats.analyze_stall_cycles, 30 + 1 + 99);
+        assert_eq!(stats.llib_full_stall_cycles, 40);
     }
 
     #[test]

@@ -19,7 +19,7 @@ use crate::rob::{Rob, RobEntry};
 use dkip_bpred::{BranchPredictor, PredictorKind};
 use dkip_mem::{AccessLevel, MemoryHierarchy};
 use dkip_model::config::{
-    BaselineConfig, FuConfig, MemoryHierarchyConfig, SchedPolicy, WidthConfig,
+    event_clock_enabled, BaselineConfig, FuConfig, MemoryHierarchyConfig, SchedPolicy, WidthConfig,
 };
 use dkip_model::{
     fast_set_with_capacity, ConsumerTable, DepList, FastHashSet, Histogram, LastWriters, MicroOp,
@@ -128,6 +128,11 @@ pub struct OooCore {
     /// the execution-driven RISC-V kernels end; the synthetic generators
     /// never do).
     trace_done: bool,
+    /// Force one `tick()` per simulated cycle instead of letting [`run`]
+    /// fast-forward over quiesced stretches (set by `DKIP_NO_SKIP=1`).
+    ///
+    /// [`run`]: OooCore::run
+    single_step: bool,
     stats: SimStats,
     issue_hist: Option<Histogram>,
     /// Reusable per-cycle selection buffer (see [`IssueQueue::select_into`]).
@@ -162,6 +167,7 @@ impl OooCore {
             reinsert_queue: VecDeque::new(),
             long_latency_producers: fast_set_with_capacity(params.window.min(4096)),
             trace_done: false,
+            single_step: !event_clock_enabled(),
             stats: SimStats::new(),
             issue_hist,
             issue_scratch: Vec::new(),
@@ -191,10 +197,23 @@ impl OooCore {
         self.cycle
     }
 
+    /// Forces (or releases) single-stepped simulation regardless of the
+    /// `DKIP_NO_SKIP` environment variable sampled at construction.
+    pub fn set_single_step(&mut self, single_step: bool) {
+        self.single_step = single_step;
+    }
+
     /// Runs the core until `max_instrs` instructions have committed, the
     /// trace ends and the pipeline drains (finite execution-driven streams
     /// run to completion), or a safety cycle bound is hit. Returns the
     /// accumulated statistics.
+    ///
+    /// Unless single-stepping is forced (`DKIP_NO_SKIP=1`), quiesced
+    /// stretches — a tick that fetched, dispatched, issued, reinserted,
+    /// completed and committed nothing — are fast-forwarded to the earliest
+    /// [`OooCore::next_event`], with the per-cycle stall counters bumped by
+    /// the skipped delta so every statistic stays bit-identical to
+    /// single-stepping.
     pub fn run(&mut self, trace: &mut dyn Iterator<Item = MicroOp>, max_instrs: u64) -> SimStats {
         let cycle_cap = self
             .cycle
@@ -203,9 +222,13 @@ impl OooCore {
         // latch across calls (it re-latches on the first empty fetch).
         self.trace_done = false;
         while self.stats.committed < max_instrs && self.cycle < cycle_cap {
-            self.tick(trace);
+            let stalls_before = self.stats.stall_counter_snapshot();
+            let progress = self.tick_progress(trace);
             if self.trace_done && self.fetch_queue.is_empty() && self.rob.is_empty() {
                 break;
+            }
+            if !progress && !self.single_step {
+                self.skip_quiesced_cycles(cycle_cap, stalls_before);
             }
         }
         self.finalize_stats();
@@ -214,15 +237,65 @@ impl OooCore {
 
     /// Advances the pipeline by one cycle.
     pub fn tick(&mut self, trace: &mut dyn Iterator<Item = MicroOp>) {
+        let _ = self.tick_progress(trace);
+    }
+
+    /// Advances the pipeline by one cycle and reports whether any work
+    /// happened: an instruction fetched, dispatched, issued, reinserted,
+    /// completed or committed. A `false` return means the machine state is
+    /// unchanged apart from time-gated conditions, so every following cycle
+    /// until [`OooCore::next_event`] would be identical.
+    fn tick_progress(&mut self, trace: &mut dyn Iterator<Item = MicroOp>) -> bool {
         self.cycle += 1;
+        self.stats.ticks_executed += 1;
         self.fus.begin_cycle();
         self.ports.begin_cycle();
-        self.do_commit();
-        self.do_writeback();
-        self.do_reinsert();
-        self.do_issue();
-        self.do_dispatch();
-        self.do_fetch(trace);
+        let mut progress = self.do_commit();
+        progress |= self.do_writeback();
+        progress |= self.do_reinsert();
+        progress |= self.do_issue();
+        progress |= self.do_dispatch();
+        progress |= self.do_fetch(trace);
+        progress
+    }
+
+    /// The earliest future cycle (strictly after the current one) at which
+    /// the core's state can change without new work arriving: the next
+    /// scheduled execution completion, the end of the front-end refill
+    /// penalty, or the next outstanding cache fill. `None` means no event is
+    /// pending and the machine can never wake on its own.
+    #[must_use]
+    pub fn next_event(&mut self) -> Option<u64> {
+        let mut next = self
+            .completions
+            .peek()
+            .map(|&Reverse((cycle, _))| cycle)
+            .filter(|&cycle| cycle > self.cycle);
+        if self.fetch_resume_at > self.cycle {
+            next = Some(next.map_or(self.fetch_resume_at, |n| n.min(self.fetch_resume_at)));
+        }
+        if let Some(fill) = self.mem.next_event(self.cycle) {
+            next = Some(next.map_or(fill, |n| n.min(fill)));
+        }
+        next
+    }
+
+    /// Fast-forwards over a quiesced stretch: advances `cycle` to just
+    /// before the next event (or past `cycle_cap` when no event is pending,
+    /// matching a single-stepped spin to the cap) and replays the per-cycle
+    /// stall bumps the skipped ticks would have performed.
+    fn skip_quiesced_cycles(&mut self, cycle_cap: u64, stalls_before: [u64; 4]) {
+        let event = self
+            .next_event()
+            .unwrap_or_else(|| cycle_cap.saturating_add(1));
+        let target = event.min(cycle_cap.saturating_add(1)) - 1;
+        if target <= self.cycle {
+            return;
+        }
+        let skipped = target - self.cycle;
+        self.cycle = target;
+        self.stats.cycles_skipped += skipped;
+        self.stats.replay_stall_cycles(stalls_before, skipped);
     }
 
     fn finalize_stats(&mut self) {
@@ -245,12 +318,14 @@ impl OooCore {
     // ------------------------------------------------------------------
     // Commit
     // ------------------------------------------------------------------
-    fn do_commit(&mut self) {
+    fn do_commit(&mut self) -> bool {
+        let mut committed = false;
         for _ in 0..self.params.widths.commit {
             let Some(head) = self.rob.head() else { break };
             if !head.completed {
                 break;
             }
+            committed = true;
             let entry = self.rob.pop_head().expect("head exists");
             match entry.op.class {
                 OpClass::Load => self.lsq.retire_load(entry.op.seq),
@@ -260,19 +335,23 @@ impl OooCore {
             self.stats.committed += 1;
             self.stats.high_locality_instrs += 1;
         }
+        committed
     }
 
     // ------------------------------------------------------------------
     // Writeback / wakeup
     // ------------------------------------------------------------------
-    fn do_writeback(&mut self) {
+    fn do_writeback(&mut self) -> bool {
+        let mut completed = false;
         while let Some(&Reverse((cycle, seq))) = self.completions.peek() {
             if cycle > self.cycle {
                 break;
             }
+            completed = true;
             self.completions.pop();
             self.complete_instruction(seq);
         }
+        completed
     }
 
     fn complete_instruction(&mut self, seq: u64) {
@@ -340,7 +419,8 @@ impl OooCore {
     // ------------------------------------------------------------------
     // Slow-lane reinsertion (KILO baseline only)
     // ------------------------------------------------------------------
-    fn do_reinsert(&mut self) {
+    fn do_reinsert(&mut self) -> bool {
+        let mut moved = false;
         let budget = self.params.widths.decode;
         for _ in 0..budget {
             let Some(&seq) = self.reinsert_queue.front() else {
@@ -348,6 +428,7 @@ impl OooCore {
             };
             let Some(entry) = self.rob.get(seq) else {
                 self.reinsert_queue.pop_front();
+                moved = true;
                 continue;
             };
             let class = entry.queue_class;
@@ -361,13 +442,15 @@ impl OooCore {
             }
             iq.insert(seq, op_class, true);
             self.reinsert_queue.pop_front();
+            moved = true;
         }
+        moved
     }
 
     // ------------------------------------------------------------------
     // Issue / execute
     // ------------------------------------------------------------------
-    fn do_issue(&mut self) {
+    fn do_issue(&mut self) -> bool {
         let width = self.params.widths.issue;
         let mut selected = std::mem::take(&mut self.issue_scratch);
         selected.clear();
@@ -380,7 +463,9 @@ impl OooCore {
         for &(seq, class) in &selected {
             self.start_execution(seq, class);
         }
+        let issued = !selected.is_empty();
         self.issue_scratch = selected;
+        issued
     }
 
     fn start_execution(&mut self, seq: u64, class: OpClass) {
@@ -459,7 +544,8 @@ impl OooCore {
     // ------------------------------------------------------------------
     // Dispatch / rename
     // ------------------------------------------------------------------
-    fn do_dispatch(&mut self) {
+    fn do_dispatch(&mut self) -> bool {
+        let mut dispatched = false;
         for _ in 0..self.params.widths.decode {
             let Some(op) = self.fetch_queue.front() else {
                 break;
@@ -522,6 +608,7 @@ impl OooCore {
             }
 
             let op = self.fetch_queue.pop_front().expect("checked non-empty");
+            dispatched = true;
             let seq = op.seq;
             let mut entry = RobEntry::new(op, self.cycle, queue_class);
 
@@ -578,16 +665,18 @@ impl OooCore {
                 }
             }
         }
+        dispatched
     }
 
     // ------------------------------------------------------------------
     // Fetch
     // ------------------------------------------------------------------
-    fn do_fetch(&mut self, trace: &mut dyn Iterator<Item = MicroOp>) {
+    fn do_fetch(&mut self, trace: &mut dyn Iterator<Item = MicroOp>) -> bool {
         if !self.unresolved_mispredicts.is_empty() || self.cycle < self.fetch_resume_at {
             self.stats.mispredict_stall_cycles += 1;
-            return;
+            return false;
         }
+        let mut fetched = false;
         let limit = self.params.widths.fetch * 3;
         for _ in 0..self.params.widths.fetch {
             if self.fetch_queue.len() >= limit {
@@ -599,7 +688,9 @@ impl OooCore {
             };
             self.stats.fetched += 1;
             self.fetch_queue.push_back(op);
+            fetched = true;
         }
+        fetched
     }
 }
 
@@ -852,6 +943,54 @@ mod tests {
             with_lane.ipc(),
             without_lane.ipc()
         );
+    }
+
+    #[test]
+    fn event_clock_is_bit_identical_to_single_stepping() {
+        let mem = MemoryHierarchyConfig::mem_1000();
+        let run_mode = |single_step: bool| {
+            let hierarchy = MemoryHierarchy::new(mem.clone()).unwrap();
+            let mut core = OooCore::from_baseline(&BaselineConfig::r10_64(), hierarchy);
+            core.set_single_step(single_step);
+            let mut trace = TraceGenerator::new(Benchmark::Swim, 1);
+            core.run(&mut trace, 8_000)
+        };
+        let stepped = run_mode(true);
+        let skipped = run_mode(false);
+        assert_eq!(
+            stepped.to_kv(),
+            skipped.to_kv(),
+            "skipping must be observationally pure"
+        );
+        assert_eq!(stepped.cycles_skipped, 0);
+        assert_eq!(stepped.ticks_executed, stepped.cycles);
+        assert!(
+            skipped.cycles_skipped > 0,
+            "a memory-bound small-window run must quiesce"
+        );
+        assert_eq!(
+            skipped.ticks_executed + skipped.cycles_skipped,
+            skipped.cycles,
+            "every simulated cycle is either ticked or skipped"
+        );
+    }
+
+    #[test]
+    fn next_event_reports_pending_completions() {
+        let hierarchy = MemoryHierarchy::new(MemoryHierarchyConfig::mem_400()).unwrap();
+        let mut core = OooCore::from_baseline(&BaselineConfig::r10_64(), hierarchy);
+        assert_eq!(core.next_event(), None, "an empty machine has no events");
+        let mut trace = TraceGenerator::new(Benchmark::Swim, 1);
+        // Fetch → dispatch → issue takes a few cycles; once something is
+        // executing, a completion event must be pending.
+        for _ in 0..20 {
+            core.tick(&mut trace);
+            if let Some(event) = core.next_event() {
+                assert!(event > core.cycle());
+                return;
+            }
+        }
+        panic!("no event became pending while filling the pipeline");
     }
 
     #[test]
