@@ -7,7 +7,7 @@ FIG_BINS = table1 table2_3 fig01_window_specint fig02_window_specfp \
            fig13_llib_occupancy_specint fig14_llib_occupancy_specfp \
            fig_riscv_ipc
 
-.PHONY: build test doc verify lint bench bench-figures golden bless riscv perf perf-smoke clean
+.PHONY: build test doc verify lint bench bench-figures golden bless riscv perf perf-smoke fuzz fuzz-smoke clean
 
 build:
 	cargo build --release
@@ -66,6 +66,18 @@ perf: build
 ## perf-smoke job.
 perf-smoke: build
 	./target/release/perf budget=40000 samples=3 check=ci/perf_baseline.json tolerance=0.30 floor=0.25
+
+## Differential-fuzz smoke: 200 random RV64IM programs through the emulator
+## oracle and all three core families, plus the checked-in corpus replay.
+## Mirrored by the CI fuzz-smoke job. Deterministic: the proptest shim seeds
+## from the property name, so every run draws the same 200 programs.
+fuzz-smoke:
+	DKIP_FUZZ_CASES=200 cargo test -q -p dkip --test fuzz_differential --test corpus_replay
+
+## Full fuzz campaign: 1000 programs in release mode (the acceptance bar;
+## see EXPERIMENTS.md "Differential fuzzing" for triage and minimization).
+fuzz:
+	DKIP_FUZZ_CASES=1000 cargo test -q --release -p dkip --test fuzz_differential --test corpus_replay
 
 ## Regenerate every table/figure of the paper on stdout.
 bench-figures: build

@@ -137,6 +137,20 @@ impl Emulator {
         self.retired
     }
 
+    /// The full architectural register file, `x0`–`x31` in index order.
+    #[must_use]
+    pub fn regs(&self) -> &[u64; 32] {
+        &self.regs
+    }
+
+    /// The whole flat memory ([`MEM_SIZE`] bytes). Differential tests
+    /// compare two emulators' memories directly: both start zeroed, so
+    /// byte-equality of the full array is exactly "same touched memory".
+    #[must_use]
+    pub fn memory(&self) -> &[u8] {
+        &self.mem
+    }
+
     /// Reads a naturally-sized little-endian doubleword for tests.
     ///
     /// # Panics

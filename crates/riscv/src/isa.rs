@@ -34,6 +34,48 @@ impl Reg {
     pub const A2: Reg = Reg(12);
     /// The fourth argument register `x13` (`a3`).
     pub const A3: Reg = Reg(13);
+    /// The fifth argument register `x14` (`a4`).
+    pub const A4: Reg = Reg(14);
+    /// The sixth argument register `x15` (`a5`).
+    pub const A5: Reg = Reg(15);
+    /// The seventh argument register `x16` (`a6`).
+    pub const A6: Reg = Reg(16);
+    /// The eighth argument register `x17` (`a7`).
+    pub const A7: Reg = Reg(17);
+    /// The first temporary `x5` (`t0`).
+    pub const T0: Reg = Reg(5);
+    /// The second temporary `x6` (`t1`).
+    pub const T1: Reg = Reg(6);
+    /// The third temporary `x7` (`t2`).
+    pub const T2: Reg = Reg(7);
+    /// The fourth temporary `x28` (`t3`).
+    pub const T3: Reg = Reg(28);
+    /// The fifth temporary `x29` (`t4`).
+    pub const T4: Reg = Reg(29);
+    /// The sixth temporary `x30` (`t5`).
+    pub const T5: Reg = Reg(30);
+    /// The seventh temporary `x31` (`t6`).
+    pub const T6: Reg = Reg(31);
+    /// The callee-saved register `x8` (`s0`/`fp`).
+    pub const S0: Reg = Reg(8);
+    /// The callee-saved register `x9` (`s1`).
+    pub const S1: Reg = Reg(9);
+    /// The callee-saved register `x18` (`s2`).
+    pub const S2: Reg = Reg(18);
+    /// The callee-saved register `x19` (`s3`).
+    pub const S3: Reg = Reg(19);
+    /// The callee-saved register `x20` (`s4`).
+    pub const S4: Reg = Reg(20);
+    /// The callee-saved register `x21` (`s5`).
+    pub const S5: Reg = Reg(21);
+    /// The callee-saved register `x22` (`s6`).
+    pub const S6: Reg = Reg(22);
+    /// The callee-saved register `x23` (`s7`).
+    pub const S7: Reg = Reg(23);
+    /// The callee-saved register `x24` (`s8`).
+    pub const S8: Reg = Reg(24);
+    /// The callee-saved register `x25` (`s9`).
+    pub const S9: Reg = Reg(25);
 
     /// Creates a register from its index.
     ///

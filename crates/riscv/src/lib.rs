@@ -3,8 +3,10 @@
 //! Where `dkip-trace` synthesises statistical SPEC-like workloads, this
 //! crate runs *real programs*: a small two-pass [`asm`] assembler turns the
 //! embedded [`kernels`] (matmul, pointer-chasing list walk, prime sieve,
-//! recursive Fibonacci, streaming memcpy, box blur) into RV64IM machine
-//! code, the functional [`emu`] emulator executes them architecturally, and
+//! recursive Fibonacci, streaming memcpy, box blur) — or a seeded random
+//! program from the [`gen`] differential-fuzzing generator — into RV64IM
+//! machine code, the functional [`emu`] emulator executes them
+//! architecturally, and
 //! [`stream::RiscvStream`] cracks every retired instruction into the
 //! [`dkip_model::MicroOp`] stream the core models consume — with genuine
 //! dependence chains, architecturally-correct branch outcomes and real
@@ -33,12 +35,14 @@
 
 pub mod asm;
 pub mod emu;
+pub mod gen;
 pub mod isa;
 pub mod kernels;
 pub mod stream;
 
 pub use asm::{assemble, AsmError, Program};
 pub use emu::{Emulator, Retired, CODE_BASE, DATA_BASE, MEM_SIZE};
+pub use gen::{GenConfig, GeneratedProgram};
 pub use isa::{decode, AluImmOp, AluOp, BranchCond, DecodeError, Inst, MemWidth, Reg};
 pub use kernels::{Kernel, KernelRun};
 pub use stream::RiscvStream;

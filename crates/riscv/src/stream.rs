@@ -270,4 +270,18 @@ mod tests {
         let ops = stream(Kernel::Memcpy);
         assert_eq!(ops.last().unwrap().class, OpClass::Nop);
     }
+
+    #[test]
+    fn an_exhausted_stream_keeps_returning_none() {
+        // PR 5 gotcha: the event-driven clock may poll a drained frontend
+        // across skipped cycles, so exhaustion must be sticky — `next()`
+        // stays `None` forever, it never panics or restarts.
+        let prog = crate::asm::assemble("ecall", crate::emu::CODE_BASE).unwrap();
+        let mut s = RiscvStream::from_emulator(crate::emu::Emulator::new(&prog));
+        assert_eq!(s.next().map(|op| op.class), Some(OpClass::Nop));
+        for _ in 0..1_000 {
+            assert!(s.next().is_none());
+        }
+        assert!(s.emulator().ran_to_completion());
+    }
 }

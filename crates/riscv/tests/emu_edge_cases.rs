@@ -1,0 +1,222 @@
+//! Directed edge-case tests for the RV64IM emulator, pinned against the
+//! ISA manual (RISC-V Unprivileged ISA, chapters "M" and RV64I):
+//!
+//! * division corner cases (M-extension table 7.1): division by zero and
+//!   the lone signed-overflow case, for both 64-bit and `*w` forms;
+//! * the RV64I rule that every `*w` instruction operates on the low 32
+//!   bits and sign-extends its 32-bit result, including the 5-bit (not
+//!   6-bit) shift-amount masking of `sllw`/`srlw`/`sraw`;
+//! * misaligned and memory-boundary loads/stores in the flat 1 MiB memory
+//!   (the emulator allows misaligned accesses; crossing the top of memory
+//!   is a panic, not wraparound).
+//!
+//! These pin exactly the behaviours a differential-fuzz campaign relies
+//! on: if the oracle itself mis-implements an edge case, every core family
+//! inherits the bug and the fuzzer goes blind to it.
+
+use dkip_riscv::{assemble, Emulator, Reg, CODE_BASE, DATA_BASE, MEM_SIZE};
+
+/// Assembles and runs `src` to its halting `ecall`.
+fn run(src: &str) -> Emulator {
+    let prog = assemble(src, CODE_BASE).expect("test program must assemble");
+    let mut emu = Emulator::new(&prog);
+    emu.run_to_halt();
+    assert!(emu.ran_to_completion(), "test program must reach ecall");
+    emu
+}
+
+#[test]
+fn division_by_zero_follows_the_m_extension_table() {
+    // M-extension: x/0 has quotient all-ones and remainder the dividend —
+    // no trap.
+    let emu = run("li a0, 13\n\
+                   li a1, 0\n\
+                   div a2, a0, a1\n\
+                   divu a3, a0, a1\n\
+                   rem a4, a0, a1\n\
+                   remu a5, a0, a1\n\
+                   ecall");
+    assert_eq!(emu.reg(Reg::A2), u64::MAX, "div x/0 = -1");
+    assert_eq!(emu.reg(Reg::A3), u64::MAX, "divu x/0 = 2^64-1");
+    assert_eq!(emu.reg(Reg::A4), 13, "rem x/0 = x");
+    assert_eq!(emu.reg(Reg::A5), 13, "remu x/0 = x");
+
+    let emu = run("li a0, -13\n\
+                   li a1, 0\n\
+                   rem a2, a0, a1\n\
+                   ecall");
+    assert_eq!(emu.reg(Reg::A2), -13i64 as u64, "rem keeps the sign of x");
+}
+
+#[test]
+fn signed_division_overflow_wraps_to_the_dividend() {
+    // The one overflow case: i64::MIN / -1 cannot be represented; the
+    // quotient is defined as i64::MIN and the remainder as 0.
+    let emu = run("li a0, 1\n\
+                   slli a0, a0, 63\n\
+                   li a1, -1\n\
+                   div a2, a0, a1\n\
+                   rem a3, a0, a1\n\
+                   ecall");
+    assert_eq!(emu.reg(Reg::A2), i64::MIN as u64, "MIN / -1 = MIN");
+    assert_eq!(emu.reg(Reg::A3), 0, "MIN rem -1 = 0");
+}
+
+#[test]
+fn word_division_edge_cases_sign_extend_their_32_bit_results() {
+    // divw/remw operate on the low 32 bits: division by zero and the
+    // i32::MIN / -1 overflow both produce sign-extended 32-bit results.
+    let emu = run("li a0, 1\n\
+                   slliw a0, a0, 31\n\
+                   li a1, 0\n\
+                   divw a2, a0, a1\n\
+                   remw a3, a0, a1\n\
+                   li a4, -1\n\
+                   divw a5, a0, a4\n\
+                   remw a6, a0, a4\n\
+                   ecall");
+    assert_eq!(
+        emu.reg(Reg::A0),
+        i32::MIN as i64 as u64,
+        "slliw sign-extends"
+    );
+    assert_eq!(emu.reg(Reg::A2), u64::MAX, "divw x/0 = -1 (sign-extended)");
+    assert_eq!(
+        emu.reg(Reg::A3),
+        i32::MIN as i64 as u64,
+        "remw x/0 = sext(x[31:0])"
+    );
+    assert_eq!(
+        emu.reg(Reg::A5),
+        i32::MIN as i64 as u64,
+        "i32::MIN / -1 = i32::MIN, sign-extended"
+    );
+    assert_eq!(emu.reg(Reg::A6), 0, "i32::MIN remw -1 = 0");
+}
+
+#[test]
+fn word_arithmetic_sign_extends_from_bit_31() {
+    let emu = run("li a0, 0x7fffffff\n\
+                   li a1, 1\n\
+                   addw a2, a0, a1\n\
+                   addiw a3, a0, 1\n\
+                   sub a4, zero, a1\n\
+                   subw a4, a4, a1\n\
+                   li a5, 0x10000\n\
+                   mulw a6, a5, a5\n\
+                   ecall");
+    let wrapped = 0x8000_0000u32 as i32 as i64 as u64;
+    assert_eq!(
+        emu.reg(Reg::A2),
+        wrapped,
+        "addw wraps at 2^31 and sign-extends"
+    );
+    assert_eq!(emu.reg(Reg::A3), wrapped, "addiw matches addw");
+    assert_eq!(
+        emu.reg(Reg::A4),
+        -2i64 as u64,
+        "subw on a negative stays negative"
+    );
+    assert_eq!(emu.reg(Reg::A6), 0, "mulw keeps only the low 32 bits");
+}
+
+#[test]
+fn word_shifts_mask_the_amount_to_five_bits() {
+    // RV64I: sllw/srlw/sraw take shamt from rs2[4:0] (not [5:0] as the
+    // 64-bit shifts do), so a shift by 33 is a shift by 1.
+    let emu = run("li a0, 1\n\
+                   li a1, 33\n\
+                   sllw a2, a0, a1\n\
+                   sll a3, a0, a1\n\
+                   li a4, 65\n\
+                   sll a5, a0, a4\n\
+                   li a6, -1\n\
+                   srlw a7, a6, a1\n\
+                   li t0, -2\n\
+                   sraw t1, t0, a1\n\
+                   ecall");
+    assert_eq!(emu.reg(Reg::A2), 2, "sllw shamt 33 acts as 1");
+    assert_eq!(emu.reg(Reg::A3), 1 << 33, "sll shamt 33 really shifts 33");
+    assert_eq!(emu.reg(Reg::A5), 2, "sll shamt 65 acts as 1 (6-bit mask)");
+    assert_eq!(
+        emu.reg(Reg::A7),
+        0x7fff_ffff,
+        "srlw shifts the 32-bit value logically, then sign-extends (bit 31 is 0)"
+    );
+    assert_eq!(emu.reg(Reg::T1), -1i64 as u64, "sraw keeps the sign bit");
+}
+
+#[test]
+fn misaligned_loads_read_little_endian_bytes() {
+    // The flat memory allows misaligned accesses; a dword store followed
+    // by loads at odd offsets must see the little-endian byte lanes.
+    let emu = run(&format!(
+        "li s0, {DATA_BASE}\n\
+         li t0, 0x01020304\n\
+         slli t0, t0, 32\n\
+         li t1, 0x05060708\n\
+         or t0, t0, t1\n\
+         sd t0, 0(s0)\n\
+         lw a0, 1(s0)\n\
+         lh a1, 3(s0)\n\
+         lbu a2, 7(s0)\n\
+         lhu a3, 6(s0)\n\
+         ecall"
+    ));
+    // Bytes at s0+0.. are 08 07 06 05 04 03 02 01.
+    assert_eq!(emu.reg(Reg::A0), 0x0405_0607, "lw at +1");
+    assert_eq!(emu.reg(Reg::A1), 0x0405, "lh at +3");
+    assert_eq!(emu.reg(Reg::A2), 0x01, "lbu at +7");
+    assert_eq!(emu.reg(Reg::A3), 0x0102, "lhu at +6");
+}
+
+#[test]
+fn negative_bytes_sign_extend_through_every_load_width() {
+    let emu = run(&format!(
+        "li s0, {DATA_BASE}\n\
+         li t0, -1\n\
+         sw t0, 0(s0)\n\
+         lb a0, 3(s0)\n\
+         lh a1, 2(s0)\n\
+         lw a2, 0(s0)\n\
+         lbu a3, 3(s0)\n\
+         lhu a4, 2(s0)\n\
+         lwu a5, 0(s0)\n\
+         ecall"
+    ));
+    assert_eq!(emu.reg(Reg::A0), u64::MAX, "lb sign-extends");
+    assert_eq!(emu.reg(Reg::A1), u64::MAX, "lh sign-extends");
+    assert_eq!(emu.reg(Reg::A2), u64::MAX, "lw sign-extends");
+    assert_eq!(emu.reg(Reg::A3), 0xff, "lbu zero-extends");
+    assert_eq!(emu.reg(Reg::A4), 0xffff, "lhu zero-extends");
+    assert_eq!(emu.reg(Reg::A5), 0xffff_ffff, "lwu zero-extends");
+}
+
+#[test]
+fn accesses_up_to_the_top_of_memory_are_in_bounds() {
+    let top_dword = MEM_SIZE - 8;
+    let emu = run(&format!(
+        "li s0, {top_dword}\n\
+         li t0, 0x5a\n\
+         sd t0, 0(s0)\n\
+         ld a0, 0(s0)\n\
+         sb t0, 7(s0)\n\
+         lbu a1, 7(s0)\n\
+         ecall"
+    ));
+    assert_eq!(emu.reg(Reg::A1), 0x5a, "byte at MEM_SIZE-1 is addressable");
+    assert_eq!(
+        emu.reg(Reg::A0),
+        0x5a,
+        "dword at MEM_SIZE-8 reads back what was stored"
+    );
+}
+
+#[test]
+#[should_panic(expected = "outside")]
+fn a_load_crossing_the_top_of_memory_panics() {
+    // A dword starting 7 bytes under the top would read past MEM_SIZE;
+    // the emulator treats that as a model bug, not wraparound.
+    let top = MEM_SIZE - 7;
+    run(&format!("li s0, {top}\nld a0, 0(s0)\necall"));
+}

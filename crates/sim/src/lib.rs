@@ -15,6 +15,10 @@
 //! * [`runner`] — the parallel sweep runner: an explicit job list fanned out
 //!   over a `std::thread::scope` worker pool with deterministic result
 //!   ordering (`DKIP_THREADS` selects the pool size),
+//! * [`fuzz`] — the differential-fuzzing oracle: checks that a random
+//!   RV64IM program commits the same architectural state on the functional
+//!   emulator and all three core families, plus the shrinking-lite
+//!   minimisers used by `tests/fuzz_differential.rs`,
 //! * [`golden`] — golden-snapshot comparison for the regression tests under
 //!   `tests/golden/`, with a `DKIP_BLESS=1` regeneration path,
 //! * [`suites`] — the pinned job lists behind those snapshots, shared by the
@@ -32,6 +36,7 @@
 #![warn(missing_debug_implementations)]
 
 pub mod experiments;
+pub mod fuzz;
 pub mod golden;
 pub mod report;
 pub mod runner;

@@ -72,9 +72,10 @@ impl Machine {
     ///
     /// This is the single path every (family × workload) combination runs
     /// through: the workload opens its [`dkip_model::MicroOp`] stream and
-    /// the matching `run_*_stream` entry point consumes it. Synthetic
-    /// benchmarks run for `budget` committed instructions; finite
-    /// execution-driven kernels run to completion (bounded by `budget`).
+    /// [`Machine::simulate_stream`] dispatches it to the matching
+    /// `run_*_stream` entry point. Synthetic benchmarks run for `budget`
+    /// committed instructions; finite execution-driven kernels run to
+    /// completion (bounded by `budget`).
     #[must_use]
     pub fn simulate(
         &self,
@@ -84,10 +85,26 @@ impl Machine {
         seed: u64,
     ) -> SimStats {
         let mut stream = workload.stream(seed);
+        self.simulate_stream(mem, &mut stream, budget)
+    }
+
+    /// Runs this machine on an already-open [`dkip_model::MicroOp`] stream.
+    ///
+    /// This is the family dispatch [`Machine::simulate`] funnels through;
+    /// the differential-fuzz harness ([`crate::fuzz`]) calls it directly so
+    /// a generated program's [`dkip_riscv::RiscvStream`] can be inspected
+    /// (final emulator state) after the core drains it.
+    #[must_use]
+    pub fn simulate_stream(
+        &self,
+        mem: &MemoryHierarchyConfig,
+        stream: &mut dyn Iterator<Item = dkip_model::MicroOp>,
+        budget: u64,
+    ) -> SimStats {
         match self {
-            Machine::Baseline(cfg) => run_baseline_stream(cfg, mem, &mut stream, budget),
-            Machine::Kilo(cfg) => run_kilo_stream(cfg, mem, &mut stream, budget),
-            Machine::Dkip(cfg) => run_dkip_stream(cfg, mem, &mut stream, budget),
+            Machine::Baseline(cfg) => run_baseline_stream(cfg, mem, stream, budget),
+            Machine::Kilo(cfg) => run_kilo_stream(cfg, mem, stream, budget),
+            Machine::Dkip(cfg) => run_dkip_stream(cfg, mem, stream, budget),
         }
     }
 }

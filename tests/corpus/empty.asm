@@ -1,0 +1,3 @@
+# the zero-length program: the stream is a single cracked Nop (ecall);
+# all three cores must drain it cleanly (PR 5 event-driven clock gotcha).
+ecall

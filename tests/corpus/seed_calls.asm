@@ -1,0 +1,54 @@
+# generated RV64IM program: seed=0xc33 blocks=4 block_len=8 max_trip=3 leaves=3
+  # prologue: bases, loop counters, pool seeds
+  li s0, 65536
+  li s1, 67584
+  li s2, 2
+  li s3, 2
+  li t0, 1645315665
+  li t1, 1770995019
+  li t2, 924858587
+  li a1, -1261748818
+  li a3, -1401580286
+  li a4, -1170170595
+  li a5, 436430351
+  li a6, 434710958
+  li a7, -1768427464
+  li t3, 339111913
+  li t5, -183913309
+  li t6, 549034911
+b0:
+  addi sp, sp, -16
+  sd t5, 8(sp)
+  ld a5, 8(sp)
+  addi sp, sp, 16
+  sw t2, 836(s1)
+  add a1, s2, a7
+  sh a6, 1484(s0)
+  srliw t3, t5, 23
+  sb zero, 2009(s1)
+  sw a2, 1416(s1)
+  blt a2, a2, b1
+b1:
+  addi s2, s2, -1
+  bgtz s2, b1
+b2:
+  lw t5, 302(s1)
+  srliw t1, zero, 19
+  and t4, zero, t0
+  lhu a2, 1527(s0)
+  j exit
+b3:
+  addi s3, s3, -1
+  bgtz s3, b2
+exit:
+  ecall
+leaf0:
+  divu t3, a6, zero
+  mulw a6, a6, t2
+  ret
+leaf1:
+  sll t6, a3, a7
+  ret
+leaf2:
+  sll t4, a0, a6
+  ret

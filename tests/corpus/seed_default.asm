@@ -1,0 +1,125 @@
+# generated RV64IM program: seed=0xe55 blocks=8 block_len=12 max_trip=24 leaves=2
+  # prologue: bases, loop counters, pool seeds
+  li s0, 65536
+  li s1, 67584
+  li s2, 23
+  li t0, 217391487
+  li t1, -591891387
+  li t2, 655692208
+  li a0, -1916093545
+  li a1, 736097505
+  li a5, -266144977
+  li a6, -1585166104
+  li a7, -823579265
+  li t3, -1993780530
+  li t4, 851181497
+b0:
+  or t6, s1, a2
+  lui t1, 147034
+  rem t4, a0, a1
+  rem a2, a2, a0
+  remu a5, t3, t6
+  slliw a6, a7, 31
+  addi sp, sp, -16
+  sd t0, 8(sp)
+  ld a0, 8(sp)
+  addi sp, sp, 16
+  sub t6, t5, a7
+  j b6
+b1:
+  slt t4, s1, t4
+  sltiu t1, a5, 1290
+  srai a6, a6, 13
+  ld t0, 1592(s0)
+  lbu t1, 1034(s1)
+  slt t4, a6, a5
+  lui a0, 320746
+  sltu t2, t3, t2
+  srli t2, t0, 50
+  srli t0, zero, 1
+  ld t4, 400(s0)
+b2:
+  slti t0, s3, -671
+  addi sp, sp, -16
+  sd t2, 8(sp)
+  ld t1, 8(sp)
+  addi sp, sp, 16
+  subw a7, a1, t2
+  sd s2, 827(s1)
+  sb t3, 1270(s1)
+  or a3, s3, a1
+  sraiw t5, a4, 4
+  sltu a4, a3, a1
+  mulhu a4, a0, a5
+  call leaf1
+  lwu a7, 1292(s0)
+  srliw t4, a6, 6
+b3:
+  lui a3, -313858
+  sltiu a3, sp, 2024
+  call leaf0
+  sllw a6, a3, a3
+  mulw t2, a7, a4
+  rem a7, t4, t0
+  bgeu zero, t2, b4
+b4:
+  xor t0, sp, t2
+  sw a6, 1132(s0)
+  subw t1, a7, t6
+  lui a5, 185800
+  xor a7, a2, t0
+  rem t6, t3, s3
+  andi a1, s3, -414
+  slt t6, t3, t5
+  j b5
+b5:
+  slliw t5, t5, 14
+  auipc t2, -458728
+  and t1, a1, a5
+  lwu t6, 1184(s0)
+  lh t5, 1032(s1)
+  srl a6, a6, zero
+  sd a5, 1861(s0)
+  addi sp, sp, -16
+  sd t1, 8(sp)
+  ld t4, 8(sp)
+  addi sp, sp, 16
+  subw a7, t0, a2
+  remu t5, t3, a7
+  remu a6, a1, t3
+  bge a1, a7, b7
+b6:
+  addi sp, sp, -16
+  sd a3, 8(sp)
+  ld a6, 8(sp)
+  addi sp, sp, 16
+  ld a0, 872(s0)
+  sw a1, 812(s0)
+  lw t1, 928(s1)
+  andi a4, sp, 118
+  sll t6, t4, zero
+  call leaf0
+  lhu t2, 24(s1)
+  andi a6, zero, -1582
+  mulw a1, t5, s1
+  addi s2, s2, -1
+  bgtz s2, b5
+b7:
+  slli t4, a5, 10
+  srai a7, a0, 9
+  srlw t0, a6, a4
+  sw t6, 2012(s0)
+  divw t6, a1, t5
+  sd s1, 280(s0)
+  sraw t2, a1, t6
+  srlw t3, a6, t6
+  j exit
+exit:
+  ecall
+leaf0:
+  mulhu t3, s1, t2
+  remw t2, a4, a4
+  ret
+leaf1:
+  sll a7, a3, s3
+  ret

@@ -1,0 +1,48 @@
+# generated RV64IM program: seed=0xb22 blocks=6 block_len=5 max_trip=9 leaves=0
+  # prologue: bases, loop counters, pool seeds
+  li s0, 65536
+  li s1, 67584
+  li s2, 4
+  li s3, 9
+  li t0, 1446893241
+  li t1, -347743587
+  li t2, 1240599453
+  li a0, 990036192
+  li a1, 57232736
+  li a2, -433643014
+  li a4, 1025575907
+  li a7, -1164552323
+  li t3, 1194422979
+  li t4, 1418417877
+  li t5, -985798020
+  li t6, 826512888
+b0:
+  sb a7, 868(s1)
+  subw t4, zero, t6
+  sraiw t5, a5, 8
+  add a2, a5, a1
+  bne s3, t5, b4
+b1:
+  auipc a4, 426800
+  srai a0, t6, 43
+  auipc a7, -298683
+  addi s2, s2, -1
+  bgtz s2, b0
+b2:
+  slti a6, t0, 50
+b3:
+  or t0, a3, sp
+  sh a5, 1034(s0)
+  addi a2, a7, 1853
+  addi s3, s3, -1
+  bgtz s3, b1
+b4:
+  addi a1, a2, 745
+  auipc t4, 144063
+b5:
+  addi sp, sp, -16
+  sd a4, 8(sp)
+  ld a2, 8(sp)
+  addi sp, sp, 16
+exit:
+  ecall

@@ -1,0 +1,93 @@
+# generated RV64IM program: seed=0xd44 blocks=3 block_len=24 max_trip=4 leaves=1
+  # prologue: bases, loop counters, pool seeds
+  li s0, 65536
+  li s1, 67584
+  li t0, 1287279221
+  li t1, -301411522
+  li t2, -1647244855
+  li a0, -746960220
+  li a4, -364825631
+  li a5, -1951421385
+  li a6, -1494699582
+  li a7, -1592927511
+  li t3, 90815612
+  li t4, 1795885427
+  li t5, 24824906
+b0:
+  add a5, a3, t3
+  mulh t4, t0, s0
+  auipc t2, -484402
+  lui t4, 222629
+  andi t2, s3, 1500
+  lw t2, 248(s1)
+  addiw t5, t0, 1606
+  slli t4, sp, 58
+  slti t0, a2, -150
+  srai a6, a2, 21
+  sd a7, 992(s0)
+  mulw a1, a2, a3
+  call leaf0
+  sh a6, 416(s0)
+  sd t3, 1808(s0)
+  call leaf0
+  slliw a7, t1, 25
+  srliw t1, a1, 24
+  sraiw a1, t0, 22
+  addi sp, sp, -16
+  sd a1, 8(sp)
+  ld t0, 8(sp)
+  addi sp, sp, 16
+  sd t5, 888(s0)
+  sh s0, 1536(s1)
+  ori a6, t2, -300
+  srl t4, t1, a4
+  j b2
+b1:
+  srli t0, a6, 45
+  sraiw a1, t3, 2
+  auipc t3, 302737
+  sh a7, 1816(s1)
+  lb a4, 1182(s1)
+  or t1, a7, a3
+  sw t6, 700(s1)
+  mul t1, s3, a3
+  call leaf0
+  lhu t4, 426(s0)
+  ori t5, t1, 51
+  srl t0, t1, t6
+  addi sp, sp, -16
+  sd t1, 8(sp)
+  ld a6, 8(sp)
+  addi sp, sp, 16
+  mul t1, t6, zero
+  lb a6, 1164(s0)
+  lw t2, 576(s1)
+  sd a4, 1904(s0)
+  rem a0, t5, a1
+  lb t1, 1425(s0)
+  lw t4, 1031(s1)
+  bne a3, a6, exit
+b2:
+  or a4, a6, a7
+  mul t0, a7, t1
+  mulhu t3, t4, a2
+  srlw a1, t4, s0
+  sb t5, 1699(s0)
+  slti a6, a0, -196
+  slli t2, t4, 48
+  slli t2, a6, 26
+  addi t1, t6, 876
+  ori a4, a5, -988
+  lh t4, 1420(s1)
+  remw a1, a2, a7
+  andi a4, t6, 1748
+  xori t6, a4, -1165
+  auipc a1, 503305
+  sra a3, a7, t2
+  call leaf0
+exit:
+  ecall
+leaf0:
+  sllw a6, t2, a7
+  divw a6, t6, t2
+  ret

@@ -1,0 +1,30 @@
+# generated RV64IM program: seed=0xa11 blocks=2 block_len=16 max_trip=0 leaves=0
+  # prologue: bases, loop counters, pool seeds
+  li s0, 65536
+  li s1, 67584
+  li t0, 1507469187
+  li t1, -2030207155
+  li a0, 904131503
+  li a2, -17834978
+  li a4, -1350118662
+  li a7, 336940446
+  li t4, -1773815133
+  li t5, -1573634237
+  li t6, 406895330
+b0:
+  sw s0, 1374(s0)
+  addi sp, sp, -16
+  sd t0, 8(sp)
+  ld t3, 8(sp)
+  addi sp, sp, 16
+  slt t3, zero, a1
+  slliw a6, a0, 24
+  andi a7, t5, 944
+  mulh t6, a7, a6
+  j exit
+b1:
+  sra a4, t4, t1
+  srai a2, zero, 34
+  sh a3, 552(s1)
+exit:
+  ecall

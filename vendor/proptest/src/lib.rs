@@ -1,9 +1,11 @@
 //! Minimal, dependency-free stand-in for the `proptest` crate.
 //!
 //! The build environment has no access to crates.io, so this shim implements
-//! just enough of proptest for `tests/property_tests.rs`: the `proptest!`
+//! just enough of proptest for `tests/property_tests.rs` and the
+//! differential-fuzz harness in `tests/fuzz_differential.rs`: the `proptest!`
 //! macro with an optional `#![proptest_config(..)]` header, range / tuple /
-//! `any::<bool>()` / `collection::vec` strategies, and the `prop_assert*`
+//! `any::<bool>()` / `collection::vec` / `Just` strategies, the composition
+//! combinators `prop_map` and `prop_flat_map`, and the `prop_assert*`
 //! macros. Unlike real proptest there is **no shrinking** and no persisted
 //! failure seeds: each test runs `cases` deterministic pseudo-random inputs
 //! (seeded per test name) and fails via plain `assert!` on the first
@@ -75,6 +77,81 @@ pub trait Strategy {
     type Value;
     /// Draws one input from `rng`.
     fn sample(&self, rng: &mut TestRng) -> Self::Value;
+
+    /// Mirrors `Strategy::prop_map`: transforms every drawn value with `map`.
+    fn prop_map<O, F>(self, map: F) -> Map<Self, F>
+    where
+        Self: Sized,
+        F: Fn(Self::Value) -> O,
+    {
+        Map {
+            strategy: self,
+            map,
+        }
+    }
+
+    /// Mirrors `Strategy::prop_flat_map`: feeds every drawn value into
+    /// `flat_map` to build a second strategy, then draws from that. This is
+    /// the combinator for dependent shapes ("pick a block count, then pick
+    /// that many block lengths").
+    fn prop_flat_map<S2, F>(self, flat_map: F) -> FlatMap<Self, F>
+    where
+        Self: Sized,
+        S2: Strategy,
+        F: Fn(Self::Value) -> S2,
+    {
+        FlatMap {
+            strategy: self,
+            flat_map,
+        }
+    }
+}
+
+/// Strategy returned by [`Strategy::prop_map`].
+pub struct Map<S, F> {
+    strategy: S,
+    map: F,
+}
+
+impl<S, O, F> Strategy for Map<S, F>
+where
+    S: Strategy,
+    F: Fn(S::Value) -> O,
+{
+    type Value = O;
+    fn sample(&self, rng: &mut TestRng) -> O {
+        (self.map)(self.strategy.sample(rng))
+    }
+}
+
+/// Strategy returned by [`Strategy::prop_flat_map`].
+pub struct FlatMap<S, F> {
+    strategy: S,
+    flat_map: F,
+}
+
+impl<S, S2, F> Strategy for FlatMap<S, F>
+where
+    S: Strategy,
+    S2: Strategy,
+    F: Fn(S::Value) -> S2,
+{
+    type Value = S2::Value;
+    fn sample(&self, rng: &mut TestRng) -> S2::Value {
+        (self.flat_map)(self.strategy.sample(rng)).sample(rng)
+    }
+}
+
+/// Mirrors `proptest::strategy::Just`: a strategy that always yields a clone
+/// of the wrapped value.
+#[derive(Debug, Clone)]
+pub struct Just<T>(pub T);
+
+impl<T: Clone> Strategy for Just<T> {
+    type Value = T;
+    fn sample(&self, _rng: &mut TestRng) -> T {
+        self.0.clone()
+    }
 }
 
 macro_rules! impl_range_strategy {
@@ -123,7 +200,13 @@ macro_rules! impl_tuple_strategy {
     )+};
 }
 
-impl_tuple_strategy!((A, B), (A, B, C), (A, B, C, D));
+impl_tuple_strategy!(
+    (A, B),
+    (A, B, C),
+    (A, B, C, D),
+    (A, B, C, D, E),
+    (A, B, C, D, E, F)
+);
 
 /// Collection strategies; mirrors `proptest::collection`.
 pub mod collection {
@@ -198,7 +281,7 @@ pub mod sample {
 /// One-stop imports; mirrors `proptest::prelude`.
 pub mod prelude {
     pub use crate::{
-        any, prop_assert, prop_assert_eq, proptest, Any, ProptestConfig, Strategy, TestRng,
+        any, prop_assert, prop_assert_eq, proptest, Any, Just, ProptestConfig, Strategy, TestRng,
     };
 }
 
