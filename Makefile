@@ -7,7 +7,7 @@ FIG_BINS = table1 table2_3 fig01_window_specint fig02_window_specfp \
            fig13_llib_occupancy_specint fig14_llib_occupancy_specfp \
            fig_riscv_ipc
 
-.PHONY: build test doc verify lint bench bench-figures golden bless riscv perf perf-smoke fuzz fuzz-smoke clean
+.PHONY: build test doc verify lint bench bench-figures golden bless riscv perf perf-smoke fuzz fuzz-smoke sample-check clean
 
 build:
 	cargo build --release
@@ -66,6 +66,14 @@ perf: build
 ## perf-smoke job.
 perf-smoke: build
 	./target/release/perf budget=40000 samples=3 check=ci/perf_baseline.json tolerance=0.30 floor=0.25
+
+## Sampled-simulation gates: checkpoint round-trips must be bit-identical
+## and the sampled IPC estimator must stay inside its error bands (3%
+## suite-mean, 10% per-job) against exact simulation on all four golden
+## matrices. Release mode: the accuracy suite simulates ~100k-1M
+## instructions per job twice. Mirrored by the CI sample-check job.
+sample-check:
+	cargo test -q --release -p dkip --test checkpoint_roundtrip --test sampled_accuracy
 
 ## Differential-fuzz smoke: 200 random RV64IM programs through the emulator
 ## oracle and all three core families, plus the checked-in corpus replay.

@@ -9,13 +9,16 @@
 //!   `cargo run -p dkip-bench --release --bin fig09_comparison`.
 //!   Every simulating binary (the nine `fig*` paper figures plus
 //!   `fig_riscv_ipc`; `table1`/`table2_3` just print static configuration
-//!   tables and take no arguments) accepts three optional positional
+//!   tables and take no arguments) accepts four optional positional
 //!   arguments: the per-benchmark instruction budget, `full` to use the
 //!   complete benchmark suite instead of the fast representative subset,
-//!   and `threads=N` to fix the sweep-runner worker-pool size (default: the
+//!   `threads=N` to fix the sweep-runner worker-pool size (default: the
 //!   `DKIP_THREADS` environment variable, then the host's available
-//!   parallelism). Malformed arguments exit with status 2 — an explicitly
-//!   stated budget or thread count never falls back silently.
+//!   parallelism), and `sample=P:U:W` to regenerate the figure under
+//!   sampled simulation at that `period:warmup:window` rate (default: the
+//!   `DKIP_SAMPLE` environment variable, then exact simulation). Malformed
+//!   arguments exit with status 2 — an explicitly stated budget, thread
+//!   count or sampling rate never falls back silently.
 //! * **Criterion benches** (`benches/`) — component microbenchmarks and one
 //!   timed end-to-end simulation per core family.
 //!
@@ -25,6 +28,7 @@
 
 pub mod throughput;
 
+use dkip_model::{SampleConfig, SAMPLE_ENV};
 use dkip_sim::SweepRunner;
 use dkip_trace::{Benchmark, Suite};
 
@@ -44,15 +48,28 @@ pub struct FigureArgs {
     /// Explicit worker-pool size (`threads=N`); `None` defers to
     /// `DKIP_THREADS` / the host parallelism via [`SweepRunner::from_env`].
     pub threads: Option<usize>,
+    /// Explicit sampled-simulation rate (`sample=P:U:W`); `None` defers to
+    /// the `DKIP_SAMPLE` environment variable (unset: exact simulation).
+    pub sample: Option<SampleConfig>,
 }
 
 impl FigureArgs {
-    /// Parses `[budget] [full] [threads=N]` from `std::env::args`, exiting
-    /// with status 2 on a malformed argument.
+    /// Parses `[budget] [full] [threads=N] [sample=P:U:W]` from
+    /// `std::env::args`, exiting with status 2 on a malformed argument.
+    ///
+    /// An explicit `sample=` rate is published through the `DKIP_SAMPLE`
+    /// environment variable, which every subsequently built
+    /// [`dkip_sim::Job`] reads — so the whole figure sweep runs sampled
+    /// without the drivers threading the rate through.
     #[must_use]
     pub fn from_env() -> Self {
         match Self::parse(std::env::args().skip(1)) {
-            Ok(args) => args,
+            Ok(args) => {
+                if let Some(rate) = args.sample {
+                    std::env::set_var(SAMPLE_ENV, rate.to_string());
+                }
+                args
+            }
             Err(message) => {
                 eprintln!("{message}");
                 std::process::exit(2);
@@ -61,9 +78,9 @@ impl FigureArgs {
     }
 
     /// Parses the argument list. Arguments are positional and strict: any
-    /// token that is not `full`, `threads=N` or an unsigned integer budget
-    /// is an error — a mistyped budget must not fall back silently to the
-    /// default, exactly as a mistyped `threads=` must not.
+    /// token that is not `full`, `threads=N`, `sample=P:U:W` or an unsigned
+    /// integer budget is an error — a mistyped budget must not fall back
+    /// silently to the default, exactly as a mistyped `threads=` must not.
     ///
     /// # Errors
     ///
@@ -72,6 +89,7 @@ impl FigureArgs {
         let mut budget = None;
         let mut full_suite = false;
         let mut threads = None;
+        let mut sample = None;
         for arg in args {
             if arg == "full" {
                 full_suite = true;
@@ -81,6 +99,15 @@ impl FigureArgs {
                     _ => {
                         return Err(format!(
                             "invalid thread count {v:?}: expected threads=N with N >= 1"
+                        ))
+                    }
+                }
+            } else if let Some(v) = arg.strip_prefix("sample=") {
+                match SampleConfig::parse(v) {
+                    Ok(rate) => sample = Some(rate),
+                    Err(err) => {
+                        return Err(format!(
+                            "invalid sampling rate {v:?}: {err} (expected sample=P:U:W)"
                         ))
                     }
                 }
@@ -107,6 +134,7 @@ impl FigureArgs {
             budget,
             full_suite,
             threads,
+            sample,
         })
     }
 
@@ -203,6 +231,20 @@ mod tests {
         assert!(
             parse(&["0"]).unwrap_err().contains("budget 0"),
             "a zero budget would print an all-zero figure"
+        );
+    }
+
+    #[test]
+    fn sampling_rates_parse_strictly() {
+        let args = parse(&["5000", "sample=20000:2000:4000"]).unwrap();
+        let rate = args.sample.expect("rate parsed");
+        assert_eq!(rate.to_string(), "20000:2000:4000");
+        assert_eq!(parse(&[]).unwrap().sample, None, "exact by default");
+        assert!(parse(&["sample="]).is_err());
+        assert!(parse(&["sample=fast"]).is_err());
+        assert!(
+            parse(&["sample=1000:600:600"]).is_err(),
+            "warmup + window must fit in the period"
         );
     }
 

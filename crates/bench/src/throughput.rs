@@ -18,7 +18,7 @@
 //! }
 //! ```
 //!
-//! `mips` is millions of *simulated committed instructions* per host second;
+//! `mips` is millions of *simulated covered instructions* per host second;
 //! `cycles_per_sec` is simulated cycles per host second. Both are host
 //! metadata — the simulated statistics themselves stay bit-identical and are
 //! pinned by the golden snapshots, not by this harness. Schema v2 adds the
@@ -27,9 +27,21 @@
 //! `skipped_frac` (`cycles_skipped / cycles`); the harness additionally
 //! fails if no D-KIP workload skipped a single cycle, so the skip path
 //! cannot silently rot.
+//!
+//! Schema v3 adds the sampled-simulation rows: every entry carries a
+//! `mode` ("exact" or "sampled") and `covered` (the instructions the run
+//! spanned — committed for exact runs, detailed + functionally
+//! fast-forwarded for sampled runs, the numerator of `mips`). The matrix
+//! gains D-KIP points re-run under sampling ([`PERF_SAMPLE_RATE`]); the
+//! harness fails unless each is at least [`SAMPLED_SPEEDUP_FLOOR`]× the
+//! MIPS of its exact twin, so the sampled fast path cannot silently rot
+//! either. Family geomeans (and therefore the committed
+//! `ci/perf_baseline.json` comparison) are computed from exact entries
+//! only.
 
 use criterion::{run_one, Measurement, Throughput};
 use dkip_model::config::{BaselineConfig, DkipConfig, KiloConfig, MemoryHierarchyConfig};
+use dkip_model::SampleConfig;
 use dkip_riscv::Kernel;
 use dkip_sim::{Job, Machine, Workload};
 use dkip_trace::Benchmark;
@@ -50,6 +62,18 @@ pub const DEFAULT_OUT: &str = "BENCH_sim_throughput.json";
 /// fails).
 pub const DEFAULT_TOLERANCE: f64 = 0.30;
 
+/// Sampling rate of the sampled-mode throughput rows: a sparse 10% detailed
+/// fraction, chosen for speed. The accuracy of sampling is pinned elsewhere
+/// (`tests/sampled_accuracy.rs`, at denser per-suite rates); these rows pin
+/// its *host throughput*.
+pub const PERF_SAMPLE_RATE: &str = "20000:1000:1000";
+
+/// Minimum MIPS ratio each sampled D-KIP row must achieve over its exact
+/// twin. Empirically sampling at [`PERF_SAMPLE_RATE`] reaches 4–5×; the
+/// floor leaves headroom for host noise while still catching the sampled
+/// path degrading into detailed-simulation cost.
+pub const SAMPLED_SPEEDUP_FLOOR: f64 = 3.0;
+
 /// One timed simulation point of the throughput report.
 #[derive(Debug, Clone, PartialEq)]
 pub struct ThroughputEntry {
@@ -59,10 +83,18 @@ pub struct ThroughputEntry {
     pub machine: String,
     /// Workload name ("swim", "riscv:matmul/8", …).
     pub workload: String,
+    /// Simulation mode: "exact" or "sampled" (schema v3).
+    pub mode: &'static str,
     /// Instruction budget the point ran with.
     pub budget: u64,
-    /// Simulated instructions committed per iteration.
+    /// Simulated instructions committed per iteration. For sampled rows
+    /// only the measured windows commit in detail, so this is much smaller
+    /// than `covered`.
     pub committed: u64,
+    /// Instructions the run covered per iteration (schema v3): equals
+    /// `committed` for exact rows; detailed + functionally fast-forwarded
+    /// for sampled rows. The numerator of `mips`.
+    pub covered: u64,
     /// Simulated cycles per iteration.
     pub cycles: u64,
     /// `tick()` invocations actually executed per iteration (schema v2).
@@ -91,15 +123,18 @@ impl ThroughputEntry {
 
     fn to_json(&self) -> String {
         format!(
-            "{{\"family\": {}, \"machine\": {}, \"workload\": {}, \"budget\": {}, \
-             \"committed\": {}, \"cycles\": {}, \"ticks_executed\": {}, \
+            "{{\"family\": {}, \"machine\": {}, \"workload\": {}, \"mode\": {}, \
+             \"budget\": {}, \"committed\": {}, \"covered\": {}, \"cycles\": {}, \
+             \"ticks_executed\": {}, \
              \"cycles_skipped\": {}, \"skipped_frac\": {}, \"samples\": {}, \"mean_ns\": {}, \
              \"mips\": {}, \"cycles_per_sec\": {}}}",
             criterion::json_string(self.family),
             criterion::json_string(&self.machine),
             criterion::json_string(&self.workload),
+            criterion::json_string(self.mode),
             self.budget,
             self.committed,
+            self.covered,
             self.cycles,
             self.ticks_executed,
             self.cycles_skipped,
@@ -114,7 +149,14 @@ impl ThroughputEntry {
 
 /// The standard throughput matrix: every core family on two synthetic SPEC
 /// workloads (one integer, one memory-bound FP) and two RISC-V kernels (one
-/// dense, one pointer-chasing).
+/// dense, one pointer-chasing), all in exact mode, plus the D-KIP's two
+/// synthetic points re-run under sampling at [`PERF_SAMPLE_RATE`] (the
+/// RISC-V kernels' default dynamic lengths are shorter than one sampling
+/// period, so a sampled row would degenerate to an exact one).
+///
+/// Exact rows are forced exact regardless of the `DKIP_SAMPLE` environment
+/// variable: the committed `ci/perf_baseline.json` geomeans pin the exact
+/// simulator.
 #[must_use]
 pub fn perf_jobs(budget: u64) -> Vec<Job> {
     let mem = MemoryHierarchyConfig::mem_400();
@@ -132,14 +174,34 @@ pub fn perf_jobs(budget: u64) -> Vec<Job> {
     let mut jobs = Vec::new();
     for machine in &machines {
         for workload in &workloads {
-            jobs.push(Job::new(
-                format!("{}/{}", machine.family(), workload.name()),
-                machine.clone(),
-                mem.clone(),
-                *workload,
-                budget,
-            ));
+            jobs.push(
+                Job::new(
+                    format!("{}/{}", machine.family(), workload.name()),
+                    machine.clone(),
+                    mem.clone(),
+                    *workload,
+                    budget,
+                )
+                .exact(),
+            );
         }
+    }
+    let rate = SampleConfig::parse(PERF_SAMPLE_RATE).expect("valid perf sampling rate");
+    let dkip = Machine::Dkip(DkipConfig::paper_default());
+    for workload in [
+        Workload::Spec(Benchmark::Gcc),
+        Workload::Spec(Benchmark::Swim),
+    ] {
+        jobs.push(
+            Job::new(
+                format!("{}/{}+sampled", dkip.family(), workload.name()),
+                dkip.clone(),
+                mem.clone(),
+                workload,
+                budget,
+            )
+            .with_sample(rate),
+        );
     }
     jobs
 }
@@ -153,13 +215,20 @@ pub fn measure(jobs: &[Job], samples: usize) -> Vec<ThroughputEntry> {
         .map(|job| {
             // The warm-up run provides the (deterministic) simulated stats,
             // so the timed iterations can declare instructions/iteration as
-            // criterion throughput.
-            let stats = job.run().stats;
+            // criterion throughput. For sampled rows the element count is
+            // the covered span, not the window-committed count: the row
+            // measures how fast the mode covers workload instructions.
+            let warm = job.run();
+            let stats = warm.stats;
+            let (mode, bench_name) = match job.sample {
+                None => ("exact", job.workload.name()),
+                Some(_) => ("sampled", format!("{}+sampled", job.workload.name())),
+            };
             let measurement = run_one(
                 job.machine.family(),
-                &job.workload.name(),
+                &bench_name,
                 samples,
-                Some(Throughput::Elements(stats.committed)),
+                Some(Throughput::Elements(warm.covered)),
                 |b| b.iter(|| job.run().stats.cycles),
             );
             let mips = measurement.elements_per_sec().unwrap_or(0.0) / 1e6;
@@ -172,8 +241,10 @@ pub fn measure(jobs: &[Job], samples: usize) -> Vec<ThroughputEntry> {
                 family: job.machine.family(),
                 machine: job.machine.name().to_owned(),
                 workload: job.workload.name(),
+                mode,
                 budget: job.budget,
                 committed: stats.committed,
+                covered: warm.covered,
                 cycles: stats.cycles,
                 ticks_executed: stats.ticks_executed,
                 cycles_skipped: stats.cycles_skipped,
@@ -185,12 +256,16 @@ pub fn measure(jobs: &[Job], samples: usize) -> Vec<ThroughputEntry> {
         .collect()
 }
 
-/// Per-family geometric-mean MIPS, preserving first-occurrence order.
+/// Per-family geometric-mean MIPS over the **exact** entries, preserving
+/// first-occurrence order. Sampled rows are excluded: the committed
+/// `ci/perf_baseline.json` geomeans pin the exact simulator's throughput,
+/// and mixing in the (faster) sampled rows would let an exact-path
+/// regression hide behind the sampling speedup.
 #[must_use]
 pub fn family_geomeans(entries: &[ThroughputEntry]) -> Vec<(String, f64)> {
     let mut order: Vec<String> = Vec::new();
     let mut logs: Vec<(f64, u32)> = Vec::new();
-    for entry in entries {
+    for entry in entries.iter().filter(|e| e.mode == "exact") {
         let idx = match order.iter().position(|f| f == entry.family) {
             Some(idx) => idx,
             None => {
@@ -209,10 +284,36 @@ pub fn family_geomeans(entries: &[ThroughputEntry]) -> Vec<(String, f64)> {
         .collect()
 }
 
+/// Pairs every sampled entry with its exact twin (same family, machine and
+/// workload) and returns `(family/workload, sampled_mips / exact_mips)`.
+/// A sampled row with no exact twin, or whose twin measured zero MIPS,
+/// reports a speedup of 0 so the caller's floor check fails loudly rather
+/// than skipping the pair.
+#[must_use]
+pub fn sampled_speedups(entries: &[ThroughputEntry]) -> Vec<(String, f64)> {
+    entries
+        .iter()
+        .filter(|e| e.mode == "sampled")
+        .map(|sampled| {
+            let twin = entries.iter().find(|e| {
+                e.mode == "exact"
+                    && e.family == sampled.family
+                    && e.machine == sampled.machine
+                    && e.workload == sampled.workload
+            });
+            let speedup = match twin {
+                Some(exact) if exact.mips > 0.0 => sampled.mips / exact.mips,
+                _ => 0.0,
+            };
+            (format!("{}/{}", sampled.family, sampled.workload), speedup)
+        })
+        .collect()
+}
+
 /// Serialises the full throughput report.
 #[must_use]
 pub fn report_to_json(entries: &[ThroughputEntry]) -> String {
-    let mut out = String::from("{\n  \"schema\": \"dkip-sim-throughput/v2\",\n  \"entries\": [\n");
+    let mut out = String::from("{\n  \"schema\": \"dkip-sim-throughput/v3\",\n  \"entries\": [\n");
     let body: Vec<String> = entries
         .iter()
         .map(|e| format!("    {}", e.to_json()))
@@ -230,6 +331,18 @@ pub fn report_to_json(entries: &[ThroughputEntry]) -> String {
         })
         .collect();
     out.push_str(&families.join(",\n"));
+    out.push_str("\n  ],\n  \"sampled_speedups\": [\n");
+    let speedups: Vec<String> = sampled_speedups(entries)
+        .into_iter()
+        .map(|(point, speedup)| {
+            format!(
+                "    {{\"point\": {}, \"speedup\": {}}}",
+                criterion::json_string(&point),
+                criterion::json_number(speedup)
+            )
+        })
+        .collect();
+    out.push_str(&speedups.join(",\n"));
     out.push_str("\n  ]\n}\n");
     out
 }
@@ -429,9 +542,10 @@ pub fn run(args: &PerfArgs) -> i32 {
     for entry in &entries {
         let _ = writeln!(
             table,
-            "  {:8} {:24} {:>10.3} MIPS  {:>12.0} cycles/s  {:>5.1}% skipped",
+            "  {:8} {:24} {:7} {:>10.3} MIPS  {:>12.0} cycles/s  {:>5.1}% skipped",
             entry.family,
             entry.workload,
+            entry.mode,
             entry.mips,
             entry.cycles_per_sec,
             entry.skipped_frac() * 100.0
@@ -464,6 +578,21 @@ pub fn run(args: &PerfArgs) -> i32 {
             failed = true;
         } else {
             println!("event-driven clock: dkip skipped {dkip_skipped} quiesced cycles [ok]");
+        }
+    }
+    // The sampled fast path must actually be fast: each sampled D-KIP row
+    // must reach SAMPLED_SPEEDUP_FLOOR × the MIPS of its exact twin.
+    let speedups = sampled_speedups(&entries);
+    if speedups.is_empty() {
+        eprintln!("sampled throughput: no sampled rows in the matrix [FAILED]");
+        failed = true;
+    }
+    for (point, speedup) in &speedups {
+        if *speedup >= SAMPLED_SPEEDUP_FLOOR {
+            println!("sampled throughput: {point} {speedup:.2}x exact (>= {SAMPLED_SPEEDUP_FLOOR}x) [ok]");
+        } else {
+            eprintln!("sampled throughput: {point} {speedup:.2}x exact (< {SAMPLED_SPEEDUP_FLOOR}x) [FAILED]");
+            failed = true;
         }
     }
     if args.floor > 0.0 {
@@ -525,8 +654,10 @@ mod tests {
             family,
             machine: family.to_uppercase(),
             workload: workload.to_owned(),
+            mode: "exact",
             budget: 1000,
             committed: 1000,
+            covered: 1000,
             cycles: 2000,
             ticks_executed: 1500,
             cycles_skipped: 500,
@@ -614,14 +745,54 @@ mod tests {
     }
 
     #[test]
-    fn report_json_carries_v2_clock_telemetry() {
-        let entries = vec![entry("dkip", "swim", 2.0)];
+    fn report_json_carries_clock_and_mode_telemetry() {
+        let mut sampled = entry("dkip", "swim", 8.0);
+        sampled.mode = "sampled";
+        sampled.covered = 10_000;
+        let entries = vec![entry("dkip", "swim", 2.0), sampled];
         let json = report_to_json(&entries);
-        assert!(json.contains("\"schema\": \"dkip-sim-throughput/v2\""));
+        assert!(json.contains("\"schema\": \"dkip-sim-throughput/v3\""));
         assert!(json.contains("\"ticks_executed\": 1500"));
         assert!(json.contains("\"cycles_skipped\": 500"));
         assert!(json.contains("\"skipped_frac\": 0.25"));
+        assert!(json.contains("\"mode\": \"exact\""));
+        assert!(json.contains("\"mode\": \"sampled\""));
+        assert!(json.contains("\"covered\": 10000"));
+        assert!(json.contains("\"point\": \"dkip/swim\", \"speedup\": 4"));
         assert!((entries[0].skipped_frac() - 0.25).abs() < 1e-12);
+    }
+
+    #[test]
+    fn family_geomeans_exclude_sampled_rows() {
+        let mut sampled = entry("dkip", "gcc", 100.0);
+        sampled.mode = "sampled";
+        let entries = vec![
+            entry("dkip", "gcc", 2.0),
+            entry("dkip", "swim", 8.0),
+            sampled,
+        ];
+        let means = family_geomeans(&entries);
+        assert_eq!(means.len(), 1);
+        assert!((means[0].1 - 4.0).abs() < 1e-12, "geomean(2, 8) = 4");
+        // The (fast) sampled row must not inflate the pinned exact geomean.
+    }
+
+    #[test]
+    fn sampled_speedups_pair_rows_and_fail_loudly_when_unpaired() {
+        let mut sampled = entry("dkip", "gcc", 9.0);
+        sampled.mode = "sampled";
+        let mut orphan = entry("dkip", "mesa", 9.0);
+        orphan.mode = "sampled";
+        let entries = vec![entry("dkip", "gcc", 3.0), sampled, orphan];
+        let speedups = sampled_speedups(&entries);
+        assert_eq!(speedups.len(), 2);
+        assert_eq!(speedups[0].0, "dkip/gcc");
+        assert!((speedups[0].1 - 3.0).abs() < 1e-12);
+        assert_eq!(
+            speedups[1],
+            ("dkip/mesa".to_owned(), 0.0),
+            "a sampled row with no exact twin reports 0x so floor checks fail"
+        );
     }
 
     #[test]
@@ -653,11 +824,15 @@ mod tests {
     #[test]
     fn perf_jobs_cover_every_family_and_both_workload_kinds() {
         let jobs = perf_jobs(10_000);
-        assert_eq!(jobs.len(), 12, "3 families x 4 workloads");
+        assert_eq!(
+            jobs.len(),
+            14,
+            "3 families x 4 workloads + 2 sampled dkip rows"
+        );
         for family in ["baseline", "kilo", "dkip"] {
             let of_family: Vec<_> = jobs
                 .iter()
-                .filter(|j| j.machine.family() == family)
+                .filter(|j| j.machine.family() == family && j.sample.is_none())
                 .collect();
             assert_eq!(of_family.len(), 4);
             assert!(
@@ -669,6 +844,40 @@ mod tests {
                 "{family} runs Spec"
             );
         }
+        let sampled: Vec<_> = jobs.iter().filter(|j| j.sample.is_some()).collect();
+        assert_eq!(sampled.len(), 2, "dkip gcc + swim re-run under sampling");
+        for job in &sampled {
+            assert_eq!(job.machine.family(), "dkip");
+            assert!(!job.workload.is_finite(), "sampled rows use endless Spec");
+            assert_eq!(
+                job.sample.unwrap().to_string(),
+                PERF_SAMPLE_RATE,
+                "sampled rows run at the documented perf rate"
+            );
+        }
+    }
+
+    #[test]
+    fn measured_sampled_rows_cover_the_budget_cheaply() {
+        let rate = SampleConfig::parse(PERF_SAMPLE_RATE).unwrap();
+        let job = Job::new(
+            "sampled-smoke",
+            Machine::Dkip(DkipConfig::paper_default()),
+            MemoryHierarchyConfig::mem_400(),
+            Benchmark::Gcc,
+            40_000,
+        )
+        .with_sample(rate);
+        let entries = measure(&[job], 1);
+        assert_eq!(entries[0].mode, "sampled");
+        assert!(entries[0].covered >= 40_000, "covers the whole budget");
+        assert!(
+            entries[0].committed < entries[0].covered / 5,
+            "only the detailed windows commit: {} of {}",
+            entries[0].committed,
+            entries[0].covered
+        );
+        assert!(entries[0].mips > 0.0);
     }
 
     #[test]

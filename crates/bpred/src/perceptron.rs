@@ -131,6 +131,10 @@ impl PerceptronPredictor {
 }
 
 impl BranchPredictor for PerceptronPredictor {
+    fn clone_box(&self) -> Box<dyn BranchPredictor> {
+        Box::new(self.clone())
+    }
+
     fn predict(&mut self, pc: u64) -> bool {
         self.stats.predictions += 1;
         let y = self.output(pc);

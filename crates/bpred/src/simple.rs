@@ -17,6 +17,10 @@ impl AlwaysTaken {
 }
 
 impl BranchPredictor for AlwaysTaken {
+    fn clone_box(&self) -> Box<dyn BranchPredictor> {
+        Box::new(*self)
+    }
+
     fn predict(&mut self, _pc: u64) -> bool {
         self.stats.predictions += 1;
         true
@@ -52,6 +56,10 @@ impl StaticNotTaken {
 }
 
 impl BranchPredictor for StaticNotTaken {
+    fn clone_box(&self) -> Box<dyn BranchPredictor> {
+        Box::new(*self)
+    }
+
     fn predict(&mut self, _pc: u64) -> bool {
         self.stats.predictions += 1;
         false

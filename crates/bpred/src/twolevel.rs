@@ -56,6 +56,10 @@ impl BimodalPredictor {
 }
 
 impl BranchPredictor for BimodalPredictor {
+    fn clone_box(&self) -> Box<dyn BranchPredictor> {
+        Box::new(self.clone())
+    }
+
     fn predict(&mut self, pc: u64) -> bool {
         self.stats.predictions += 1;
         self.table[self.index(pc)].predict()
@@ -118,6 +122,10 @@ impl GsharePredictor {
 }
 
 impl BranchPredictor for GsharePredictor {
+    fn clone_box(&self) -> Box<dyn BranchPredictor> {
+        Box::new(self.clone())
+    }
+
     fn predict(&mut self, pc: u64) -> bool {
         self.stats.predictions += 1;
         self.table[self.index(pc)].predict()

@@ -18,7 +18,11 @@ use std::cmp::Reverse;
 use std::collections::BinaryHeap;
 
 /// The Address Processor.
-#[derive(Debug)]
+///
+/// `Clone` deep-copies the LSQ, ports, memory hierarchy and in-flight
+/// load bookkeeping, so a cloned processor checkpoint resumes
+/// bit-identically.
+#[derive(Debug, Clone)]
 pub struct AddressProcessor {
     lsq: Lsq,
     ports: MemPorts,
@@ -86,6 +90,12 @@ impl AddressProcessor {
     /// Performs a timing access against the hierarchy.
     pub fn access(&mut self, addr: u64, is_write: bool, now: u64) -> AccessOutcome {
         self.mem.access(addr, is_write, now)
+    }
+
+    /// Performs a functional (timing-free) cache-warming access; see
+    /// [`MemoryHierarchy::warm_access`].
+    pub fn warm_access(&mut self, addr: u64, is_write: bool) {
+        self.mem.warm_access(addr, is_write);
     }
 
     /// Registers a load whose miss is being serviced by main memory; its

@@ -17,7 +17,10 @@ use std::cmp::Reverse;
 use std::collections::BinaryHeap;
 
 /// One integer or floating-point Memory Processor.
-#[derive(Debug)]
+///
+/// `Clone` deep-copies the queue, readiness bookkeeping and in-flight
+/// completions, so a cloned processor checkpoint resumes bit-identically.
+#[derive(Debug, Clone)]
 pub struct MemoryProcessor {
     queue: IssueQueue,
     fus: FunctionalUnits,

@@ -47,8 +47,30 @@ struct LowMeta {
     mispredicted: bool,
 }
 
+/// A deep-copied checkpoint of a [`DkipProcessor`], captured by
+/// [`DkipProcessor::snapshot`].
+///
+/// The snapshot holds the complete state of every decoupled engine — Cache
+/// Processor, LLIBs/LLRFs/LLBV, checkpoint stack, Memory Processors,
+/// Address Processor (with its cache hierarchy), branch predictor and
+/// statistics — so a processor restored from it ([`DkipProcessor::restore`]
+/// or [`DkipSnapshot::to_processor`]) continues bit-identically.
+#[derive(Debug, Clone)]
+pub struct DkipSnapshot {
+    state: DkipProcessor,
+}
+
+impl DkipSnapshot {
+    /// Materialises an independent processor that resumes from this
+    /// checkpoint.
+    #[must_use]
+    pub fn to_processor(&self) -> DkipProcessor {
+        self.state.clone()
+    }
+}
+
 /// The Decoupled KILO-Instruction Processor.
-#[derive(Debug)]
+#[derive(Debug, Clone)]
 pub struct DkipProcessor {
     cfg: DkipConfig,
     predictor: Box<dyn BranchPredictor>,
@@ -209,6 +231,45 @@ impl DkipProcessor {
     /// `DKIP_NO_SKIP` environment variable sampled at construction.
     pub fn set_single_step(&mut self, single_step: bool) {
         self.single_step = single_step;
+    }
+
+    /// Captures a checkpoint of the complete processor state (all decoupled
+    /// engines, caches, predictor, statistics). See [`DkipSnapshot`] for
+    /// the contract.
+    ///
+    /// The trace iterator is *not* part of the processor: callers pairing a
+    /// snapshot with a resumable stream must checkpoint the stream position
+    /// themselves (e.g. by cloning the [`MicroOp`] source).
+    #[must_use]
+    pub fn snapshot(&self) -> DkipSnapshot {
+        DkipSnapshot {
+            state: self.clone(),
+        }
+    }
+
+    /// Replaces this processor's entire state with the checkpoint's; the
+    /// next [`DkipProcessor::run`] continues exactly as the snapshotted
+    /// processor would have.
+    pub fn restore(&mut self, snapshot: &DkipSnapshot) {
+        *self = snapshot.state.clone();
+    }
+
+    /// Functionally warms the long-lived microarchitectural state with one
+    /// instruction that is *not* being simulated in detail: memory ops
+    /// install/promote their line in the Address Processor's hierarchy
+    /// (timing-free) and conditional branches train the direction predictor
+    /// with the in-order predict/update pair the Cache Processor would
+    /// apply. Used by the sampled-simulation mode for every fast-forwarded
+    /// instruction; pipeline, clock and committed counters are untouched.
+    pub fn warm_op(&mut self, op: &MicroOp) {
+        if let Some(addr) = op.mem_addr {
+            self.ap.warm_access(addr, op.is_store());
+        }
+        if op.is_conditional_branch() {
+            let taken = op.branch.expect("conditional branch").taken;
+            let predicted = self.predictor.predict(op.pc);
+            self.predictor.update(op.pc, taken, predicted);
+        }
     }
 
     /// Runs until `max_instrs` instructions have committed, the trace ends

@@ -72,6 +72,14 @@ impl MemStats {
     }
 }
 
+/// A deep-copied checkpoint of a [`MemoryHierarchy`], captured by
+/// [`MemoryHierarchy::snapshot`] and reapplied by
+/// [`MemoryHierarchy::restore`].
+#[derive(Debug, Clone)]
+pub struct MemSnapshot {
+    state: MemoryHierarchy,
+}
+
 /// The two-level cache hierarchy plus main memory.
 #[derive(Debug, Clone)]
 pub struct MemoryHierarchy {
@@ -197,6 +205,33 @@ impl MemoryHierarchy {
         }
     }
 
+    /// Performs a *functional* (timing-free) access for `addr`: the tag
+    /// arrays and replacement state update exactly as under [`access`], but
+    /// no latency is modelled, no outstanding miss is registered and no
+    /// statistics are counted.
+    ///
+    /// The sampled-simulation mode uses this to keep the caches warm across
+    /// fast-forward gaps (`dkip-sim`'s `sampled` module): the skipped
+    /// instructions still install and promote lines, so the next detailed
+    /// window measures against the cache contents an exact run would see,
+    /// without paying for timing simulation.
+    ///
+    /// [`access`]: MemoryHierarchy::access
+    pub fn warm_access(&mut self, addr: u64, is_write: bool) {
+        let l1_hit = match self.l1.as_mut() {
+            Some(l1) => l1.access(addr, is_write),
+            None => true,
+        };
+        if l1_hit {
+            return;
+        }
+        // Mirror the timed path: an L1 miss always performs the L2 lookup
+        // (and fill), even under an `l2_perfect` configuration.
+        if let Some(l2) = self.l2.as_mut() {
+            l2.access(addr, is_write);
+        }
+    }
+
     /// Drops every in-flight fill that has completed by `now`.
     fn expire_fills(&mut self, now: u64) {
         while let Some(&Reverse((complete, line))) = self.fill_queue.peek() {
@@ -242,6 +277,23 @@ impl MemoryHierarchy {
             Some(l2) => !l2.contains(addr),
             None => false,
         }
+    }
+
+    /// Captures a deep copy of the full hierarchy state — cache tags/LRU,
+    /// outstanding misses and statistics — for the checkpoint machinery.
+    ///
+    /// A hierarchy restored from the snapshot services every future access
+    /// identically to the original at the moment of capture.
+    #[must_use]
+    pub fn snapshot(&self) -> MemSnapshot {
+        MemSnapshot {
+            state: self.clone(),
+        }
+    }
+
+    /// Replaces this hierarchy's state with the snapshot's.
+    pub fn restore(&mut self, snapshot: &MemSnapshot) {
+        *self = snapshot.state.clone();
     }
 
     /// Invalidates both cache levels and clears outstanding misses.
@@ -419,6 +471,63 @@ mod tests {
         assert!(!again.merged);
         let next = mem.next_event(now).expect("fill in flight");
         assert_eq!(next, now + again.latency);
+    }
+
+    #[test]
+    fn snapshot_restore_resumes_bit_identically() {
+        let mut mem = MemoryHierarchy::new(small_config()).unwrap();
+        // Build up non-trivial state: filled lines, an in-flight miss.
+        for i in 0..32u64 {
+            mem.access(i * 64, i % 3 == 0, i * 7);
+        }
+        let in_flight = mem.access(0xAAAA_0000, false, 500);
+        assert_eq!(in_flight.level, AccessLevel::Memory);
+        let snap = mem.snapshot();
+
+        // Divergent future on the original: evict everything.
+        for i in 0..4096u64 {
+            mem.access(0xBB00_0000 + i * 8192, false, 600 + i);
+        }
+
+        // Restore and replay an access pattern on both a restored-in-place
+        // hierarchy and the captured clone; outcomes must be identical.
+        mem.restore(&snap);
+        let mut twin = MemoryHierarchy::new(small_config()).unwrap();
+        twin.restore(&snap);
+        assert_eq!(mem.stats(), twin.stats());
+        for i in 0..64u64 {
+            let a = mem.access(i * 64, false, 550 + i);
+            let b = twin.access(i * 64, false, 550 + i);
+            assert_eq!(a, b, "restored hierarchies diverged at access {i}");
+        }
+        assert_eq!(mem.stats(), twin.stats());
+        // The in-flight miss survived the snapshot: it still merges.
+        let merged = mem.access(0xAAAA_0010, false, 520);
+        assert!(merged.merged, "outstanding miss must survive restore");
+    }
+
+    #[test]
+    fn warm_access_installs_lines_without_timing_side_effects() {
+        let mut warmed = MemoryHierarchy::new(small_config()).unwrap();
+        let mut timed = MemoryHierarchy::new(small_config()).unwrap();
+        // Warm one hierarchy functionally, drive the twin through timed
+        // accesses spaced far enough apart that every fill completes.
+        let pattern: Vec<u64> = (0..64u64).map(|i| i * 64).chain(0..8).collect();
+        for (i, &addr) in pattern.iter().enumerate() {
+            warmed.warm_access(addr, i % 5 == 0);
+            timed.access(addr, i % 5 == 0, 10_000 * i as u64);
+        }
+        // No stats, no outstanding fills on the warmed side...
+        assert_eq!(warmed.stats().total(), 0);
+        assert_eq!(warmed.next_event(u64::MAX - 1), None);
+        // ...but the tag state matches the timed twin: every future access
+        // is serviced by the same level.
+        for i in 0..80u64 {
+            let addr = i * 64;
+            let a = warmed.access(addr, false, 2_000_000);
+            let b = timed.access(addr, false, 2_000_000);
+            assert_eq!(a.level, b.level, "divergence at {addr:#x}");
+        }
     }
 
     #[test]

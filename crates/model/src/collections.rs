@@ -168,7 +168,11 @@ impl DepList {
 /// list for iteration, and [`ConsumerTable::recycle`] hands the spine back.
 /// In steady state no allocation happens at all. Lists preserve insertion
 /// order, exactly like the `HashMap<u64, Vec<u64>>` they replace.
-#[derive(Debug, Default)]
+///
+/// `Clone` deep-copies the live lists (and the recycled spines), so a
+/// cloned core's wakeup table is an independent, observationally identical
+/// snapshot — required by the checkpoint/restore machinery.
+#[derive(Debug, Default, Clone)]
 pub struct ConsumerTable {
     lists: FastHashMap<u64, Vec<u64>>,
     pool: Vec<Vec<u64>>,

@@ -36,6 +36,133 @@ pub fn event_clock_enabled() -> bool {
     )
 }
 
+/// Environment variable selecting sampled simulation, read by
+/// `Job::new` in the experiment harness (and therefore by every figure
+/// binary). The format is `period:warmup:window` in instructions, e.g.
+/// `DKIP_SAMPLE=10000:1000:1000`; unset or empty means exact simulation.
+/// See [`SampleConfig::parse`].
+pub const SAMPLE_ENV: &str = "DKIP_SAMPLE";
+
+/// Parameters of the sampled-simulation mode (SMARTS-style systematic
+/// sampling): the stream is divided into fixed-length periods; in each
+/// period the simulator functionally fast-forwards, then runs `warmup`
+/// instructions detailed but unmeasured to heat caches and predictors,
+/// then measures a `window` of detailed instructions.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub struct SampleConfig {
+    /// Sampling period in instructions: one detailed window is taken per
+    /// `period` instructions of the stream.
+    pub period: u64,
+    /// Detailed-but-unmeasured instructions run before each window to warm
+    /// microarchitectural state (may be 0).
+    pub warmup: u64,
+    /// Measured detailed instructions per window.
+    pub window: u64,
+}
+
+impl SampleConfig {
+    /// A default sampling regime for the throughput harness and the figure
+    /// binaries: 10k-instruction periods with a 1k warmup and a 1k
+    /// measured window (20% detailed).
+    #[must_use]
+    pub fn default_rate() -> Self {
+        SampleConfig {
+            period: 10_000,
+            warmup: 1_000,
+            window: 1_000,
+        }
+    }
+
+    /// Instructions functionally fast-forwarded per period.
+    #[must_use]
+    pub fn skip(&self) -> u64 {
+        self.period - self.warmup - self.window
+    }
+
+    /// Fraction of the stream simulated in detail (warmup + window).
+    #[must_use]
+    pub fn detailed_fraction(&self) -> f64 {
+        (self.warmup + self.window) as f64 / self.period as f64
+    }
+
+    /// Parses the `period:warmup:window` knob syntax used by `DKIP_SAMPLE`
+    /// and the figure binaries' `sample=` argument.
+    ///
+    /// # Errors
+    ///
+    /// Returns a [`ConfigError`] on malformed syntax or a configuration
+    /// that fails [`SampleConfig::validate`].
+    pub fn parse(text: &str) -> Result<Self, ConfigError> {
+        let mut parts = text.split(':');
+        let mut field = |name: &'static str| -> Result<u64, ConfigError> {
+            parts
+                .next()
+                .ok_or_else(|| ConfigError::new(name, "expected period:warmup:window"))?
+                .trim()
+                .parse::<u64>()
+                .map_err(|_| ConfigError::new(name, "expected a non-negative integer"))
+        };
+        let cfg = SampleConfig {
+            period: field("sample.period")?,
+            warmup: field("sample.warmup")?,
+            window: field("sample.window")?,
+        };
+        if parts.next().is_some() {
+            return Err(ConfigError::new(
+                "sample",
+                "expected exactly period:warmup:window",
+            ));
+        }
+        cfg.validate()?;
+        Ok(cfg)
+    }
+
+    /// Reads [`SAMPLE_ENV`] (`DKIP_SAMPLE`). Unset or empty means exact
+    /// simulation (`None`).
+    ///
+    /// # Panics
+    ///
+    /// Panics on a malformed value — a silently ignored typo would quietly
+    /// report exact-mode numbers as sampled ones (or vice versa).
+    #[must_use]
+    pub fn from_env() -> Option<Self> {
+        match std::env::var(SAMPLE_ENV) {
+            Ok(v) if !v.trim().is_empty() => {
+                Some(Self::parse(&v).unwrap_or_else(|e| panic!("invalid {SAMPLE_ENV}={v:?}: {e}")))
+            }
+            _ => None,
+        }
+    }
+
+    /// Validates the sampling parameters.
+    ///
+    /// # Errors
+    ///
+    /// Returns a [`ConfigError`] if the window is empty or warmup + window
+    /// do not fit in the period.
+    pub fn validate(&self) -> Result<(), ConfigError> {
+        if self.window == 0 {
+            return Err(ConfigError::new(
+                "sample.window",
+                "the measured window must be at least one instruction",
+            ));
+        }
+        if self.warmup + self.window > self.period {
+            return Err(ConfigError::new(
+                "sample.period",
+                "warmup + window must fit within the sampling period",
+            ));
+        }
+        Ok(())
+    }
+}
+
+impl std::fmt::Display for SampleConfig {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(f, "{}:{}:{}", self.period, self.warmup, self.window)
+    }
+}
+
 /// Instruction scheduling policy of an issue queue.
 #[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
 pub enum SchedPolicy {
@@ -1199,5 +1326,45 @@ mod tests {
     fn sched_policy_labels() {
         assert_eq!(SchedPolicy::InOrder.label(), "INO");
         assert_eq!(SchedPolicy::OutOfOrder.label(), "OOO");
+    }
+
+    #[test]
+    fn sample_config_parses_the_knob_syntax() {
+        let cfg = SampleConfig::parse("10000:1000:2000").unwrap();
+        assert_eq!(
+            cfg,
+            SampleConfig {
+                period: 10_000,
+                warmup: 1_000,
+                window: 2_000,
+            }
+        );
+        assert_eq!(cfg.skip(), 7_000);
+        assert!((cfg.detailed_fraction() - 0.3).abs() < 1e-12);
+        assert_eq!(cfg.to_string(), "10000:1000:2000");
+        assert_eq!(SampleConfig::parse(&cfg.to_string()).unwrap(), cfg);
+        // Whitespace around the fields is tolerated (env-var ergonomics).
+        assert_eq!(SampleConfig::parse(" 100 : 0 : 50 ").unwrap().warmup, 0);
+    }
+
+    #[test]
+    fn sample_config_rejects_malformed_and_infeasible_values() {
+        assert!(SampleConfig::parse("").is_err());
+        assert!(SampleConfig::parse("100:10").is_err(), "missing field");
+        assert!(SampleConfig::parse("100:10:20:30").is_err(), "extra field");
+        assert!(SampleConfig::parse("100:ten:20").is_err());
+        assert!(SampleConfig::parse("100:0:0").is_err(), "empty window");
+        assert!(
+            SampleConfig::parse("100:60:50").is_err(),
+            "warmup + window exceed the period"
+        );
+        assert!(SampleConfig::parse("100:50:50").is_ok(), "fully detailed");
+    }
+
+    #[test]
+    fn sample_default_rate_is_valid() {
+        let cfg = SampleConfig::default_rate();
+        assert!(cfg.validate().is_ok());
+        assert!((cfg.detailed_fraction() - 0.2).abs() < 1e-12);
     }
 }

@@ -45,10 +45,11 @@ pub use collections::{
 };
 pub use config::{
     event_clock_enabled, BaselineConfig, CacheProcessorConfig, DkipConfig, KiloConfig,
-    MemoryHierarchyConfig, MemoryProcessorConfig, SchedPolicy, NO_SKIP_ENV,
+    MemoryHierarchyConfig, MemoryProcessorConfig, SampleConfig, SchedPolicy, NO_SKIP_ENV,
+    SAMPLE_ENV,
 };
 pub use error::ConfigError;
 pub use instr::{BranchInfo, BranchKind, MicroOp};
 pub use op::{FuPool, OpClass};
 pub use reg::{ArchReg, PhysReg, RegClass, FP_ARCH_REGS, INT_ARCH_REGS, TOTAL_ARCH_REGS};
-pub use stats::{Histogram, SimStats};
+pub use stats::{Histogram, IpcEstimate, SampleEstimator, SimStats, WindowSample};

@@ -546,6 +546,174 @@ impl MeanIpc {
     }
 }
 
+/// One measured detailed window of a sampled simulation.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct WindowSample {
+    /// Dynamic instruction index at which the measured window began.
+    pub start_instr: u64,
+    /// Instructions committed inside the measured window (warmup excluded).
+    pub committed: u64,
+    /// Cycles the measured window took.
+    pub cycles: u64,
+}
+
+impl WindowSample {
+    /// The window's IPC; 0.0 for an empty window.
+    #[must_use]
+    pub fn ipc(&self) -> f64 {
+        if self.cycles == 0 {
+            0.0
+        } else {
+            self.committed as f64 / self.cycles as f64
+        }
+    }
+}
+
+/// A whole-run IPC estimate produced by [`SampleEstimator::estimate`].
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct IpcEstimate {
+    /// The ratio-estimator IPC: total committed over total cycles across
+    /// every measured window.
+    pub ipc: f64,
+    /// Half-width of the 95% confidence interval around the per-window
+    /// mean IPC (normal approximation); 0.0 with fewer than two windows.
+    pub ci95: f64,
+    /// Number of measured windows that contributed.
+    pub windows: usize,
+    /// Total instructions committed inside measured windows.
+    pub committed: u64,
+    /// Total cycles spent inside measured windows.
+    pub cycles: u64,
+}
+
+/// Combines the per-window measurements of a sampled simulation into a
+/// whole-run IPC estimate with a reported confidence interval
+/// (SMARTS-style systematic sampling).
+///
+/// The point estimate is the *ratio estimator* — total committed
+/// instructions over total cycles across all measured windows — which
+/// weights longer windows proportionally and converges to the exact-run
+/// IPC as coverage grows. The confidence interval treats the per-window
+/// IPCs as independent samples and applies the normal approximation:
+/// `1.96·s/√n`, where `s` is the sample standard deviation. A single
+/// window yields a zero-width interval (no variance information), which is
+/// the degenerate case the unit tests pin.
+#[derive(Debug, Clone, Default)]
+pub struct SampleEstimator {
+    windows: Vec<WindowSample>,
+}
+
+impl SampleEstimator {
+    /// Creates an empty estimator.
+    #[must_use]
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Adds one measured window. Windows with zero cycles are ignored (an
+    /// exhausted stream can produce an empty trailing window).
+    pub fn add_window(&mut self, window: WindowSample) {
+        if window.cycles > 0 {
+            self.windows.push(window);
+        }
+    }
+
+    /// The measured windows, in insertion order.
+    #[must_use]
+    pub fn windows(&self) -> &[WindowSample] {
+        &self.windows
+    }
+
+    /// Number of measured windows.
+    #[must_use]
+    pub fn len(&self) -> usize {
+        self.windows.len()
+    }
+
+    /// Whether no window has been measured.
+    #[must_use]
+    pub fn is_empty(&self) -> bool {
+        self.windows.is_empty()
+    }
+
+    /// Total instructions committed inside measured windows.
+    #[must_use]
+    pub fn total_committed(&self) -> u64 {
+        self.windows.iter().map(|w| w.committed).sum()
+    }
+
+    /// Total cycles spent inside measured windows.
+    #[must_use]
+    pub fn total_cycles(&self) -> u64 {
+        self.windows.iter().map(|w| w.cycles).sum()
+    }
+
+    /// The ratio-estimator IPC (total committed / total cycles); 0.0 when
+    /// nothing was measured.
+    #[must_use]
+    pub fn ipc(&self) -> f64 {
+        let cycles = self.total_cycles();
+        if cycles == 0 {
+            0.0
+        } else {
+            self.total_committed() as f64 / cycles as f64
+        }
+    }
+
+    /// Arithmetic mean of the per-window IPCs; 0.0 when empty.
+    #[must_use]
+    pub fn mean_window_ipc(&self) -> f64 {
+        if self.windows.is_empty() {
+            return 0.0;
+        }
+        self.windows.iter().map(WindowSample::ipc).sum::<f64>() / self.windows.len() as f64
+    }
+
+    /// Sample standard deviation of the per-window IPCs (n−1 denominator);
+    /// 0.0 with fewer than two windows.
+    #[must_use]
+    pub fn window_ipc_stddev(&self) -> f64 {
+        let n = self.windows.len();
+        if n < 2 {
+            return 0.0;
+        }
+        let mean = self.mean_window_ipc();
+        let var = self
+            .windows
+            .iter()
+            .map(|w| {
+                let d = w.ipc() - mean;
+                d * d
+            })
+            .sum::<f64>()
+            / (n - 1) as f64;
+        var.sqrt()
+    }
+
+    /// Half-width of the 95% confidence interval around the per-window
+    /// mean IPC: `1.96·s/√n`. 0.0 with fewer than two windows.
+    #[must_use]
+    pub fn ci95_half_width(&self) -> f64 {
+        let n = self.windows.len();
+        if n < 2 {
+            return 0.0;
+        }
+        1.96 * self.window_ipc_stddev() / (n as f64).sqrt()
+    }
+
+    /// The combined estimate.
+    #[must_use]
+    pub fn estimate(&self) -> IpcEstimate {
+        IpcEstimate {
+            ipc: self.ipc(),
+            ci95: self.ci95_half_width(),
+            windows: self.windows.len(),
+            committed: self.total_committed(),
+            cycles: self.total_cycles(),
+        }
+    }
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -668,6 +836,93 @@ mod tests {
     fn stats_display_is_nonempty() {
         let stats = SimStats::new();
         assert!(stats.to_string().contains("ipc"));
+    }
+
+    #[test]
+    fn sample_estimator_matches_hand_computed_mean_and_ci() {
+        // Three windows with IPCs 2.0, 1.0 and 0.5:
+        //   ratio estimate      = (100+100+100)/(50+100+200) = 300/350 = 6/7
+        //   mean window IPC     = (2 + 1 + 0.5)/3            = 7/6
+        //   sample variance     = ((5/6)² + (1/6)² + (4/6)²)/2 = 7/12
+        //   95% CI half-width   = 1.96·√(7/12)/√3
+        let mut est = SampleEstimator::new();
+        est.add_window(WindowSample {
+            start_instr: 0,
+            committed: 100,
+            cycles: 50,
+        });
+        est.add_window(WindowSample {
+            start_instr: 1_000,
+            committed: 100,
+            cycles: 100,
+        });
+        est.add_window(WindowSample {
+            start_instr: 2_000,
+            committed: 100,
+            cycles: 200,
+        });
+        assert_eq!(est.len(), 3);
+        assert_eq!(est.total_committed(), 300);
+        assert_eq!(est.total_cycles(), 350);
+        assert!((est.ipc() - 6.0 / 7.0).abs() < 1e-12);
+        assert!((est.mean_window_ipc() - 7.0 / 6.0).abs() < 1e-12);
+        assert!((est.window_ipc_stddev() - (7.0f64 / 12.0).sqrt()).abs() < 1e-12);
+        let expected_ci = 1.96 * (7.0f64 / 12.0).sqrt() / 3.0f64.sqrt();
+        assert!((est.ci95_half_width() - expected_ci).abs() < 1e-12);
+        let e = est.estimate();
+        assert_eq!(e.windows, 3);
+        assert_eq!(e.committed, 300);
+        assert_eq!(e.cycles, 350);
+        assert!((e.ipc - 6.0 / 7.0).abs() < 1e-12);
+        assert!((e.ci95 - expected_ci).abs() < 1e-12);
+    }
+
+    #[test]
+    fn sample_estimator_degenerate_single_window() {
+        // One window carries no variance information: the point estimate is
+        // the window's own IPC and the confidence interval collapses to 0.
+        let mut est = SampleEstimator::new();
+        est.add_window(WindowSample {
+            start_instr: 500,
+            committed: 123,
+            cycles: 456,
+        });
+        assert_eq!(est.len(), 1);
+        assert!((est.ipc() - 123.0 / 456.0).abs() < 1e-12);
+        assert!((est.mean_window_ipc() - 123.0 / 456.0).abs() < 1e-12);
+        assert_eq!(est.window_ipc_stddev(), 0.0);
+        assert_eq!(est.ci95_half_width(), 0.0);
+        assert_eq!(est.estimate().ci95, 0.0);
+    }
+
+    #[test]
+    fn sample_estimator_ignores_empty_windows_and_handles_none() {
+        let mut est = SampleEstimator::new();
+        assert!(est.is_empty());
+        assert_eq!(est.ipc(), 0.0);
+        assert_eq!(est.ci95_half_width(), 0.0);
+        est.add_window(WindowSample {
+            start_instr: 0,
+            committed: 0,
+            cycles: 0,
+        });
+        assert!(est.is_empty(), "zero-cycle windows must be dropped");
+        assert_eq!(est.estimate().windows, 0);
+    }
+
+    #[test]
+    fn identical_windows_yield_a_zero_width_interval() {
+        let mut est = SampleEstimator::new();
+        for i in 0..5 {
+            est.add_window(WindowSample {
+                start_instr: i * 100,
+                committed: 200,
+                cycles: 80,
+            });
+        }
+        assert!((est.ipc() - 2.5).abs() < 1e-12);
+        assert_eq!(est.window_ipc_stddev(), 0.0);
+        assert_eq!(est.ci95_half_width(), 0.0);
     }
 
     #[test]

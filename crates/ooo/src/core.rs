@@ -86,8 +86,31 @@ impl From<&BaselineConfig> for CoreParams {
     }
 }
 
+/// A deep-copied checkpoint of an [`OooCore`], captured by
+/// [`OooCore::snapshot`].
+///
+/// The snapshot holds the complete microarchitectural state — ROB, issue
+/// queues, LSQ, rename scoreboard, in-flight completions, branch-predictor
+/// tables, cache contents and statistics — so a core restored from it
+/// ([`OooCore::restore`] or [`CoreSnapshot::to_core`]) continues the
+/// simulation bit-identically to the original. This is what lets the
+/// sampled-simulation mode seed detailed windows mid-stream and lets
+/// interrupted sweeps resume.
+#[derive(Debug, Clone)]
+pub struct CoreSnapshot {
+    state: OooCore,
+}
+
+impl CoreSnapshot {
+    /// Materialises an independent core that resumes from this checkpoint.
+    #[must_use]
+    pub fn to_core(&self) -> OooCore {
+        self.state.clone()
+    }
+}
+
 /// The trace-driven out-of-order core.
-#[derive(Debug)]
+#[derive(Debug, Clone)]
 pub struct OooCore {
     params: CoreParams,
     mem: MemoryHierarchy,
@@ -201,6 +224,49 @@ impl OooCore {
     /// `DKIP_NO_SKIP` environment variable sampled at construction.
     pub fn set_single_step(&mut self, single_step: bool) {
         self.single_step = single_step;
+    }
+
+    /// Captures a checkpoint of the complete core state (pipeline, caches,
+    /// predictor, statistics). See [`CoreSnapshot`] for the contract.
+    ///
+    /// Note the trace iterator is *not* part of the core: callers pairing a
+    /// snapshot with a resumable stream must checkpoint the stream
+    /// position themselves (e.g. by cloning the [`dkip_model::MicroOp`]
+    /// source).
+    #[must_use]
+    pub fn snapshot(&self) -> CoreSnapshot {
+        CoreSnapshot {
+            state: self.clone(),
+        }
+    }
+
+    /// Replaces this core's entire state with the checkpoint's; the next
+    /// [`OooCore::run`] continues exactly as the snapshotted core would
+    /// have.
+    pub fn restore(&mut self, snapshot: &CoreSnapshot) {
+        *self = snapshot.state.clone();
+    }
+
+    /// Functionally warms the long-lived microarchitectural state with one
+    /// instruction that is *not* being simulated in detail: memory ops
+    /// install/promote their line in the cache hierarchy (timing-free, see
+    /// [`MemoryHierarchy::warm_access`]) and conditional branches train the
+    /// direction predictor with the in-order predict/update pair the
+    /// pipeline itself would apply.
+    ///
+    /// The sampled-simulation mode calls this for every fast-forwarded
+    /// instruction so detailed windows measure against cache and predictor
+    /// contents that track the exact run, without modelling any timing. The
+    /// pipeline, clock and committed counters are untouched.
+    pub fn warm_op(&mut self, op: &MicroOp) {
+        if let Some(addr) = op.mem_addr {
+            self.mem.warm_access(addr, op.is_store());
+        }
+        if op.is_conditional_branch() {
+            let taken = op.branch.expect("conditional branch").taken;
+            let predicted = self.predictor.predict(op.pc);
+            self.predictor.update(op.pc, taken, predicted);
+        }
     }
 
     /// Runs the core until `max_instrs` instructions have committed, the

@@ -111,17 +111,27 @@ impl Rob {
 
     /// Appends a dispatched instruction.
     ///
+    /// An empty buffer adopts the entry's sequence number as the new head,
+    /// so a reset core can pick up a stream mid-program (the sampled
+    /// simulation mode fast-forwards the workload between detailed
+    /// windows); once occupied, entries must stay dense.
+    ///
     /// # Panics
     ///
-    /// Panics if the buffer is full or the sequence number is not the next
-    /// expected one (entries must be pushed in program order).
+    /// Panics if the buffer is full or, when it is non-empty, the sequence
+    /// number is not the next expected one (entries must be pushed in
+    /// program order).
     pub fn push(&mut self, entry: RobEntry) {
         assert!(self.has_space(), "ROB overflow");
-        let expected = self.head_seq + self.entries.len() as u64;
-        assert_eq!(
-            entry.op.seq, expected,
-            "ROB entries must be pushed in program order"
-        );
+        if self.entries.is_empty() {
+            self.head_seq = entry.op.seq;
+        } else {
+            let expected = self.head_seq + self.entries.len() as u64;
+            assert_eq!(
+                entry.op.seq, expected,
+                "ROB entries must be pushed in program order"
+            );
+        }
         self.entries.push_back(entry);
     }
 

@@ -31,8 +31,10 @@
 use std::fmt;
 
 use crate::runner::Machine;
+use crate::sampled::{run_sampled, SampledRun};
+use crate::workload::WorkloadStream;
 use dkip_model::config::{BaselineConfig, DkipConfig, KiloConfig, MemoryHierarchyConfig};
-use dkip_model::SimStats;
+use dkip_model::{SampleConfig, SimStats};
 use dkip_riscv::{assemble, Emulator, GenConfig, Program, RiscvStream, CODE_BASE};
 
 /// Budget slack granted on top of the oracle's dynamic instruction count,
@@ -49,6 +51,19 @@ pub const ENVELOPE_MIN_INSTRS: u64 = 5_000;
 /// assertions — empty LLIB/LLRF, zero memory accesses — hold regardless).
 pub const ENVELOPE_IPC_BAND: (f64, f64) = (0.85, 1.18);
 
+/// Sampling rate used by the sampled-mode differential pass. Generated
+/// programs are short, so the period is much denser than the
+/// [`SampleConfig::default_rate`] production rate — most fuzz programs
+/// still span several windows and at least one fast-forward gap.
+#[must_use]
+pub fn fuzz_sample_rate() -> SampleConfig {
+    SampleConfig {
+        period: 400,
+        warmup: 50,
+        window: 50,
+    }
+}
+
 /// Options for one differential check.
 #[derive(Debug, Clone)]
 pub struct FuzzOptions {
@@ -59,6 +74,10 @@ pub struct FuzzOptions {
     pub step_limit: u64,
     /// Whether to run the perfect-L2 D-KIP envelope check.
     pub envelope: bool,
+    /// Whether to re-run every family under sampled simulation
+    /// ([`fuzz_sample_rate`]) and hold the final architectural state to the
+    /// same oracle.
+    pub sampled: bool,
 }
 
 impl Default for FuzzOptions {
@@ -67,6 +86,7 @@ impl Default for FuzzOptions {
             mem: MemoryHierarchyConfig::mem_400(),
             step_limit: 2_000_000,
             envelope: true,
+            sampled: true,
         }
     }
 }
@@ -144,6 +164,18 @@ pub enum Mismatch {
     },
     /// The perfect-L2 D-KIP escaped its baseline envelope.
     Envelope(String),
+    /// The sampled-mode run misaccounted its stream coverage (register and
+    /// memory divergence under sampling is reported through the ordinary
+    /// [`Mismatch::Register`] / [`Mismatch::Memory`] variants with a
+    /// `*-sampled` family tag).
+    SampledCoverage {
+        /// The `*-sampled` family tag.
+        family: &'static str,
+        /// Instructions the sampled run reported covering.
+        covered: u64,
+        /// The oracle's dynamic instruction count.
+        expected: u64,
+    },
 }
 
 impl fmt::Display for Mismatch {
@@ -189,6 +221,14 @@ impl fmt::Display for Mismatch {
                 "{family}: memory[{addr:#x}] = {actual:#04x}, oracle has {oracle:#04x}"
             ),
             Mismatch::Envelope(msg) => write!(f, "perfect-L2 envelope violated: {msg}"),
+            Mismatch::SampledCoverage {
+                family,
+                covered,
+                expected,
+            } => write!(
+                f,
+                "{family}: sampled run covered {covered} of {expected} instructions"
+            ),
         }
     }
 }
@@ -219,6 +259,40 @@ fn run_family(
     let mut stream = RiscvStream::from_emulator(emu);
     let stats = machine.simulate_stream(mem, &mut stream, budget);
     (stats, stream.emulator().clone())
+}
+
+/// The `*-sampled` family tag used when a sampled-mode run diverges.
+fn sampled_tag(machine: &Machine) -> &'static str {
+    match machine {
+        Machine::Baseline(_) => "baseline-sampled",
+        Machine::Kilo(_) => "kilo-sampled",
+        Machine::Dkip(_) => "dkip-sampled",
+    }
+}
+
+/// Runs one family on `program` under sampled simulation and returns the
+/// run summary plus the final emulator state of the consumed stream.
+///
+/// The budget exceeds the program's dynamic length, so the sampling loop
+/// itself must drain the stream — nothing is drained afterwards, which
+/// means a sampled-mode bug that stops early surfaces as
+/// [`Mismatch::Incomplete`] rather than being papered over.
+fn run_family_sampled(
+    machine: &Machine,
+    mem: &MemoryHierarchyConfig,
+    program: &Program,
+    step_limit: u64,
+    budget: u64,
+    sample: &SampleConfig,
+) -> (SampledRun, Emulator) {
+    let mut emu = Emulator::new(program);
+    emu.set_step_limit(step_limit);
+    let mut stream = WorkloadStream::Riscv(RiscvStream::from_emulator(emu));
+    let run = run_sampled(machine, mem, &mut stream, budget, sample);
+    let WorkloadStream::Riscv(stream) = stream else {
+        unreachable!("a Riscv stream stays a Riscv stream");
+    };
+    (run, stream.emulator().clone())
 }
 
 /// Compares a family's final emulator state against the oracle's.
@@ -327,6 +401,28 @@ pub fn check_source(src: &str, opts: &FuzzOptions) -> Result<Agreement, Mismatch
                 expected: dynamic_len,
                 actual: stats.committed,
             });
+        }
+    }
+    if opts.sampled {
+        let sample = fuzz_sample_rate();
+        for machine in &fuzz_machines() {
+            let family = sampled_tag(machine);
+            let (run, emu) = run_family_sampled(
+                machine,
+                &opts.mem,
+                &program,
+                opts.step_limit,
+                budget,
+                &sample,
+            );
+            compare_state(family, &oracle, &emu)?;
+            if run.consumed() != dynamic_len {
+                return Err(Mismatch::SampledCoverage {
+                    family,
+                    covered: run.consumed(),
+                    expected: dynamic_len,
+                });
+            }
         }
     }
     if opts.envelope {
@@ -496,6 +592,29 @@ mod tests {
     fn minimize_budget_bisects_to_the_threshold() {
         assert_eq!(minimize_budget(1_000, |b| b >= 137), 137);
         assert_eq!(minimize_budget(8, |b| b >= 1), 1);
+    }
+
+    #[test]
+    fn a_multi_window_program_survives_the_sampled_pass() {
+        // ~18k dynamic instructions: with the 400:50:50 fuzz rate the
+        // sampled pass runs dozens of windows separated by fast-forward
+        // gaps, and must still leave every family's emulator at the exact
+        // oracle state.
+        let src = "li t0, 6000\nli t1, 0\nloop:\n  addi t1, t1, 3\n  addi t0, t0, -1\n  bnez t0, loop\necall";
+        let agreement =
+            check_source(src, &FuzzOptions::default()).expect("loop program must agree");
+        // li t0, 6000 expands to two instructions (the constant exceeds a
+        // 12-bit immediate), so the prologue is 3 instructions + ecall.
+        assert_eq!(agreement.dynamic_len, 4 + 3 * 6_000);
+    }
+
+    #[test]
+    fn the_sampled_pass_is_skippable() {
+        let opts = FuzzOptions {
+            sampled: false,
+            ..FuzzOptions::default()
+        };
+        check_source("li a0, 1\necall", &opts).expect("exact-only check must agree");
     }
 
     #[test]

@@ -19,6 +19,11 @@
 //!   RV64IM program commits the same architectural state on the functional
 //!   emulator and all three core families, plus the shrinking-lite
 //!   minimisers used by `tests/fuzz_differential.rs`,
+//! * [`sampled`] — the sampled-simulation mode: checkpointed detailed
+//!   windows separated by functional fast-forward, estimating whole-run
+//!   IPC with a confidence interval (opt-in per [`Job`] or via the
+//!   `DKIP_SAMPLE` environment variable; exact mode stays the golden
+//!   reference),
 //! * [`golden`] — golden-snapshot comparison for the regression tests under
 //!   `tests/golden/`, with a `DKIP_BLESS=1` regeneration path,
 //! * [`suites`] — the pinned job lists behind those snapshots, shared by the
@@ -40,6 +45,7 @@ pub mod fuzz;
 pub mod golden;
 pub mod report;
 pub mod runner;
+pub mod sampled;
 pub mod suites;
 pub mod workload;
 
@@ -47,6 +53,7 @@ pub use dkip_core::{run_dkip, run_dkip_stream};
 pub use dkip_kilo::{run_kilo, run_kilo_stream};
 pub use dkip_ooo::{run_baseline, run_baseline_stream};
 pub use runner::{Job, JobResult, Machine, SweepRunner};
+pub use sampled::{run_sampled, SampledRun};
 pub use workload::{Workload, WorkloadStream};
 
 use dkip_model::config::MemoryHierarchyConfig;

@@ -27,7 +27,7 @@ use crate::workload::Workload;
 use dkip_core::run_dkip_stream;
 use dkip_kilo::run_kilo_stream;
 use dkip_model::config::{BaselineConfig, DkipConfig, KiloConfig, MemoryHierarchyConfig};
-use dkip_model::SimStats;
+use dkip_model::{SampleConfig, SimStats};
 use dkip_ooo::run_baseline_stream;
 
 /// Environment variable overriding the worker-pool size.
@@ -125,6 +125,11 @@ pub struct Job {
     pub budget: u64,
     /// Trace-generator seed (ignored by execution-driven workloads).
     pub seed: u64,
+    /// Sampled-simulation rate, or `None` for exact (cycle-by-cycle)
+    /// simulation. Defaults from the `DKIP_SAMPLE` environment variable in
+    /// [`Job::new`]; exact mode is the golden reference and stays the
+    /// default when the variable is unset.
+    pub sample: Option<SampleConfig>,
 }
 
 impl Job {
@@ -147,6 +152,7 @@ impl Job {
             workload: workload.into(),
             budget,
             seed: crate::experiments::SEED,
+            sample: SampleConfig::from_env(),
         }
     }
 
@@ -157,13 +163,49 @@ impl Job {
         self
     }
 
+    /// Returns a copy running under sampled simulation at the given rate
+    /// (see [`crate::sampled`]), overriding the `DKIP_SAMPLE` default.
+    #[must_use]
+    pub fn with_sample(mut self, sample: SampleConfig) -> Self {
+        self.sample = Some(sample);
+        self
+    }
+
+    /// Returns a copy forced to exact (cycle-by-cycle) simulation.
+    #[must_use]
+    pub fn exact(mut self) -> Self {
+        self.sample = None;
+        self
+    }
+
     /// Runs the job on the calling thread.
+    ///
+    /// Exact jobs simulate every instruction; sampled jobs run through
+    /// [`crate::sampled::run_sampled`] and report the window-aggregate
+    /// statistics (so `stats.ipc()` is the sampled estimate).
     #[must_use]
     pub fn run(&self) -> JobResult {
         let start = Instant::now();
-        let stats = self
-            .machine
-            .simulate(&self.mem, &self.workload, self.budget, self.seed);
+        let (stats, covered) = match &self.sample {
+            None => {
+                let stats =
+                    self.machine
+                        .simulate(&self.mem, &self.workload, self.budget, self.seed);
+                let covered = stats.committed;
+                (stats, covered)
+            }
+            Some(sample) => {
+                let mut stream = self.workload.stream(self.seed);
+                let run = crate::sampled::run_sampled(
+                    &self.machine,
+                    &self.mem,
+                    &mut stream,
+                    self.budget,
+                    sample,
+                );
+                (run.to_stats(), run.consumed())
+            }
+        };
         JobResult {
             label: self.label.clone(),
             machine_name: self.machine.name().to_owned(),
@@ -172,7 +214,9 @@ impl Job {
             workload: self.workload,
             seed: self.seed,
             budget: self.budget,
+            sample: self.sample,
             stats,
+            covered,
             wall: start.elapsed(),
         }
     }
@@ -195,8 +239,16 @@ pub struct JobResult {
     pub seed: u64,
     /// The instruction budget that was used.
     pub budget: u64,
+    /// The sampling rate, or `None` for an exact run.
+    pub sample: Option<SampleConfig>,
     /// The simulated statistics.
     pub stats: SimStats,
+    /// Instructions the run covered. Equal to `stats.committed` for exact
+    /// runs; for sampled runs the full simulated span (detailed windows
+    /// plus functionally fast-forwarded gaps), which is the meaningful
+    /// numerator for host-throughput metrics. Metadata only, like `wall`:
+    /// excluded from [`JobResult::to_kv`].
+    pub covered: u64,
     /// Host wall-clock time spent simulating this job. Metadata only: it is
     /// deliberately excluded from [`JobResult::to_kv`] so snapshots stay
     /// machine-independent.
@@ -209,14 +261,20 @@ impl JobResult {
     /// excluded.
     #[must_use]
     pub fn to_kv(&self) -> String {
+        // The `sample=` field only appears for sampled runs, so exact-mode
+        // golden snapshots are byte-identical to the pre-sampling format.
+        let sample = self
+            .sample
+            .map_or(String::new(), |rate| format!(" sample={rate}"));
         format!(
-            "[{} {} mem={} bench={} seed={} budget={}]\n{}",
+            "[{} {} mem={} bench={} seed={} budget={}{}]\n{}",
             self.family,
             self.machine_name,
             self.mem_name,
             self.workload.name(),
             self.seed,
             self.budget,
+            sample,
             self.stats.to_kv()
         )
     }
@@ -509,6 +567,38 @@ mod tests {
         let kv = result.to_kv();
         assert!(kv.starts_with("[baseline R10-64 mem=MEM-400 bench=gcc seed=1 budget=1500]"));
         assert!(!kv.contains("wall"));
+    }
+
+    #[test]
+    fn sampled_jobs_report_the_window_estimate_and_tag_the_header() {
+        let job = Job::new(
+            "sampled",
+            Machine::Dkip(DkipConfig::paper_default()),
+            MemoryHierarchyConfig::mem_400(),
+            Benchmark::Gcc,
+            30_000,
+        )
+        .with_sample(SampleConfig::default_rate());
+        let result = job.run();
+        assert!(
+            result.to_kv().starts_with(
+                "[dkip D-KIP-2048 mem=MEM-400 bench=gcc seed=1 budget=30000 sample=10000:1000:1000]"
+            ),
+            "header: {}",
+            result.to_kv().lines().next().unwrap_or_default()
+        );
+        // Only the measured windows (3 × ~1000 instructions, each off by at
+        // most commit_width - 1 from warmup/window overshoot) contribute.
+        assert!(
+            (2_990..3_100).contains(&result.stats.committed),
+            "window committed: {}",
+            result.stats.committed
+        );
+        assert!(result.stats.ipc() > 0.0);
+        // `exact()` strips the rate and restores the exact header format.
+        let exact = job.exact().run();
+        assert!(exact.to_kv().contains("budget=30000]"));
+        assert!(exact.stats.committed >= 30_000);
     }
 
     #[test]

@@ -1,0 +1,419 @@
+//! Sampled simulation: checkpointed fast-forward + detailed windows.
+//!
+//! Exact mode simulates every instruction of a job's budget in detail. For
+//! long workloads that is the dominant cost of regenerating the paper's
+//! figures, even though IPC converges long before the budget is spent.
+//! This module implements the classic systematic-sampling alternative
+//! (SMARTS-style): the workload *stream* is functionally fast-forwarded
+//! between evenly spaced detailed windows, and whole-run IPC is estimated
+//! from the windows alone.
+//!
+//! One sampling *period* ([`dkip_model::SampleConfig`]) looks like:
+//!
+//! ```text
+//! |--- warmup ---|--- window ---|---------- fast-forward ----------|
+//!  detailed, not   detailed and   functional only: ops execute
+//!  measured        measured       architecturally and warm the caches
+//!                                 and predictor, no timing is modelled
+//! ```
+//!
+//! * Every period seeds its detailed portion from an architectural-state
+//!   checkpoint ([`dkip_ooo::OooCore::snapshot`] /
+//!   [`dkip_core::DkipProcessor::snapshot`]) taken at the end of the
+//!   previous period, after the pipeline drained. Warm long-lived state —
+//!   caches, branch predictor — carries across the gaps, while no stale
+//!   in-flight pipeline state can leak into the measurement (the skipped
+//!   instructions were never simulated in detail).
+//! * The warmup instructions re-prime the pipeline and refresh the warm
+//!   state before measurement starts; they are simulated in detail but
+//!   excluded from the estimate.
+//! * The fast-forward portion performs SMARTS-style *functional warming*:
+//!   every skipped op is drawn through the ordinary stream iterator (so
+//!   the stream position stays bit-identical to detailed consumption and a
+//!   sampled run commits the exact same architectural state as an exact
+//!   run — the differential-fuzz oracle asserts this) and handed to the
+//!   drained core's `warm_op`, which installs memory lines in the cache
+//!   hierarchy and trains the branch predictor without modelling timing.
+//!   Without this, miss-dominated workloads measure their windows against
+//!   fictitious cache contents and the estimate degrades catastrophically.
+//!
+//! The estimate itself is the ratio estimator over the per-window
+//! populations with a normal-approximation 95% confidence interval
+//! ([`dkip_model::SampleEstimator`]). Exact mode remains the golden
+//! reference: `tests/sampled_accuracy.rs` pins the sampled estimate to a
+//! small relative-error band against exact IPC on every golden suite.
+
+use dkip_core::DkipProcessor;
+use dkip_kilo::build_kilo_core;
+use dkip_mem::MemoryHierarchy;
+use dkip_model::config::MemoryHierarchyConfig;
+use dkip_model::{IpcEstimate, MicroOp, SampleConfig, SampleEstimator, SimStats, WindowSample};
+use dkip_ooo::OooCore;
+
+use crate::runner::Machine;
+use crate::workload::WorkloadStream;
+
+/// A detailed-simulation core of any of the three families, unified behind
+/// the two operations sampling needs: "run until N committed" and "what
+/// cycle is it". Baseline and KILO share the [`OooCore`] engine; the D-KIP
+/// has its own decoupled pipeline.
+#[derive(Debug, Clone)]
+enum SampleCore {
+    /// Baseline or KILO configuration on the shared out-of-order engine.
+    Ooo(Box<OooCore>),
+    /// The decoupled cache/memory-processor pipeline.
+    Dkip(Box<DkipProcessor>),
+}
+
+impl SampleCore {
+    /// Builds the pristine (reset) core for `machine` — the state the
+    /// first window's checkpoint starts from.
+    fn build(machine: &Machine, mem_cfg: &MemoryHierarchyConfig) -> SampleCore {
+        let mem = MemoryHierarchy::new(mem_cfg.clone()).expect("invalid memory configuration");
+        match machine {
+            Machine::Baseline(cfg) => SampleCore::Ooo(Box::new(OooCore::from_baseline(cfg, mem))),
+            Machine::Kilo(cfg) => SampleCore::Ooo(Box::new(build_kilo_core(cfg, mem))),
+            Machine::Dkip(cfg) => SampleCore::Dkip(Box::new(DkipProcessor::new(cfg.clone(), mem))),
+        }
+    }
+
+    /// Runs until `max_instrs` instructions have committed in total (the
+    /// bound is cumulative across calls, like the underlying cores').
+    fn run(&mut self, stream: &mut dyn Iterator<Item = MicroOp>, max_instrs: u64) -> SimStats {
+        match self {
+            SampleCore::Ooo(core) => core.run(stream, max_instrs),
+            SampleCore::Dkip(proc_) => proc_.run(stream, max_instrs),
+        }
+    }
+
+    /// Commits everything still in flight by running against an exhausted
+    /// stream. A drained pipeline is the precondition for snapshotting
+    /// between periods: the ops after the fast-forward gap carry
+    /// discontinuous sequence numbers, which an empty ROB accepts.
+    fn drain(&mut self) -> SimStats {
+        self.run(&mut std::iter::empty(), u64::MAX)
+    }
+
+    /// Captures the family-matching architectural checkpoint.
+    fn checkpoint(&self) -> SampleCheckpoint {
+        match self {
+            SampleCore::Ooo(core) => SampleCheckpoint::Ooo(Box::new(core.snapshot())),
+            SampleCore::Dkip(proc_) => SampleCheckpoint::Dkip(Box::new(proc_.snapshot())),
+        }
+    }
+
+    /// The core's current cycle count.
+    fn cycle(&self) -> u64 {
+        match self {
+            SampleCore::Ooo(core) => core.cycle(),
+            SampleCore::Dkip(proc_) => proc_.cycle(),
+        }
+    }
+
+    /// Functionally warms caches and predictor with one skipped op.
+    fn warm_op(&mut self, op: &MicroOp) {
+        match self {
+            SampleCore::Ooo(core) => core.warm_op(op),
+            SampleCore::Dkip(proc_) => proc_.warm_op(op),
+        }
+    }
+}
+
+/// A family-tagged core checkpoint ([`dkip_ooo::CoreSnapshot`] or
+/// [`dkip_core::DkipSnapshot`]) carried across the fast-forward gaps.
+///
+/// Each detailed window materialises a fresh core from the previous
+/// window's end-of-window checkpoint, so warm microarchitectural state —
+/// caches, branch predictor, statistics — persists across the gaps while
+/// the pipeline itself restarts empty (the skipped instructions were never
+/// simulated, so no stale in-flight state may leak into the measurement).
+#[derive(Debug)]
+enum SampleCheckpoint {
+    /// Checkpoint of a baseline or KILO core.
+    Ooo(Box<dkip_ooo::CoreSnapshot>),
+    /// Checkpoint of a D-KIP processor.
+    Dkip(Box<dkip_core::DkipSnapshot>),
+}
+
+impl SampleCheckpoint {
+    /// Materialises an independent core continuing from this checkpoint.
+    fn materialize(&self) -> SampleCore {
+        match self {
+            SampleCheckpoint::Ooo(snapshot) => SampleCore::Ooo(Box::new(snapshot.to_core())),
+            SampleCheckpoint::Dkip(snapshot) => SampleCore::Dkip(Box::new(snapshot.to_processor())),
+        }
+    }
+}
+
+/// The outcome of one sampled simulation ([`run_sampled`]).
+#[derive(Debug, Clone)]
+pub struct SampledRun {
+    /// The sampling rate that was used.
+    pub sample: SampleConfig,
+    /// The whole-run IPC estimate with its 95% confidence interval.
+    pub estimate: IpcEstimate,
+    /// Instructions committed in detail (warmup + measured windows).
+    pub detailed_committed: u64,
+    /// Instructions functionally fast-forwarded between windows.
+    pub fast_forwarded: u64,
+    /// Instructions the stream advanced by in total: every op drawn by a
+    /// detailed core (committed or still in flight when its period ended)
+    /// plus the fast-forwarded gaps.
+    pub stream_consumed: u64,
+}
+
+impl SampledRun {
+    /// Total instructions the run covered (the final stream position).
+    #[must_use]
+    pub fn consumed(&self) -> u64 {
+        self.stream_consumed
+    }
+
+    /// Fraction of the covered instructions that went through a detailed
+    /// core rather than the functional fast-forward path.
+    #[must_use]
+    pub fn detailed_fraction(&self) -> f64 {
+        if self.stream_consumed == 0 {
+            return 0.0;
+        }
+        (self.stream_consumed - self.fast_forwarded) as f64 / self.stream_consumed as f64
+    }
+
+    /// Collapses the estimate into a [`SimStats`] record so sampled jobs
+    /// flow through the same reporting paths as exact ones.
+    ///
+    /// Only the measured-window aggregates are meaningful: `committed` and
+    /// `cycles` are the window totals, so [`SimStats::ipc`] reproduces the
+    /// ratio estimate exactly; every other counter is zero because the
+    /// fast-forwarded gaps were never simulated in detail.
+    #[must_use]
+    pub fn to_stats(&self) -> SimStats {
+        let mut stats = SimStats::new();
+        stats.committed = self.estimate.committed;
+        stats.cycles = self.estimate.cycles;
+        stats
+    }
+}
+
+/// Counts the micro-ops a detailed core actually draws from the stream.
+///
+/// A core prefetches past its commit bound, so at the end of a detailed
+/// portion the stream has advanced further than the committed count — by
+/// the in-flight instructions the dropped core still held. Coverage
+/// accounting must follow the *stream* position, not the commit count, or
+/// a finite workload would appear to end short.
+struct CountedStream<'a> {
+    inner: &'a mut WorkloadStream,
+    taken: u64,
+}
+
+impl Iterator for CountedStream<'_> {
+    type Item = MicroOp;
+
+    fn next(&mut self) -> Option<MicroOp> {
+        let op = self.inner.next();
+        if op.is_some() {
+            self.taken += 1;
+        }
+        op
+    }
+}
+
+/// Runs `machine` on `stream` under systematic sampling and returns the
+/// IPC estimate (see the module docs for the period anatomy).
+///
+/// The run covers up to `budget` instructions of the stream — the same
+/// span an exact job with that budget would simulate — and ends early only
+/// when a finite stream is exhausted. The stream is left positioned at the
+/// end of the covered span, so a caller holding a
+/// [`dkip_riscv::RiscvStream`] can drain and inspect the final emulator
+/// state afterwards.
+///
+/// # Panics
+///
+/// Panics if the memory configuration or the sampling rate is invalid.
+#[must_use]
+pub fn run_sampled(
+    machine: &Machine,
+    mem_cfg: &MemoryHierarchyConfig,
+    stream: &mut WorkloadStream,
+    budget: u64,
+    sample: &SampleConfig,
+) -> SampledRun {
+    sample.validate().expect("invalid sampling rate");
+    let mut checkpoint = SampleCore::build(machine, mem_cfg).checkpoint();
+    let mut estimator = SampleEstimator::new();
+    let mut counted = CountedStream {
+        inner: stream,
+        taken: 0,
+    };
+    // Committed instructions carried in the checkpoint chain so far: the
+    // cores' run() bound is cumulative, so each segment's target is
+    // expressed on top of this.
+    let mut committed_base = 0u64;
+    let mut fast_forwarded = 0u64;
+    loop {
+        let consumed = counted.taken + fast_forwarded;
+        if consumed >= budget {
+            break;
+        }
+        // Detailed portion: a fresh core materialised from the previous
+        // window's end-of-window checkpoint (warm caches, predictor and
+        // statistics; empty pipeline) runs the warmup, then the measured
+        // window, on the live stream.
+        let mut core = checkpoint.materialize();
+        let warm_committed = if sample.warmup > 0 {
+            core.run(&mut counted, committed_base + sample.warmup)
+                .committed
+                - committed_base
+        } else {
+            0
+        };
+        let warm_cycle = core.cycle();
+        let detailed_target = sample.warmup + sample.window;
+        let stats = core.run(&mut counted, committed_base + detailed_target);
+        let window_committed = stats.committed - committed_base - warm_committed;
+        let window_cycles = core.cycle() - warm_cycle;
+        if window_committed > 0 {
+            estimator.add_window(WindowSample {
+                start_instr: consumed + warm_committed,
+                committed: window_committed,
+                cycles: window_cycles,
+            });
+        }
+        let exhausted = stats.committed - committed_base < detailed_target;
+        // Drain the in-flight tail so the next window's post-gap ops enter
+        // an empty pipeline.
+        committed_base = core.drain().committed;
+        if exhausted {
+            break; // finite stream ended inside the detailed portion
+        }
+        let consumed = counted.taken + fast_forwarded;
+        if consumed >= budget {
+            break;
+        }
+        // Fast-forward portion: advance the stream to the next period,
+        // functionally warming the drained core's caches and predictor
+        // with every skipped op, then roll the checkpoint forward so the
+        // next window inherits the warmed state.
+        let want = sample.skip().min(budget - consumed);
+        let mut skipped = 0u64;
+        while skipped < want {
+            let Some(op) = counted.inner.next() else {
+                break;
+            };
+            core.warm_op(&op);
+            skipped += 1;
+        }
+        fast_forwarded += skipped;
+        checkpoint = core.checkpoint();
+        if skipped < want {
+            break; // finite stream exhausted inside the gap
+        }
+    }
+    SampledRun {
+        sample: *sample,
+        estimate: estimator.estimate(),
+        detailed_committed: committed_base,
+        fast_forwarded,
+        stream_consumed: counted.taken + fast_forwarded,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::workload::Workload;
+    use dkip_model::config::{BaselineConfig, DkipConfig, KiloConfig};
+    use dkip_riscv::Kernel;
+    use dkip_trace::Benchmark;
+
+    fn machines() -> Vec<Machine> {
+        vec![
+            Machine::Baseline(BaselineConfig::r10_64()),
+            Machine::Kilo(KiloConfig::kilo_1024()),
+            Machine::Dkip(DkipConfig::paper_default()),
+        ]
+    }
+
+    #[test]
+    fn sampling_covers_the_budget_on_endless_workloads() {
+        let mem = MemoryHierarchyConfig::mem_400();
+        let sample = SampleConfig::default_rate();
+        for machine in machines() {
+            let mut stream = Workload::from(Benchmark::Gcc).stream(1);
+            let run = run_sampled(&machine, &mem, &mut stream, 50_000, &sample);
+            // Coverage overshoots the budget by at most the last period's
+            // in-flight instructions (the stream advances past the commit
+            // bound while the pipeline is still full).
+            assert!(
+                (50_000..65_000).contains(&run.consumed()),
+                "{}: consumed {}",
+                machine.name(),
+                run.consumed()
+            );
+            assert_eq!(run.estimate.windows, 5, "{}", machine.name());
+            assert!(run.estimate.ipc > 0.0 && run.estimate.ipc < 8.0);
+            assert!(run.detailed_fraction() < 0.40, "{}", machine.name());
+            assert!(run.fast_forwarded > run.detailed_committed);
+        }
+    }
+
+    #[test]
+    fn sampling_stops_when_a_finite_kernel_halts() {
+        let mem = MemoryHierarchyConfig::mem_400();
+        let sample = SampleConfig::default_rate();
+        let exact_len = Workload::from(Kernel::FibRec).stream(1).count() as u64;
+        let machine = Machine::Dkip(DkipConfig::paper_default());
+        let mut stream = Workload::from(Kernel::FibRec).stream(1);
+        let run = run_sampled(&machine, &mem, &mut stream, u64::MAX, &sample);
+        assert_eq!(run.consumed(), exact_len);
+        assert!(stream.next().is_none(), "stream fully drained");
+        assert!(run.estimate.windows >= 1);
+    }
+
+    #[test]
+    fn sampled_runs_are_deterministic() {
+        let mem = MemoryHierarchyConfig::mem_400();
+        let sample = SampleConfig::parse("5000:500:500").unwrap();
+        let machine = Machine::Dkip(DkipConfig::paper_default());
+        let mut a = Workload::from(Benchmark::Swim).stream(1);
+        let mut b = Workload::from(Benchmark::Swim).stream(1);
+        let ra = run_sampled(&machine, &mem, &mut a, 30_000, &sample);
+        let rb = run_sampled(&machine, &mem, &mut b, 30_000, &sample);
+        assert_eq!(ra.estimate.ipc.to_bits(), rb.estimate.ipc.to_bits());
+        assert_eq!(ra.estimate.ci95.to_bits(), rb.estimate.ci95.to_bits());
+        assert_eq!(ra.detailed_committed, rb.detailed_committed);
+        assert_eq!(ra.fast_forwarded, rb.fast_forwarded);
+    }
+
+    #[test]
+    fn to_stats_reproduces_the_ratio_estimate() {
+        let mem = MemoryHierarchyConfig::mem_400();
+        let sample = SampleConfig::default_rate();
+        let machine = Machine::Baseline(BaselineConfig::r10_64());
+        let mut stream = Workload::from(Benchmark::Mcf).stream(1);
+        let run = run_sampled(&machine, &mem, &mut stream, 40_000, &sample);
+        let stats = run.to_stats();
+        assert_eq!(stats.committed, run.estimate.committed);
+        assert_eq!(stats.cycles, run.estimate.cycles);
+        assert!((stats.ipc() - run.estimate.ipc).abs() < 1e-12);
+    }
+
+    #[test]
+    fn whole_period_windows_degenerate_to_exact_simulation() {
+        // window == period with no warmup and no gap: every instruction is
+        // simulated in detail, though each period restarts from the pristine
+        // checkpoint.
+        let mem = MemoryHierarchyConfig::mem_400();
+        let sample = SampleConfig::parse("10000:0:10000").unwrap();
+        let machine = Machine::Baseline(BaselineConfig::r10_64());
+        let mut stream = Workload::from(Benchmark::Gcc).stream(1);
+        let run = run_sampled(&machine, &mem, &mut stream, 10_000, &sample);
+        assert_eq!(run.fast_forwarded, 0);
+        assert!(run.detailed_committed >= 10_000);
+        let exact = machine.simulate(&mem, &Workload::from(Benchmark::Gcc), 10_000, 1);
+        assert_eq!(run.estimate.committed, exact.committed);
+        assert_eq!(run.estimate.cycles, exact.cycles);
+    }
+}

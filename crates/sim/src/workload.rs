@@ -77,12 +77,36 @@ impl From<Kernel> for Workload {
 }
 
 /// An open [`MicroOp`] stream for one workload (see [`Workload::stream`]).
-#[derive(Debug)]
+///
+/// The stream is `Clone`: pairing a core checkpoint
+/// ([`dkip_ooo::CoreSnapshot`] / [`dkip_core::DkipSnapshot`]) with a clone
+/// of the stream it was consuming checkpoints the complete simulation
+/// state, since a core snapshot deliberately excludes its input iterator.
+#[derive(Debug, Clone)]
 pub enum WorkloadStream {
     /// Stream from a synthetic trace generator (endless).
     Spec(TraceGenerator),
     /// Stream from the RISC-V emulator (ends when the kernel halts).
     Riscv(RiscvStream),
+}
+
+impl WorkloadStream {
+    /// Functionally fast-forwards up to `n` instructions without building
+    /// micro-ops, returning how many were actually skipped (fewer only when
+    /// a finite RISC-V kernel halts first).
+    ///
+    /// Both sources keep their position bit-identical to consuming the ops
+    /// through [`Iterator::next`] — the emulator executes the skipped
+    /// instructions architecturally, the synthetic generator advances its
+    /// template walk and RNG — so the ops emitted after the gap (sequence
+    /// numbers included) match an uninterrupted stream. This is the cheap
+    /// inter-window path of the sampled-simulation mode.
+    pub fn fast_forward(&mut self, n: u64) -> u64 {
+        match self {
+            WorkloadStream::Spec(generator) => generator.fast_forward(n),
+            WorkloadStream::Riscv(stream) => stream.fast_forward(n),
+        }
+    }
 }
 
 impl Iterator for WorkloadStream {

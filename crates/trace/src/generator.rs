@@ -120,6 +120,24 @@ impl TraceGenerator {
         self.iteration
     }
 
+    /// Functionally fast-forwards `n` micro-ops, returning `n` (the
+    /// synthetic stream never ends).
+    ///
+    /// This is the generator's cheap mode for sampled simulation: the
+    /// template walk, RNG draws, stream cursors and chain states advance
+    /// exactly as if the ops had been consumed, so the ops emitted after a
+    /// skip — sequence numbers included — are bit-identical to the ops an
+    /// uninterrupted generator would produce at the same positions.
+    ///
+    /// (Named `fast_forward` rather than `skip` so it cannot collide with
+    /// the by-value [`Iterator::skip`] adapter during method resolution.)
+    pub fn fast_forward(&mut self, n: u64) -> u64 {
+        for _ in 0..n {
+            let _ = self.next();
+        }
+        n
+    }
+
     fn region_span(&self, region: Region) -> (u64, u64) {
         match region {
             Region::Hot => (HOT_BASE, HOT_REGION_BYTES),
@@ -367,6 +385,22 @@ mod tests {
             int_dev > fp_dev,
             "SpecINT branches must be harder: {int_dev} vs {fp_dev}"
         );
+    }
+
+    #[test]
+    fn skip_positions_the_stream_bit_identically() {
+        for bench in [Benchmark::Swim, Benchmark::Mcf] {
+            let mut skipped = TraceGenerator::new(bench, 7);
+            let mut consumed = TraceGenerator::new(bench, 7);
+            assert_eq!(skipped.fast_forward(4_321), 4_321);
+            for _ in 0..4_321 {
+                consumed.next();
+            }
+            let a: Vec<_> = skipped.by_ref().take(500).collect();
+            let b: Vec<_> = consumed.by_ref().take(500).collect();
+            assert_eq!(a, b, "{}: post-skip ops must match", bench.name());
+            assert_eq!(a[0].seq, 4_321, "sequence numbers stay dense");
+        }
     }
 
     #[test]
