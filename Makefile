@@ -7,7 +7,10 @@ FIG_BINS = table1 table2_3 fig01_window_specint fig02_window_specfp \
            fig13_llib_occupancy_specint fig14_llib_occupancy_specfp \
            fig_riscv_ipc
 
-.PHONY: build test doc verify lint bench bench-figures golden bless riscv perf perf-smoke fuzz fuzz-smoke sample-check clean
+## Scratch directory for the trace-smoke artefacts.
+TRACE_SMOKE_DIR = target/trace-smoke
+
+.PHONY: build test doc verify lint bench bench-figures golden bless riscv perf perf-smoke trace-smoke fuzz fuzz-smoke sample-check clean
 
 build:
 	cargo build --release
@@ -61,11 +64,33 @@ perf: build
 	./target/release/perf
 
 ## Reduced-budget throughput check against the committed baseline
-## (ci/perf_baseline.json): fails on a >30% per-family regression or if the
-## D-KIP family drops below the absolute MIPS floor. Mirrored by the CI
-## perf-smoke job.
+## (ci/perf_baseline.json): fails on a >30% per-family regression, if the
+## D-KIP family drops below the absolute MIPS floor, or if the disabled-probe
+## host-calibrated figure regresses >2% (the telemetry_overhead= gate).
+## Mirrored by the CI perf-smoke job.
 perf-smoke: build
-	./target/release/perf budget=40000 samples=3 check=ci/perf_baseline.json tolerance=0.30 floor=0.25
+	./target/release/perf budget=40000 samples=5 check=ci/perf_baseline.json tolerance=0.30 floor=0.25 telemetry_overhead=ci/perf_baseline.json
+
+## Telemetry smoke: one kernel per core family with both backends attached
+## (interval metrics + O3PipeView pipeline trace), validated by trace_check
+## (7-line block schema, monotone per-µop stage timestamps, metrics column
+## schema, monotone cycle/committed counters), plus a repeat D-KIP run that
+## must be byte-identical. Mirrored by the CI trace-smoke job.
+trace-smoke: build
+	rm -rf $(TRACE_SMOKE_DIR) && mkdir -p $(TRACE_SMOKE_DIR)
+	for fam in baseline kilo dkip; do \
+		./target/release/fig_timeseries $$fam riscv:matmul/8 \
+			metrics=$(TRACE_SMOKE_DIR)/$$fam.csv:500 \
+			trace=$(TRACE_SMOKE_DIR)/$$fam.trace:20000 || exit 1; \
+		./target/release/trace_check $(TRACE_SMOKE_DIR)/$$fam.trace \
+			metrics=$(TRACE_SMOKE_DIR)/$$fam.csv || exit 1; \
+	done
+	./target/release/fig_timeseries dkip riscv:matmul/8 \
+		metrics=$(TRACE_SMOKE_DIR)/dkip-again.csv:500 \
+		trace=$(TRACE_SMOKE_DIR)/dkip-again.trace:20000
+	cmp $(TRACE_SMOKE_DIR)/dkip.csv $(TRACE_SMOKE_DIR)/dkip-again.csv
+	cmp $(TRACE_SMOKE_DIR)/dkip.trace $(TRACE_SMOKE_DIR)/dkip-again.trace
+	@echo "trace-smoke: telemetry validates and is repeat-run byte-identical"
 
 ## Sampled-simulation gates: checkpoint round-trips must be bit-identical
 ## and the sampled IPC estimator must stay inside its error bands (3%

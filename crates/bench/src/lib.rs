@@ -9,16 +9,25 @@
 //!   `cargo run -p dkip-bench --release --bin fig09_comparison`.
 //!   Every simulating binary (the nine `fig*` paper figures plus
 //!   `fig_riscv_ipc`; `table1`/`table2_3` just print static configuration
-//!   tables and take no arguments) accepts four optional positional
+//!   tables and take no arguments) accepts five optional positional
 //!   arguments: the per-benchmark instruction budget, `full` to use the
 //!   complete benchmark suite instead of the fast representative subset,
 //!   `threads=N` to fix the sweep-runner worker-pool size (default: the
 //!   `DKIP_THREADS` environment variable, then the host's available
-//!   parallelism), and `sample=P:U:W` to regenerate the figure under
+//!   parallelism), `sample=P:U:W` to regenerate the figure under
 //!   sampled simulation at that `period:warmup:window` rate (default: the
-//!   `DKIP_SAMPLE` environment variable, then exact simulation). Malformed
-//!   arguments exit with status 2 — an explicitly stated budget, thread
-//!   count or sampling rate never falls back silently.
+//!   `DKIP_SAMPLE` environment variable, then exact simulation), and
+//!   `metrics=PATH:INTERVAL` to collect an interval-metrics time series
+//!   per job alongside the figure (default: the `DKIP_METRICS` environment
+//!   variable, then no telemetry). Malformed arguments exit with status 2 —
+//!   an explicitly stated budget, thread count, sampling rate or metrics
+//!   configuration never falls back silently.
+//! * **Telemetry binaries** — `fig_timeseries` runs exactly one
+//!   (family, workload) pair with the interval-metrics and/or per-µop
+//!   pipeline-trace backends attached (`trace=PATH[:OPS]`, Konata /
+//!   O3PipeView format; only meaningful for a single run, so the sweep
+//!   binaries reject it), and `trace_check` validates the emitted
+//!   artefacts (see `make trace-smoke`).
 //! * **Criterion benches** (`benches/`) — component microbenchmarks and one
 //!   timed end-to-end simulation per core family.
 //!
@@ -28,15 +37,15 @@
 
 pub mod throughput;
 
-use dkip_model::{SampleConfig, SAMPLE_ENV};
-use dkip_sim::SweepRunner;
+use dkip_model::{MetricsConfig, SampleConfig, TraceConfig, METRICS_ENV, SAMPLE_ENV};
+use dkip_sim::{SweepRunner, Workload};
 use dkip_trace::{Benchmark, Suite};
 
 /// Default per-benchmark instruction budget for the figure binaries.
 pub const DEFAULT_BUDGET: u64 = 10_000;
 
 /// Parsed command line of a figure binary.
-#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+#[derive(Debug, Clone, PartialEq, Eq)]
 pub struct FigureArgs {
     /// Explicit per-benchmark instruction budget, if one was given.
     /// Binaries read it through [`FigureArgs::instr_budget`] so each can
@@ -51,22 +60,33 @@ pub struct FigureArgs {
     /// Explicit sampled-simulation rate (`sample=P:U:W`); `None` defers to
     /// the `DKIP_SAMPLE` environment variable (unset: exact simulation).
     pub sample: Option<SampleConfig>,
+    /// Explicit interval-metrics collection (`metrics=<path>:<interval>`);
+    /// `None` defers to the `DKIP_METRICS` environment variable (unset: no
+    /// telemetry). Every job of the sweep writes its own time series to the
+    /// given path with a per-job tag inserted before the extension.
+    pub metrics: Option<MetricsConfig>,
 }
 
 impl FigureArgs {
-    /// Parses `[budget] [full] [threads=N] [sample=P:U:W]` from
-    /// `std::env::args`, exiting with status 2 on a malformed argument.
+    /// Parses `[budget] [full] [threads=N] [sample=P:U:W]
+    /// [metrics=PATH:INTERVAL]` from `std::env::args`, exiting with status 2
+    /// on a malformed argument.
     ///
     /// An explicit `sample=` rate is published through the `DKIP_SAMPLE`
     /// environment variable, which every subsequently built
     /// [`dkip_sim::Job`] reads — so the whole figure sweep runs sampled
-    /// without the drivers threading the rate through.
+    /// without the drivers threading the rate through. An explicit
+    /// `metrics=` configuration is published through `DKIP_METRICS` the
+    /// same way.
     #[must_use]
     pub fn from_env() -> Self {
         match Self::parse(std::env::args().skip(1)) {
             Ok(args) => {
                 if let Some(rate) = args.sample {
                     std::env::set_var(SAMPLE_ENV, rate.to_string());
+                }
+                if let Some(metrics) = &args.metrics {
+                    std::env::set_var(METRICS_ENV, metrics.to_string());
                 }
                 args
             }
@@ -78,9 +98,10 @@ impl FigureArgs {
     }
 
     /// Parses the argument list. Arguments are positional and strict: any
-    /// token that is not `full`, `threads=N`, `sample=P:U:W` or an unsigned
-    /// integer budget is an error — a mistyped budget must not fall back
-    /// silently to the default, exactly as a mistyped `threads=` must not.
+    /// token that is not `full`, `threads=N`, `sample=P:U:W`,
+    /// `metrics=PATH:INTERVAL` or an unsigned integer budget is an error — a
+    /// mistyped budget must not fall back silently to the default, exactly
+    /// as a mistyped `threads=` must not.
     ///
     /// # Errors
     ///
@@ -90,6 +111,7 @@ impl FigureArgs {
         let mut full_suite = false;
         let mut threads = None;
         let mut sample = None;
+        let mut metrics = None;
         for arg in args {
             if arg == "full" {
                 full_suite = true;
@@ -111,6 +133,24 @@ impl FigureArgs {
                         ))
                     }
                 }
+            } else if let Some(v) = arg.strip_prefix("metrics=") {
+                match MetricsConfig::parse(v) {
+                    Ok(cfg) => metrics = Some(cfg),
+                    Err(err) => {
+                        return Err(format!(
+                            "invalid metrics configuration {v:?}: {err} \
+                             (expected metrics=PATH:INTERVAL)"
+                        ))
+                    }
+                }
+            } else if arg.starts_with("trace=") {
+                // A per-µop pipeline trace of a whole multi-job sweep would
+                // interleave meaninglessly; tracing is a single-run affair.
+                return Err(
+                    "trace= is only supported by fig_timeseries, which runs one \
+                     (family, workload) pair"
+                        .to_owned(),
+                );
             } else {
                 match arg.parse::<u64>() {
                     Ok(0) => return Err("invalid budget 0: expected at least 1 instruction".to_owned()),
@@ -135,6 +175,7 @@ impl FigureArgs {
             full_suite,
             threads,
             sample,
+            metrics,
         })
     }
 
@@ -168,6 +209,118 @@ impl FigureArgs {
                 .filter(|b| b.suite() == suite)
                 .collect()
         }
+    }
+}
+
+/// Parsed command line of the `fig_timeseries` binary, which runs exactly
+/// one (family, workload) pair and is therefore the only target that also
+/// accepts a per-µop pipeline trace (`trace=`).
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct TimeseriesArgs {
+    /// The core family to run ("baseline", "kilo" or "dkip"), at its
+    /// paper-default configuration.
+    pub family: String,
+    /// The workload to run, parsed from its display name
+    /// ([`Workload::parse`]).
+    pub workload: Workload,
+    /// Explicit instruction budget, if one was given.
+    pub budget: Option<u64>,
+    /// Interval-metrics output (`metrics=<path>:<interval>`). Unlike the
+    /// sweep binaries, the path is used exactly as given — one run, one
+    /// file, no per-job tag.
+    pub metrics: Option<MetricsConfig>,
+    /// Pipeline-trace output (`trace=<path>[:<ops>]`), Konata/O3PipeView
+    /// format, capped at `ops` traced µops.
+    pub trace: Option<TraceConfig>,
+}
+
+impl TimeseriesArgs {
+    /// Parses `<family> <workload> [budget] [metrics=PATH:INTERVAL]
+    /// [trace=PATH[:OPS]]` from `std::env::args`, exiting with status 2 on a
+    /// malformed argument.
+    #[must_use]
+    pub fn from_env() -> Self {
+        match Self::parse(std::env::args().skip(1)) {
+            Ok(args) => args,
+            Err(message) => {
+                eprintln!("{message}");
+                eprintln!(
+                    "usage: fig_timeseries <baseline|kilo|dkip> <workload> \
+                     [budget] [metrics=PATH:INTERVAL] [trace=PATH[:OPS]]"
+                );
+                std::process::exit(2);
+            }
+        }
+    }
+
+    /// Parses the argument list with the same strictness contract as
+    /// [`FigureArgs::parse`]: nothing malformed falls back silently.
+    ///
+    /// # Errors
+    ///
+    /// Returns a human-readable message naming the offending argument.
+    pub fn parse(args: impl Iterator<Item = String>) -> Result<Self, String> {
+        let mut family = None;
+        let mut workload = None;
+        let mut budget = None;
+        let mut metrics = None;
+        let mut trace = None;
+        for arg in args {
+            if let Some(v) = arg.strip_prefix("metrics=") {
+                match MetricsConfig::parse(v) {
+                    Ok(cfg) => metrics = Some(cfg),
+                    Err(err) => {
+                        return Err(format!(
+                            "invalid metrics configuration {v:?}: {err} \
+                             (expected metrics=PATH:INTERVAL)"
+                        ))
+                    }
+                }
+            } else if let Some(v) = arg.strip_prefix("trace=") {
+                match TraceConfig::parse(v) {
+                    Ok(cfg) => trace = Some(cfg),
+                    Err(err) => {
+                        return Err(format!(
+                            "invalid trace configuration {v:?}: {err} \
+                             (expected trace=PATH[:OPS])"
+                        ))
+                    }
+                }
+            } else if family.is_none() {
+                if !matches!(arg.as_str(), "baseline" | "kilo" | "dkip") {
+                    return Err(format!(
+                        "unknown family {arg:?}: expected baseline, kilo or dkip"
+                    ));
+                }
+                family = Some(arg);
+            } else if workload.is_none() {
+                workload = Some(Workload::parse(&arg)?);
+            } else if let Ok(n) = arg.parse::<u64>() {
+                if n == 0 {
+                    return Err("invalid budget 0: expected at least 1 instruction".to_owned());
+                }
+                if let Some(previous) = budget {
+                    return Err(format!(
+                        "conflicting budgets {previous} and {n}: pass at most one numeric budget"
+                    ));
+                }
+                budget = Some(n);
+            } else {
+                return Err(format!(
+                    "invalid argument {arg:?}: expected a numeric budget, \
+                     metrics=PATH:INTERVAL or trace=PATH[:OPS]"
+                ));
+            }
+        }
+        let family = family.ok_or_else(|| "missing family argument".to_owned())?;
+        let workload = workload.ok_or_else(|| "missing workload argument".to_owned())?;
+        Ok(TimeseriesArgs {
+            family,
+            workload,
+            budget,
+            metrics,
+            trace,
+        })
     }
 }
 
@@ -246,6 +399,69 @@ mod tests {
             parse(&["sample=1000:600:600"]).is_err(),
             "warmup + window must fit in the period"
         );
+    }
+
+    #[test]
+    fn metrics_configurations_parse_strictly() {
+        let args = parse(&["metrics=runs/ts.csv:500"]).unwrap();
+        let metrics = args.metrics.expect("metrics parsed");
+        assert_eq!(metrics.to_string(), "runs/ts.csv:500");
+        assert_eq!(parse(&[]).unwrap().metrics, None, "no telemetry by default");
+        assert!(parse(&["metrics="]).is_err());
+        assert!(parse(&["metrics=ts.csv"]).is_err(), "interval is mandatory");
+        assert!(parse(&["metrics=ts.csv:0"]).is_err());
+        assert!(parse(&["metrics=:500"]).is_err(), "path must be non-empty");
+    }
+
+    #[test]
+    fn sweep_binaries_reject_pipeline_traces() {
+        let err = parse(&["trace=out.trace"]).unwrap_err();
+        assert!(err.contains("fig_timeseries"), "{err}");
+    }
+
+    fn parse_ts(args: &[&str]) -> Result<TimeseriesArgs, String> {
+        TimeseriesArgs::parse(args.iter().map(|s| (*s).to_owned()))
+    }
+
+    #[test]
+    fn timeseries_args_parse_family_workload_and_knobs() {
+        let args = parse_ts(&[
+            "dkip",
+            "riscv:matmul/8",
+            "metrics=ts.csv:250",
+            "trace=pipe.trace:5000",
+        ])
+        .unwrap();
+        assert_eq!(args.family, "dkip");
+        assert_eq!(args.workload.name(), "riscv:matmul/8");
+        assert_eq!(args.budget, None);
+        assert_eq!(args.metrics.expect("metrics").to_string(), "ts.csv:250");
+        let trace = args.trace.expect("trace");
+        assert_eq!(trace.path, "pipe.trace");
+        assert_eq!(trace.ops, 5_000);
+        let spec = parse_ts(&["baseline", "gcc", "4000"]).unwrap();
+        assert_eq!(spec.workload.name(), "gcc");
+        assert_eq!(spec.budget, Some(4000));
+    }
+
+    #[test]
+    fn timeseries_args_are_strict() {
+        assert!(parse_ts(&[]).unwrap_err().contains("missing family"));
+        assert!(parse_ts(&["dkip"])
+            .unwrap_err()
+            .contains("missing workload"));
+        assert!(parse_ts(&["r10", "gcc"]).unwrap_err().contains("r10"));
+        assert!(parse_ts(&["dkip", "gccc"]).unwrap_err().contains("gccc"));
+        assert!(parse_ts(&["dkip", "gcc", "0"]).is_err());
+        assert!(parse_ts(&["dkip", "gcc", "5", "6"])
+            .unwrap_err()
+            .contains("conflicting"));
+        assert!(parse_ts(&["dkip", "gcc", "trace="]).is_err());
+        assert!(parse_ts(&["dkip", "gcc", "trace=t.trace:0"]).is_err());
+        assert!(parse_ts(&["dkip", "gcc", "metrics=m.csv"]).is_err());
+        assert!(parse_ts(&["dkip", "gcc", "full"])
+            .unwrap_err()
+            .contains("full"));
     }
 
     #[test]

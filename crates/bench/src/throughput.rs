@@ -38,11 +38,28 @@
 //! either. Family geomeans (and therefore the committed
 //! `ci/perf_baseline.json` comparison) are computed from exact entries
 //! only.
+//!
+//! Schema v4 adds the best-sample figures `min_ns` / `mips_best` per entry
+//! and `mips_best_geomean` per family (host scheduling noise is one-sided —
+//! preemption only slows a sample — so best-of-N is far more stable than
+//! the mean), plus host calibration: the probe-free RV64IM emulator is
+//! timed as a host-speed control *immediately after each job's samples*
+//! (`calib_mips_best` per entry) and the report records the overall
+//! `calibrated_best_geomean` — the geomean over exact entries of
+//! `mips_best / calib_mips_best`. The `telemetry_overhead=PATH` gate builds
+//! on both: every perf job runs with the telemetry probe sink disabled
+//! ([`Job::unprobed`]), and the gate fails if the calibrated geomean
+//! regresses more than [`TELEMETRY_OVERHEAD_TOLERANCE`] against the
+//! committed baseline — pinning that the per-stage `Option<&mut Telemetry>`
+//! hooks stay near-free when `None`. Pairing each point with an adjacent
+//! control (rather than calibrating once per run) cancels host throttling
+//! and machine-class drift even when the host speed shifts *during* the
+//! matrix, which absolute MIPS comparisons cannot survive.
 
 use criterion::{run_one, Measurement, Throughput};
 use dkip_model::config::{BaselineConfig, DkipConfig, KiloConfig, MemoryHierarchyConfig};
 use dkip_model::SampleConfig;
-use dkip_riscv::Kernel;
+use dkip_riscv::{Kernel, KernelRun};
 use dkip_sim::{Job, Machine, Workload};
 use dkip_trace::Benchmark;
 use std::fmt::Write as _;
@@ -74,6 +91,58 @@ pub const PERF_SAMPLE_RATE: &str = "20000:1000:1000";
 /// path degrading into detailed-simulation cost.
 pub const SAMPLED_SPEEDUP_FLOOR: f64 = 3.0;
 
+/// Tolerated slowdown of the *calibrated* overall best-sample geomean for
+/// the `telemetry_overhead=` gate: the disabled-probe hot path (every perf
+/// job runs [`Job::unprobed`]) may cost at most 2% against the committed
+/// pre-telemetry baseline. Deliberately much tighter than
+/// [`DEFAULT_TOLERANCE`]: the probe sink is an `Option` branch per stage
+/// and must stay near-free when `None`. A 2% wall-clock tolerance is only
+/// statistically tenable because the comparison is host-calibrated — both
+/// reports express each simulator point as a ratio of the probe-free
+/// emulator control timed right next to it ([`measure_calibration`]),
+/// cancelling host-speed drift that absolute MIPS comparisons cannot.
+pub const TELEMETRY_OVERHEAD_TOLERANCE: f64 = 0.02;
+
+/// Matrix size of the emulator calibration kernel (`matmul`): big enough
+/// (~600k retired instructions, a few host-ms) that best-of-N timing is
+/// stable, small enough to add negligible harness cost.
+pub const CALIBRATION_SIZE: u64 = 32;
+
+/// Timed samples per calibration pass. Fixed rather than inherited from
+/// `samples=`: each iteration is only a few host-ms, so a deep best-of-N is
+/// nearly free and the control needs a tighter minimum than the matrix
+/// points to hold a 2% gate.
+pub const CALIBRATION_SAMPLES: usize = 25;
+
+/// Times the host-speed control of the `telemetry_overhead=` gate: a
+/// probe-free workload — the functional RV64IM emulator running
+/// `matmul/`[`CALIBRATION_SIZE`] to completion, fresh machine state per
+/// iteration, best of [`CALIBRATION_SAMPLES`] samples — and returns its
+/// best-sample MIPS. The emulator has no telemetry hooks at all, so
+/// expressing each simulator point as a ratio of a control measured
+/// *adjacent to it in time* cancels host throttling, steal time and
+/// machine-class differences out of the baseline comparison, while a real
+/// slowdown of the cores' disabled-probe path does not cancel (it moves
+/// the simulators but not the emulator).
+#[must_use]
+pub fn measure_calibration() -> f64 {
+    let run = KernelRun::new(Kernel::Matmul, CALIBRATION_SIZE);
+    let pristine = run.emulator();
+    let retired = pristine.clone().run_to_halt();
+    let measurement = run_one(
+        "calibration",
+        &format!("emu:{}", run.name()),
+        CALIBRATION_SAMPLES,
+        Some(Throughput::Elements(retired)),
+        |b| b.iter(|| pristine.clone().run_to_halt()),
+    );
+    if measurement.min_ns > 0.0 {
+        retired as f64 * 1e9 / measurement.min_ns / 1e6
+    } else {
+        0.0
+    }
+}
+
 /// One timed simulation point of the throughput report.
 #[derive(Debug, Clone, PartialEq)]
 pub struct ThroughputEntry {
@@ -102,8 +171,20 @@ pub struct ThroughputEntry {
     /// Quiesced cycles the event-driven clock skipped per iteration
     /// (schema v2).
     pub cycles_skipped: u64,
-    /// Millions of simulated committed instructions per host second.
+    /// Millions of simulated committed instructions per host second,
+    /// computed from the *mean* sample time.
     pub mips: f64,
+    /// Millions of simulated committed instructions per host second,
+    /// computed from the *best* (minimum) sample time (schema v4). Host
+    /// scheduling noise is one-sided — preemption only ever slows a sample
+    /// down — so the best-of-N figure is far more stable run-to-run and is
+    /// what the tight `telemetry_overhead=` gate compares.
+    pub mips_best: f64,
+    /// Best-sample MIPS of the probe-free emulator control timed
+    /// immediately after this job's samples ([`measure_calibration`],
+    /// schema v4). `mips_best / calib_mips_best` is this point's
+    /// host-speed-independent figure.
+    pub calib_mips_best: f64,
     /// Simulated cycles per host second.
     pub cycles_per_sec: f64,
     /// The underlying timing measurement.
@@ -127,7 +208,8 @@ impl ThroughputEntry {
              \"budget\": {}, \"committed\": {}, \"covered\": {}, \"cycles\": {}, \
              \"ticks_executed\": {}, \
              \"cycles_skipped\": {}, \"skipped_frac\": {}, \"samples\": {}, \"mean_ns\": {}, \
-             \"mips\": {}, \"cycles_per_sec\": {}}}",
+             \"min_ns\": {}, \"mips\": {}, \"mips_best\": {}, \"calib_mips_best\": {}, \
+             \"cycles_per_sec\": {}}}",
             criterion::json_string(self.family),
             criterion::json_string(&self.machine),
             criterion::json_string(&self.workload),
@@ -141,7 +223,10 @@ impl ThroughputEntry {
             criterion::json_number(self.skipped_frac()),
             self.measurement.samples,
             criterion::json_number(self.measurement.mean_ns),
+            criterion::json_number(self.measurement.min_ns),
             criterion::json_number(self.mips),
+            criterion::json_number(self.mips_best),
+            criterion::json_number(self.calib_mips_best),
             criterion::json_number(self.cycles_per_sec),
         )
     }
@@ -156,7 +241,10 @@ impl ThroughputEntry {
 ///
 /// Exact rows are forced exact regardless of the `DKIP_SAMPLE` environment
 /// variable: the committed `ci/perf_baseline.json` geomeans pin the exact
-/// simulator.
+/// simulator. Every row is likewise forced unprobed regardless of
+/// `DKIP_METRICS`: the harness times the disabled-telemetry hot path by
+/// contract (that is what the `telemetry_overhead=` gate certifies), and an
+/// ambient metrics knob must not silently contaminate the timing.
 #[must_use]
 pub fn perf_jobs(budget: u64) -> Vec<Job> {
     let mem = MemoryHierarchyConfig::mem_400();
@@ -182,7 +270,8 @@ pub fn perf_jobs(budget: u64) -> Vec<Job> {
                     *workload,
                     budget,
                 )
-                .exact(),
+                .exact()
+                .unprobed(),
             );
         }
     }
@@ -200,7 +289,8 @@ pub fn perf_jobs(budget: u64) -> Vec<Job> {
                 workload,
                 budget,
             )
-            .with_sample(rate),
+            .with_sample(rate)
+            .unprobed(),
         );
     }
     jobs
@@ -208,7 +298,9 @@ pub fn perf_jobs(budget: u64) -> Vec<Job> {
 
 /// Times every job (`samples` runs each, after one untimed warm-up that also
 /// yields the simulated statistics) and returns the per-point report
-/// entries.
+/// entries. Each job's samples are followed by an emulator calibration pass
+/// ([`measure_calibration`]) so every point carries a host-speed control
+/// measured adjacent to it in time.
 #[must_use]
 pub fn measure(jobs: &[Job], samples: usize) -> Vec<ThroughputEntry> {
     jobs.iter()
@@ -232,11 +324,17 @@ pub fn measure(jobs: &[Job], samples: usize) -> Vec<ThroughputEntry> {
                 |b| b.iter(|| job.run().stats.cycles),
             );
             let mips = measurement.elements_per_sec().unwrap_or(0.0) / 1e6;
+            let mips_best = if measurement.min_ns > 0.0 {
+                warm.covered as f64 * 1e9 / measurement.min_ns / 1e6
+            } else {
+                0.0
+            };
             let cycles_per_sec = if measurement.mean_ns > 0.0 {
                 stats.cycles as f64 * 1e9 / measurement.mean_ns
             } else {
                 0.0
             };
+            let calib_mips_best = measure_calibration();
             ThroughputEntry {
                 family: job.machine.family(),
                 machine: job.machine.name().to_owned(),
@@ -249,6 +347,8 @@ pub fn measure(jobs: &[Job], samples: usize) -> Vec<ThroughputEntry> {
                 ticks_executed: stats.ticks_executed,
                 cycles_skipped: stats.cycles_skipped,
                 mips,
+                mips_best,
+                calib_mips_best,
                 cycles_per_sec,
                 measurement,
             }
@@ -263,6 +363,22 @@ pub fn measure(jobs: &[Job], samples: usize) -> Vec<ThroughputEntry> {
 /// regression hide behind the sampling speedup.
 #[must_use]
 pub fn family_geomeans(entries: &[ThroughputEntry]) -> Vec<(String, f64)> {
+    family_metric_geomeans(entries, |e| e.mips)
+}
+
+/// Per-family geometric-mean best-sample MIPS over the exact entries
+/// (schema v4). This is the figure the `telemetry_overhead=` gate compares:
+/// best-of-N discards one-sided host-scheduling noise, so it can hold a far
+/// tighter tolerance than the mean-based [`family_geomeans`].
+#[must_use]
+pub fn family_best_geomeans(entries: &[ThroughputEntry]) -> Vec<(String, f64)> {
+    family_metric_geomeans(entries, |e| e.mips_best)
+}
+
+fn family_metric_geomeans(
+    entries: &[ThroughputEntry],
+    metric: impl Fn(&ThroughputEntry) -> f64,
+) -> Vec<(String, f64)> {
     let mut order: Vec<String> = Vec::new();
     let mut logs: Vec<(f64, u32)> = Vec::new();
     for entry in entries.iter().filter(|e| e.mode == "exact") {
@@ -274,7 +390,7 @@ pub fn family_geomeans(entries: &[ThroughputEntry]) -> Vec<(String, f64)> {
                 order.len() - 1
             }
         };
-        logs[idx].0 += entry.mips.max(f64::MIN_POSITIVE).ln();
+        logs[idx].0 += metric(entry).max(f64::MIN_POSITIVE).ln();
         logs[idx].1 += 1;
     }
     order
@@ -310,23 +426,55 @@ pub fn sampled_speedups(entries: &[ThroughputEntry]) -> Vec<(String, f64)> {
         .collect()
 }
 
+/// Overall host-speed-independent figure of a run (schema v4): the geomean
+/// over the **exact** entries of `mips_best / calib_mips_best`. This is the
+/// single number the `telemetry_overhead=` gate compares. Because every
+/// point is divided by a control timed adjacent to it, host throttling —
+/// even a frequency shift partway through the matrix — cancels out;
+/// averaging all 12 exact points then squeezes the residual jitter further,
+/// which a 2% tolerance needs. Entries with no usable control
+/// (`calib_mips_best <= 0`) are skipped; `None` if nothing remains.
+#[must_use]
+pub fn calibrated_best_geomean(entries: &[ThroughputEntry]) -> Option<f64> {
+    let ratios: Vec<f64> = entries
+        .iter()
+        .filter(|e| e.mode == "exact" && e.calib_mips_best > 0.0)
+        .map(|e| e.mips_best / e.calib_mips_best)
+        .collect();
+    if ratios.is_empty() {
+        return None;
+    }
+    let sum: f64 = ratios.iter().map(|r| r.max(f64::MIN_POSITIVE).ln()).sum();
+    Some((sum / ratios.len() as f64).exp())
+}
+
 /// Serialises the full throughput report.
 #[must_use]
 pub fn report_to_json(entries: &[ThroughputEntry]) -> String {
-    let mut out = String::from("{\n  \"schema\": \"dkip-sim-throughput/v3\",\n  \"entries\": [\n");
+    let mut out = String::from("{\n  \"schema\": \"dkip-sim-throughput/v4\",\n  \"entries\": [\n");
     let body: Vec<String> = entries
         .iter()
         .map(|e| format!("    {}", e.to_json()))
         .collect();
     out.push_str(&body.join(",\n"));
-    out.push_str("\n  ],\n  \"families\": [\n");
+    out.push_str("\n  ],\n");
+    if let Some(calibrated) = calibrated_best_geomean(entries) {
+        out.push_str(&format!(
+            "  \"calibrated_best_geomean\": {},\n",
+            criterion::json_number(calibrated)
+        ));
+    }
+    out.push_str("  \"families\": [\n");
+    let best = family_best_geomeans(entries);
     let families: Vec<String> = family_geomeans(entries)
         .into_iter()
-        .map(|(family, geomean)| {
+        .zip(best)
+        .map(|((family, geomean), (_, best_geomean))| {
             format!(
-                "    {{\"family\": {}, \"mips_geomean\": {}}}",
+                "    {{\"family\": {}, \"mips_geomean\": {}, \"mips_best_geomean\": {}}}",
                 criterion::json_string(&family),
-                criterion::json_number(geomean)
+                criterion::json_number(geomean),
+                criterion::json_number(best_geomean)
             )
         })
         .collect();
@@ -353,6 +501,34 @@ pub fn report_to_json(entries: &[ThroughputEntry]) -> String {
 /// array, so it tolerates added fields elsewhere.
 #[must_use]
 pub fn parse_family_geomeans(json: &str) -> Vec<(String, f64)> {
+    parse_family_metric(json, "\"mips_geomean\": ")
+}
+
+/// Extracts the `(family, mips_best_geomean)` pairs (schema v4) the same
+/// way. Pre-v4 reports carry no best-sample figures, so this returns an
+/// empty vector for them — callers treat that as "baseline unusable", not
+/// as "no regression".
+#[must_use]
+pub fn parse_family_best_geomeans(json: &str) -> Vec<(String, f64)> {
+    parse_family_metric(json, "\"mips_best_geomean\": ")
+}
+
+/// Extracts the `calibrated_best_geomean` figure from a report (schema v4).
+/// `None` for reports written without calibration passes — such a report
+/// cannot anchor the `telemetry_overhead=` gate.
+#[must_use]
+pub fn parse_calibrated_best_geomean(json: &str) -> Option<f64> {
+    let key = "\"calibrated_best_geomean\": ";
+    let number = &json[json.find(key)? + key.len()..];
+    let end = number
+        .find(|c: char| {
+            !(c.is_ascii_digit() || c == '.' || c == '-' || c == '+' || c == 'e' || c == 'E')
+        })
+        .unwrap_or(number.len());
+    number[..end].parse::<f64>().ok().filter(|v| *v > 0.0)
+}
+
+fn parse_family_metric(json: &str, key: &str) -> Vec<(String, f64)> {
     let mut result = Vec::new();
     let Some(families_at) = json.find("\"families\"") else {
         return result;
@@ -366,10 +542,10 @@ pub fn parse_family_geomeans(json: &str) -> Vec<(String, f64)> {
         };
         let family = &after[..fam_end];
         let tail = &after[fam_end..];
-        let Some(geo_at) = tail.find("\"mips_geomean\": ") else {
+        let Some(geo_at) = tail.find(key) else {
             break;
         };
-        let number = &tail[geo_at + "\"mips_geomean\": ".len()..];
+        let number = &tail[geo_at + key.len()..];
         let end = number
             .find(|c: char| {
                 !(c.is_ascii_digit() || c == '.' || c == '-' || c == '+' || c == 'e' || c == 'E')
@@ -401,10 +577,32 @@ pub fn compare_to_baseline(
     baseline_json: &str,
     tolerance: f64,
 ) -> RegressionReport {
-    let baseline = parse_family_geomeans(baseline_json);
+    compare_families(fresh, &parse_family_geomeans(baseline_json), tolerance)
+}
+
+/// Geometric mean over per-family geomean figures. Every family fields the
+/// same number of exact points, so this equals the overall geomean across
+/// all points — one summary number for a whole report.
+#[must_use]
+pub fn overall_geomean(pairs: &[(String, f64)]) -> Option<f64> {
+    if pairs.is_empty() {
+        return None;
+    }
+    let sum: f64 = pairs
+        .iter()
+        .map(|(_, v)| v.max(f64::MIN_POSITIVE).ln())
+        .sum();
+    Some((sum / pairs.len() as f64).exp())
+}
+
+fn compare_families(
+    fresh: &[(String, f64)],
+    baseline: &[(String, f64)],
+    tolerance: f64,
+) -> RegressionReport {
     let mut lines = Vec::new();
     let mut regressed = Vec::new();
-    for (family, base_mips) in &baseline {
+    for (family, base_mips) in baseline {
         match fresh.iter().find(|(f, _)| f == family) {
             None => {
                 lines.push(format!(
@@ -444,6 +642,9 @@ pub struct PerfArgs {
     pub tolerance: f64,
     /// Absolute MIPS floor for the `dkip` family (0 disables the check).
     pub floor: f64,
+    /// Pre-telemetry baseline report: the disabled-probe geomeans must stay
+    /// within [`TELEMETRY_OVERHEAD_TOLERANCE`] of it.
+    pub telemetry_overhead: Option<PathBuf>,
 }
 
 impl Default for PerfArgs {
@@ -455,14 +656,15 @@ impl Default for PerfArgs {
             check: None,
             tolerance: DEFAULT_TOLERANCE,
             floor: 0.0,
+            telemetry_overhead: None,
         }
     }
 }
 
 impl PerfArgs {
-    /// Parses `budget=N samples=N out=PATH check=PATH tolerance=F floor=F`
-    /// (any order). Like the figure binaries, malformed arguments are
-    /// errors, never silent fallbacks.
+    /// Parses `budget=N samples=N out=PATH check=PATH tolerance=F floor=F
+    /// telemetry_overhead=PATH` (any order). Like the figure binaries,
+    /// malformed arguments are errors, never silent fallbacks.
     ///
     /// # Errors
     ///
@@ -502,10 +704,15 @@ impl PerfArgs {
                 parsed.floor = v.parse::<f64>().ok().filter(|f| *f >= 0.0).ok_or_else(|| {
                     format!("invalid floor {v:?}: expected a non-negative MIPS value")
                 })?;
+            } else if let Some(v) = arg.strip_prefix("telemetry_overhead=") {
+                if v.is_empty() {
+                    return Err("invalid telemetry_overhead=: expected a path".to_owned());
+                }
+                parsed.telemetry_overhead = Some(PathBuf::from(v));
             } else {
                 return Err(format!(
                     "invalid argument {arg:?}: expected budget=N, samples=N, out=PATH, \
-                     check=PATH, tolerance=F or floor=F"
+                     check=PATH, tolerance=F, floor=F or telemetry_overhead=PATH"
                 ));
             }
         }
@@ -530,6 +737,17 @@ impl PerfArgs {
 /// baseline / floor checks. Returns the process exit code.
 #[must_use]
 pub fn run(args: &PerfArgs) -> i32 {
+    // The overhead gate certifies the *disabled-probe* hot path. The jobs
+    // are forced unprobed either way, but a set DKIP_METRICS signals the
+    // caller expected telemetry from this run — refuse rather than measure
+    // something other than what they asked for.
+    if args.telemetry_overhead.is_some() && std::env::var_os(dkip_model::METRICS_ENV).is_some() {
+        eprintln!(
+            "telemetry_overhead= times the disabled-probe hot path: unset {}",
+            dkip_model::METRICS_ENV
+        );
+        return 2;
+    }
     let jobs = perf_jobs(args.budget);
     println!(
         "measuring {} points (budget={}, samples={}) ...",
@@ -555,6 +773,9 @@ pub fn run(args: &PerfArgs) -> i32 {
     let fresh = family_geomeans(&entries);
     for (family, geomean) in &fresh {
         println!("family {family}: {geomean:.3} MIPS (geomean)");
+    }
+    if let Some(calibrated) = calibrated_best_geomean(&entries) {
+        println!("calibrated best geomean: {calibrated:.4}x the emulator control");
     }
     let json = report_to_json(&entries);
     if let Err(err) = std::fs::write(&args.out, &json) {
@@ -642,6 +863,75 @@ pub fn run(args: &PerfArgs) -> i32 {
             }
         }
     }
+    if let Some(baseline) = &args.telemetry_overhead {
+        match std::fs::read_to_string(baseline) {
+            Err(err) => {
+                eprintln!(
+                    "failed to read telemetry-overhead baseline {}: {err}",
+                    baseline.display()
+                );
+                failed = true;
+            }
+            Ok(baseline_json) => {
+                let fresh_best = family_best_geomeans(&entries);
+                let base_best = parse_family_best_geomeans(&baseline_json);
+                for (family, mips) in &fresh_best {
+                    let base = base_best
+                        .iter()
+                        .find(|(f, _)| f == family)
+                        .map_or(f64::NAN, |(_, v)| *v);
+                    println!(
+                        "telemetry overhead: {family}: best {mips:.3} MIPS vs baseline {base:.3}"
+                    );
+                }
+                // The overall geomean only means the same thing in both
+                // reports if they cover the same families: a silently
+                // dropped (slow) family would inflate the fresh figure.
+                let fresh_names: Vec<&String> = fresh_best.iter().map(|(f, _)| f).collect();
+                let base_names: Vec<&String> = base_best.iter().map(|(f, _)| f).collect();
+                if fresh_names != base_names {
+                    eprintln!(
+                        "telemetry overhead: family mismatch, fresh {fresh_names:?} vs \
+                         baseline {base_names:?} [FAILED]"
+                    );
+                    failed = true;
+                }
+                let fresh_ratio = calibrated_best_geomean(&entries);
+                let base_ratio = parse_calibrated_best_geomean(&baseline_json);
+                match (fresh_ratio, base_ratio) {
+                    (Some(fresh_ratio), Some(base_ratio)) => {
+                        let floor = base_ratio * (1.0 - TELEMETRY_OVERHEAD_TOLERANCE);
+                        let delta = (fresh_ratio / base_ratio - 1.0) * 100.0;
+                        let verdict = if fresh_ratio >= floor {
+                            "ok"
+                        } else {
+                            failed = true;
+                            "FAILED"
+                        };
+                        let line = format!(
+                            "telemetry overhead: calibrated best geomean {fresh_ratio:.4}x \
+                             emulator vs baseline {base_ratio:.4}x ({delta:+.1}%, \
+                             tolerance {:.0}%) [{verdict}]",
+                            TELEMETRY_OVERHEAD_TOLERANCE * 100.0
+                        );
+                        if fresh_ratio >= floor {
+                            println!("{line}");
+                        } else {
+                            eprintln!("{line}");
+                        }
+                    }
+                    _ => {
+                        eprintln!(
+                            "telemetry-overhead baseline {} has no calibrated_best_geomean \
+                             figure (pre-v4 report?) [FAILED]",
+                            baseline.display()
+                        );
+                        failed = true;
+                    }
+                }
+            }
+        }
+    }
     i32::from(failed)
 }
 
@@ -662,6 +952,12 @@ mod tests {
             ticks_executed: 1500,
             cycles_skipped: 500,
             mips,
+            // Best-sample throughput is deliberately distinct from the mean
+            // figure so tests catch code comparing the wrong one; the
+            // calibration control is a fixed 50 MIPS so calibrated ratios
+            // are mips_best / 50.
+            mips_best: mips * 2.0,
+            calib_mips_best: 50.0,
             cycles_per_sec: mips * 2e6,
             measurement: Measurement {
                 group: family.to_owned(),
@@ -706,6 +1002,17 @@ mod tests {
             assert_eq!(pf, df);
             assert!((pv - dv).abs() < 1e-9, "{pf}: {pv} vs {dv}");
         }
+        // The best-sample geomeans (2× the mean figures in the test helper)
+        // round-trip independently and must not be confused with the mean.
+        let parsed_best = parse_family_best_geomeans(&json);
+        let direct_best = family_best_geomeans(&entries);
+        assert_eq!(parsed_best.len(), direct_best.len());
+        for ((pf, pv), (df, dv)) in parsed_best.iter().zip(&direct_best) {
+            assert_eq!(pf, df);
+            assert!((pv - dv).abs() < 1e-9, "{pf} best: {pv} vs {dv}");
+            let (_, mean) = direct.iter().find(|(f, _)| f == pf).unwrap();
+            assert!((pv - mean * 2.0).abs() < 1e-9, "{pf}: best is 2x mean");
+        }
     }
 
     #[test]
@@ -745,13 +1052,80 @@ mod tests {
     }
 
     #[test]
+    fn telemetry_overhead_gate_reads_best_sample_figures() {
+        // The helper records best = 2x mean, so parsing the wrong column
+        // out of the baseline would be off by a factor of two.
+        let baseline_json = report_to_json(&[entry("dkip", "swim", 1.0)]);
+        let best = parse_family_best_geomeans(&baseline_json);
+        assert_eq!(best.len(), 1);
+        assert!((best[0].1 - 2.0).abs() < 1e-9, "best geomean is 2x mean");
+        // A pre-v4 baseline carries no best-sample geomeans at all: the
+        // gate must fail it, never pass-by-default.
+        let pre_v4 = "{\"families\": [{\"family\": \"dkip\", \"mips_geomean\": 1}]}";
+        assert!(parse_family_best_geomeans(pre_v4).is_empty());
+        assert_eq!(overall_geomean(&parse_family_best_geomeans(pre_v4)), None);
+    }
+
+    #[test]
+    fn calibrated_geomean_round_trips_through_the_report() {
+        // calib_mips_best is a fixed 50 in the helper, so the calibrated
+        // ratios are mips_best / 50: geomean(2/50, 8/50) = 4/50 = 0.08.
+        let entries = vec![entry("dkip", "gcc", 1.0), entry("dkip", "swim", 4.0)];
+        let direct = calibrated_best_geomean(&entries).unwrap();
+        assert!((direct - 0.08).abs() < 1e-12, "geomean of paired ratios");
+        let json = report_to_json(&entries);
+        assert!(json.contains("\"calib_mips_best\": 50"));
+        let parsed = parse_calibrated_best_geomean(&json).unwrap();
+        assert!((parsed - direct).abs() < 1e-9);
+        // A report whose entries carry no usable control must not write the
+        // figure at all — and the parser must report that as None, so the
+        // gate fails such a baseline instead of passing by default.
+        let mut uncalibrated = entry("dkip", "swim", 1.0);
+        uncalibrated.calib_mips_best = 0.0;
+        let without = report_to_json(&[uncalibrated]);
+        assert!(!without.contains("calibrated_best_geomean"));
+        assert_eq!(parse_calibrated_best_geomean(&without), None);
+    }
+
+    #[test]
+    fn calibrated_geomean_uses_exact_entries_only() {
+        let mut sampled = entry("dkip", "gcc", 100.0);
+        sampled.mode = "sampled";
+        let entries = vec![entry("dkip", "gcc", 1.0), sampled];
+        let overall = calibrated_best_geomean(&entries).unwrap();
+        assert!(
+            (overall - 0.04).abs() < 1e-12,
+            "the fast sampled row must not inflate the calibrated figure"
+        );
+    }
+
+    #[test]
+    fn calibration_measures_the_emulator_control() {
+        assert!(measure_calibration() > 0.0);
+    }
+
+    #[test]
+    fn overall_geomean_aggregates_family_figures() {
+        let pairs = vec![("a".to_owned(), 2.0), ("b".to_owned(), 8.0)];
+        let overall = overall_geomean(&pairs).unwrap();
+        assert!((overall - 4.0).abs() < 1e-12, "geomean(2, 8) = 4");
+        assert_eq!(overall_geomean(&[]), None);
+        // 2% gate arithmetic on a calibrated figure: 0.0392 vs a baseline
+        // of 0.04 passes, 0.0391 fails.
+        let floor = 0.04 * (1.0 - TELEMETRY_OVERHEAD_TOLERANCE);
+        assert!(0.0392 >= floor && 0.0391 < floor);
+    }
+
+    #[test]
     fn report_json_carries_clock_and_mode_telemetry() {
         let mut sampled = entry("dkip", "swim", 8.0);
         sampled.mode = "sampled";
         sampled.covered = 10_000;
         let entries = vec![entry("dkip", "swim", 2.0), sampled];
         let json = report_to_json(&entries);
-        assert!(json.contains("\"schema\": \"dkip-sim-throughput/v3\""));
+        assert!(json.contains("\"schema\": \"dkip-sim-throughput/v4\""));
+        assert!(json.contains("\"min_ns\": 1000000"));
+        assert!(json.contains("\"mips_best\": 4"));
         assert!(json.contains("\"ticks_executed\": 1500"));
         assert!(json.contains("\"cycles_skipped\": 500"));
         assert!(json.contains("\"skipped_frac\": 0.25"));
@@ -814,6 +1188,18 @@ mod tests {
         assert_eq!(ok.out, PathBuf::from("x.json"));
         assert!((ok.tolerance - 0.2).abs() < 1e-12);
         assert!((ok.floor - 0.5).abs() < 1e-12);
+        assert_eq!(ok.telemetry_overhead, None);
+        let gated = PerfArgs::parse(
+            ["telemetry_overhead=ci/perf_baseline.json"]
+                .iter()
+                .map(|s| (*s).to_owned()),
+        )
+        .unwrap();
+        assert_eq!(
+            gated.telemetry_overhead,
+            Some(PathBuf::from("ci/perf_baseline.json"))
+        );
+        assert!(PerfArgs::parse(["telemetry_overhead="].iter().map(|s| (*s).to_owned())).is_err());
         assert!(PerfArgs::parse(["budget=0"].iter().map(|s| (*s).to_owned())).is_err());
         assert!(PerfArgs::parse(["samples=none"].iter().map(|s| (*s).to_owned())).is_err());
         assert!(PerfArgs::parse(["tolerance=1.5"].iter().map(|s| (*s).to_owned())).is_err());
@@ -844,6 +1230,10 @@ mod tests {
                 "{family} runs Spec"
             );
         }
+        assert!(
+            jobs.iter().all(|j| j.metrics.is_none()),
+            "perf jobs time the disabled-probe hot path: no metrics sink"
+        );
         let sampled: Vec<_> = jobs.iter().filter(|j| j.sample.is_some()).collect();
         assert_eq!(sampled.len(), 2, "dkip gcc + swim re-run under sampling");
         for job in &sampled {

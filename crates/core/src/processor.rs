@@ -25,6 +25,7 @@ use crate::memory_processor::MemoryProcessor;
 use dkip_bpred::{BranchPredictor, PredictorKind};
 use dkip_mem::{AccessLevel, MemoryHierarchy};
 use dkip_model::config::{event_clock_enabled, DkipConfig, MemoryHierarchyConfig};
+use dkip_model::telemetry::{MetricsFrame, Stage, Telemetry};
 use dkip_model::{
     fast_map_with_capacity, fast_set_with_capacity, ConsumerTable, DepList, FastHashMap,
     FastHashSet, LastWriters, MicroOp, OpClass, RegClass, SimStats,
@@ -285,6 +286,21 @@ impl DkipProcessor {
     /// bumped by the skipped delta so every statistic stays bit-identical
     /// to single-stepping.
     pub fn run(&mut self, trace: &mut dyn Iterator<Item = MicroOp>, max_instrs: u64) -> SimStats {
+        self.run_probed(trace, max_instrs, None)
+    }
+
+    /// [`run`] with an optional telemetry sink attached. `None` takes the
+    /// exact same path as [`run`]; a sink observes every pipeline stage and
+    /// an interval-metrics row whenever the committed-instruction counter
+    /// crosses a boundary, without perturbing any statistic.
+    ///
+    /// [`run`]: DkipProcessor::run
+    pub fn run_probed(
+        &mut self,
+        trace: &mut dyn Iterator<Item = MicroOp>,
+        max_instrs: u64,
+        mut probe: Option<&mut Telemetry>,
+    ) -> SimStats {
         let cycle_cap = self
             .cycle
             .saturating_add(max_instrs.saturating_mul(2000).max(1_000_000));
@@ -293,7 +309,12 @@ impl DkipProcessor {
         self.trace_done = false;
         while self.stats.committed < max_instrs && self.cycle < cycle_cap {
             let stalls_before = self.stats.stall_counter_snapshot();
-            let progress = self.tick_progress(trace);
+            let progress = self.tick_probed(trace, probe.as_deref_mut());
+            if let Some(t) = probe.as_deref_mut() {
+                if t.metrics_due(self.stats.committed) {
+                    t.record_metrics(&self.metrics_frame());
+                }
+            }
             // Drained: nothing left in the front end, the Aging-ROB, or on
             // the low-locality side (LLIBs / Memory Processors / Address
             // Processor, all tracked by `low_meta`).
@@ -314,14 +335,40 @@ impl DkipProcessor {
 
     /// Advances the whole machine by one cycle.
     pub fn tick(&mut self, trace: &mut dyn Iterator<Item = MicroOp>) {
-        let _ = self.tick_progress(trace);
+        let _ = self.tick_probed(trace, None);
+    }
+
+    /// The interval-metrics snapshot of the current machine state: Aging-ROB
+    /// / CP issue-queue / AP LSQ occupancy, the two LLIBs, the LLBV marked
+    /// count, and the cumulative commit, branch, cache and clock counters.
+    fn metrics_frame(&self) -> MetricsFrame {
+        let mut frame = MetricsFrame {
+            cycle: self.cycle,
+            committed: self.stats.committed,
+            rob: self.rob.len() as u64,
+            iq: (self.cp_int_iq.len() + self.cp_fp_iq.len()) as u64,
+            lsq: self.ap.lsq().occupancy() as u64,
+            llib: (self.llib_int.len() + self.llib_fp.len()) as u64,
+            llbv: self.llbv.marked_count() as u64,
+            cond_branches: self.stats.cond_branches,
+            branch_mispredicts: self.stats.branch_mispredicts,
+            ticks_executed: self.stats.ticks_executed,
+            cycles_skipped: self.stats.cycles_skipped,
+            ..MetricsFrame::default()
+        };
+        self.ap.mem_stats().fill_metrics(&mut frame);
+        frame
     }
 
     /// Advances the whole machine by one cycle and reports whether any work
     /// happened in any stage. A `false` return means the machine state is
     /// unchanged apart from time-gated conditions, so every following cycle
     /// until [`DkipProcessor::next_event`] would be identical.
-    fn tick_progress(&mut self, trace: &mut dyn Iterator<Item = MicroOp>) -> bool {
+    fn tick_probed(
+        &mut self,
+        trace: &mut dyn Iterator<Item = MicroOp>,
+        mut probe: Option<&mut Telemetry>,
+    ) -> bool {
         self.cycle += 1;
         self.stats.ticks_executed += 1;
         self.cp_fus.begin_cycle();
@@ -331,18 +378,18 @@ impl DkipProcessor {
         arrived_loads.clear();
         self.ap.begin_cycle_into(self.cycle, &mut arrived_loads);
         for &load in &arrived_loads {
-            self.handle_load_value_arrival(load);
+            self.handle_load_value_arrival(load, probe.as_deref_mut());
         }
         let mut progress = !arrived_loads.is_empty();
         self.arrived_scratch = arrived_loads;
-        progress |= self.drain_mp_completions();
-        progress |= self.mp_issue();
+        progress |= self.drain_mp_completions(probe.as_deref_mut());
+        progress |= self.mp_issue(probe.as_deref_mut());
         progress |= self.llib_to_mp_transfer();
-        progress |= self.cp_writeback();
-        progress |= self.analyze();
-        progress |= self.cp_issue();
-        progress |= self.cp_dispatch();
-        progress |= self.fetch(trace);
+        progress |= self.cp_writeback(probe.as_deref_mut());
+        progress |= self.analyze(probe.as_deref_mut());
+        progress |= self.cp_issue(probe.as_deref_mut());
+        progress |= self.cp_dispatch(probe.as_deref_mut());
+        progress |= self.fetch(trace, probe);
         progress
     }
 
@@ -424,7 +471,7 @@ impl DkipProcessor {
     // ------------------------------------------------------------------
     // Long-latency load values arriving at the Address Processor.
     // ------------------------------------------------------------------
-    fn handle_load_value_arrival(&mut self, load_seq: u64) {
+    fn handle_load_value_arrival(&mut self, load_seq: u64, mut probe: Option<&mut Telemetry>) {
         // The load itself retires now (it was removed from the Aging-ROB at
         // Analyze and handed to the AP).
         if let Some(meta) = self.low_meta.remove(&load_seq) {
@@ -432,13 +479,17 @@ impl DkipProcessor {
             self.stats.low_locality_instrs += 1;
             self.checkpoints.complete_instruction(meta.epoch);
             self.ap.lsq_mut().retire_load(load_seq);
+            if let Some(t) = probe.as_deref_mut() {
+                t.trace_stage(load_seq, Stage::Complete, self.cycle);
+                t.trace_commit(load_seq, self.cycle);
+            }
         } else if self.cp_long_latency_loads.remove(&load_seq) {
             // The value returned before the load reached the Analyze stage
             // (common for accesses merged into an already-outstanding miss).
             // The load then behaves like a late Cache Processor completion:
             // consumers still inside the CP wake up normally and the Analyze
             // stage commits it as an ordinary executed load.
-            self.complete_cp_instruction(load_seq);
+            self.complete_cp_instruction(load_seq, probe);
         }
         let waiters = self.load_waiters.take(load_seq);
         for &consumer in &waiters {
@@ -455,26 +506,30 @@ impl DkipProcessor {
     // ------------------------------------------------------------------
     // Memory Processor completion and issue.
     // ------------------------------------------------------------------
-    fn drain_mp_completions(&mut self) -> bool {
+    fn drain_mp_completions(&mut self, mut probe: Option<&mut Telemetry>) -> bool {
         let mut done = std::mem::take(&mut self.mp_done_scratch);
         done.clear();
         self.mp_int.drain_completed_into(self.cycle, &mut done);
         self.mp_fp.drain_completed_into(self.cycle, &mut done);
         for &seq in &done {
-            self.handle_mp_completion(seq);
+            self.handle_mp_completion(seq, probe.as_deref_mut());
         }
         let completed = !done.is_empty();
         self.mp_done_scratch = done;
         completed
     }
 
-    fn handle_mp_completion(&mut self, seq: u64) {
+    fn handle_mp_completion(&mut self, seq: u64, probe: Option<&mut Telemetry>) {
         let Some(meta) = self.low_meta.remove(&seq) else {
             return;
         };
         self.stats.committed += 1;
         self.stats.low_locality_instrs += 1;
         self.checkpoints.complete_instruction(meta.epoch);
+        if let Some(t) = probe {
+            t.trace_stage(seq, Stage::Complete, self.cycle);
+            t.trace_commit(seq, self.cycle);
+        }
         if meta.op.class.is_mem() {
             match meta.op.class {
                 OpClass::Load => self.ap.lsq_mut().retire_load(seq),
@@ -515,7 +570,7 @@ impl DkipProcessor {
         self.mp_consumers.recycle(waiters);
     }
 
-    fn mp_issue(&mut self) -> bool {
+    fn mp_issue(&mut self, mut probe: Option<&mut Telemetry>) -> bool {
         let mut issued = false;
         let width = self.cfg.memory_processor.decode_width;
         for class in [RegClass::Int, RegClass::Fp] {
@@ -531,6 +586,9 @@ impl DkipProcessor {
             }
             issued |= !selected.is_empty();
             for &(seq, op_class) in &selected {
+                if let Some(t) = probe.as_deref_mut() {
+                    t.trace_stage(seq, Stage::Issue, self.cycle);
+                }
                 let latency = if op_class.is_mem() {
                     let addr = self
                         .low_meta
@@ -619,7 +677,7 @@ impl DkipProcessor {
     // ------------------------------------------------------------------
     // Cache Processor: writeback, analyze, issue, dispatch, fetch.
     // ------------------------------------------------------------------
-    fn cp_writeback(&mut self) -> bool {
+    fn cp_writeback(&mut self, mut probe: Option<&mut Telemetry>) -> bool {
         let mut completed = false;
         while let Some(&Reverse((cycle, seq))) = self.cp_completions.peek() {
             if cycle > self.cycle {
@@ -627,12 +685,15 @@ impl DkipProcessor {
             }
             completed = true;
             self.cp_completions.pop();
-            self.complete_cp_instruction(seq);
+            self.complete_cp_instruction(seq, probe.as_deref_mut());
         }
         completed
     }
 
-    fn complete_cp_instruction(&mut self, seq: u64) {
+    fn complete_cp_instruction(&mut self, seq: u64, probe: Option<&mut Telemetry>) {
+        if let Some(t) = probe {
+            t.trace_stage(seq, Stage::Complete, self.cycle);
+        }
         let (is_cond, taken, predicted, mispredicted, pc) = {
             let Some(entry) = self.rob.get_mut(seq) else {
                 return;
@@ -685,7 +746,7 @@ impl DkipProcessor {
     /// from the head of the Aging-ROB. Returns whether any instruction left
     /// the Aging-ROB.
     #[allow(clippy::too_many_lines)]
-    fn analyze(&mut self) -> bool {
+    fn analyze(&mut self, mut probe: Option<&mut Telemetry>) -> bool {
         let mut advanced = false;
         let mut stalled = false;
         for _ in 0..self.cfg.cache_processor.widths.commit {
@@ -716,6 +777,9 @@ impl DkipProcessor {
                 self.stats.committed += 1;
                 self.stats.high_locality_instrs += 1;
                 self.analyzed_since_checkpoint += 1;
+                if let Some(t) = probe.as_deref_mut() {
+                    t.trace_commit(seq, self.cycle);
+                }
                 advanced = true;
                 continue;
             }
@@ -744,6 +808,9 @@ impl DkipProcessor {
                     },
                 );
                 self.analyzed_since_checkpoint += 1;
+                if let Some(t) = probe.as_deref_mut() {
+                    t.trace_stage(seq, Stage::MpHandoff, self.cycle);
+                }
                 advanced = true;
                 continue;
             }
@@ -755,6 +822,9 @@ impl DkipProcessor {
                     break;
                 }
                 self.analyzed_since_checkpoint += 1;
+                if let Some(t) = probe.as_deref_mut() {
+                    t.trace_stage(seq, Stage::MpHandoff, self.cycle);
+                }
                 advanced = true;
                 continue;
             }
@@ -877,7 +947,7 @@ impl DkipProcessor {
         true
     }
 
-    fn cp_issue(&mut self) -> bool {
+    fn cp_issue(&mut self, mut probe: Option<&mut Telemetry>) -> bool {
         let width = self.cfg.cache_processor.widths.issue;
         let mut selected = std::mem::take(&mut self.select_scratch);
         selected.clear();
@@ -891,6 +961,9 @@ impl DkipProcessor {
             &mut selected,
         );
         for &(seq, class) in &selected {
+            if let Some(t) = probe.as_deref_mut() {
+                t.trace_stage(seq, Stage::Issue, self.cycle);
+            }
             self.start_cp_execution(seq, class);
         }
         let issued = !selected.is_empty();
@@ -939,7 +1012,7 @@ impl DkipProcessor {
         }
     }
 
-    fn cp_dispatch(&mut self) -> bool {
+    fn cp_dispatch(&mut self, mut probe: Option<&mut Telemetry>) -> bool {
         let mut dispatched = false;
         for _ in 0..self.cfg.cache_processor.widths.decode {
             let Some(op) = self.fetch_queue.front() else {
@@ -972,6 +1045,9 @@ impl DkipProcessor {
             let op = self.fetch_queue.pop_front().expect("checked non-empty");
             dispatched = true;
             let seq = op.seq;
+            if let Some(t) = probe.as_deref_mut() {
+                t.trace_stage(seq, Stage::Dispatch, self.cycle);
+            }
             let mut entry = RobEntry::new(op, self.cycle, queue_class);
 
             // Wire dependencies on producers still in the Cache Processor.
@@ -1034,7 +1110,11 @@ impl DkipProcessor {
         dispatched
     }
 
-    fn fetch(&mut self, trace: &mut dyn Iterator<Item = MicroOp>) -> bool {
+    fn fetch(
+        &mut self,
+        trace: &mut dyn Iterator<Item = MicroOp>,
+        mut probe: Option<&mut Telemetry>,
+    ) -> bool {
         if !self.unresolved_mispredicts.is_empty() || self.cycle < self.fetch_resume_at {
             self.stats.mispredict_stall_cycles += 1;
             return false;
@@ -1050,6 +1130,9 @@ impl DkipProcessor {
                 break;
             };
             self.stats.fetched += 1;
+            if let Some(t) = probe.as_deref_mut() {
+                t.trace_fetch(&op, self.cycle);
+            }
             self.fetch_queue.push_back(op);
             fetched = true;
         }
@@ -1072,9 +1155,29 @@ pub fn run_dkip_stream(
     stream: &mut dyn Iterator<Item = MicroOp>,
     max_instrs: u64,
 ) -> SimStats {
+    run_dkip_stream_probed(cfg, mem_cfg, stream, max_instrs, None)
+}
+
+/// [`run_dkip_stream`] with an optional telemetry sink attached (`None` is
+/// bit-identical to the plain entry point). The pipeline trace records the
+/// D-KIP's CP→MP handoff (the Analyze stage draining an instruction to the
+/// LLIB or handing a long-latency load to the Address Processor) as an
+/// extra per-µop timestamp.
+///
+/// # Panics
+///
+/// Panics if the memory or processor configuration is invalid.
+#[must_use]
+pub fn run_dkip_stream_probed(
+    cfg: &DkipConfig,
+    mem_cfg: &MemoryHierarchyConfig,
+    stream: &mut dyn Iterator<Item = MicroOp>,
+    max_instrs: u64,
+    probe: Option<&mut Telemetry>,
+) -> SimStats {
     let mem = MemoryHierarchy::new(mem_cfg.clone()).expect("invalid memory configuration");
     let mut proc = DkipProcessor::new(cfg.clone(), mem);
-    proc.run(stream, max_instrs)
+    proc.run_probed(stream, max_instrs, probe)
 }
 
 /// Runs `benchmark` for `max_instrs` committed instructions on a D-KIP with

@@ -43,6 +43,7 @@
 use dkip_bpred::PredictorKind;
 use dkip_mem::MemoryHierarchy;
 use dkip_model::config::{KiloConfig, MemoryHierarchyConfig};
+use dkip_model::telemetry::Telemetry;
 use dkip_model::{MicroOp, SimStats};
 use dkip_ooo::{CoreParams, OooCore};
 use dkip_trace::{Benchmark, TraceGenerator};
@@ -96,9 +97,28 @@ pub fn run_kilo_stream(
     stream: &mut dyn Iterator<Item = MicroOp>,
     max_instrs: u64,
 ) -> SimStats {
+    run_kilo_stream_probed(cfg, mem_cfg, stream, max_instrs, None)
+}
+
+/// [`run_kilo_stream`] with an optional telemetry sink attached (`None` is
+/// bit-identical to the plain entry point). The shared engine reports the
+/// SLIQ/slow-lane occupancy through the frame's low-locality-buffer
+/// column.
+///
+/// # Panics
+///
+/// Panics if the memory or processor configuration is invalid.
+#[must_use]
+pub fn run_kilo_stream_probed(
+    cfg: &KiloConfig,
+    mem_cfg: &MemoryHierarchyConfig,
+    stream: &mut dyn Iterator<Item = MicroOp>,
+    max_instrs: u64,
+    probe: Option<&mut Telemetry>,
+) -> SimStats {
     let mem = MemoryHierarchy::new(mem_cfg.clone()).expect("invalid memory configuration");
     let mut core = build_kilo_core(cfg, mem);
-    core.run(stream, max_instrs)
+    core.run_probed(stream, max_instrs, probe)
 }
 
 /// Runs `benchmark` for `max_instrs` committed instructions on the

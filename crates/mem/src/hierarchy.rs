@@ -13,6 +13,7 @@
 
 use crate::cache::SetAssocCache;
 use dkip_model::config::MemoryHierarchyConfig;
+use dkip_model::telemetry::MetricsFrame;
 use dkip_model::ConfigError;
 use std::cmp::Reverse;
 use std::collections::{BinaryHeap, HashMap};
@@ -69,6 +70,16 @@ impl MemStats {
     #[must_use]
     pub fn total(&self) -> u64 {
         self.l1_hits + self.l2_hits + self.memory_accesses
+    }
+
+    /// Copies the cumulative per-level counters into a telemetry
+    /// [`MetricsFrame`], the hierarchy's side of the probe contract: the
+    /// interval-metrics backend differences consecutive frames to derive
+    /// the interval L1/L2 miss rates.
+    pub fn fill_metrics(&self, frame: &mut MetricsFrame) {
+        frame.l1_hits = self.l1_hits;
+        frame.l2_hits = self.l2_hits;
+        frame.mem_accesses = self.memory_accesses;
     }
 }
 

@@ -15,6 +15,9 @@
 //!   record reported by every simulation,
 //! * [`collections`] — deterministic, allocation-conscious containers for
 //!   the per-cycle hot path of the core models,
+//! * [`telemetry`] — the optional intra-run probe sink (interval
+//!   time-series metrics and Konata/O3PipeView pipeline traces) the cores
+//!   drive from inside their cycle loops,
 //! * [`error`] — configuration validation errors.
 //!
 //! # Example
@@ -38,6 +41,7 @@ pub mod instr;
 pub mod op;
 pub mod reg;
 pub mod stats;
+pub mod telemetry;
 
 pub use collections::{
     fast_map_with_capacity, fast_set_with_capacity, ConsumerTable, DepList, FastHashMap,
@@ -53,3 +57,4 @@ pub use instr::{BranchInfo, BranchKind, MicroOp};
 pub use op::{FuPool, OpClass};
 pub use reg::{ArchReg, PhysReg, RegClass, FP_ARCH_REGS, INT_ARCH_REGS, TOTAL_ARCH_REGS};
 pub use stats::{Histogram, IpcEstimate, SampleEstimator, SimStats, WindowSample};
+pub use telemetry::{MetricsConfig, MetricsFrame, Stage, Telemetry, TraceConfig, METRICS_ENV};

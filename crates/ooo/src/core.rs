@@ -21,6 +21,7 @@ use dkip_mem::{AccessLevel, MemoryHierarchy};
 use dkip_model::config::{
     event_clock_enabled, BaselineConfig, FuConfig, MemoryHierarchyConfig, SchedPolicy, WidthConfig,
 };
+use dkip_model::telemetry::{MetricsFrame, Stage, Telemetry};
 use dkip_model::{
     fast_set_with_capacity, ConsumerTable, DepList, FastHashSet, Histogram, LastWriters, MicroOp,
     OpClass, RegClass, SimStats,
@@ -281,6 +282,20 @@ impl OooCore {
     /// the skipped delta so every statistic stays bit-identical to
     /// single-stepping.
     pub fn run(&mut self, trace: &mut dyn Iterator<Item = MicroOp>, max_instrs: u64) -> SimStats {
+        self.run_probed(trace, max_instrs, None)
+    }
+
+    /// [`OooCore::run`] with an optional telemetry sink attached. The sink
+    /// is a run parameter, not core state, so snapshots and `Clone` are
+    /// unaffected; with `None` each probe site costs one predictable
+    /// branch and no allocation, and the simulation is bit-identical
+    /// either way.
+    pub fn run_probed(
+        &mut self,
+        trace: &mut dyn Iterator<Item = MicroOp>,
+        max_instrs: u64,
+        mut probe: Option<&mut Telemetry>,
+    ) -> SimStats {
         let cycle_cap = self
             .cycle
             .saturating_add(max_instrs.saturating_mul(2000).max(1_000_000));
@@ -289,7 +304,12 @@ impl OooCore {
         self.trace_done = false;
         while self.stats.committed < max_instrs && self.cycle < cycle_cap {
             let stalls_before = self.stats.stall_counter_snapshot();
-            let progress = self.tick_progress(trace);
+            let progress = self.tick_probed(trace, probe.as_deref_mut());
+            if let Some(t) = probe.as_deref_mut() {
+                if t.metrics_due(self.stats.committed) {
+                    t.record_metrics(&self.metrics_frame());
+                }
+            }
             if self.trace_done && self.fetch_queue.is_empty() && self.rob.is_empty() {
                 break;
             }
@@ -303,7 +323,7 @@ impl OooCore {
 
     /// Advances the pipeline by one cycle.
     pub fn tick(&mut self, trace: &mut dyn Iterator<Item = MicroOp>) {
-        let _ = self.tick_progress(trace);
+        let _ = self.tick_probed(trace, None);
     }
 
     /// Advances the pipeline by one cycle and reports whether any work
@@ -311,18 +331,48 @@ impl OooCore {
     /// completed or committed. A `false` return means the machine state is
     /// unchanged apart from time-gated conditions, so every following cycle
     /// until [`OooCore::next_event`] would be identical.
-    fn tick_progress(&mut self, trace: &mut dyn Iterator<Item = MicroOp>) -> bool {
+    ///
+    /// The telemetry sink observes exactly the work the progress flag
+    /// reports: any stage that can make progress must feed both.
+    fn tick_probed(
+        &mut self,
+        trace: &mut dyn Iterator<Item = MicroOp>,
+        mut probe: Option<&mut Telemetry>,
+    ) -> bool {
         self.cycle += 1;
         self.stats.ticks_executed += 1;
         self.fus.begin_cycle();
         self.ports.begin_cycle();
-        let mut progress = self.do_commit();
-        progress |= self.do_writeback();
+        let mut progress = self.do_commit(probe.as_deref_mut());
+        progress |= self.do_writeback(probe.as_deref_mut());
         progress |= self.do_reinsert();
-        progress |= self.do_issue();
-        progress |= self.do_dispatch();
-        progress |= self.do_fetch(trace);
+        progress |= self.do_issue(probe.as_deref_mut());
+        progress |= self.do_dispatch(probe.as_deref_mut());
+        progress |= self.do_fetch(trace, probe);
         progress
+    }
+
+    /// Snapshot of the occupancies and cumulative counters the interval
+    /// metrics report, taken at a row boundary. The slow lane (KILO) maps
+    /// onto the frame's low-locality-buffer column; the plain baseline has
+    /// neither an LLIB nor an LLBV.
+    fn metrics_frame(&self) -> MetricsFrame {
+        let mut frame = MetricsFrame {
+            cycle: self.cycle,
+            committed: self.stats.committed,
+            rob: self.rob.len() as u64,
+            iq: (self.int_iq.len() + self.fp_iq.len()) as u64,
+            lsq: self.lsq.occupancy() as u64,
+            llib: self.slow_lane.len() as u64,
+            llbv: 0,
+            cond_branches: self.stats.cond_branches,
+            branch_mispredicts: self.stats.branch_mispredicts,
+            ticks_executed: self.stats.ticks_executed,
+            cycles_skipped: self.stats.cycles_skipped,
+            ..MetricsFrame::default()
+        };
+        self.mem.stats().fill_metrics(&mut frame);
+        frame
     }
 
     /// The earliest future cycle (strictly after the current one) at which
@@ -384,7 +434,7 @@ impl OooCore {
     // ------------------------------------------------------------------
     // Commit
     // ------------------------------------------------------------------
-    fn do_commit(&mut self) -> bool {
+    fn do_commit(&mut self, mut probe: Option<&mut Telemetry>) -> bool {
         let mut committed = false;
         for _ in 0..self.params.widths.commit {
             let Some(head) = self.rob.head() else { break };
@@ -400,6 +450,9 @@ impl OooCore {
             }
             self.stats.committed += 1;
             self.stats.high_locality_instrs += 1;
+            if let Some(t) = probe.as_deref_mut() {
+                t.trace_commit(entry.op.seq, self.cycle);
+            }
         }
         committed
     }
@@ -407,7 +460,7 @@ impl OooCore {
     // ------------------------------------------------------------------
     // Writeback / wakeup
     // ------------------------------------------------------------------
-    fn do_writeback(&mut self) -> bool {
+    fn do_writeback(&mut self, mut probe: Option<&mut Telemetry>) -> bool {
         let mut completed = false;
         while let Some(&Reverse((cycle, seq))) = self.completions.peek() {
             if cycle > self.cycle {
@@ -415,12 +468,15 @@ impl OooCore {
             }
             completed = true;
             self.completions.pop();
-            self.complete_instruction(seq);
+            self.complete_instruction(seq, probe.as_deref_mut());
         }
         completed
     }
 
-    fn complete_instruction(&mut self, seq: u64) {
+    fn complete_instruction(&mut self, seq: u64, probe: Option<&mut Telemetry>) {
+        if let Some(t) = probe {
+            t.trace_stage(seq, Stage::Complete, self.cycle);
+        }
         self.long_latency_producers.remove(&seq);
         let (is_cond_branch, taken, predicted, mispredicted, pc) = {
             let Some(entry) = self.rob.get_mut(seq) else {
@@ -516,7 +572,7 @@ impl OooCore {
     // ------------------------------------------------------------------
     // Issue / execute
     // ------------------------------------------------------------------
-    fn do_issue(&mut self) -> bool {
+    fn do_issue(&mut self, mut probe: Option<&mut Telemetry>) -> bool {
         let width = self.params.widths.issue;
         let mut selected = std::mem::take(&mut self.issue_scratch);
         selected.clear();
@@ -527,6 +583,9 @@ impl OooCore {
             .select_into(remaining, &mut self.fus, &mut self.ports, &mut selected);
 
         for &(seq, class) in &selected {
+            if let Some(t) = probe.as_deref_mut() {
+                t.trace_stage(seq, Stage::Issue, self.cycle);
+            }
             self.start_execution(seq, class);
         }
         let issued = !selected.is_empty();
@@ -610,7 +669,7 @@ impl OooCore {
     // ------------------------------------------------------------------
     // Dispatch / rename
     // ------------------------------------------------------------------
-    fn do_dispatch(&mut self) -> bool {
+    fn do_dispatch(&mut self, mut probe: Option<&mut Telemetry>) -> bool {
         let mut dispatched = false;
         for _ in 0..self.params.widths.decode {
             let Some(op) = self.fetch_queue.front() else {
@@ -676,6 +735,9 @@ impl OooCore {
             let op = self.fetch_queue.pop_front().expect("checked non-empty");
             dispatched = true;
             let seq = op.seq;
+            if let Some(t) = probe.as_deref_mut() {
+                t.trace_stage(seq, Stage::Dispatch, self.cycle);
+            }
             let mut entry = RobEntry::new(op, self.cycle, queue_class);
 
             // Wire dependencies.
@@ -737,7 +799,11 @@ impl OooCore {
     // ------------------------------------------------------------------
     // Fetch
     // ------------------------------------------------------------------
-    fn do_fetch(&mut self, trace: &mut dyn Iterator<Item = MicroOp>) -> bool {
+    fn do_fetch(
+        &mut self,
+        trace: &mut dyn Iterator<Item = MicroOp>,
+        mut probe: Option<&mut Telemetry>,
+    ) -> bool {
         if !self.unresolved_mispredicts.is_empty() || self.cycle < self.fetch_resume_at {
             self.stats.mispredict_stall_cycles += 1;
             return false;
@@ -753,6 +819,9 @@ impl OooCore {
                 break;
             };
             self.stats.fetched += 1;
+            if let Some(t) = probe.as_deref_mut() {
+                t.trace_fetch(&op, self.cycle);
+            }
             self.fetch_queue.push_back(op);
             fetched = true;
         }
@@ -778,9 +847,26 @@ pub fn run_baseline_stream(
     stream: &mut dyn Iterator<Item = MicroOp>,
     max_instrs: u64,
 ) -> SimStats {
+    run_baseline_stream_probed(cfg, mem_cfg, stream, max_instrs, None)
+}
+
+/// [`run_baseline_stream`] with an optional telemetry sink attached
+/// (`None` is bit-identical to the plain entry point).
+///
+/// # Panics
+///
+/// Panics if the memory configuration is invalid.
+#[must_use]
+pub fn run_baseline_stream_probed(
+    cfg: &BaselineConfig,
+    mem_cfg: &MemoryHierarchyConfig,
+    stream: &mut dyn Iterator<Item = MicroOp>,
+    max_instrs: u64,
+    probe: Option<&mut Telemetry>,
+) -> SimStats {
     let mem = MemoryHierarchy::new(mem_cfg.clone()).expect("invalid memory configuration");
     let mut core = OooCore::from_baseline(cfg, mem);
-    core.run(stream, max_instrs)
+    core.run_probed(stream, max_instrs, probe)
 }
 
 /// Runs `benchmark` for `max_instrs` committed instructions on the baseline

@@ -43,7 +43,8 @@ pub mod lsq;
 pub mod rob;
 
 pub use crate::core::{
-    run_baseline, run_baseline_stream, CoreParams, CoreSnapshot, OooCore, LONG_LATENCY_THRESHOLD,
+    run_baseline, run_baseline_stream, run_baseline_stream_probed, CoreParams, CoreSnapshot,
+    OooCore, LONG_LATENCY_THRESHOLD,
 };
 pub use fu::{FunctionalUnits, MemPorts};
 pub use iq::IssueQueue;

@@ -34,7 +34,7 @@ use crate::runner::Machine;
 use crate::sampled::{run_sampled, SampledRun};
 use crate::workload::WorkloadStream;
 use dkip_model::config::{BaselineConfig, DkipConfig, KiloConfig, MemoryHierarchyConfig};
-use dkip_model::{SampleConfig, SimStats};
+use dkip_model::{SampleConfig, SimStats, Telemetry};
 use dkip_riscv::{assemble, Emulator, GenConfig, Program, RiscvStream, CODE_BASE};
 
 /// Budget slack granted on top of the oracle's dynamic instruction count,
@@ -78,6 +78,12 @@ pub struct FuzzOptions {
     /// ([`fuzz_sample_rate`]) and hold the final architectural state to the
     /// same oracle.
     pub sampled: bool,
+    /// Whether the exact three-family pass runs with an in-memory telemetry
+    /// sink attached (both backends: interval metrics and the pipeline
+    /// trace). The architectural state and statistics must be identical
+    /// either way — probing is observationally pure — so a `true` here
+    /// turns every differential check into a telemetry-invariance check.
+    pub probed: bool,
 }
 
 impl Default for FuzzOptions {
@@ -87,6 +93,7 @@ impl Default for FuzzOptions {
             step_limit: 2_000_000,
             envelope: true,
             sampled: true,
+            probed: false,
         }
     }
 }
@@ -253,11 +260,19 @@ fn run_family(
     program: &Program,
     step_limit: u64,
     budget: u64,
+    probed: bool,
 ) -> (SimStats, Emulator) {
     let mut emu = Emulator::new(program);
     emu.set_step_limit(step_limit);
     let mut stream = RiscvStream::from_emulator(emu);
-    let stats = machine.simulate_stream(mem, &mut stream, budget);
+    let stats = if probed {
+        // Both backends live, buffered in memory: a dense metrics interval
+        // plus an uncapped-in-practice trace window for fuzz-sized programs.
+        let mut telemetry = Telemetry::buffered(Some(256), Some(1 << 20));
+        machine.simulate_stream_probed(mem, &mut stream, budget, Some(&mut telemetry))
+    } else {
+        machine.simulate_stream(mem, &mut stream, budget)
+    };
     (stats, stream.emulator().clone())
 }
 
@@ -343,7 +358,7 @@ fn check_envelope(program: &Program, step_limit: u64, dynamic_len: u64) -> Resul
     let perfect = MemoryHierarchyConfig::l2_11();
     let budget = dynamic_len + BUDGET_SLACK;
     let machines = fuzz_machines();
-    let (dkip, _) = run_family(&machines[2], &perfect, program, step_limit, budget);
+    let (dkip, _) = run_family(&machines[2], &perfect, program, step_limit, budget, false);
     let err = |msg: String| Err(Mismatch::Envelope(msg));
     if dkip.low_locality_instrs != 0 {
         return err(format!(
@@ -364,7 +379,7 @@ fn check_envelope(program: &Program, step_limit: u64, dynamic_len: u64) -> Resul
         ));
     }
     if dynamic_len >= ENVELOPE_MIN_INSTRS {
-        let (base, _) = run_family(&machines[0], &perfect, program, step_limit, budget);
+        let (base, _) = run_family(&machines[0], &perfect, program, step_limit, budget, false);
         let ratio = dkip.ipc() / base.ipc();
         let (lo, hi) = ENVELOPE_IPC_BAND;
         if !(lo..=hi).contains(&ratio) {
@@ -393,7 +408,14 @@ pub fn check_source(src: &str, opts: &FuzzOptions) -> Result<Agreement, Mismatch
     let budget = dynamic_len + BUDGET_SLACK;
     for machine in &fuzz_machines() {
         let family = machine.family();
-        let (stats, emu) = run_family(machine, &opts.mem, &program, opts.step_limit, budget);
+        let (stats, emu) = run_family(
+            machine,
+            &opts.mem,
+            &program,
+            opts.step_limit,
+            budget,
+            opts.probed,
+        );
         compare_state(family, &oracle, &emu)?;
         if stats.committed != dynamic_len {
             return Err(Mismatch::Committed {
@@ -606,6 +628,24 @@ mod tests {
         // li t0, 6000 expands to two instructions (the constant exceeds a
         // 12-bit immediate), so the prologue is 3 instructions + ecall.
         assert_eq!(agreement.dynamic_len, 4 + 3 * 6_000);
+    }
+
+    #[test]
+    fn the_probed_pass_is_observationally_pure() {
+        // Same program, with and without the in-memory telemetry sink: the
+        // differential machinery itself asserts architectural agreement, so
+        // it only remains to check the dynamic length matches.
+        let src = "li t0, 40\nloop:\n  addi t0, t0, -1\n  bnez t0, loop\necall";
+        let plain = check_source(src, &FuzzOptions::default()).expect("unprobed check agrees");
+        let probed = check_source(
+            src,
+            &FuzzOptions {
+                probed: true,
+                ..FuzzOptions::default()
+            },
+        )
+        .expect("probed check agrees");
+        assert_eq!(plain, probed);
     }
 
     #[test]

@@ -24,11 +24,11 @@ use std::sync::Mutex;
 use std::time::{Duration, Instant};
 
 use crate::workload::Workload;
-use dkip_core::run_dkip_stream;
-use dkip_kilo::run_kilo_stream;
+use dkip_core::run_dkip_stream_probed;
+use dkip_kilo::run_kilo_stream_probed;
 use dkip_model::config::{BaselineConfig, DkipConfig, KiloConfig, MemoryHierarchyConfig};
-use dkip_model::{SampleConfig, SimStats};
-use dkip_ooo::run_baseline_stream;
+use dkip_model::{MetricsConfig, SampleConfig, SimStats, Telemetry};
+use dkip_ooo::run_baseline_stream_probed;
 
 /// Environment variable overriding the worker-pool size.
 pub const THREADS_ENV: &str = "DKIP_THREADS";
@@ -101,10 +101,26 @@ impl Machine {
         stream: &mut dyn Iterator<Item = dkip_model::MicroOp>,
         budget: u64,
     ) -> SimStats {
+        self.simulate_stream_probed(mem, stream, budget, None)
+    }
+
+    /// [`Machine::simulate_stream`] with an optional telemetry sink
+    /// attached. `None` is the exact entry point the plain dispatch takes,
+    /// so a detached probe is bit-identical to not probing at all; a sink
+    /// collects interval metrics and/or a Konata/O3PipeView pipeline trace
+    /// without perturbing the simulated statistics.
+    #[must_use]
+    pub fn simulate_stream_probed(
+        &self,
+        mem: &MemoryHierarchyConfig,
+        stream: &mut dyn Iterator<Item = dkip_model::MicroOp>,
+        budget: u64,
+        probe: Option<&mut Telemetry>,
+    ) -> SimStats {
         match self {
-            Machine::Baseline(cfg) => run_baseline_stream(cfg, mem, stream, budget),
-            Machine::Kilo(cfg) => run_kilo_stream(cfg, mem, stream, budget),
-            Machine::Dkip(cfg) => run_dkip_stream(cfg, mem, stream, budget),
+            Machine::Baseline(cfg) => run_baseline_stream_probed(cfg, mem, stream, budget, probe),
+            Machine::Kilo(cfg) => run_kilo_stream_probed(cfg, mem, stream, budget, probe),
+            Machine::Dkip(cfg) => run_dkip_stream_probed(cfg, mem, stream, budget, probe),
         }
     }
 }
@@ -130,6 +146,13 @@ pub struct Job {
     /// [`Job::new`]; exact mode is the golden reference and stays the
     /// default when the variable is unset.
     pub sample: Option<SampleConfig>,
+    /// Interval-metrics collection, or `None` for an unprobed run (the
+    /// golden reference path). Defaults from the `DKIP_METRICS` environment
+    /// variable in [`Job::new`]. Each job writes to its own file — the
+    /// configured path with a sanitised job tag inserted before the
+    /// extension ([`MetricsConfig::for_job`]) — so sweep outputs never
+    /// collide across workers.
+    pub metrics: Option<MetricsConfig>,
 }
 
 impl Job {
@@ -153,6 +176,7 @@ impl Job {
             budget,
             seed: crate::experiments::SEED,
             sample: SampleConfig::from_env(),
+            metrics: MetricsConfig::from_env(),
         }
     }
 
@@ -178,19 +202,76 @@ impl Job {
         self
     }
 
+    /// Returns a copy with interval-metrics collection enabled, overriding
+    /// the `DKIP_METRICS` default.
+    #[must_use]
+    pub fn with_metrics(mut self, metrics: MetricsConfig) -> Self {
+        self.metrics = Some(metrics);
+        self
+    }
+
+    /// Returns a copy with interval-metrics collection disabled.
+    #[must_use]
+    pub fn unprobed(mut self) -> Self {
+        self.metrics = None;
+        self
+    }
+
+    /// The sanitised tag identifying this job in per-job metrics file
+    /// names (see [`MetricsConfig::for_job`]).
+    #[must_use]
+    pub fn metrics_tag(&self) -> String {
+        format!(
+            "{} {} {} {} {}",
+            self.label,
+            self.machine.family(),
+            self.mem.name,
+            self.workload.name(),
+            self.seed,
+        )
+    }
+
     /// Runs the job on the calling thread.
     ///
     /// Exact jobs simulate every instruction; sampled jobs run through
     /// [`crate::sampled::run_sampled`] and report the window-aggregate
     /// statistics (so `stats.ipc()` is the sampled estimate).
+    ///
+    /// # Panics
+    ///
+    /// Panics when both sampling and interval metrics are requested (the
+    /// fast-forwarded gaps of a sampled run have no cycle-accurate state to
+    /// report), or when a metrics file cannot be written.
     #[must_use]
     pub fn run(&self) -> JobResult {
         let start = Instant::now();
+        assert!(
+            self.sample.is_none() || self.metrics.is_none(),
+            "interval metrics require exact simulation: unset DKIP_SAMPLE or DKIP_METRICS"
+        );
         let (stats, covered) = match &self.sample {
             None => {
-                let stats =
-                    self.machine
-                        .simulate(&self.mem, &self.workload, self.budget, self.seed);
+                let stats = match &self.metrics {
+                    None => {
+                        self.machine
+                            .simulate(&self.mem, &self.workload, self.budget, self.seed)
+                    }
+                    Some(metrics) => {
+                        let per_job = metrics.for_job(&self.metrics_tag());
+                        let mut telemetry = Telemetry::from_configs(Some(&per_job), None);
+                        let mut stream = self.workload.stream(self.seed);
+                        let stats = self.machine.simulate_stream_probed(
+                            &self.mem,
+                            &mut stream,
+                            self.budget,
+                            Some(&mut telemetry),
+                        );
+                        telemetry
+                            .write_files()
+                            .unwrap_or_else(|e| panic!("cannot write {per_job}: {e}"));
+                        stats
+                    }
+                };
                 let covered = stats.committed;
                 (stats, covered)
             }

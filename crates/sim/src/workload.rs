@@ -43,6 +43,51 @@ impl Workload {
         matches!(self, Workload::Riscv(_))
     }
 
+    /// Parses a display name back into a workload — the inverse of
+    /// [`Workload::name`]: a SPEC name (`gcc`), `riscv:<kernel>` (the
+    /// kernel's default size) or `riscv:<kernel>/<size>`.
+    ///
+    /// # Errors
+    ///
+    /// Returns a human-readable message naming the unknown benchmark,
+    /// kernel or malformed size.
+    pub fn parse(name: &str) -> Result<Workload, String> {
+        if let Some(spec) = name.strip_prefix("riscv:") {
+            let (kernel_name, size) = match spec.split_once('/') {
+                None => (spec, None),
+                Some((kernel_name, size)) => {
+                    let parsed = size
+                        .parse::<u64>()
+                        .ok()
+                        .filter(|&n| n > 0)
+                        .ok_or_else(|| format!("invalid kernel size {size:?} in {name:?}"))?;
+                    (kernel_name, Some(parsed))
+                }
+            };
+            let kernel = Kernel::ALL
+                .into_iter()
+                .find(|k| k.name() == kernel_name)
+                .ok_or_else(|| {
+                    format!(
+                        "unknown kernel {kernel_name:?}: expected one of {}",
+                        Kernel::ALL.map(Kernel::name).join(", ")
+                    )
+                })?;
+            Ok(Workload::Riscv(match size {
+                None => kernel.default_run(),
+                Some(size) => KernelRun::new(kernel, size),
+            }))
+        } else {
+            Benchmark::all()
+                .into_iter()
+                .find(|b| b.name() == name)
+                .map(Workload::Spec)
+                .ok_or_else(|| {
+                    format!("unknown workload {name:?}: expected a SPEC name or riscv:<kernel>[/<size>]")
+                })
+        }
+    }
+
     /// Opens the dynamic correct-path [`MicroOp`] stream.
     ///
     /// The `seed` steers the synthetic trace generators; execution-driven
@@ -132,6 +177,28 @@ mod tests {
             Workload::from(KernelRun::new(Kernel::Sieve, 64)).name(),
             "riscv:sieve/64"
         );
+    }
+
+    #[test]
+    fn parse_inverts_name() {
+        for workload in [
+            Workload::from(Benchmark::Gcc),
+            Workload::from(Kernel::Matmul),
+            Workload::from(KernelRun::new(Kernel::Sieve, 64)),
+        ] {
+            assert_eq!(Workload::parse(&workload.name()), Ok(workload));
+        }
+        assert_eq!(
+            Workload::parse("riscv:matmul"),
+            Ok(Workload::from(Kernel::Matmul)),
+            "a bare kernel name takes its default size"
+        );
+        assert!(Workload::parse("gccc").unwrap_err().contains("gccc"));
+        assert!(Workload::parse("riscv:qsort")
+            .unwrap_err()
+            .contains("qsort"));
+        assert!(Workload::parse("riscv:matmul/0").is_err());
+        assert!(Workload::parse("riscv:matmul/big").is_err());
     }
 
     #[test]
