@@ -10,7 +10,10 @@ FIG_BINS = table1 table2_3 fig01_window_specint fig02_window_specfp \
 ## Scratch directory for the trace-smoke artefacts.
 TRACE_SMOKE_DIR = target/trace-smoke
 
-.PHONY: build test doc verify lint bench bench-figures golden bless riscv perf perf-smoke trace-smoke fuzz fuzz-smoke sample-check clean
+## Scratch directory for the cache-check store and outputs.
+CACHE_CHECK_DIR = target/cache-check
+
+.PHONY: build test doc verify lint bench bench-figures golden bless riscv perf perf-smoke trace-smoke cache-check fuzz fuzz-smoke sample-check clean
 
 build:
 	cargo build --release
@@ -91,6 +94,46 @@ trace-smoke: build
 	cmp $(TRACE_SMOKE_DIR)/dkip.csv $(TRACE_SMOKE_DIR)/dkip-again.csv
 	cmp $(TRACE_SMOKE_DIR)/dkip.trace $(TRACE_SMOKE_DIR)/dkip-again.trace
 	@echo "trace-smoke: telemetry validates and is repeat-run byte-identical"
+
+## Result-store acceptance gates, mirrored by the CI cache-check job:
+##  1. full golden matrix ("all") cold then warm against one cache=DIR —
+##     the warm run must recompute zero jobs (expect=warm exits 1
+##     otherwise) and emit byte-identical output (cmp);
+##  2. same contract for one figure binary (fig09);
+##  3. a salt perturbation (DKIP_CACHE_SALT) and a budget perturbation must
+##     both miss the populated store (expect=cold);
+##  4. dkip-sim serve must answer a repeated sweep query from the cache
+##     (hits>0, misses=0 on the repeat) with byte-identical bodies.
+cache-check: build
+	rm -rf $(CACHE_CHECK_DIR) && mkdir -p $(CACHE_CHECK_DIR)
+	./target/release/dkip-sim sweep all cache=$(CACHE_CHECK_DIR)/store expect=cold \
+		> $(CACHE_CHECK_DIR)/sweep-cold.txt
+	./target/release/dkip-sim sweep all cache=$(CACHE_CHECK_DIR)/store expect=warm \
+		> $(CACHE_CHECK_DIR)/sweep-warm.txt
+	cmp $(CACHE_CHECK_DIR)/sweep-cold.txt $(CACHE_CHECK_DIR)/sweep-warm.txt
+	./target/release/fig09_comparison 2000 cache=$(CACHE_CHECK_DIR)/store expect=cold \
+		> $(CACHE_CHECK_DIR)/fig09-cold.txt
+	./target/release/fig09_comparison 2000 cache=$(CACHE_CHECK_DIR)/store expect=warm \
+		> $(CACHE_CHECK_DIR)/fig09-warm.txt
+	cmp $(CACHE_CHECK_DIR)/fig09-cold.txt $(CACHE_CHECK_DIR)/fig09-warm.txt
+	DKIP_CACHE_SALT=cache-check-perturbation ./target/release/dkip-sim sweep kilo \
+		cache=$(CACHE_CHECK_DIR)/store expect=cold > /dev/null
+	./target/release/dkip-sim sweep kilo budget=3999 \
+		cache=$(CACHE_CHECK_DIR)/store expect=cold > /dev/null
+	./target/release/dkip-sim serve socket=$(CACHE_CHECK_DIR)/serve.sock \
+		cache=$(CACHE_CHECK_DIR)/store & \
+	SERVE_PID=$$!; \
+	for i in $$(seq 1 50); do [ -S $(CACHE_CHECK_DIR)/serve.sock ] && break; sleep 0.1; done; \
+	./target/release/dkip-sim query socket=$(CACHE_CHECK_DIR)/serve.sock suite all \
+		> $(CACHE_CHECK_DIR)/query1.txt 2> $(CACHE_CHECK_DIR)/query1.status; \
+	./target/release/dkip-sim query socket=$(CACHE_CHECK_DIR)/serve.sock suite all \
+		> $(CACHE_CHECK_DIR)/query2.txt 2> $(CACHE_CHECK_DIR)/query2.status; \
+	kill $$SERVE_PID; \
+	grep -q " misses=0" $(CACHE_CHECK_DIR)/query2.status || \
+		{ echo "serve recomputed jobs on a repeated query:"; cat $(CACHE_CHECK_DIR)/query2.status; exit 1; }
+	cmp $(CACHE_CHECK_DIR)/query1.txt $(CACHE_CHECK_DIR)/query2.txt
+	cmp $(CACHE_CHECK_DIR)/query1.txt $(CACHE_CHECK_DIR)/sweep-cold.txt
+	@echo "cache-check: warm runs recompute nothing and are byte-identical; perturbations miss; serve answers from cache"
 
 ## Sampled-simulation gates: checkpoint round-trips must be bit-identical
 ## and the sampled IPC estimator must stay inside its error bands (3%

@@ -6,13 +6,15 @@ use dkip_sim::experiments::figure_window_scaling;
 use dkip_trace::Suite;
 fn main() {
     let args = FigureArgs::from_env();
+    let runner = args.runner();
     let windows = BaselineConfig::figure1_window_sizes();
     let fig = figure_window_scaling(
         Suite::Int,
         &args.benchmarks(Suite::Int),
         &windows,
         args.instr_budget(dkip_bench::DEFAULT_BUDGET),
-        &args.runner(),
+        &runner,
     );
     println!("{}", fig.render());
+    args.finish_cache(&runner);
 }

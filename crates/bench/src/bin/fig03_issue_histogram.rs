@@ -5,10 +5,11 @@ use dkip_sim::experiments::figure3_issue_histogram;
 use dkip_trace::Suite;
 fn main() {
     let args = FigureArgs::from_env();
+    let runner = args.runner();
     let hist = figure3_issue_histogram(
         &args.benchmarks(Suite::Fp),
         args.instr_budget(dkip_bench::DEFAULT_BUDGET),
-        &args.runner(),
+        &runner,
     );
     println!("# Figure 3: decode->issue distance distribution (SpecFP, MEM-400, unbounded core)");
     println!("{:>12} {:>10} {:>8}", "distance", "count", "percent");
@@ -25,4 +26,5 @@ fn main() {
         "fraction issuing within 300 cycles: {:.1}%",
         100.0 * hist.fraction_at_most(300)
     );
+    args.finish_cache(&runner);
 }

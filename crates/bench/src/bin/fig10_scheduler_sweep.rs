@@ -5,10 +5,12 @@ use dkip_sim::experiments::figure10_scheduler_sweep;
 use dkip_trace::Suite;
 fn main() {
     let args = FigureArgs::from_env();
+    let runner = args.runner();
     let fig = figure10_scheduler_sweep(
         &args.benchmarks(Suite::Fp),
         args.instr_budget(dkip_bench::DEFAULT_BUDGET),
-        &args.runner(),
+        &runner,
     );
     println!("{}", fig.render());
+    args.finish_cache(&runner);
 }

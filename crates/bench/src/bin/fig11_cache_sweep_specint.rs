@@ -5,12 +5,14 @@ use dkip_sim::figure11_l2_sizes_kb;
 use dkip_trace::Suite;
 fn main() {
     let args = FigureArgs::from_env();
+    let runner = args.runner();
     let fig = figure_cache_sweep(
         Suite::Int,
         &args.benchmarks(Suite::Int),
         &figure11_l2_sizes_kb(),
         args.instr_budget(dkip_bench::DEFAULT_BUDGET),
-        &args.runner(),
+        &runner,
     );
     println!("{}", fig.render());
+    args.finish_cache(&runner);
 }

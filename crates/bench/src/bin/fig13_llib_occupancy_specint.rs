@@ -4,11 +4,13 @@ use dkip_sim::experiments::figure_llib_occupancy;
 use dkip_trace::Suite;
 fn main() {
     let args = FigureArgs::from_env();
+    let runner = args.runner();
     let fig = figure_llib_occupancy(
         Suite::Int,
         &args.benchmarks(Suite::Int),
         args.instr_budget(dkip_bench::DEFAULT_BUDGET),
-        &args.runner(),
+        &runner,
     );
     println!("{}", fig.render());
+    args.finish_cache(&runner);
 }

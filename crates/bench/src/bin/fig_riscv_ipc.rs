@@ -8,6 +8,7 @@ use dkip_bench::FigureArgs;
 use dkip_sim::experiments::{figure_riscv_ipc, riscv_kernel_runs, RISCV_BUDGET};
 fn main() {
     let args = FigureArgs::from_env();
+    let runner = args.runner();
     if args.full_suite {
         eprintln!("'full' selects the full SPEC suite and does not apply to the RISC-V kernels");
         std::process::exit(2);
@@ -15,7 +16,8 @@ fn main() {
     let fig = figure_riscv_ipc(
         &riscv_kernel_runs(),
         args.instr_budget(RISCV_BUDGET),
-        &args.runner(),
+        &runner,
     );
     println!("{}", fig.render());
+    args.finish_cache(&runner);
 }

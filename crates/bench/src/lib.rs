@@ -16,12 +16,17 @@
 //!   `DKIP_THREADS` environment variable, then the host's available
 //!   parallelism), `sample=P:U:W` to regenerate the figure under
 //!   sampled simulation at that `period:warmup:window` rate (default: the
-//!   `DKIP_SAMPLE` environment variable, then exact simulation), and
+//!   `DKIP_SAMPLE` environment variable, then exact simulation),
 //!   `metrics=PATH:INTERVAL` to collect an interval-metrics time series
 //!   per job alongside the figure (default: the `DKIP_METRICS` environment
-//!   variable, then no telemetry). Malformed arguments exit with status 2 —
-//!   an explicitly stated budget, thread count, sampling rate or metrics
-//!   configuration never falls back silently.
+//!   variable, then no telemetry), `cache=DIR` to serve/populate the
+//!   content-addressed result store at that directory (default: the
+//!   `DKIP_CACHE` environment variable, then no caching), and
+//!   `expect=cold|warm` to assert the run's cache behaviour (exit 1 when a
+//!   `cold` run hits or a `warm` run recomputes — see `make cache-check`).
+//!   Malformed arguments exit with status 2 — an explicitly stated budget,
+//!   thread count, sampling rate, metrics configuration or cache directory
+//!   never falls back silently.
 //! * **Telemetry binaries** — `fig_timeseries` runs exactly one
 //!   (family, workload) pair with the interval-metrics and/or per-µop
 //!   pipeline-trace backends attached (`trace=PATH[:OPS]`, Konata /
@@ -38,7 +43,7 @@
 pub mod throughput;
 
 use dkip_model::{MetricsConfig, SampleConfig, TraceConfig, METRICS_ENV, SAMPLE_ENV};
-use dkip_sim::{SweepRunner, Workload};
+use dkip_sim::{ResultStore, SweepRunner, Workload};
 use dkip_trace::{Benchmark, Suite};
 
 /// Default per-benchmark instruction budget for the figure binaries.
@@ -65,6 +70,25 @@ pub struct FigureArgs {
     /// telemetry). Every job of the sweep writes its own time series to the
     /// given path with a per-job tag inserted before the extension.
     pub metrics: Option<MetricsConfig>,
+    /// Explicit result-store directory (`cache=DIR`); `None` defers to the
+    /// `DKIP_CACHE` environment variable (unset: no caching). With a store
+    /// attached, every job of the figure sweep is served from the cache
+    /// when present and written back when not.
+    pub cache: Option<String>,
+    /// Cache-behaviour assertion (`expect=cold|warm`): after the figure is
+    /// rendered, [`FigureArgs::finish_cache`] fails the process (exit 1)
+    /// if a `cold` run hit the cache or a `warm` run recomputed anything.
+    /// Requires a store; `None` asserts nothing.
+    pub expect: Option<CacheExpectation>,
+}
+
+/// What a figure run asserts about its cache behaviour (`expect=`).
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum CacheExpectation {
+    /// Every cacheable job must be computed (zero hits).
+    Cold,
+    /// Every cacheable job must be served from the store (zero misses).
+    Warm,
 }
 
 impl FigureArgs {
@@ -112,6 +136,8 @@ impl FigureArgs {
         let mut threads = None;
         let mut sample = None;
         let mut metrics = None;
+        let mut cache = None;
+        let mut expect = None;
         for arg in args {
             if arg == "full" {
                 full_suite = true;
@@ -140,6 +166,23 @@ impl FigureArgs {
                         return Err(format!(
                             "invalid metrics configuration {v:?}: {err} \
                              (expected metrics=PATH:INTERVAL)"
+                        ))
+                    }
+                }
+            } else if let Some(v) = arg.strip_prefix("cache=") {
+                if v.trim().is_empty() {
+                    return Err(
+                        "invalid cache=: expected cache=DIR with a non-empty directory".to_owned(),
+                    );
+                }
+                cache = Some(v.trim().to_owned());
+            } else if let Some(v) = arg.strip_prefix("expect=") {
+                match v {
+                    "cold" => expect = Some(CacheExpectation::Cold),
+                    "warm" => expect = Some(CacheExpectation::Warm),
+                    _ => {
+                        return Err(format!(
+                            "invalid expectation {v:?}: expected expect=cold or expect=warm"
                         ))
                     }
                 }
@@ -176,6 +219,8 @@ impl FigureArgs {
             threads,
             sample,
             metrics,
+            cache,
+            expect,
         })
     }
 
@@ -186,12 +231,66 @@ impl FigureArgs {
         self.budget.unwrap_or(default)
     }
 
-    /// The sweep runner selected by the command line / environment.
+    /// The sweep runner selected by the command line / environment, with
+    /// the result store attached: an explicit `cache=DIR` wins over the
+    /// `DKIP_CACHE` environment variable; neither means no caching.
+    ///
+    /// # Panics
+    ///
+    /// Exits with status 2 when an explicit `cache=` directory cannot be
+    /// created (the strict-knob contract — an explicitly requested store
+    /// must not be dropped silently); panics when `DKIP_CACHE` is invalid.
     #[must_use]
     pub fn runner(&self) -> SweepRunner {
-        match self.threads {
-            Some(n) => SweepRunner::new(n),
+        let runner = match self.threads {
+            Some(n) => SweepRunner::new(n).with_store_opt(ResultStore::from_env()),
             None => SweepRunner::from_env(),
+        };
+        match &self.cache {
+            None => runner,
+            Some(dir) => match ResultStore::open(dir) {
+                Ok(store) => runner.with_store(store),
+                Err(e) => {
+                    eprintln!("invalid cache={dir:?}: cannot open store: {e}");
+                    std::process::exit(2);
+                }
+            },
+        }
+    }
+
+    /// Reports the figure's cache totals and enforces the `expect=`
+    /// assertion. Call once after rendering, with the same runner every
+    /// sweep of the figure ran through (the attached store's counters are
+    /// process-wide, shared across clones).
+    ///
+    /// Prints a `# cache: …` summary to stderr when a store is attached.
+    /// With `expect=cold` the process exits 1 if anything hit the cache;
+    /// with `expect=warm` it exits 1 if anything was recomputed. An
+    /// `expect=` without a store exits 2 — the assertion would be
+    /// meaningless.
+    pub fn finish_cache(&self, runner: &SweepRunner) {
+        let Some(store) = runner.store() else {
+            if self.expect.is_some() {
+                eprintln!("expect= requires a result store: pass cache=DIR or set DKIP_CACHE");
+                std::process::exit(2);
+            }
+            return;
+        };
+        let (hits, misses) = (store.hits(), store.misses());
+        eprintln!(
+            "# cache: hits={hits} misses={misses} store={}",
+            store.root().display()
+        );
+        match self.expect {
+            Some(CacheExpectation::Cold) if hits > 0 => {
+                eprintln!("error: expected a cold run but {hits} jobs hit the cache");
+                std::process::exit(1);
+            }
+            Some(CacheExpectation::Warm) if misses > 0 => {
+                eprintln!("error: expected a warm run but {misses} jobs were recomputed");
+                std::process::exit(1);
+            }
+            _ => {}
         }
     }
 
@@ -411,6 +510,40 @@ mod tests {
         assert!(parse(&["metrics=ts.csv"]).is_err(), "interval is mandatory");
         assert!(parse(&["metrics=ts.csv:0"]).is_err());
         assert!(parse(&["metrics=:500"]).is_err(), "path must be non-empty");
+    }
+
+    #[test]
+    fn cache_knobs_parse_strictly() {
+        let args = parse(&["cache=target/cc", "expect=warm"]).unwrap();
+        assert_eq!(args.cache.as_deref(), Some("target/cc"));
+        assert_eq!(args.expect, Some(CacheExpectation::Warm));
+        assert_eq!(
+            parse(&["expect=cold"]).unwrap().expect,
+            Some(CacheExpectation::Cold)
+        );
+        assert_eq!(parse(&[]).unwrap().cache, None, "no caching by default");
+        assert_eq!(parse(&[]).unwrap().expect, None);
+        assert!(parse(&["cache="]).is_err());
+        assert!(parse(&["cache=  "]).is_err());
+        assert!(parse(&["expect=lukewarm"]).is_err());
+        assert!(parse(&["expect="]).is_err());
+    }
+
+    #[test]
+    fn explicit_cache_attaches_a_store_to_the_runner() {
+        let dir = std::env::temp_dir().join(format!("dkip-figargs-{}", std::process::id()));
+        let _ = std::fs::remove_dir_all(&dir);
+        let args = parse(&[&format!("cache={}", dir.display()), "threads=2"]).unwrap();
+        let runner = args.runner();
+        assert!(runner.store().is_some());
+        assert_eq!(runner.threads(), 2);
+        // finish_cache without an expectation only reports; it must not exit.
+        args.finish_cache(&runner);
+        assert!(
+            parse(&["threads=2"]).unwrap().runner().store().is_none()
+                || std::env::var("DKIP_CACHE").is_ok()
+        );
+        let _ = std::fs::remove_dir_all(&dir);
     }
 
     #[test]

@@ -38,6 +38,7 @@ pub mod collections;
 pub mod config;
 pub mod error;
 pub mod instr;
+pub mod key;
 pub mod op;
 pub mod reg;
 pub mod stats;
@@ -54,6 +55,7 @@ pub use config::{
 };
 pub use error::ConfigError;
 pub use instr::{BranchInfo, BranchKind, MicroOp};
+pub use key::{fnv1a_128, key_digest, KeyWriter, StableKey};
 pub use op::{FuPool, OpClass};
 pub use reg::{ArchReg, PhysReg, RegClass, FP_ARCH_REGS, INT_ARCH_REGS, TOTAL_ARCH_REGS};
 pub use stats::{Histogram, IpcEstimate, SampleEstimator, SimStats, WindowSample};

@@ -152,6 +152,75 @@ impl Histogram {
             .map(move |(i, c)| (self.bucket_lower_bound(i), *c))
     }
 
+    /// The raw sum of every recorded sample.
+    ///
+    /// [`SimStats::to_kv`] only renders the rounded mean, which cannot be
+    /// inverted exactly; the result store persists this raw sum alongside
+    /// the serialisation so [`Histogram::from_parts`] can reconstruct a
+    /// bit-identical histogram.
+    #[must_use]
+    pub fn sample_sum(&self) -> u128 {
+        self.sum
+    }
+
+    /// Reconstructs a histogram from its serialised parts — the inverse of
+    /// the `issue_latency.*` flattening in [`SimStats::to_kv`], plus the raw
+    /// sample sum from [`Histogram::sample_sum`].
+    ///
+    /// `buckets` lists `(lower_bound, count)` pairs for the non-empty
+    /// regular buckets, exactly as the `issue_latency.buckets=` line stores
+    /// them.
+    ///
+    /// # Errors
+    ///
+    /// Returns a human-readable message when the parts are inconsistent: a
+    /// zero bucket width, a lower bound that is not a multiple of the width
+    /// or beyond `num_buckets`, a duplicate bucket, or a `total` that does
+    /// not equal the bucket counts plus the overflow.
+    pub fn from_parts(
+        bucket_width: u64,
+        num_buckets: usize,
+        buckets: &[(u64, u64)],
+        overflow: u64,
+        total: u64,
+        max: u64,
+        sum: u128,
+    ) -> Result<Histogram, String> {
+        if bucket_width == 0 {
+            return Err("bucket width must be positive".to_owned());
+        }
+        let mut counts = vec![0u64; num_buckets];
+        for &(lower, count) in buckets {
+            if lower % bucket_width != 0 {
+                return Err(format!(
+                    "bucket lower bound {lower} is not a multiple of the width {bucket_width}"
+                ));
+            }
+            let idx = (lower / bucket_width) as usize;
+            let slot = counts
+                .get_mut(idx)
+                .ok_or_else(|| format!("bucket {lower} is beyond num_buckets={num_buckets}"))?;
+            if *slot != 0 {
+                return Err(format!("duplicate bucket at lower bound {lower}"));
+            }
+            *slot = count;
+        }
+        let counted: u64 = counts.iter().sum::<u64>() + overflow;
+        if counted != total {
+            return Err(format!(
+                "total={total} does not match bucket counts + overflow = {counted}"
+            ));
+        }
+        Ok(Histogram {
+            bucket_width,
+            buckets: counts,
+            overflow,
+            total,
+            sum,
+            max,
+        })
+    }
+
     /// Merges another histogram with identical bucketing into this one.
     ///
     /// # Panics
@@ -491,6 +560,186 @@ impl SimStats {
             }
         }
         out
+    }
+
+    /// Parses the [`SimStats::to_kv`] serialisation back into a statistics
+    /// record — the load half of the content-addressed result store.
+    ///
+    /// `histogram_sum` supplies the raw issue-latency sample sum, which
+    /// `to_kv` renders only as a rounded mean (the store persists it in a
+    /// supplementary field); it is ignored when the document carries
+    /// `issue_latency=none`. The parser is strict — every counter line must
+    /// be present exactly once and nothing unknown may appear — and the
+    /// derived `ipc=`/`mispredict_rate=` lines are cross-checked against the
+    /// parsed counters, so a corrupted document fails to parse instead of
+    /// yielding subtly wrong statistics. Callers that need bit-exact
+    /// fidelity additionally compare `from_kv(kv).to_kv()` against the
+    /// original bytes.
+    ///
+    /// # Errors
+    ///
+    /// Returns a human-readable message naming the missing, duplicated,
+    /// malformed or inconsistent line.
+    pub fn from_kv(kv: &str, histogram_sum: u128) -> Result<SimStats, String> {
+        const COUNTERS: [&str; 22] = [
+            "cycles",
+            "committed",
+            "fetched",
+            "cond_branches",
+            "branch_mispredicts",
+            "loads",
+            "stores",
+            "l1_hits",
+            "l2_hits",
+            "mem_accesses",
+            "rob_full_stall_cycles",
+            "mispredict_stall_cycles",
+            "low_locality_instrs",
+            "high_locality_instrs",
+            "analyze_stall_cycles",
+            "llib_full_stall_cycles",
+            "checkpoints_taken",
+            "checkpoint_recoveries",
+            "llib_int_peak_instrs",
+            "llib_fp_peak_instrs",
+            "llrf_int_peak_regs",
+            "llrf_fp_peak_regs",
+        ];
+        let mut counters: [Option<u64>; 22] = [None; 22];
+        let mut derived: [Option<String>; 2] = [None, None];
+        let mut hist: std::collections::BTreeMap<String, String> =
+            std::collections::BTreeMap::new();
+        let mut hist_none = false;
+        for line in kv.lines() {
+            let (key, value) = line
+                .split_once('=')
+                .ok_or_else(|| format!("malformed line {line:?}"))?;
+            if let Some(idx) = COUNTERS.iter().position(|&name| name == key) {
+                if counters[idx].is_some() {
+                    return Err(format!("duplicate counter {key}"));
+                }
+                counters[idx] = Some(
+                    value
+                        .parse::<u64>()
+                        .map_err(|_| format!("counter {key} has non-integer value {value:?}"))?,
+                );
+            } else if key == "ipc" || key == "mispredict_rate" {
+                let idx = usize::from(key == "mispredict_rate");
+                if derived[idx].is_some() {
+                    return Err(format!("duplicate derived field {key}"));
+                }
+                derived[idx] = Some(value.to_owned());
+            } else if key == "issue_latency" {
+                if value != "none" {
+                    return Err(format!("issue_latency must be 'none', got {value:?}"));
+                }
+                hist_none = true;
+            } else if let Some(sub) = key.strip_prefix("issue_latency.") {
+                if hist.insert(sub.to_owned(), value.to_owned()).is_some() {
+                    return Err(format!("duplicate histogram field {key}"));
+                }
+            } else {
+                return Err(format!("unknown field {key}"));
+            }
+        }
+        for (idx, slot) in counters.iter().enumerate() {
+            if slot.is_none() {
+                return Err(format!("missing counter {}", COUNTERS[idx]));
+            }
+        }
+        let get = |name: &str| {
+            counters[COUNTERS.iter().position(|&n| n == name).unwrap()].unwrap_or_default()
+        };
+        let issue_latency = match (hist_none, hist.is_empty()) {
+            (true, true) => None,
+            (true, false) => return Err("both issue_latency=none and histogram fields".to_owned()),
+            (false, true) => return Err("missing issue_latency section".to_owned()),
+            (false, false) => {
+                let mut field = |name: &str| -> Result<String, String> {
+                    hist.remove(name)
+                        .ok_or_else(|| format!("missing histogram field issue_latency.{name}"))
+                };
+                let parse_u64 = |text: &str, name: &str| -> Result<u64, String> {
+                    text.parse::<u64>()
+                        .map_err(|_| format!("histogram field {name} has non-integer value"))
+                };
+                let bucket_width = parse_u64(&field("bucket_width")?, "bucket_width")?;
+                let num_buckets = parse_u64(&field("num_buckets")?, "num_buckets")? as usize;
+                let total = parse_u64(&field("total")?, "total")?;
+                let overflow = parse_u64(&field("overflow")?, "overflow")?;
+                let max = parse_u64(&field("max")?, "max")?;
+                let mean = field("mean")?;
+                let buckets_text = field("buckets")?;
+                if let Some(stray) = hist.keys().next() {
+                    return Err(format!("unknown histogram field issue_latency.{stray}"));
+                }
+                let mut buckets = Vec::new();
+                for pair in buckets_text.split(',').filter(|p| !p.is_empty()) {
+                    let (lower, count) = pair
+                        .split_once(':')
+                        .ok_or_else(|| format!("malformed bucket entry {pair:?}"))?;
+                    buckets.push((parse_u64(lower, "buckets")?, parse_u64(count, "buckets")?));
+                }
+                let hist = Histogram::from_parts(
+                    bucket_width,
+                    num_buckets,
+                    &buckets,
+                    overflow,
+                    total,
+                    max,
+                    histogram_sum,
+                )?;
+                if format!("{:.6}", hist.mean()) != mean {
+                    return Err(format!(
+                        "histogram mean {mean} inconsistent with sum {histogram_sum} over {total} samples"
+                    ));
+                }
+                Some(hist)
+            }
+        };
+        let stats = SimStats {
+            cycles: get("cycles"),
+            committed: get("committed"),
+            fetched: get("fetched"),
+            cond_branches: get("cond_branches"),
+            branch_mispredicts: get("branch_mispredicts"),
+            loads: get("loads"),
+            stores: get("stores"),
+            l1_hits: get("l1_hits"),
+            l2_hits: get("l2_hits"),
+            mem_accesses: get("mem_accesses"),
+            rob_full_stall_cycles: get("rob_full_stall_cycles"),
+            mispredict_stall_cycles: get("mispredict_stall_cycles"),
+            low_locality_instrs: get("low_locality_instrs"),
+            high_locality_instrs: get("high_locality_instrs"),
+            analyze_stall_cycles: get("analyze_stall_cycles"),
+            llib_full_stall_cycles: get("llib_full_stall_cycles"),
+            checkpoints_taken: get("checkpoints_taken"),
+            checkpoint_recoveries: get("checkpoint_recoveries"),
+            llib_int_peak_instrs: get("llib_int_peak_instrs"),
+            llib_fp_peak_instrs: get("llib_fp_peak_instrs"),
+            llrf_int_peak_regs: get("llrf_int_peak_regs"),
+            llrf_fp_peak_regs: get("llrf_fp_peak_regs"),
+            issue_latency,
+            ticks_executed: 0,
+            cycles_skipped: 0,
+        };
+        for (slot, name) in derived.iter().zip(["ipc", "mispredict_rate"]) {
+            let text = slot
+                .as_ref()
+                .ok_or_else(|| format!("missing derived field {name}"))?;
+            let recomputed = if name == "ipc" {
+                stats.ipc()
+            } else {
+                stats.mispredict_rate()
+            };
+            if format!("{recomputed:.6}") != *text {
+                return Err(format!(
+                    "derived field {name}={text} inconsistent with counters ({recomputed:.6})"
+                ));
+            }
+        }
+        Ok(stats)
     }
 }
 
@@ -1009,5 +1258,111 @@ mod tests {
         let mut b = a.clone();
         b.committed += 1; // perturbs both committed= and the derived ipc=
         assert_ne!(a.to_kv(), b.to_kv());
+    }
+
+    #[test]
+    fn from_kv_round_trips_without_histogram() {
+        let stats = SimStats {
+            cycles: 1000,
+            committed: 2500,
+            fetched: 2600,
+            cond_branches: 300,
+            branch_mispredicts: 7,
+            loads: 400,
+            stores: 200,
+            l1_hits: 350,
+            l2_hits: 30,
+            mem_accesses: 20,
+            rob_full_stall_cycles: 11,
+            checkpoints_taken: 3,
+            ..SimStats::default()
+        };
+        let kv = stats.to_kv();
+        let parsed = SimStats::from_kv(&kv, 0).unwrap();
+        assert_eq!(parsed.to_kv(), kv, "round trip must be byte-identical");
+        assert_eq!(parsed.cycles, 1000);
+        assert_eq!(parsed.committed, 2500);
+        assert_eq!(parsed.ticks_executed, 0, "clock telemetry is not persisted");
+    }
+
+    #[test]
+    fn from_kv_round_trips_with_histogram() {
+        let mut hist = Histogram::new(10, 4);
+        hist.record(3);
+        hist.record(27);
+        hist.record(999);
+        let sum = hist.sample_sum();
+        let stats = SimStats {
+            cycles: 123,
+            committed: 456,
+            issue_latency: Some(hist),
+            ..SimStats::default()
+        };
+        let kv = stats.to_kv();
+        let parsed = SimStats::from_kv(&kv, sum).unwrap();
+        assert_eq!(parsed.to_kv(), kv, "round trip must be byte-identical");
+        assert_eq!(parsed.issue_latency.as_ref().unwrap().sample_sum(), sum);
+    }
+
+    #[test]
+    fn from_kv_rejects_corrupted_documents() {
+        let stats = SimStats {
+            cycles: 1000,
+            committed: 2500,
+            ..SimStats::default()
+        };
+        let kv = stats.to_kv();
+        // Truncation drops required fields.
+        let truncated: String = kv.lines().take(5).map(|l| format!("{l}\n")).collect();
+        assert!(SimStats::from_kv(&truncated, 0)
+            .unwrap_err()
+            .contains("missing"));
+        // A tampered counter breaks the derived-field cross-check.
+        let tampered = kv.replace("committed=2500", "committed=2501");
+        assert!(SimStats::from_kv(&tampered, 0)
+            .unwrap_err()
+            .contains("inconsistent"));
+        // Unknown and duplicated fields are rejected outright.
+        assert!(SimStats::from_kv(&format!("{kv}bogus=1\n"), 0)
+            .unwrap_err()
+            .contains("unknown"));
+        assert!(SimStats::from_kv(&format!("{kv}cycles=1000\n"), 0)
+            .unwrap_err()
+            .contains("duplicate"));
+        assert!(SimStats::from_kv("garbage\n", 0)
+            .unwrap_err()
+            .contains("malformed"));
+    }
+
+    #[test]
+    fn from_kv_checks_the_histogram_sum() {
+        let mut hist = Histogram::new(10, 4);
+        hist.record(5);
+        hist.record(15);
+        let stats = SimStats {
+            committed: 2,
+            cycles: 2,
+            issue_latency: Some(hist),
+            ..SimStats::default()
+        };
+        let kv = stats.to_kv();
+        assert!(SimStats::from_kv(&kv, 20).is_ok());
+        assert!(
+            SimStats::from_kv(&kv, 999_999)
+                .unwrap_err()
+                .contains("mean"),
+            "a wrong supplementary sum contradicts the rendered mean"
+        );
+    }
+
+    #[test]
+    fn histogram_from_parts_validates_its_inputs() {
+        assert!(Histogram::from_parts(0, 4, &[], 0, 0, 0, 0).is_err());
+        assert!(Histogram::from_parts(10, 4, &[(5, 1)], 0, 1, 5, 5).is_err());
+        assert!(Histogram::from_parts(10, 4, &[(50, 1)], 0, 1, 55, 55).is_err());
+        assert!(Histogram::from_parts(10, 4, &[(0, 1), (0, 1)], 0, 2, 5, 8).is_err());
+        assert!(Histogram::from_parts(10, 4, &[(0, 1)], 0, 5, 5, 5).is_err());
+        let hist = Histogram::from_parts(10, 4, &[(0, 1), (20, 2)], 1, 4, 99, 150).unwrap();
+        assert_eq!(hist.sample_sum(), 150);
     }
 }

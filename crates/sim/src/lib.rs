@@ -24,6 +24,13 @@
 //!   IPC with a confidence interval (opt-in per [`Job`] or via the
 //!   `DKIP_SAMPLE` environment variable; exact mode stays the golden
 //!   reference),
+//! * [`store`] — the persistent content-addressed result store: every
+//!   cacheable [`Job`] derives a stable config key, and the runner serves
+//!   hits byte-identically instead of re-simulating (`DKIP_CACHE` or the
+//!   `cache=` knob selects the store directory),
+//! * [`service`] — the sweep service behind `dkip-sim serve`: a line
+//!   protocol answering suite/job queries from the store and computing
+//!   only the misses,
 //! * [`golden`] — golden-snapshot comparison for the regression tests under
 //!   `tests/golden/`, with a `DKIP_BLESS=1` regeneration path,
 //! * [`suites`] — the pinned job lists behind those snapshots, shared by the
@@ -46,14 +53,17 @@ pub mod golden;
 pub mod report;
 pub mod runner;
 pub mod sampled;
+pub mod service;
+pub mod store;
 pub mod suites;
 pub mod workload;
 
 pub use dkip_core::{run_dkip, run_dkip_stream};
 pub use dkip_kilo::{run_kilo, run_kilo_stream};
 pub use dkip_ooo::{run_baseline, run_baseline_stream};
-pub use runner::{Job, JobResult, Machine, SweepRunner};
+pub use runner::{Job, JobResult, Machine, SweepReport, SweepRunner};
 pub use sampled::{run_sampled, SampledRun};
+pub use store::{ResultStore, ShardSpec, StoredResult, SweepCheckpoint, CACHE_ENV};
 pub use workload::{Workload, WorkloadStream};
 
 use dkip_model::config::MemoryHierarchyConfig;

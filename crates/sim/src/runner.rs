@@ -19,15 +19,18 @@
 //! explicitly with [`SweepRunner::new`]; `SweepRunner::new(1)` degrades to a
 //! plain serial loop on the caller's thread.
 
-use std::sync::atomic::{AtomicUsize, Ordering};
+use std::sync::atomic::{AtomicU64, AtomicUsize, Ordering};
 use std::sync::Mutex;
 use std::time::{Duration, Instant};
 
+use crate::store::{ResultStore, StoredResult};
 use crate::workload::Workload;
 use dkip_core::run_dkip_stream_probed;
 use dkip_kilo::run_kilo_stream_probed;
-use dkip_model::config::{BaselineConfig, DkipConfig, KiloConfig, MemoryHierarchyConfig};
-use dkip_model::{MetricsConfig, SampleConfig, SimStats, Telemetry};
+use dkip_model::config::{
+    event_clock_enabled, BaselineConfig, DkipConfig, KiloConfig, MemoryHierarchyConfig,
+};
+use dkip_model::{KeyWriter, MetricsConfig, SampleConfig, SimStats, StableKey, Telemetry};
 use dkip_ooo::run_baseline_stream_probed;
 
 /// Environment variable overriding the worker-pool size.
@@ -231,6 +234,74 @@ impl Job {
         )
     }
 
+    /// Renders the canonical key text identifying this simulation point for
+    /// the content-addressed result store (see [`crate::store`]).
+    ///
+    /// The text covers *everything* that determines the statistics: the
+    /// machine family and full configuration, the memory hierarchy, the
+    /// workload name (which fully determines the workload — see
+    /// [`Workload::parse`]), the budget, the seed, the sampling knob and
+    /// the clock mode (`DKIP_NO_SKIP` changes scheduling granularity, so
+    /// event- and step-clock results must never share an entry). The
+    /// `label` is presentation-only and the `metrics` probe makes a job
+    /// uncacheable ([`Job::cacheable`]) rather than part of the key.
+    #[must_use]
+    pub fn key_text(&self) -> String {
+        let mut w = KeyWriter::new();
+        w.field("family", self.machine.family());
+        match &self.machine {
+            Machine::Baseline(cfg) => w.scoped("machine", |w| cfg.write_key(w)),
+            Machine::Kilo(cfg) => w.scoped("machine", |w| cfg.write_key(w)),
+            Machine::Dkip(cfg) => w.scoped("machine", |w| cfg.write_key(w)),
+        }
+        w.scoped("mem", |w| self.mem.write_key(w));
+        w.field("workload", self.workload.name());
+        w.field("budget", self.budget);
+        w.field("seed", self.seed);
+        match &self.sample {
+            None => w.field("sample", "none"),
+            Some(sample) => w.scoped("sample", |w| sample.write_key(w)),
+        }
+        w.field(
+            "clock",
+            if event_clock_enabled() {
+                "event"
+            } else {
+                "step"
+            },
+        );
+        w.finish()
+    }
+
+    /// Whether this job's result may be served from / written to the result
+    /// store. Metrics-probed jobs are excluded: their purpose is the
+    /// telemetry files they write as a side effect, which a cache hit would
+    /// silently skip.
+    #[must_use]
+    pub fn cacheable(&self) -> bool {
+        self.metrics.is_none()
+    }
+
+    /// Builds the [`JobResult`] for a cache hit. The statistics are the
+    /// verified stored document; `wall` is zero because no simulation
+    /// happened (it is metadata, excluded from every serialisation).
+    #[must_use]
+    fn result_from_cache(&self, stored: StoredResult) -> JobResult {
+        JobResult {
+            label: self.label.clone(),
+            machine_name: self.machine.name().to_owned(),
+            family: self.machine.family(),
+            mem_name: self.mem.name.clone(),
+            workload: self.workload,
+            seed: self.seed,
+            budget: self.budget,
+            sample: self.sample,
+            stats: stored.stats,
+            covered: stored.covered,
+            wall: Duration::ZERO,
+        }
+    }
+
     /// Runs the job on the calling thread.
     ///
     /// Exact jobs simulate every instruction; sampled jobs run through
@@ -401,23 +472,50 @@ pub fn mean_ipc_by_label(results: &[JobResult]) -> Vec<(String, f64)> {
         .collect()
 }
 
+/// One sweep's results plus its cache accounting (see
+/// [`SweepRunner::run_report`]).
+#[derive(Debug)]
+pub struct SweepReport {
+    /// The per-job results, in job order.
+    pub results: Vec<JobResult>,
+    /// Jobs served from the result store without simulating.
+    pub hits: u64,
+    /// Jobs that were simulated: cache misses (recomputed and written back)
+    /// when a store is attached, every job otherwise.
+    pub misses: u64,
+    /// Jobs excluded from caching (metrics-probed, see [`Job::cacheable`]).
+    pub uncacheable: u64,
+}
+
+/// Per-job completion callback for [`SweepRunner::run_report_observed`]:
+/// invoked with `(job index, result)` from whichever worker finished the
+/// job, possibly concurrently.
+pub type JobObserver<'a> = &'a (dyn Fn(usize, &JobResult) + Sync);
+
 /// A fixed-size worker pool that runs a [`Job`] list to completion.
 ///
 /// Scheduling is dynamic (workers claim the next unstarted job), but the
 /// result vector is ordered by job index, so the output — and therefore any
 /// golden serialisation derived from it — is identical for every thread
-/// count.
-#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+/// count. When a [`ResultStore`] is attached ([`SweepRunner::with_store`] or
+/// the `DKIP_CACHE` environment variable via [`SweepRunner::from_env`]),
+/// each cacheable job is looked up before simulating and written back on a
+/// miss; because stored entries are verified byte-for-byte on load, a hit
+/// is byte-identical to a recompute, preserving the thread-count invariant.
+#[derive(Debug, Clone)]
 pub struct SweepRunner {
     threads: usize,
+    store: Option<ResultStore>,
 }
 
 impl SweepRunner {
-    /// Creates a runner with exactly `threads` workers (clamped to ≥ 1).
+    /// Creates a runner with exactly `threads` workers (clamped to ≥ 1) and
+    /// no result store.
     #[must_use]
     pub fn new(threads: usize) -> Self {
         SweepRunner {
             threads: threads.max(1),
+            store: None,
         }
     }
 
@@ -428,23 +526,26 @@ impl SweepRunner {
     }
 
     /// Reads the thread count from the `DKIP_THREADS` environment variable,
-    /// falling back to the host's available parallelism when it is unset.
+    /// falling back to the host's available parallelism when it is unset,
+    /// and attaches the result store named by `DKIP_CACHE` (if any).
     ///
     /// # Panics
     ///
-    /// Panics when `DKIP_THREADS` is set but not a positive integer. Like
-    /// the `threads=N` CLI argument, an explicitly stated thread count must
-    /// not fall back silently — a CI job pinning the pool size would
-    /// otherwise run with whatever parallelism the host happens to have.
+    /// Panics when `DKIP_THREADS` is set but not a positive integer, or
+    /// when `DKIP_CACHE` names a directory that cannot be created. Like the
+    /// `threads=N` CLI argument, an explicitly stated knob must not fall
+    /// back silently — a CI job pinning the pool size or cache would
+    /// otherwise run with whatever the host happens to have.
     #[must_use]
     pub fn from_env() -> Self {
-        match std::env::var(THREADS_ENV) {
+        let runner = match std::env::var(THREADS_ENV) {
             Err(_) => Self::new(std::thread::available_parallelism().map_or(1, usize::from)),
             Ok(value) => match Self::parse_threads(&value) {
                 Some(n) => Self::new(n),
                 None => panic!("invalid {THREADS_ENV}={value:?}: expected a positive integer"),
             },
-        }
+        };
+        runner.with_store_opt(ResultStore::from_env())
     }
 
     /// Parses an explicit thread-count string (whitespace-tolerant).
@@ -458,6 +559,34 @@ impl SweepRunner {
         self.threads
     }
 
+    /// Returns a copy with the given result store attached.
+    #[must_use]
+    pub fn with_store(mut self, store: ResultStore) -> Self {
+        self.store = Some(store);
+        self
+    }
+
+    /// Returns a copy with the given (optional) store attached — `None`
+    /// detaches, like [`SweepRunner::without_store`].
+    #[must_use]
+    pub fn with_store_opt(mut self, store: Option<ResultStore>) -> Self {
+        self.store = store;
+        self
+    }
+
+    /// Returns a copy with no result store (every job simulates).
+    #[must_use]
+    pub fn without_store(mut self) -> Self {
+        self.store = None;
+        self
+    }
+
+    /// The attached result store, if any.
+    #[must_use]
+    pub fn store(&self) -> Option<&ResultStore> {
+        self.store.as_ref()
+    }
+
     /// Runs every job and returns the results in job order.
     ///
     /// # Panics
@@ -465,31 +594,108 @@ impl SweepRunner {
     /// Propagates a panic from any simulation job.
     #[must_use]
     pub fn run(&self, jobs: &[Job]) -> Vec<JobResult> {
-        if jobs.is_empty() {
-            return Vec::new();
-        }
-        if self.threads == 1 || jobs.len() == 1 {
-            return jobs.iter().map(Job::run).collect();
-        }
-        let cursor = AtomicUsize::new(0);
-        let slots: Mutex<Vec<Option<JobResult>>> =
-            Mutex::new((0..jobs.len()).map(|_| None).collect());
-        std::thread::scope(|scope| {
-            for _ in 0..self.threads.min(jobs.len()) {
-                scope.spawn(|| loop {
-                    let idx = cursor.fetch_add(1, Ordering::Relaxed);
-                    let Some(job) = jobs.get(idx) else { break };
-                    let result = job.run();
-                    slots.lock().expect("runner poisoned")[idx] = Some(result);
-                });
+        self.run_report(jobs).results
+    }
+
+    /// Runs every job and returns the results together with the sweep's
+    /// cache accounting.
+    ///
+    /// # Panics
+    ///
+    /// Propagates a panic from any simulation job.
+    #[must_use]
+    pub fn run_report(&self, jobs: &[Job]) -> SweepReport {
+        self.run_report_observed(jobs, None)
+    }
+
+    /// [`SweepRunner::run_report`] with an optional per-job completion
+    /// callback, invoked with `(job index, result)` from whichever worker
+    /// finished the job (concurrently — the callback must synchronise its
+    /// own state). `dkip-sim sweep` uses it to checkpoint shard progress at
+    /// job granularity.
+    ///
+    /// # Panics
+    ///
+    /// Propagates a panic from any simulation job or callback.
+    #[must_use]
+    pub fn run_report_observed(
+        &self,
+        jobs: &[Job],
+        on_done: Option<JobObserver<'_>>,
+    ) -> SweepReport {
+        let hits = AtomicU64::new(0);
+        let misses = AtomicU64::new(0);
+        let uncacheable = AtomicU64::new(0);
+        let execute = |idx: usize, job: &Job| -> JobResult {
+            let result = match (&self.store, job.cacheable()) {
+                (Some(store), true) => {
+                    let key = store.key_for_text(&job.key_text());
+                    match store.lookup(&key) {
+                        Some(stored) => {
+                            hits.fetch_add(1, Ordering::Relaxed);
+                            job.result_from_cache(stored)
+                        }
+                        None => {
+                            misses.fetch_add(1, Ordering::Relaxed);
+                            let result = job.run();
+                            if let Err(e) = store.insert(&key, &result.stats, result.covered) {
+                                eprintln!(
+                                    "# dkip-store: cannot write entry {key} in {}: {e}",
+                                    store.root().display()
+                                );
+                            }
+                            result
+                        }
+                    }
+                }
+                (store, _) => {
+                    if store.is_some() {
+                        uncacheable.fetch_add(1, Ordering::Relaxed);
+                    } else {
+                        misses.fetch_add(1, Ordering::Relaxed);
+                    }
+                    job.run()
+                }
+            };
+            if let Some(observe) = on_done {
+                observe(idx, &result);
             }
-        });
-        slots
-            .into_inner()
-            .expect("runner poisoned")
-            .into_iter()
-            .map(|slot| slot.expect("every job slot filled"))
-            .collect()
+            result
+        };
+        let results = if jobs.is_empty() {
+            Vec::new()
+        } else if self.threads == 1 || jobs.len() == 1 {
+            jobs.iter()
+                .enumerate()
+                .map(|(idx, job)| execute(idx, job))
+                .collect()
+        } else {
+            let cursor = AtomicUsize::new(0);
+            let slots: Mutex<Vec<Option<JobResult>>> =
+                Mutex::new((0..jobs.len()).map(|_| None).collect());
+            std::thread::scope(|scope| {
+                for _ in 0..self.threads.min(jobs.len()) {
+                    scope.spawn(|| loop {
+                        let idx = cursor.fetch_add(1, Ordering::Relaxed);
+                        let Some(job) = jobs.get(idx) else { break };
+                        let result = execute(idx, job);
+                        slots.lock().expect("runner poisoned")[idx] = Some(result);
+                    });
+                }
+            });
+            slots
+                .into_inner()
+                .expect("runner poisoned")
+                .into_iter()
+                .map(|slot| slot.expect("every job slot filled"))
+                .collect()
+        };
+        SweepReport {
+            results,
+            hits: hits.into_inner(),
+            misses: misses.into_inner(),
+            uncacheable: uncacheable.into_inner(),
+        }
     }
 
     /// Convenience: runs the jobs and returns only the ordered statistics.
@@ -680,6 +886,102 @@ mod tests {
         let exact = job.exact().run();
         assert!(exact.to_kv().contains("budget=30000]"));
         assert!(exact.stats.committed >= 30_000);
+    }
+
+    #[test]
+    fn cached_sweeps_hit_and_stay_byte_identical() {
+        let dir = std::env::temp_dir().join(format!("dkip-runner-cache-{}", std::process::id()));
+        let _ = std::fs::remove_dir_all(&dir);
+        let store = crate::store::ResultStore::open(&dir).unwrap();
+        let jobs = smoke_jobs();
+        let reference = SweepRunner::new(2).run(&jobs);
+        let cold = SweepRunner::new(2)
+            .with_store(store.clone())
+            .run_report(&jobs);
+        assert_eq!(cold.hits, 0);
+        assert_eq!(cold.misses, 3);
+        assert_eq!(cold.uncacheable, 0);
+        let warm = SweepRunner::new(2).with_store(store).run_report(&jobs);
+        assert_eq!(warm.hits, 3, "warm re-run must not simulate");
+        assert_eq!(warm.misses, 0);
+        assert_eq!(
+            results_to_kv(&warm.results),
+            results_to_kv(&reference),
+            "a cache hit must be byte-identical to a recompute"
+        );
+        assert!(warm.results.iter().all(|r| r.wall == Duration::ZERO));
+        let _ = std::fs::remove_dir_all(&dir);
+    }
+
+    #[test]
+    fn metrics_probed_jobs_bypass_the_store() {
+        let dir = std::env::temp_dir().join(format!("dkip-runner-probe-{}", std::process::id()));
+        let _ = std::fs::remove_dir_all(&dir);
+        let store = crate::store::ResultStore::open(&dir).unwrap();
+        let metrics_file = dir.join("metrics.csv");
+        let job = Job::new(
+            "probed",
+            Machine::Baseline(BaselineConfig::r10_64()),
+            MemoryHierarchyConfig::mem_400(),
+            Benchmark::Gcc,
+            1_000,
+        )
+        .with_metrics(MetricsConfig {
+            path: metrics_file.to_str().unwrap().to_owned(),
+            interval: 200,
+        });
+        assert!(!job.cacheable());
+        let runner = SweepRunner::serial().with_store(store);
+        for _ in 0..2 {
+            let report = runner.run_report(std::slice::from_ref(&job));
+            assert_eq!(report.uncacheable, 1);
+            assert_eq!(report.hits, 0);
+        }
+        let _ = std::fs::remove_dir_all(&dir);
+    }
+
+    #[test]
+    fn key_text_distinguishes_every_axis() {
+        let base = smoke_jobs()[0].clone();
+        let text = base.key_text();
+        assert!(text.starts_with("family=baseline\n"));
+        assert!(text.contains("machine.name=R10-64\n"));
+        assert!(text.contains("mem.name=MEM-400\n"));
+        assert!(text.contains("workload=gcc\n"));
+        assert!(text.contains("sample=none\n"));
+        assert!(text.ends_with("clock=step\n") || text.ends_with("clock=event\n"));
+        let variants = vec![
+            base.clone().with_seed(99),
+            base.clone().with_sample(SampleConfig::default_rate()),
+            Job {
+                budget: base.budget + 1,
+                ..base.clone()
+            },
+            Job {
+                workload: Workload::from(Benchmark::Mesa),
+                ..base.clone()
+            },
+            Job {
+                mem: MemoryHierarchyConfig::l1_2(),
+                ..base.clone()
+            },
+            Job {
+                machine: Machine::Baseline(BaselineConfig::r10_256()),
+                ..base.clone()
+            },
+        ];
+        for variant in &variants {
+            assert_ne!(variant.key_text(), text);
+        }
+        let relabelled = Job {
+            label: "other".into(),
+            ..base.clone()
+        };
+        assert_eq!(
+            relabelled.key_text(),
+            text,
+            "the label is presentation-only"
+        );
     }
 
     #[test]

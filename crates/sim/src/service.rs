@@ -1,0 +1,379 @@
+//! The sweep service: answering simulation queries from the result store.
+//!
+//! `dkip-sim serve` (see `crates/sim/src/bin/dkip_sim.rs`) listens on a
+//! unix or TCP socket and answers sweep/figure queries, serving everything
+//! it can from the content-addressed [`crate::store::ResultStore`] and
+//! computing only the misses. This module is the transport-independent
+//! core: a line-oriented request grammar, the preset name resolvers, and
+//! [`SweepService::answer`], which maps one request line to one response.
+//!
+//! # Protocol
+//!
+//! Requests are a single line:
+//!
+//! * `ping` — liveness check,
+//! * `suite <name> [budget=N]` — run a golden suite (`baseline`, `kilo`,
+//!   `dkip`, `riscv`, `all`, see [`crate::suites::golden_suite_jobs`]),
+//! * `job machine=<preset> mem=<preset> bench=<workload> budget=N`
+//!   `[seed=N] [sample=P:U:W]` — run one simulation point. Machine presets
+//!   are resolved by [`machine_preset`], memory presets by [`mem_preset`],
+//!   workloads by [`crate::Workload::parse`].
+//!
+//! Responses are a status line, a body, then a lone `.` terminator line:
+//!
+//! ```text
+//! ok jobs=<N> hits=<H> misses=<M>
+//! <results_to_kv document>
+//! .
+//! ```
+//!
+//! or `err <message>` followed by `.`. The `hits=`/`misses=` counts are
+//! per-request, so a client can assert "answered from cache" exactly —
+//! `make cache-check` does.
+
+use crate::runner::{results_to_kv, Job, Machine, SweepRunner};
+use crate::suites::golden_suite_jobs;
+use crate::workload::Workload;
+use dkip_model::config::{
+    BaselineConfig, DkipConfig, KiloConfig, MemoryHierarchyConfig, SampleConfig,
+};
+
+/// Resolves a machine preset name: `R10-64`, `R10-256`, `R10-768`,
+/// `UNBOUNDED`, `KILO-1024`, `D-KIP-2048` (the paper default) or
+/// `D-KIP-<n>` for a D-KIP with an `n`-entry LLIB.
+///
+/// # Errors
+///
+/// Returns a human-readable message naming the unknown preset.
+pub fn machine_preset(name: &str) -> Result<Machine, String> {
+    match name {
+        "R10-64" => Ok(Machine::Baseline(BaselineConfig::r10_64())),
+        "R10-256" => Ok(Machine::Baseline(BaselineConfig::r10_256())),
+        "R10-768" => Ok(Machine::Baseline(BaselineConfig::r10_768())),
+        "UNBOUNDED" => Ok(Machine::Baseline(BaselineConfig::unbounded())),
+        "KILO-1024" => Ok(Machine::Kilo(KiloConfig::kilo_1024())),
+        "D-KIP-2048" => Ok(Machine::Dkip(DkipConfig::paper_default())),
+        _ => {
+            if let Some(n) = name.strip_prefix("D-KIP-") {
+                let capacity = n
+                    .parse::<usize>()
+                    .ok()
+                    .filter(|&c| c > 0)
+                    .ok_or_else(|| format!("invalid D-KIP LLIB capacity in {name:?}"))?;
+                return Ok(Machine::Dkip(
+                    DkipConfig::paper_default().with_llib_capacity(capacity),
+                ));
+            }
+            Err(format!(
+                "unknown machine preset {name:?}: expected R10-64, R10-256, R10-768, \
+                 UNBOUNDED, KILO-1024 or D-KIP-<llib entries>"
+            ))
+        }
+    }
+}
+
+/// Resolves a Table 1 memory preset name (`L1-2`, `L2-11`, `L2-21`,
+/// `MEM-100`, `MEM-400`, `MEM-1000`).
+///
+/// # Errors
+///
+/// Returns a human-readable message naming the unknown preset.
+pub fn mem_preset(name: &str) -> Result<MemoryHierarchyConfig, String> {
+    MemoryHierarchyConfig::table1_presets()
+        .into_iter()
+        .find(|preset| preset.name == name)
+        .ok_or_else(|| {
+            format!("unknown memory preset {name:?}: expected a Table 1 row name (e.g. MEM-400)")
+        })
+}
+
+/// One parsed request (see the module docs for the grammar).
+#[derive(Debug, Clone, PartialEq)]
+pub enum Request {
+    /// Liveness check.
+    Ping,
+    /// A golden-suite sweep with an optional budget override.
+    Suite {
+        /// Suite name for [`golden_suite_jobs`].
+        name: String,
+        /// Per-job budget override.
+        budget: Option<u64>,
+    },
+    /// A single simulation point.
+    Job(Box<Job>),
+}
+
+impl Request {
+    /// Parses one request line.
+    ///
+    /// # Errors
+    ///
+    /// Returns a human-readable message for anything outside the grammar.
+    pub fn parse(line: &str) -> Result<Request, String> {
+        let mut words = line.split_whitespace();
+        match words.next() {
+            None => Err("empty request".to_owned()),
+            Some("ping") => match words.next() {
+                None => Ok(Request::Ping),
+                Some(extra) => Err(format!("unexpected argument {extra:?} after ping")),
+            },
+            Some("suite") => {
+                let name = words.next().ok_or("suite requires a name")?.to_owned();
+                let mut budget = None;
+                for word in words {
+                    let value = word
+                        .strip_prefix("budget=")
+                        .ok_or_else(|| format!("unexpected suite argument {word:?}"))?;
+                    let parsed = value
+                        .parse::<u64>()
+                        .ok()
+                        .filter(|&b| b > 0)
+                        .ok_or_else(|| format!("invalid budget {value:?}"))?;
+                    if budget.replace(parsed).is_some() {
+                        return Err("duplicate budget= argument".to_owned());
+                    }
+                }
+                // Resolve eagerly so unknown suites fail at parse time.
+                golden_suite_jobs(&name, None)?;
+                Ok(Request::Suite { name, budget })
+            }
+            Some("job") => {
+                let mut machine = None;
+                let mut mem = None;
+                let mut bench = None;
+                let mut budget = None;
+                let mut seed = None;
+                let mut sample = None;
+                for word in words {
+                    let (key, value) = word
+                        .split_once('=')
+                        .ok_or_else(|| format!("malformed job argument {word:?}"))?;
+                    let duplicate = || format!("duplicate job argument {key}=");
+                    match key {
+                        "machine" => {
+                            if machine.replace(machine_preset(value)?).is_some() {
+                                return Err(duplicate());
+                            }
+                        }
+                        "mem" => {
+                            if mem.replace(mem_preset(value)?).is_some() {
+                                return Err(duplicate());
+                            }
+                        }
+                        "bench" => {
+                            if bench.replace(Workload::parse(value)?).is_some() {
+                                return Err(duplicate());
+                            }
+                        }
+                        "budget" => {
+                            let parsed = value
+                                .parse::<u64>()
+                                .ok()
+                                .filter(|&b| b > 0)
+                                .ok_or_else(|| format!("invalid budget {value:?}"))?;
+                            if budget.replace(parsed).is_some() {
+                                return Err(duplicate());
+                            }
+                        }
+                        "seed" => {
+                            let parsed = value
+                                .parse::<u64>()
+                                .map_err(|_| format!("invalid seed {value:?}"))?;
+                            if seed.replace(parsed).is_some() {
+                                return Err(duplicate());
+                            }
+                        }
+                        "sample" => {
+                            let parsed = SampleConfig::parse(value).map_err(|e| e.to_string())?;
+                            if sample.replace(parsed).is_some() {
+                                return Err(duplicate());
+                            }
+                        }
+                        _ => return Err(format!("unknown job argument {key}=")),
+                    }
+                }
+                let machine = machine.ok_or("job requires machine=")?;
+                let mem = mem.ok_or("job requires mem=")?;
+                let bench = bench.ok_or("job requires bench=")?;
+                let budget = budget.ok_or("job requires budget=")?;
+                let mut job = Job::new("query", machine, mem, bench, budget)
+                    .exact()
+                    .unprobed();
+                if let Some(seed) = seed {
+                    job = job.with_seed(seed);
+                }
+                if let Some(sample) = sample {
+                    job = job.with_sample(sample);
+                }
+                Ok(Request::Job(Box::new(job)))
+            }
+            Some(verb) => Err(format!(
+                "unknown request {verb:?}: expected ping, suite or job"
+            )),
+        }
+    }
+}
+
+/// One rendered response: a status line plus an optional body.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Response {
+    /// The `ok …` / `err …` status line (no trailing newline).
+    pub status: String,
+    /// The response body (already newline-terminated when non-empty).
+    pub body: String,
+}
+
+impl Response {
+    /// Whether the status line reports success.
+    #[must_use]
+    pub fn is_ok(&self) -> bool {
+        self.status.starts_with("ok")
+    }
+
+    /// Renders the full wire form: status line, body, `.` terminator.
+    #[must_use]
+    pub fn render(&self) -> String {
+        format!("{}\n{}.\n", self.status, self.body)
+    }
+}
+
+/// The query-answering core shared by every `dkip-sim serve` connection.
+#[derive(Debug, Clone)]
+pub struct SweepService {
+    runner: SweepRunner,
+}
+
+impl SweepService {
+    /// Creates a service that runs queries through `runner` (whose attached
+    /// store, if any, makes repeated queries near-free).
+    #[must_use]
+    pub fn new(runner: SweepRunner) -> Self {
+        SweepService { runner }
+    }
+
+    /// Answers one request line (see the module docs for the protocol).
+    /// Never panics on malformed input — errors become `err …` responses.
+    #[must_use]
+    pub fn answer(&self, line: &str) -> Response {
+        let request = match Request::parse(line) {
+            Ok(request) => request,
+            Err(message) => {
+                return Response {
+                    status: format!("err {message}"),
+                    body: String::new(),
+                }
+            }
+        };
+        let jobs = match request {
+            Request::Ping => {
+                return Response {
+                    status: "ok pong".to_owned(),
+                    body: String::new(),
+                }
+            }
+            Request::Suite { name, budget } => {
+                golden_suite_jobs(&name, budget).expect("suite name validated at parse time")
+            }
+            Request::Job(job) => vec![*job],
+        };
+        let report = self.runner.run_report(&jobs);
+        Response {
+            status: format!(
+                "ok jobs={} hits={} misses={}",
+                report.results.len(),
+                report.hits,
+                report.misses
+            ),
+            body: results_to_kv(&report.results),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::store::ResultStore;
+
+    fn scratch_store(tag: &str) -> ResultStore {
+        let dir =
+            std::env::temp_dir().join(format!("dkip-service-test-{tag}-{}", std::process::id()));
+        let _ = std::fs::remove_dir_all(&dir);
+        ResultStore::open(dir).unwrap()
+    }
+
+    #[test]
+    fn presets_resolve_and_reject() {
+        assert_eq!(machine_preset("R10-64").unwrap().name(), "R10-64");
+        assert_eq!(machine_preset("KILO-1024").unwrap().name(), "KILO-1024");
+        assert_eq!(machine_preset("D-KIP-2048").unwrap().name(), "D-KIP-2048");
+        assert_eq!(machine_preset("D-KIP-512").unwrap().name(), "D-KIP-512");
+        assert!(machine_preset("D-KIP-0").is_err());
+        assert!(machine_preset("R10-99").is_err());
+        assert_eq!(mem_preset("MEM-400").unwrap().name, "MEM-400");
+        assert_eq!(mem_preset("L1-2").unwrap().name, "L1-2");
+        assert!(mem_preset("MEM-9").is_err());
+    }
+
+    #[test]
+    fn request_grammar_is_strict() {
+        assert_eq!(Request::parse("ping"), Ok(Request::Ping));
+        assert!(Request::parse("ping extra").is_err());
+        assert!(Request::parse("").is_err());
+        assert!(Request::parse("reboot").is_err());
+        assert!(matches!(
+            Request::parse("suite kilo budget=1000"),
+            Ok(Request::Suite {
+                budget: Some(1000),
+                ..
+            })
+        ));
+        assert!(Request::parse("suite bogus").is_err());
+        assert!(Request::parse("suite kilo budget=0").is_err());
+        assert!(Request::parse("suite kilo budget=1 budget=2").is_err());
+        let job =
+            Request::parse("job machine=R10-64 mem=MEM-400 bench=gcc budget=1000 seed=7").unwrap();
+        match job {
+            Request::Job(job) => {
+                assert_eq!(job.seed, 7);
+                assert_eq!(job.budget, 1_000);
+                assert!(job.sample.is_none());
+            }
+            other => panic!("expected a job request, got {other:?}"),
+        }
+        assert!(Request::parse("job machine=R10-64 mem=MEM-400 bench=gcc").is_err());
+        assert!(Request::parse("job machine=R10-64 machine=R10-64").is_err());
+        assert!(Request::parse("job frobnicate=1").is_err());
+    }
+
+    #[test]
+    fn repeated_suite_queries_are_answered_from_the_cache() {
+        let service = SweepService::new(SweepRunner::new(2).with_store(scratch_store("repeat")));
+        let cold = service.answer("suite kilo budget=1500");
+        assert_eq!(cold.status, "ok jobs=3 hits=0 misses=3");
+        let warm = service.answer("suite kilo budget=1500");
+        assert_eq!(
+            warm.status, "ok jobs=3 hits=3 misses=0",
+            "the repeat must not re-simulate"
+        );
+        assert_eq!(warm.body, cold.body, "cached answers are byte-identical");
+        assert!(warm.render().ends_with("\n.\n"));
+    }
+
+    #[test]
+    fn job_queries_and_errors_render() {
+        let service = SweepService::new(SweepRunner::serial().with_store(scratch_store("job")));
+        let first = service.answer("job machine=D-KIP-2048 mem=MEM-400 bench=gcc budget=1500");
+        assert_eq!(first.status, "ok jobs=1 hits=0 misses=1");
+        assert!(first
+            .body
+            .contains("[dkip D-KIP-2048 mem=MEM-400 bench=gcc"));
+        let again = service.answer("job machine=D-KIP-2048 mem=MEM-400 bench=gcc budget=1500");
+        assert_eq!(again.status, "ok jobs=1 hits=1 misses=0");
+        assert_eq!(again.body, first.body);
+        let err = service.answer("job machine=WARP-9 mem=MEM-400 bench=gcc budget=10");
+        assert!(!err.is_ok());
+        assert!(err.status.starts_with("err "));
+        assert!(err.body.is_empty());
+        assert_eq!(service.answer("ping").status, "ok pong");
+    }
+}

@@ -171,6 +171,39 @@ pub fn golden_suites() -> Vec<(&'static str, Vec<Job>)> {
     ]
 }
 
+/// Resolves a sweep name as used by `dkip-sim sweep` and the serve
+/// protocol: one of the golden suites (`baseline`, `kilo`, `dkip`,
+/// `riscv`) or `all` (every suite concatenated in snapshot order). An
+/// optional `budget` overrides every job's instruction budget, so clients
+/// can scale the same matrix up or down without a new job list.
+///
+/// # Errors
+///
+/// Returns a human-readable message naming the unknown suite.
+pub fn golden_suite_jobs(name: &str, budget: Option<u64>) -> Result<Vec<Job>, String> {
+    let mut jobs = match name {
+        "baseline" => golden_baseline_jobs(),
+        "kilo" => golden_kilo_jobs(),
+        "dkip" => golden_dkip_jobs(),
+        "riscv" => golden_riscv_jobs(),
+        "all" => golden_suites()
+            .into_iter()
+            .flat_map(|(_, jobs)| jobs)
+            .collect(),
+        _ => {
+            return Err(format!(
+                "unknown suite {name:?}: expected baseline, kilo, dkip, riscv or all"
+            ))
+        }
+    };
+    if let Some(budget) = budget {
+        for job in &mut jobs {
+            job.budget = budget;
+        }
+    }
+    Ok(jobs)
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -202,6 +235,18 @@ mod tests {
             ]
         );
         assert!(suites.iter().all(|(_, jobs)| !jobs.is_empty()));
+    }
+
+    #[test]
+    fn suite_names_resolve_and_budgets_override() {
+        assert_eq!(golden_suite_jobs("kilo", None).unwrap().len(), 3);
+        let all = golden_suite_jobs("all", None).unwrap();
+        assert_eq!(all.len(), 5 + 3 + 5 + 18);
+        let scaled = golden_suite_jobs("baseline", Some(1_000)).unwrap();
+        assert!(scaled.iter().all(|j| j.budget == 1_000));
+        assert!(golden_suite_jobs("bogus", None)
+            .unwrap_err()
+            .contains("bogus"));
     }
 
     #[test]
