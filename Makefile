@@ -13,7 +13,10 @@ TRACE_SMOKE_DIR = target/trace-smoke
 ## Scratch directory for the cache-check store and outputs.
 CACHE_CHECK_DIR = target/cache-check
 
-.PHONY: build test doc verify lint bench bench-figures golden bless riscv perf perf-smoke trace-smoke cache-check fuzz fuzz-smoke sample-check clean
+## Scratch directory for the chaos-check stores and outputs.
+CHAOS_CHECK_DIR = target/chaos-check
+
+.PHONY: build test doc verify lint bench bench-figures golden bless riscv perf perf-smoke trace-smoke cache-check chaos-check fuzz fuzz-smoke sample-check clean
 
 build:
 	cargo build --release
@@ -134,6 +137,53 @@ cache-check: build
 	cmp $(CACHE_CHECK_DIR)/query1.txt $(CACHE_CHECK_DIR)/query2.txt
 	cmp $(CACHE_CHECK_DIR)/query1.txt $(CACHE_CHECK_DIR)/sweep-cold.txt
 	@echo "cache-check: warm runs recompute nothing and are byte-identical; perturbations miss; serve answers from cache"
+
+## Chaos campaigns, mirrored by the CI chaos-check job. Fault points are
+## armed per process via DKIP_FAULTS=<point>:<rate>:<seed> (see
+## crates/sim/src/chaos.rs), so each CLI invocation below is one sealed
+## campaign. The gates:
+##  1. the chaos/service/store integration suites in release mode;
+##  2. injected job panics: the sweep survives, records the failures,
+##     exits 1 with a summary — and a disarmed re-run over the same store
+##     heals to a fully green, fully warm, byte-identical sweep;
+##  3. the same panic campaign with retries=1 absorbs the firstK faults
+##     in-process and exits green, byte-identical;
+##  4. a store whose every write fails degrades to uncached (exit 0,
+##     byte-identical stdout, nothing cached — expect=cold proves it);
+##  5. a store whose every read fails recomputes everything byte-identically;
+##  6. armed store/metrics faults must not perturb paths that never consult
+##     them: golden snapshots and the fuzz-corpus replay stay green.
+chaos-check: build
+	rm -rf $(CHAOS_CHECK_DIR) && mkdir -p $(CHAOS_CHECK_DIR)
+	cargo test -q --release -p dkip --test chaos --test service_socket --test store
+	./target/release/dkip-sim sweep kilo cache=$(CHAOS_CHECK_DIR)/ref expect=cold \
+		> $(CHAOS_CHECK_DIR)/ref.txt
+	DKIP_FAULTS=job.panic:first2:7 ./target/release/dkip-sim sweep kilo retries=0 \
+		cache=$(CHAOS_CHECK_DIR)/heal > $(CHAOS_CHECK_DIR)/campaign.txt \
+		2> $(CHAOS_CHECK_DIR)/campaign.status; \
+	test $$? -eq 1 || { echo "chaos-check: the panic campaign must exit 1"; exit 1; }
+	grep -q "# sweep failure:" $(CHAOS_CHECK_DIR)/campaign.status || \
+		{ echo "chaos-check: no failure summary:"; cat $(CHAOS_CHECK_DIR)/campaign.status; exit 1; }
+	./target/release/dkip-sim sweep kilo cache=$(CHAOS_CHECK_DIR)/heal \
+		> $(CHAOS_CHECK_DIR)/healed.txt
+	cmp $(CHAOS_CHECK_DIR)/healed.txt $(CHAOS_CHECK_DIR)/ref.txt
+	./target/release/dkip-sim sweep kilo cache=$(CHAOS_CHECK_DIR)/heal expect=warm \
+		> $(CHAOS_CHECK_DIR)/warm.txt
+	cmp $(CHAOS_CHECK_DIR)/warm.txt $(CHAOS_CHECK_DIR)/ref.txt
+	DKIP_FAULTS=job.panic:first2:7 ./target/release/dkip-sim sweep kilo retries=1 \
+		> $(CHAOS_CHECK_DIR)/retried.txt
+	cmp $(CHAOS_CHECK_DIR)/retried.txt $(CHAOS_CHECK_DIR)/ref.txt
+	DKIP_FAULTS=store.write:1:11 ./target/release/dkip-sim sweep kilo \
+		cache=$(CHAOS_CHECK_DIR)/dead-store > $(CHAOS_CHECK_DIR)/degraded.txt
+	cmp $(CHAOS_CHECK_DIR)/degraded.txt $(CHAOS_CHECK_DIR)/ref.txt
+	./target/release/dkip-sim sweep kilo cache=$(CHAOS_CHECK_DIR)/dead-store expect=cold \
+		> /dev/null
+	DKIP_FAULTS=store.read:1:13 ./target/release/dkip-sim sweep kilo \
+		cache=$(CHAOS_CHECK_DIR)/ref > $(CHAOS_CHECK_DIR)/readfault.txt
+	cmp $(CHAOS_CHECK_DIR)/readfault.txt $(CHAOS_CHECK_DIR)/ref.txt
+	DKIP_FAULTS=store.write:1:3,metrics.write:1:5 DKIP_FUZZ_CASES=50 \
+		cargo test -q --release -p dkip --test golden_stats --test corpus_replay
+	@echo "chaos-check: faults isolate, degrade caching not correctness, and heal green"
 
 ## Sampled-simulation gates: checkpoint round-trips must be bit-identical
 ## and the sampled IPC estimator must stay inside its error bands (3%

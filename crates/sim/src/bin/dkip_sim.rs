@@ -4,14 +4,21 @@
 //! (`dkip_sim::store`):
 //!
 //! * `sweep <suite> [budget=N] [threads=N] [cache=DIR] [shard=I/N]
-//!   [expect=cold|warm]` — run a golden suite, serving cached jobs from
-//!   `cache=DIR` (or `DKIP_CACHE`) and checkpointing per-shard progress so
-//!   an interrupted sweep resumes. `expect=` turns the run into an
-//!   assertion: `cold` fails (exit 1) if anything hit, `warm` fails if
-//!   anything recomputed — CI's cache-check contract.
-//! * `serve socket=PATH | listen=ADDR [cache=DIR] [threads=N]` — answer
-//!   sweep/figure queries over a unix or TCP socket (protocol in
-//!   `dkip_sim::service`), computing only cache misses.
+//!   [expect=cold|warm] [retries=N]` — run a golden suite, serving cached
+//!   jobs from `cache=DIR` (or `DKIP_CACHE`) and checkpointing per-shard
+//!   progress so an interrupted sweep resumes. Failed jobs (an isolated
+//!   panic, a metrics-write error) are retried for up to `retries=N`
+//!   extra rounds (default 2) with bounded backoff; jobs still failing
+//!   are summarised on stderr and the sweep exits 1 — without discarding
+//!   the completed work, which is checkpointed and cached. `expect=`
+//!   turns the run into an assertion: `cold` fails (exit 1) if anything
+//!   hit, `warm` fails if anything recomputed — CI's cache-check contract.
+//! * `serve socket=PATH | listen=ADDR [cache=DIR] [threads=N]
+//!   [deadline=MS]` — answer sweep/figure queries over a unix or TCP
+//!   socket (protocol and limits in `dkip_sim::service`), computing only
+//!   cache misses. `deadline=MS` overrides the per-request deadline
+//!   (`0` disables it); the server drains gracefully on the `shutdown`
+//!   verb.
 //! * `query socket=PATH | connect=ADDR <request words…>` — one-shot
 //!   client: sends a request line, prints the status line to stderr and
 //!   the body to stdout, exits non-zero on an `err` response.
@@ -23,20 +30,21 @@ use std::io::{BufRead, BufReader, Read, Write};
 use std::net::{TcpListener, TcpStream};
 use std::os::unix::net::{UnixListener, UnixStream};
 use std::process::ExitCode;
-use std::sync::{Arc, Mutex};
+use std::sync::Mutex;
+use std::time::Duration;
 
-use dkip_sim::runner::results_to_kv;
-use dkip_sim::service::SweepService;
+use dkip_sim::runner::{results_to_kv, JobFailure};
+use dkip_sim::service::{run_server, ServeOptions, SweepService};
 use dkip_sim::store::{ResultStore, ShardSpec, SweepCheckpoint};
 use dkip_sim::suites::golden_suite_jobs;
-use dkip_sim::SweepRunner;
+use dkip_sim::{Job, JobResult, SweepRunner};
 
 const USAGE: &str = "usage: dkip-sim <subcommand>
-  sweep <suite> [budget=N] [threads=N] [cache=DIR] [shard=I/N] [expect=cold|warm]
+  sweep <suite> [budget=N] [threads=N] [cache=DIR] [shard=I/N] [expect=cold|warm] [retries=N]
       suites: baseline | kilo | dkip | riscv | all
-  serve (socket=PATH | listen=ADDR) [cache=DIR] [threads=N]
+  serve (socket=PATH | listen=ADDR) [cache=DIR] [threads=N] [deadline=MS]
   query (socket=PATH | connect=ADDR) <request words...>
-environment: DKIP_CACHE (default store), DKIP_THREADS, DKIP_CACHE_SALT";
+environment: DKIP_CACHE (default store), DKIP_THREADS, DKIP_CACHE_SALT, DKIP_FAULTS";
 
 fn usage_error(message: &str) -> ExitCode {
     eprintln!("error: {message}\n{USAGE}");
@@ -89,6 +97,7 @@ fn cmd_sweep(args: &[String]) -> ExitCode {
     let mut cache = None;
     let mut shard = None;
     let mut expect = None;
+    let mut retries = 2usize;
     for arg in &args[1..] {
         let Some((key, value)) = arg.split_once('=') else {
             return usage_error(&format!("malformed sweep argument {arg:?}"));
@@ -112,6 +121,11 @@ fn cmd_sweep(args: &[String]) -> ExitCode {
                 }
                 _ => Err(format!("invalid expect={value:?}: expected cold or warm")),
             },
+            "retries" => value
+                .trim()
+                .parse::<usize>()
+                .map_err(|_| format!("invalid retries {value:?}: expected an integer >= 0"))
+                .map(|n| retries = n),
             _ => Err(format!("unknown sweep argument {key}=")),
         };
         if let Err(message) = outcome {
@@ -153,38 +167,94 @@ fn cmd_sweep(args: &[String]) -> ExitCode {
     let resumed = checkpoint
         .as_ref()
         .map_or(0, |ckpt| ckpt.lock().expect("checkpoint poisoned").len());
-    let observe = checkpoint.as_ref().map(|ckpt| {
-        move |pos: usize, _result: &dkip_sim::JobResult| {
-            ckpt.lock().expect("checkpoint poisoned").mark(indices[pos]);
+    // Retry loop: round 0 runs everything, later rounds re-run only the
+    // jobs that failed, with bounded backoff between rounds. Results land
+    // in per-shard-position slots so the final output is in job order no
+    // matter which round produced each result; the checkpoint observer
+    // only ever sees successes, so failed jobs are never marked done.
+    let mut slots: Vec<Option<JobResult>> = vec![None; shard_jobs.len()];
+    let mut pending: Vec<usize> = (0..shard_jobs.len()).collect();
+    let mut failures: Vec<JobFailure> = Vec::new();
+    let (mut hits, mut misses, mut uncacheable) = (0u64, 0u64, 0u64);
+    let mut backoff = Duration::from_millis(200);
+    for round in 0..=retries {
+        if pending.is_empty() {
+            break;
         }
-    });
-    let report = runner.run_report_observed(
-        &shard_jobs,
-        observe
-            .as_ref()
-            .map(|f| f as &(dyn Fn(usize, &dkip_sim::JobResult) + Sync)),
-    );
-    print!("{}", results_to_kv(&report.results));
-    eprintln!(
-        "# sweep {suite}: jobs={} hits={} misses={} uncacheable={} resumed={resumed}",
-        report.results.len(),
-        report.hits,
-        report.misses,
-        report.uncacheable,
-    );
-    match expect.as_deref() {
-        Some("cold") if report.hits > 0 => {
+        if round > 0 {
             eprintln!(
-                "error: expected a cold sweep but {} jobs hit the cache",
-                report.hits
+                "# sweep {suite}: retrying {} failed job(s), round {round}/{retries} \
+                 (backoff {}ms)",
+                pending.len(),
+                backoff.as_millis()
             );
+            std::thread::sleep(backoff);
+            backoff = (backoff * 2).min(Duration::from_secs(2));
+        }
+        let round_jobs: Vec<Job> = pending.iter().map(|&pos| shard_jobs[pos].clone()).collect();
+        // Global job indices of this round's jobs, for checkpointing.
+        let global: Vec<usize> = pending.iter().map(|&pos| indices[pos]).collect();
+        let observe = checkpoint.as_ref().map(|ckpt| {
+            let global = &global;
+            move |pos: usize, _result: &JobResult| {
+                ckpt.lock().expect("checkpoint poisoned").mark(global[pos]);
+            }
+        });
+        let report = runner.run_report_observed(
+            &round_jobs,
+            observe
+                .as_ref()
+                .map(|f| f as &(dyn Fn(usize, &JobResult) + Sync)),
+        );
+        hits += report.hits;
+        misses += report.misses;
+        uncacheable += report.uncacheable;
+        let failed: std::collections::BTreeSet<usize> =
+            report.failures.iter().map(|f| f.index).collect();
+        let mut results = report.results.into_iter();
+        let mut still_pending = Vec::new();
+        for (round_pos, &shard_pos) in pending.iter().enumerate() {
+            if failed.contains(&round_pos) {
+                still_pending.push(shard_pos);
+            } else {
+                slots[shard_pos] = Some(results.next().expect("one result per succeeded job"));
+            }
+        }
+        failures = report
+            .failures
+            .into_iter()
+            .map(|mut failure| {
+                failure.index = indices[pending[failure.index]];
+                failure
+            })
+            .collect();
+        pending = still_pending;
+    }
+    let results: Vec<JobResult> = slots.into_iter().flatten().collect();
+    print!("{}", results_to_kv(&results));
+    eprintln!(
+        "# sweep {suite}: jobs={} hits={hits} misses={misses} uncacheable={uncacheable} \
+         resumed={resumed} failures={}",
+        results.len(),
+        failures.len(),
+    );
+    if !failures.is_empty() {
+        for failure in &failures {
+            eprintln!("# sweep failure: {}", failure.render());
+        }
+        eprintln!(
+            "error: {} job(s) still failing after {retries} retry round(s)",
+            failures.len()
+        );
+        return ExitCode::FAILURE;
+    }
+    match expect.as_deref() {
+        Some("cold") if hits > 0 => {
+            eprintln!("error: expected a cold sweep but {hits} jobs hit the cache");
             ExitCode::FAILURE
         }
-        Some("warm") if report.misses > 0 => {
-            eprintln!(
-                "error: expected a warm sweep but {} jobs were recomputed",
-                report.misses
-            );
+        Some("warm") if misses > 0 => {
+            eprintln!("error: expected a warm sweep but {misses} jobs were recomputed");
             ExitCode::FAILURE
         }
         _ => ExitCode::SUCCESS,
@@ -196,6 +266,7 @@ fn cmd_serve(args: &[String]) -> ExitCode {
     let mut listen = None;
     let mut cache = None;
     let mut threads = None;
+    let mut opts = ServeOptions::default();
     for arg in args {
         let Some((key, value)) = arg.split_once('=') else {
             return usage_error(&format!("malformed serve argument {arg:?}"));
@@ -213,6 +284,15 @@ fn cmd_serve(args: &[String]) -> ExitCode {
                 Ok(n) => threads = Some(n as usize),
                 Err(message) => return usage_error(&message),
             },
+            "deadline" => match value.trim().parse::<u64>() {
+                Ok(0) => opts.deadline = None,
+                Ok(ms) => opts.deadline = Some(Duration::from_millis(ms)),
+                Err(_) => {
+                    return usage_error(&format!(
+                        "invalid deadline {value:?}: expected milliseconds (0 disables)"
+                    ))
+                }
+            },
             _ => return usage_error(&format!("unknown serve argument {key}=")),
         }
     }
@@ -220,8 +300,8 @@ fn cmd_serve(args: &[String]) -> ExitCode {
         Ok(runner) => runner,
         Err(message) => return usage_error(&message),
     };
-    let service = Arc::new(SweepService::new(runner));
-    match (socket, listen) {
+    let service = SweepService::new(runner);
+    let served = match (socket, listen) {
         (Some(path), None) => {
             let _ = std::fs::remove_file(&path);
             let listener = match UnixListener::bind(&path) {
@@ -229,7 +309,9 @@ fn cmd_serve(args: &[String]) -> ExitCode {
                 Err(e) => return usage_error(&format!("cannot bind socket={path:?}: {e}")),
             };
             eprintln!("# dkip-sim serve: listening on unix socket {path}");
-            accept_loop(listener.incoming(), &service)
+            let served = run_server(&listener, service, &opts);
+            let _ = std::fs::remove_file(&path);
+            served
         }
         (None, Some(addr)) => {
             let listener = match TcpListener::bind(&addr) {
@@ -240,51 +322,18 @@ fn cmd_serve(args: &[String]) -> ExitCode {
                 "# dkip-sim serve: listening on {}",
                 listener.local_addr().map_or(addr, |a| a.to_string())
             );
-            accept_loop(listener.incoming(), &service)
+            run_server(&listener, service, &opts)
         }
-        _ => usage_error("serve requires exactly one of socket=PATH or listen=ADDR"),
-    }
-}
-
-/// Accepts connections forever, one handler thread per connection.
-fn accept_loop<S: Read + Write + Send + 'static>(
-    incoming: impl Iterator<Item = std::io::Result<S>>,
-    service: &Arc<SweepService>,
-) -> ExitCode {
-    for connection in incoming {
-        match connection {
-            Ok(stream) => {
-                let service = Arc::clone(service);
-                std::thread::spawn(move || handle_connection(stream, &service));
-            }
-            Err(e) => eprintln!("# dkip-sim serve: accept failed: {e}"),
+        _ => return usage_error("serve requires exactly one of socket=PATH or listen=ADDR"),
+    };
+    match served {
+        Ok(()) => {
+            eprintln!("# dkip-sim serve: drained, shutting down");
+            ExitCode::SUCCESS
         }
-    }
-    ExitCode::SUCCESS
-}
-
-/// Answers request lines until the peer closes the connection. I/O errors
-/// drop the connection; they never take the server down.
-fn handle_connection<S: Read + Write>(stream: S, service: &SweepService) {
-    let mut reader = BufReader::new(stream);
-    loop {
-        let mut line = String::new();
-        match reader.read_line(&mut line) {
-            Ok(0) | Err(_) => return,
-            Ok(_) => {}
-        }
-        let request = line.trim_end_matches(['\r', '\n']);
-        if request.is_empty() {
-            continue;
-        }
-        let response = service.answer(request);
-        if reader
-            .get_mut()
-            .write_all(response.render().as_bytes())
-            .and_then(|()| reader.get_mut().flush())
-            .is_err()
-        {
-            return;
+        Err(e) => {
+            eprintln!("error: server failed: {e}");
+            ExitCode::FAILURE
         }
     }
 }

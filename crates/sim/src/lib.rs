@@ -31,6 +31,10 @@
 //! * [`service`] — the sweep service behind `dkip-sim serve`: a line
 //!   protocol answering suite/job queries from the store and computing
 //!   only the misses,
+//! * [`chaos`] — deterministic fault injection (`DKIP_FAULTS`): named
+//!   fault points on the store/runner/service I/O paths that chaos
+//!   campaigns arm to exercise the failure handling, and that cost one
+//!   disarmed branch otherwise,
 //! * [`golden`] — golden-snapshot comparison for the regression tests under
 //!   `tests/golden/`, with a `DKIP_BLESS=1` regeneration path,
 //! * [`suites`] — the pinned job lists behind those snapshots, shared by the
@@ -47,6 +51,7 @@
 #![warn(missing_docs)]
 #![warn(missing_debug_implementations)]
 
+pub mod chaos;
 pub mod experiments;
 pub mod fuzz;
 pub mod golden;
@@ -61,7 +66,7 @@ pub mod workload;
 pub use dkip_core::{run_dkip, run_dkip_stream};
 pub use dkip_kilo::{run_kilo, run_kilo_stream};
 pub use dkip_ooo::{run_baseline, run_baseline_stream};
-pub use runner::{Job, JobResult, Machine, SweepReport, SweepRunner};
+pub use runner::{Job, JobFailure, JobResult, Machine, SweepReport, SweepRunner};
 pub use sampled::{run_sampled, SampledRun};
 pub use store::{ResultStore, ShardSpec, StoredResult, SweepCheckpoint, CACHE_ENV};
 pub use workload::{Workload, WorkloadStream};

@@ -18,11 +18,18 @@
 //! environment variable, defaulting to the available parallelism) or is set
 //! explicitly with [`SweepRunner::new`]; `SweepRunner::new(1)` degrades to a
 //! plain serial loop on the caller's thread.
+//!
+//! Jobs are failure-isolated: each one runs under `catch_unwind`, so a
+//! panicking simulation point becomes a recorded [`JobFailure`] in the
+//! [`SweepReport`] instead of aborting the whole sweep (see the
+//! [`crate::chaos`] fault points that exercise this continuously).
 
+use std::panic::{catch_unwind, AssertUnwindSafe};
 use std::sync::atomic::{AtomicU64, AtomicUsize, Ordering};
 use std::sync::Mutex;
 use std::time::{Duration, Instant};
 
+use crate::chaos::{self, FaultPoint};
 use crate::store::{ResultStore, StoredResult};
 use crate::workload::Workload;
 use dkip_core::run_dkip_stream_probed;
@@ -302,6 +309,21 @@ impl Job {
         }
     }
 
+    /// One-line human description of the simulation point (family,
+    /// machine, memory, workload, seed, budget) used in failure reports.
+    #[must_use]
+    pub fn describe(&self) -> String {
+        format!(
+            "{} {} mem={} bench={} seed={} budget={}",
+            self.machine.family(),
+            self.machine.name(),
+            self.mem.name,
+            self.workload.name(),
+            self.seed,
+            self.budget,
+        )
+    }
+
     /// Runs the job on the calling thread.
     ///
     /// Exact jobs simulate every instruction; sampled jobs run through
@@ -310,16 +332,48 @@ impl Job {
     ///
     /// # Panics
     ///
-    /// Panics when both sampling and interval metrics are requested (the
-    /// fast-forwarded gaps of a sampled run have no cycle-accurate state to
-    /// report), or when a metrics file cannot be written.
+    /// Panics on any [`Job::try_run`] error — a metrics file that cannot
+    /// be written, in practice. Sweep callers go through the runner, which
+    /// records failures instead (see [`SweepReport::failures`]).
     #[must_use]
     pub fn run(&self) -> JobResult {
+        self.try_run()
+            .unwrap_or_else(|e| panic!("job {:?} failed: {e}", self.label))
+    }
+
+    /// Runs the job on the calling thread, reporting recoverable failures
+    /// as an error message instead of panicking.
+    ///
+    /// Today the only recoverable failure is a per-job metrics file that
+    /// cannot be written: the simulation itself is deterministic and
+    /// in-memory. The [`chaos`] fault points `job.panic` (an injected
+    /// panic, exercising the runner's `catch_unwind` isolation) and
+    /// `metrics.write` (an injected write error) both land here.
+    ///
+    /// # Errors
+    ///
+    /// Returns a human-readable message when the per-job metrics file
+    /// cannot be written; the simulated statistics are discarded because
+    /// the job's purpose — the telemetry side effect — did not happen.
+    ///
+    /// # Panics
+    ///
+    /// Panics when both sampling and interval metrics are requested (the
+    /// fast-forwarded gaps of a sampled run have no cycle-accurate state to
+    /// report): that is a configuration error, not a runtime fault.
+    pub fn try_run(&self) -> Result<JobResult, String> {
         let start = Instant::now();
         assert!(
             self.sample.is_none() || self.metrics.is_none(),
             "interval metrics require exact simulation: unset DKIP_SAMPLE or DKIP_METRICS"
         );
+        if chaos::should_fire(FaultPoint::JobPanic) {
+            panic!(
+                "{}: injected job.panic fault ({})",
+                chaos::CHAOS_TAG,
+                self.label
+            );
+        }
         let (stats, covered) = match &self.sample {
             None => {
                 let stats = match &self.metrics {
@@ -337,9 +391,11 @@ impl Job {
                             self.budget,
                             Some(&mut telemetry),
                         );
-                        telemetry
-                            .write_files()
-                            .unwrap_or_else(|e| panic!("cannot write {per_job}: {e}"));
+                        match chaos::fail_io(FaultPoint::MetricsWrite) {
+                            Some(injected) => Err(injected),
+                            None => telemetry.write_files(),
+                        }
+                        .map_err(|e| format!("cannot write {per_job}: {e}"))?;
                         stats
                     }
                 };
@@ -358,7 +414,7 @@ impl Job {
                 (run.to_stats(), run.consumed())
             }
         };
-        JobResult {
+        Ok(JobResult {
             label: self.label.clone(),
             machine_name: self.machine.name().to_owned(),
             family: self.machine.family(),
@@ -370,7 +426,37 @@ impl Job {
             stats,
             covered,
             wall: start.elapsed(),
-        }
+        })
+    }
+}
+
+/// One job that did not produce a result: an isolated panic
+/// (`catch_unwind` around the job, so one poisoned simulation point cannot
+/// abort a thousand-job sweep) or a recoverable [`Job::try_run`] error.
+#[derive(Debug, Clone)]
+pub struct JobFailure {
+    /// The failed job's index in the sweep's job list — the position its
+    /// result would have occupied in [`SweepReport::results`] (later
+    /// results shift up to fill the gap). `dkip-sim sweep` uses it to
+    /// retry exactly the failed points.
+    pub index: usize,
+    /// The failed job's grouping label.
+    pub label: String,
+    /// The failed job's simulation point ([`Job::describe`]).
+    pub job: String,
+    /// What went wrong: the panic payload (rendered via
+    /// [`chaos::panic_message`]) or the [`Job::try_run`] error.
+    pub message: String,
+}
+
+impl JobFailure {
+    /// One-line rendering for failure summaries and `err` responses.
+    #[must_use]
+    pub fn render(&self) -> String {
+        format!(
+            "job {} ({}: {}): {}",
+            self.index, self.label, self.job, self.message
+        )
     }
 }
 
@@ -476,7 +562,9 @@ pub fn mean_ipc_by_label(results: &[JobResult]) -> Vec<(String, f64)> {
 /// [`SweepRunner::run_report`]).
 #[derive(Debug)]
 pub struct SweepReport {
-    /// The per-job results, in job order.
+    /// The per-job results, in job order. Failed jobs are *omitted* (their
+    /// positions are in [`SweepReport::failures`]), so a fully green sweep
+    /// has one result per job and a degraded one has fewer.
     pub results: Vec<JobResult>,
     /// Jobs served from the result store without simulating.
     pub hits: u64,
@@ -485,6 +573,42 @@ pub struct SweepReport {
     pub misses: u64,
     /// Jobs excluded from caching (metrics-probed, see [`Job::cacheable`]).
     pub uncacheable: u64,
+    /// Jobs that panicked or failed recoverably, sorted by job index.
+    /// Empty on a healthy sweep.
+    pub failures: Vec<JobFailure>,
+}
+
+impl SweepReport {
+    /// Whether every job produced a result.
+    #[must_use]
+    pub fn is_complete(&self) -> bool {
+        self.failures.is_empty()
+    }
+
+    /// Unwraps a sweep that must be fully green: returns the ordered
+    /// results, or — when any job failed — prints a per-failure summary to
+    /// stderr and panics with the failure count. This is the exit path of
+    /// the figure binaries (via [`SweepRunner::run`]): a partial figure is
+    /// worse than no figure, but the operator still gets told exactly
+    /// which simulation points died and why.
+    ///
+    /// # Panics
+    ///
+    /// Panics when [`SweepReport::failures`] is non-empty.
+    #[must_use]
+    pub fn expect_complete(self) -> Vec<JobResult> {
+        if self.failures.is_empty() {
+            return self.results;
+        }
+        for failure in &self.failures {
+            eprintln!("# dkip-sweep failure: {}", failure.render());
+        }
+        panic!(
+            "{} of {} sweep jobs failed (summary above)",
+            self.failures.len(),
+            self.failures.len() + self.results.len(),
+        );
+    }
 }
 
 /// Per-job completion callback for [`SweepRunner::run_report_observed`]:
@@ -591,18 +715,22 @@ impl SweepRunner {
     ///
     /// # Panics
     ///
-    /// Propagates a panic from any simulation job.
+    /// Panics (after printing a per-job failure summary to stderr) when any
+    /// job fails — see [`SweepReport::expect_complete`]. Callers that want
+    /// to survive partial failure use [`SweepRunner::run_report`] and
+    /// inspect [`SweepReport::failures`] themselves.
     #[must_use]
     pub fn run(&self, jobs: &[Job]) -> Vec<JobResult> {
-        self.run_report(jobs).results
+        self.run_report(jobs).expect_complete()
     }
 
     /// Runs every job and returns the results together with the sweep's
-    /// cache accounting.
+    /// cache accounting and failure list.
     ///
-    /// # Panics
-    ///
-    /// Propagates a panic from any simulation job.
+    /// Each job runs under `catch_unwind`: a panicking simulation point
+    /// (or a recoverable [`Job::try_run`] error) becomes a recorded
+    /// [`JobFailure`] and the sweep carries on, instead of one bad job
+    /// aborting hours of completed shard work.
     #[must_use]
     pub fn run_report(&self, jobs: &[Job]) -> SweepReport {
         self.run_report_observed(jobs, None)
@@ -611,12 +739,14 @@ impl SweepRunner {
     /// [`SweepRunner::run_report`] with an optional per-job completion
     /// callback, invoked with `(job index, result)` from whichever worker
     /// finished the job (concurrently — the callback must synchronise its
-    /// own state). `dkip-sim sweep` uses it to checkpoint shard progress at
-    /// job granularity.
+    /// own state), and only for jobs that *succeeded* — so `dkip-sim
+    /// sweep`'s checkpoints never mark a failed job done.
     ///
     /// # Panics
     ///
-    /// Propagates a panic from any simulation job or callback.
+    /// Propagates a panic from the callback. Job panics do not propagate:
+    /// they are caught and recorded in [`SweepReport::failures`] (the
+    /// default panic hook still prints the usual trace to stderr first).
     #[must_use]
     pub fn run_report_observed(
         &self,
@@ -626,48 +756,63 @@ impl SweepRunner {
         let hits = AtomicU64::new(0);
         let misses = AtomicU64::new(0);
         let uncacheable = AtomicU64::new(0);
-        let execute = |idx: usize, job: &Job| -> JobResult {
-            let result = match (&self.store, job.cacheable()) {
-                (Some(store), true) => {
-                    let key = store.key_for_text(&job.key_text());
-                    match store.lookup(&key) {
-                        Some(stored) => {
-                            hits.fetch_add(1, Ordering::Relaxed);
-                            job.result_from_cache(stored)
-                        }
-                        None => {
-                            misses.fetch_add(1, Ordering::Relaxed);
-                            let result = job.run();
-                            if let Err(e) = store.insert(&key, &result.stats, result.covered) {
-                                eprintln!(
-                                    "# dkip-store: cannot write entry {key} in {}: {e}",
-                                    store.root().display()
-                                );
+        let failures: Mutex<Vec<JobFailure>> = Mutex::new(Vec::new());
+        let execute = |idx: usize, job: &Job| -> Option<JobResult> {
+            let attempt = catch_unwind(AssertUnwindSafe(|| -> Result<JobResult, String> {
+                match (&self.store, job.cacheable()) {
+                    (Some(store), true) => {
+                        let key = store.key_for_text(&job.key_text());
+                        match store.lookup(&key) {
+                            Some(stored) => {
+                                hits.fetch_add(1, Ordering::Relaxed);
+                                Ok(job.result_from_cache(stored))
                             }
-                            result
+                            None => {
+                                misses.fetch_add(1, Ordering::Relaxed);
+                                let result = job.try_run()?;
+                                // A failed write is not a job failure: the
+                                // result is correct, only uncached. The
+                                // store retries, then logs its own
+                                // degradation notice once.
+                                let _ = store.insert(&key, &result.stats, result.covered);
+                                Ok(result)
+                            }
                         }
                     }
-                }
-                (store, _) => {
-                    if store.is_some() {
-                        uncacheable.fetch_add(1, Ordering::Relaxed);
-                    } else {
-                        misses.fetch_add(1, Ordering::Relaxed);
+                    (store, _) => {
+                        if store.is_some() {
+                            uncacheable.fetch_add(1, Ordering::Relaxed);
+                        } else {
+                            misses.fetch_add(1, Ordering::Relaxed);
+                        }
+                        job.try_run()
                     }
-                    job.run()
                 }
+            }));
+            let message = match attempt {
+                Ok(Ok(result)) => {
+                    if let Some(observe) = on_done {
+                        observe(idx, &result);
+                    }
+                    return Some(result);
+                }
+                Ok(Err(message)) => message,
+                Err(payload) => format!("panicked: {}", chaos::panic_message(payload.as_ref())),
             };
-            if let Some(observe) = on_done {
-                observe(idx, &result);
-            }
-            result
+            failures.lock().expect("runner poisoned").push(JobFailure {
+                index: idx,
+                label: job.label.clone(),
+                job: job.describe(),
+                message,
+            });
+            None
         };
         let results = if jobs.is_empty() {
             Vec::new()
         } else if self.threads == 1 || jobs.len() == 1 {
             jobs.iter()
                 .enumerate()
-                .map(|(idx, job)| execute(idx, job))
+                .filter_map(|(idx, job)| execute(idx, job))
                 .collect()
         } else {
             let cursor = AtomicUsize::new(0);
@@ -679,7 +824,7 @@ impl SweepRunner {
                         let idx = cursor.fetch_add(1, Ordering::Relaxed);
                         let Some(job) = jobs.get(idx) else { break };
                         let result = execute(idx, job);
-                        slots.lock().expect("runner poisoned")[idx] = Some(result);
+                        slots.lock().expect("runner poisoned")[idx] = result;
                     });
                 }
             });
@@ -687,14 +832,17 @@ impl SweepRunner {
                 .into_inner()
                 .expect("runner poisoned")
                 .into_iter()
-                .map(|slot| slot.expect("every job slot filled"))
+                .flatten()
                 .collect()
         };
+        let mut failures = failures.into_inner().expect("runner poisoned");
+        failures.sort_by_key(|f| f.index);
         SweepReport {
             results,
             hits: hits.into_inner(),
             misses: misses.into_inner(),
             uncacheable: uncacheable.into_inner(),
+            failures,
         }
     }
 

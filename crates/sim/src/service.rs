@@ -12,12 +12,18 @@
 //! Requests are a single line:
 //!
 //! * `ping` — liveness check,
+//! * `status` — health endpoint: uptime and the per-process counters
+//!   (requests, errors, panics caught, cache hits/misses),
 //! * `suite <name> [budget=N]` — run a golden suite (`baseline`, `kilo`,
 //!   `dkip`, `riscv`, `all`, see [`crate::suites::golden_suite_jobs`]),
 //! * `job machine=<preset> mem=<preset> bench=<workload> budget=N`
 //!   `[seed=N] [sample=P:U:W]` — run one simulation point. Machine presets
 //!   are resolved by [`machine_preset`], memory presets by [`mem_preset`],
 //!   workloads by [`crate::Workload::parse`].
+//! * `shutdown` — transport-level verb, handled by [`run_server`] rather
+//!   than the request core: replies `ok draining`, stops accepting new
+//!   connections and drains in-flight ones (bounded by
+//!   [`ServeOptions::drain`]).
 //!
 //! Responses are a status line, a body, then a lone `.` terminator line:
 //!
@@ -30,7 +36,43 @@
 //! or `err <message>` followed by `.`. The `hits=`/`misses=` counts are
 //! per-request, so a client can assert "answered from cache" exactly —
 //! `make cache-check` does.
+//!
+//! # Limits and failure isolation
+//!
+//! The server core ([`run_server`] / [`handle_connection`]) enforces:
+//!
+//! * **Request-line cap** — a request line longer than
+//!   [`ServeOptions::max_line`] bytes ([`MAX_REQUEST_LINE`] by default) is
+//!   answered with `err request too long (max N bytes)`; the oversized
+//!   line is discarded and the connection stays usable. The line never
+//!   accumulates in memory past the cap.
+//! * **Per-request deadline** — a request that outlives
+//!   [`ServeOptions::deadline`] is answered with `err timeout …`; the
+//!   abandoned worker thread finishes (and populates the cache) in the
+//!   background, it just no longer owns the connection's answer.
+//! * **Panic isolation** — [`SweepService::answer_caught`] wraps each
+//!   request in `catch_unwind`, so one poisoned query becomes an
+//!   `err internal: request panicked: …` response (and a bumped `panics`
+//!   counter) instead of a dead server. Job-level panics never even reach
+//!   that: the runner records them and the service reports
+//!   `err N of M jobs failed: …`.
+//! * **Graceful drain** — after `shutdown`, accepting stops and in-flight
+//!   connections get [`ServeOptions::drain`] to finish before the server
+//!   returns; idle keep-alive connections are abandoned.
+//!
+//! The [`crate::chaos`] fault points `service.answer` (injected handler
+//! panic) and `service.stall` (injected slow request) exercise the panic
+//! and deadline paths under `make chaos-check`.
 
+use std::io::{self, BufRead, BufReader, Read, Write};
+use std::net::{TcpListener, TcpStream};
+use std::os::unix::net::{UnixListener, UnixStream};
+use std::panic::{catch_unwind, AssertUnwindSafe};
+use std::sync::atomic::{AtomicBool, AtomicU64, AtomicUsize, Ordering};
+use std::sync::{mpsc, Arc};
+use std::time::{Duration, Instant};
+
+use crate::chaos::{self, FaultPoint};
 use crate::runner::{results_to_kv, Job, Machine, SweepRunner};
 use crate::suites::golden_suite_jobs;
 use crate::workload::Workload;
@@ -92,6 +134,8 @@ pub fn mem_preset(name: &str) -> Result<MemoryHierarchyConfig, String> {
 pub enum Request {
     /// Liveness check.
     Ping,
+    /// Health endpoint: uptime and per-process counters.
+    Status,
     /// A golden-suite sweep with an optional budget override.
     Suite {
         /// Suite name for [`golden_suite_jobs`].
@@ -116,6 +160,10 @@ impl Request {
             Some("ping") => match words.next() {
                 None => Ok(Request::Ping),
                 Some(extra) => Err(format!("unexpected argument {extra:?} after ping")),
+            },
+            Some("status") => match words.next() {
+                None => Ok(Request::Status),
+                Some(extra) => Err(format!("unexpected argument {extra:?} after status")),
             },
             Some("suite") => {
                 let name = words.next().ok_or("suite requires a name")?.to_owned();
@@ -208,7 +256,7 @@ impl Request {
                 Ok(Request::Job(Box::new(job)))
             }
             Some(verb) => Err(format!(
-                "unknown request {verb:?}: expected ping, suite or job"
+                "unknown request {verb:?}: expected ping, status, suite or job"
             )),
         }
     }
@@ -237,10 +285,24 @@ impl Response {
     }
 }
 
+/// Uptime counters behind the `status` verb, shared by every clone of one
+/// [`SweepService`] (and therefore by every connection of one server).
+#[derive(Debug)]
+struct ServiceCounters {
+    start: Instant,
+    requests: AtomicU64,
+    errors: AtomicU64,
+    panics: AtomicU64,
+}
+
 /// The query-answering core shared by every `dkip-sim serve` connection.
+///
+/// Cloning is cheap and shares the uptime counters, so per-connection
+/// clones still report per-process totals through the `status` verb.
 #[derive(Debug, Clone)]
 pub struct SweepService {
     runner: SweepRunner,
+    counters: Arc<ServiceCounters>,
 }
 
 impl SweepService {
@@ -248,13 +310,80 @@ impl SweepService {
     /// store, if any, makes repeated queries near-free).
     #[must_use]
     pub fn new(runner: SweepRunner) -> Self {
-        SweepService { runner }
+        SweepService {
+            runner,
+            counters: Arc::new(ServiceCounters {
+                start: Instant::now(),
+                requests: AtomicU64::new(0),
+                errors: AtomicU64::new(0),
+                panics: AtomicU64::new(0),
+            }),
+        }
+    }
+
+    /// Requests answered (ok or err) since the service was created.
+    #[must_use]
+    pub fn requests(&self) -> u64 {
+        self.counters.requests.load(Ordering::Relaxed)
+    }
+
+    /// `err …` responses issued since the service was created (including
+    /// timeouts and caught panics).
+    #[must_use]
+    pub fn errors(&self) -> u64 {
+        self.counters.errors.load(Ordering::Relaxed)
+    }
+
+    /// Request panics caught by [`SweepService::answer_caught`].
+    #[must_use]
+    pub fn panics_caught(&self) -> u64 {
+        self.counters.panics.load(Ordering::Relaxed)
     }
 
     /// Answers one request line (see the module docs for the protocol).
     /// Never panics on malformed input — errors become `err …` responses.
+    /// (A *bug* — or the `service.answer` chaos fault — can still panic;
+    /// server transports go through [`SweepService::answer_caught`].)
     #[must_use]
     pub fn answer(&self, line: &str) -> Response {
+        self.counters.requests.fetch_add(1, Ordering::Relaxed);
+        if chaos::should_fire(FaultPoint::ServiceStall) {
+            // An injected slow request, for exercising the per-request
+            // deadline: long enough to blow a test's short deadline,
+            // short enough not to stall a default-configured server.
+            std::thread::sleep(Duration::from_millis(250));
+        }
+        if chaos::should_fire(FaultPoint::ServiceAnswer) {
+            panic!("{}: injected service.answer fault", chaos::CHAOS_TAG);
+        }
+        let response = self.answer_request(line);
+        if !response.is_ok() {
+            self.counters.errors.fetch_add(1, Ordering::Relaxed);
+        }
+        response
+    }
+
+    /// [`SweepService::answer`] wrapped in `catch_unwind`: a panicking
+    /// request becomes an `err internal: request panicked: …` response
+    /// and a bumped `panics` counter instead of a dead connection thread.
+    #[must_use]
+    pub fn answer_caught(&self, line: &str) -> Response {
+        match catch_unwind(AssertUnwindSafe(|| self.answer(line))) {
+            Ok(response) => response,
+            Err(payload) => {
+                self.counters.panics.fetch_add(1, Ordering::Relaxed);
+                self.counters.errors.fetch_add(1, Ordering::Relaxed);
+                let message = chaos::panic_message(payload.as_ref()).replace('\n', "; ");
+                Response {
+                    status: format!("err internal: request panicked: {message}"),
+                    body: String::new(),
+                }
+            }
+        }
+    }
+
+    /// The un-instrumented request dispatch behind [`SweepService::answer`].
+    fn answer_request(&self, line: &str) -> Response {
         let request = match Request::parse(line) {
             Ok(request) => request,
             Err(message) => {
@@ -271,12 +400,27 @@ impl SweepService {
                     body: String::new(),
                 }
             }
+            Request::Status => return self.status_response(),
             Request::Suite { name, budget } => {
                 golden_suite_jobs(&name, budget).expect("suite name validated at parse time")
             }
             Request::Job(job) => vec![*job],
         };
         let report = self.runner.run_report(&jobs);
+        if !report.failures.is_empty() {
+            // Job panics and recoverable job errors were already isolated
+            // by the runner; report them without pretending partial
+            // results are the answer.
+            let first = report.failures[0].render().replace('\n', "; ");
+            return Response {
+                status: format!(
+                    "err {} of {} jobs failed: {first}",
+                    report.failures.len(),
+                    jobs.len()
+                ),
+                body: String::new(),
+            };
+        }
         Response {
             status: format!(
                 "ok jobs={} hits={} misses={}",
@@ -285,6 +429,308 @@ impl SweepService {
                 report.misses
             ),
             body: results_to_kv(&report.results),
+        }
+    }
+
+    /// Renders the `status` health response. The request counter includes
+    /// the `status` request itself.
+    fn status_response(&self) -> Response {
+        let (cache_hits, cache_misses) = self
+            .runner
+            .store()
+            .map_or((0, 0), |store| (store.hits(), store.misses()));
+        Response {
+            status: format!(
+                "ok uptime_ms={} requests={} errors={} panics={} \
+                 cache_hits={cache_hits} cache_misses={cache_misses}",
+                self.counters.start.elapsed().as_millis(),
+                self.requests(),
+                self.errors(),
+                self.panics_caught(),
+            ),
+            body: String::new(),
+        }
+    }
+}
+
+/// Default cap on one request line, in bytes excluding the newline
+/// (see [`ServeOptions::max_line`]). Generous next to the longest legal
+/// request (~a hundred bytes), tiny next to the unbounded `read_line`
+/// it replaces.
+pub const MAX_REQUEST_LINE: usize = 8192;
+
+/// Server tuning knobs for [`run_server`].
+#[derive(Debug, Clone)]
+pub struct ServeOptions {
+    /// Longest accepted request line in bytes (newline excluded); longer
+    /// lines are answered `err request too long …` and discarded.
+    pub max_line: usize,
+    /// Per-request wall-clock deadline: a slower answer is replaced by
+    /// `err timeout …` and the worker is abandoned to finish in the
+    /// background. `None` disables the deadline (and the per-request
+    /// worker thread it requires).
+    pub deadline: Option<Duration>,
+    /// How long `shutdown` waits for in-flight connections before the
+    /// server returns anyway.
+    pub drain: Duration,
+}
+
+impl Default for ServeOptions {
+    /// 8 KiB lines, a 10-minute request deadline (a paper-scale suite at
+    /// CI budgets answers in seconds; ten minutes only reaps the
+    /// genuinely wedged), a 5-second drain.
+    fn default() -> Self {
+        ServeOptions {
+            max_line: MAX_REQUEST_LINE,
+            deadline: Some(Duration::from_secs(600)),
+            drain: Duration::from_secs(5),
+        }
+    }
+}
+
+/// A non-blocking connection acceptor: the transport half of
+/// [`run_server`], implemented for [`TcpListener`] and [`UnixListener`].
+pub trait Acceptor {
+    /// One accepted connection.
+    type Conn: Read + Write + Send + 'static;
+
+    /// Switches the listener between blocking and polling mode.
+    ///
+    /// # Errors
+    ///
+    /// Returns the underlying socket error.
+    fn set_nonblocking(&self, nonblocking: bool) -> io::Result<()>;
+
+    /// Accepts one pending connection; `Ok(None)` when none is waiting
+    /// (the listener is non-blocking).
+    ///
+    /// # Errors
+    ///
+    /// Returns accept errors other than `WouldBlock`.
+    fn try_accept(&self) -> io::Result<Option<Self::Conn>>;
+}
+
+impl Acceptor for TcpListener {
+    type Conn = TcpStream;
+
+    fn set_nonblocking(&self, nonblocking: bool) -> io::Result<()> {
+        TcpListener::set_nonblocking(self, nonblocking)
+    }
+
+    fn try_accept(&self) -> io::Result<Option<TcpStream>> {
+        match self.accept() {
+            Ok((stream, _peer)) => Ok(Some(stream)),
+            Err(e) if e.kind() == io::ErrorKind::WouldBlock => Ok(None),
+            Err(e) => Err(e),
+        }
+    }
+}
+
+impl Acceptor for UnixListener {
+    type Conn = UnixStream;
+
+    fn set_nonblocking(&self, nonblocking: bool) -> io::Result<()> {
+        UnixListener::set_nonblocking(self, nonblocking)
+    }
+
+    fn try_accept(&self) -> io::Result<Option<UnixStream>> {
+        match self.accept() {
+            Ok((stream, _peer)) => Ok(Some(stream)),
+            Err(e) if e.kind() == io::ErrorKind::WouldBlock => Ok(None),
+            Err(e) => Err(e),
+        }
+    }
+}
+
+/// Decrements the active-connection count when a handler thread exits,
+/// however it exits.
+struct ActiveGuard(Arc<AtomicUsize>);
+
+impl Drop for ActiveGuard {
+    fn drop(&mut self) {
+        self.0.fetch_sub(1, Ordering::AcqRel);
+    }
+}
+
+/// Accepts connections until a client sends `shutdown`, then drains.
+///
+/// One detached handler thread per connection (so drain can time out on
+/// idle keep-alive peers instead of joining them forever); each handler
+/// answers through [`SweepService::answer_caught`] under the limits in
+/// `opts`. Accept errors are logged and the loop continues — a transient
+/// `EMFILE` must not kill a server holding a warm cache.
+///
+/// # Errors
+///
+/// Returns the socket error when the listener cannot be switched to
+/// non-blocking mode — before any request is served.
+pub fn run_server<A: Acceptor>(
+    listener: &A,
+    service: SweepService,
+    opts: &ServeOptions,
+) -> io::Result<()> {
+    listener.set_nonblocking(true)?;
+    let service = Arc::new(service);
+    let shutdown = Arc::new(AtomicBool::new(false));
+    let active = Arc::new(AtomicUsize::new(0));
+    while !shutdown.load(Ordering::Acquire) {
+        match listener.try_accept() {
+            Ok(Some(conn)) => {
+                active.fetch_add(1, Ordering::AcqRel);
+                let guard = ActiveGuard(Arc::clone(&active));
+                let service = Arc::clone(&service);
+                let shutdown = Arc::clone(&shutdown);
+                let opts = opts.clone();
+                std::thread::spawn(move || {
+                    let _guard = guard;
+                    handle_connection(conn, &service, &opts, &shutdown);
+                });
+            }
+            Ok(None) => std::thread::sleep(Duration::from_millis(10)),
+            Err(e) => {
+                eprintln!("# dkip-sim serve: accept failed: {e}");
+                std::thread::sleep(Duration::from_millis(100));
+            }
+        }
+    }
+    let drain_until = Instant::now() + opts.drain;
+    while active.load(Ordering::Acquire) > 0 && Instant::now() < drain_until {
+        std::thread::sleep(Duration::from_millis(10));
+    }
+    let abandoned = active.load(Ordering::Acquire);
+    if abandoned > 0 {
+        eprintln!("# dkip-sim serve: drain timed out, abandoning {abandoned} connection(s)");
+    }
+    Ok(())
+}
+
+/// One `read_request_line` outcome.
+enum LineOutcome {
+    /// A complete request line (terminator stripped).
+    Line(String),
+    /// The line exceeded the cap; the remainder was discarded and the
+    /// connection is resynchronised on the next line.
+    TooLong,
+    /// Peer closed the connection (including mid-line) or the read
+    /// failed: drop the connection.
+    Closed,
+}
+
+/// Reads one newline-terminated request line without ever buffering more
+/// than `max` bytes of it.
+fn read_request_line<R: BufRead>(reader: &mut R, max: usize) -> LineOutcome {
+    let mut line = String::new();
+    match reader.take(max as u64 + 1).read_line(&mut line) {
+        Err(_) | Ok(0) => LineOutcome::Closed,
+        Ok(n) => {
+            if line.ends_with('\n') {
+                LineOutcome::Line(line.trim_end_matches(['\r', '\n']).to_owned())
+            } else if n > max {
+                // Over the cap with no newline in sight: flush the rest of
+                // the oversized line so the next request parses cleanly.
+                if discard_to_newline(reader) {
+                    LineOutcome::TooLong
+                } else {
+                    LineOutcome::Closed
+                }
+            } else {
+                // EOF mid-line: the peer disconnected mid-request.
+                LineOutcome::Closed
+            }
+        }
+    }
+}
+
+/// Consumes input up to and including the next newline; `false` on EOF or
+/// error (nothing left to resynchronise on).
+fn discard_to_newline<R: BufRead>(reader: &mut R) -> bool {
+    loop {
+        let (consumed, done) = match reader.fill_buf() {
+            Err(_) => return false,
+            Ok([]) => return false,
+            Ok(buf) => match buf.iter().position(|&b| b == b'\n') {
+                Some(pos) => (pos + 1, true),
+                None => (buf.len(), false),
+            },
+        };
+        reader.consume(consumed);
+        if done {
+            return true;
+        }
+    }
+}
+
+/// Answers request lines until the peer closes the connection or sends
+/// `shutdown`. I/O errors drop the connection; they never take the server
+/// down. See the module docs for the limits enforced here.
+pub fn handle_connection<C: Read + Write>(
+    conn: C,
+    service: &SweepService,
+    opts: &ServeOptions,
+    shutdown: &AtomicBool,
+) {
+    let mut reader = BufReader::new(conn);
+    loop {
+        let response = match read_request_line(&mut reader, opts.max_line) {
+            LineOutcome::Closed => return,
+            LineOutcome::TooLong => Response {
+                status: format!("err request too long (max {} bytes)", opts.max_line),
+                body: String::new(),
+            },
+            LineOutcome::Line(line) if line.is_empty() => continue,
+            LineOutcome::Line(line) if line == "shutdown" => {
+                shutdown.store(true, Ordering::Release);
+                let reply = Response {
+                    status: "ok draining".to_owned(),
+                    body: String::new(),
+                };
+                let _ = reader
+                    .get_mut()
+                    .write_all(reply.render().as_bytes())
+                    .and_then(|()| reader.get_mut().flush());
+                return;
+            }
+            LineOutcome::Line(line) => answer_with_deadline(service, &line, opts.deadline),
+        };
+        if reader
+            .get_mut()
+            .write_all(response.render().as_bytes())
+            .and_then(|()| reader.get_mut().flush())
+            .is_err()
+        {
+            return;
+        }
+    }
+}
+
+/// Runs one request under the optional deadline: on time-out the worker
+/// thread is abandoned (it finishes — and warms the cache — in the
+/// background) and the connection gets `err timeout …` instead.
+fn answer_with_deadline(
+    service: &SweepService,
+    line: &str,
+    deadline: Option<Duration>,
+) -> Response {
+    let Some(deadline) = deadline else {
+        return service.answer_caught(line);
+    };
+    let (send, recv) = mpsc::channel();
+    let worker_service = service.clone();
+    let request = line.to_owned();
+    std::thread::spawn(move || {
+        let _ = send.send(worker_service.answer_caught(&request));
+    });
+    match recv.recv_timeout(deadline) {
+        Ok(response) => response,
+        Err(_) => {
+            service.counters.errors.fetch_add(1, Ordering::Relaxed);
+            Response {
+                status: format!(
+                    "err timeout: request exceeded {} ms (abandoned)",
+                    deadline.as_millis()
+                ),
+                body: String::new(),
+            }
         }
     }
 }
@@ -375,5 +821,58 @@ mod tests {
         assert!(err.status.starts_with("err "));
         assert!(err.body.is_empty());
         assert_eq!(service.answer("ping").status, "ok pong");
+    }
+
+    #[test]
+    fn status_reports_the_shared_counters() {
+        let service = SweepService::new(SweepRunner::serial());
+        assert_eq!(service.answer("ping").status, "ok pong");
+        assert!(!service.answer("reboot").is_ok());
+        // Per-connection clones share the counters, like server threads do.
+        let status = service.clone().answer("status");
+        assert!(status.is_ok(), "status: {}", status.status);
+        for field in [
+            "requests=3",
+            "errors=1",
+            "panics=0",
+            "cache_hits=0",
+            "cache_misses=0",
+        ] {
+            assert!(
+                status.status.contains(field),
+                "missing {field} in {}",
+                status.status
+            );
+        }
+        assert!(status.status.contains("uptime_ms="));
+        assert!(status.body.is_empty());
+        assert!(Request::parse("status extra").is_err());
+    }
+
+    #[test]
+    fn request_lines_are_capped_and_the_stream_resyncs() {
+        let mut input = std::io::Cursor::new(format!("{}\nping\n", "x".repeat(100)).into_bytes());
+        assert!(matches!(
+            read_request_line(&mut input, 16),
+            LineOutcome::TooLong
+        ));
+        match read_request_line(&mut input, 16) {
+            LineOutcome::Line(line) => assert_eq!(line, "ping"),
+            _ => panic!("the connection must resync on the next line"),
+        }
+        assert!(matches!(
+            read_request_line(&mut input, 16),
+            LineOutcome::Closed
+        ));
+        // A line of exactly max bytes passes; EOF mid-line is a disconnect.
+        let mut exact = std::io::Cursor::new(b"ping\npar".to_vec());
+        assert!(matches!(
+            read_request_line(&mut exact, 4),
+            LineOutcome::Line(line) if line == "ping"
+        ));
+        assert!(matches!(
+            read_request_line(&mut exact, 4),
+            LineOutcome::Closed
+        ));
     }
 }

@@ -36,14 +36,29 @@
 //! corruption, format drift — logs a warning, deletes the entry
 //! best-effort, and reports a miss so the job is recomputed and rewritten.
 //! A cache hit is therefore byte-identical to a recompute, by construction.
+//!
+//! # Write resilience
+//!
+//! The store is an accelerator, never a correctness dependency: a write
+//! that fails transiently (`ENOSPC`, a flaky network filesystem) is
+//! retried a few times with capped backoff ([`WRITE_ATTEMPTS`]), and a
+//! store that keeps failing — a cache directory that turned read-only
+//! mid-sweep — trips a degraded flag: one stderr notice, then every later
+//! insert becomes a silent no-op and the sweep keeps computing uncached.
+//! Reads are never retried; an unreadable entry is just a miss, and the
+//! job recomputes. The [`crate::chaos`] fault points `store.write` and
+//! `store.read` inject exactly these failures so `make chaos-check` can
+//! prove the degraded paths still produce byte-identical results.
 
 use std::collections::BTreeSet;
 use std::fs;
 use std::io::{self, Write as _};
 use std::path::{Path, PathBuf};
-use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
 use std::sync::Arc;
+use std::time::Duration;
 
+use crate::chaos::{self, FaultPoint};
 use dkip_model::{key_digest, SimStats};
 
 /// Environment variable selecting the cache directory (empty = disabled).
@@ -61,6 +76,13 @@ pub const RESULTS_EPOCH: u32 = 1;
 
 /// On-disk entry format version (first line of every entry file).
 pub const STORE_VERSION: &str = "dkip-store v1";
+
+/// How many times [`ResultStore::insert`] attempts a write before giving
+/// up and degrading the store to uncached operation. Attempts after the
+/// first back off 5 ms → 20 ms → … (×4 per attempt, capped at 50 ms):
+/// long enough to ride out a transient hiccup, short enough that a dead
+/// filesystem costs each worker well under a tenth of a second, once.
+pub const WRITE_ATTEMPTS: u32 = 3;
 
 /// A verified cache entry: everything needed to reconstruct a
 /// [`crate::JobResult`] without re-simulating.
@@ -83,6 +105,8 @@ pub struct ResultStore {
     salt: String,
     hits: Arc<AtomicU64>,
     misses: Arc<AtomicU64>,
+    write_errors: Arc<AtomicU64>,
+    degraded: Arc<AtomicBool>,
 }
 
 impl ResultStore {
@@ -101,6 +125,8 @@ impl ResultStore {
             salt: Self::salt_header(),
             hits: Arc::new(AtomicU64::new(0)),
             misses: Arc::new(AtomicU64::new(0)),
+            write_errors: Arc::new(AtomicU64::new(0)),
+            degraded: Arc::new(AtomicBool::new(false)),
         })
     }
 
@@ -156,6 +182,22 @@ impl ResultStore {
         self.misses.load(Ordering::Relaxed)
     }
 
+    /// Writes that failed after exhausting every retry (shared across
+    /// clones). At most 1 in practice: the first exhausted write trips the
+    /// degraded flag and later inserts no longer attempt the disk.
+    #[must_use]
+    pub fn write_errors(&self) -> u64 {
+        self.write_errors.load(Ordering::Relaxed)
+    }
+
+    /// Whether the store has degraded to uncached operation (a write
+    /// exhausted its retries; see the module docs). Lookups still work —
+    /// entries written before the failure keep serving hits.
+    #[must_use]
+    pub fn degraded(&self) -> bool {
+        self.degraded.load(Ordering::Acquire)
+    }
+
     fn entry_path(&self, key: &str) -> PathBuf {
         self.root.join(&key[..2]).join(format!("{key}.entry"))
     }
@@ -165,6 +207,12 @@ impl ResultStore {
     /// misses — the caller recomputes and rewrites them.
     #[must_use]
     pub fn lookup(&self, key: &str) -> Option<StoredResult> {
+        if chaos::should_fire(FaultPoint::StoreRead) {
+            // An injected unreadable entry: a miss, exactly like the real
+            // read error below — the caller recomputes.
+            self.misses.fetch_add(1, Ordering::Relaxed);
+            return None;
+        }
         let path = self.entry_path(key);
         let text = match fs::read_to_string(&path) {
             Ok(text) => text,
@@ -240,13 +288,55 @@ impl ResultStore {
     }
 
     /// Inserts a result under `key`, atomically (temp file + rename, safe
-    /// against concurrent writers of the same key).
+    /// against concurrent writers of the same key), retrying transient
+    /// failures with capped backoff (see [`WRITE_ATTEMPTS`]).
+    ///
+    /// Once a write has exhausted its retries the store flips to degraded
+    /// mode: the failure is logged once, [`ResultStore::write_errors`] is
+    /// bumped, and every later insert returns `Ok` without touching the
+    /// disk — the sweep keeps computing, just uncached. A failed attempt
+    /// never leaves a partial entry behind: the document goes to a temp
+    /// file first and only an already-synced file is renamed into place.
     ///
     /// # Errors
     ///
-    /// Returns the I/O error when the entry cannot be written. Callers log
-    /// and continue — a write failure degrades caching, never correctness.
+    /// Returns the final I/O error of the attempt that tripped degraded
+    /// mode. Callers may ignore it — a write failure degrades caching,
+    /// never correctness.
     pub fn insert(&self, key: &str, stats: &SimStats, covered: u64) -> io::Result<()> {
+        if self.degraded() {
+            return Ok(());
+        }
+        let mut delay = Duration::from_millis(5);
+        let mut attempt = 0;
+        loop {
+            match self.try_insert(key, stats, covered) {
+                Ok(()) => return Ok(()),
+                Err(e) => {
+                    attempt += 1;
+                    if attempt >= WRITE_ATTEMPTS {
+                        self.write_errors.fetch_add(1, Ordering::Relaxed);
+                        if !self.degraded.swap(true, Ordering::AcqRel) {
+                            eprintln!(
+                                "# dkip-store: cannot write entry {key} in {} after \
+                                 {WRITE_ATTEMPTS} attempts: {e} — continuing uncached",
+                                self.root.display()
+                            );
+                        }
+                        return Err(e);
+                    }
+                    std::thread::sleep(delay);
+                    delay = (delay * 4).min(Duration::from_millis(50));
+                }
+            }
+        }
+    }
+
+    /// One write attempt: the unretried body of [`ResultStore::insert`].
+    fn try_insert(&self, key: &str, stats: &SimStats, covered: u64) -> io::Result<()> {
+        if let Some(injected) = chaos::fail_io(FaultPoint::StoreWrite) {
+            return Err(injected);
+        }
         let path = self.entry_path(key);
         fs::create_dir_all(path.parent().expect("entry path has a shard dir"))?;
         let hist_sum = stats
@@ -259,12 +349,18 @@ impl ResultStore {
             stats.to_kv()
         );
         let tmp = path.with_extension(format!("tmp.{}", std::process::id()));
-        {
+        let written = (|| {
             let mut file = fs::File::create(&tmp)?;
             file.write_all(body.as_bytes())?;
             file.sync_all()?;
+            fs::rename(&tmp, &path)
+        })();
+        if written.is_err() {
+            // Never leave a torn temp file for a later attempt (or a
+            // concurrent writer with the same pid path) to trip over.
+            let _ = fs::remove_file(&tmp);
         }
-        fs::rename(&tmp, &path)
+        written
     }
 }
 

@@ -1,0 +1,203 @@
+//! Live-socket tests for the sweep server: the error paths a unit test of
+//! `SweepService::answer` can't reach. A real `run_server` instance on an
+//! ephemeral TCP port takes malformed requests, an oversized line, a
+//! mid-request disconnect, an injected handler panic and an injected
+//! stall — and must answer the next `ping` after every one of them.
+//!
+//! Tests that arm chaos faults serialise on a lock (the registry is
+//! process-wide); each test runs its own server so shutdown semantics
+//! stay independent.
+
+use std::io::{BufRead, BufReader, Write};
+use std::net::{SocketAddr, TcpListener, TcpStream};
+use std::sync::Mutex;
+use std::time::Duration;
+
+use dkip::sim::chaos;
+use dkip::sim::service::{run_server, ServeOptions, SweepService};
+use dkip::sim::SweepRunner;
+
+static CHAOS_LOCK: Mutex<()> = Mutex::new(());
+
+/// One running server on an ephemeral local port, shut down on drop.
+struct TestServer {
+    addr: SocketAddr,
+    thread: Option<std::thread::JoinHandle<()>>,
+}
+
+impl TestServer {
+    fn start(opts: ServeOptions) -> TestServer {
+        let listener = TcpListener::bind("127.0.0.1:0").expect("bind an ephemeral port");
+        let addr = listener.local_addr().expect("ephemeral port has an addr");
+        let service = SweepService::new(SweepRunner::serial());
+        let thread = std::thread::spawn(move || {
+            run_server(&listener, service, &opts).expect("server runs until shutdown");
+        });
+        TestServer {
+            addr,
+            thread: Some(thread),
+        }
+    }
+
+    fn connect(&self) -> Client {
+        let stream = TcpStream::connect(self.addr).expect("server is accepting");
+        stream
+            .set_read_timeout(Some(Duration::from_secs(30)))
+            .expect("socket supports read timeouts");
+        Client {
+            reader: BufReader::new(stream),
+        }
+    }
+
+    /// Sends `shutdown` and joins the accept loop.
+    fn shutdown(mut self) {
+        let mut client = self.connect();
+        assert_eq!(client.request("shutdown").0, "ok draining");
+        self.thread
+            .take()
+            .expect("not yet shut down")
+            .join()
+            .expect("the server thread exits cleanly after shutdown");
+    }
+}
+
+/// One client connection speaking the line protocol.
+struct Client {
+    reader: BufReader<TcpStream>,
+}
+
+impl Client {
+    fn send(&mut self, raw: &[u8]) {
+        let stream = self.reader.get_mut();
+        stream.write_all(raw).expect("send");
+        stream.flush().expect("flush");
+    }
+
+    /// Reads one `status / body / .` response.
+    fn read_response(&mut self) -> (String, String) {
+        let mut status = String::new();
+        self.reader.read_line(&mut status).expect("status line");
+        let status = status.trim_end().to_owned();
+        assert!(!status.is_empty(), "connection closed before a status line");
+        let mut body = String::new();
+        loop {
+            let mut line = String::new();
+            let n = self.reader.read_line(&mut line).expect("body line");
+            assert!(n > 0, "connection closed before the '.' terminator");
+            if line.trim_end() == "." {
+                return (status, body);
+            }
+            body.push_str(&line);
+        }
+    }
+
+    fn request(&mut self, line: &str) -> (String, String) {
+        self.send(format!("{line}\n").as_bytes());
+        self.read_response()
+    }
+}
+
+#[test]
+fn malformed_oversized_and_disconnecting_clients_leave_the_server_up() {
+    let _guard = CHAOS_LOCK.lock().unwrap();
+    let server = TestServer::start(ServeOptions {
+        max_line: 64,
+        drain: Duration::from_millis(300),
+        ..ServeOptions::default()
+    });
+
+    // Malformed request: an err response, same connection keeps working.
+    let mut client = server.connect();
+    let (status, body) = client.request("frobnicate the sweep");
+    assert!(status.starts_with("err unknown request"), "got: {status}");
+    assert!(body.is_empty());
+    assert_eq!(client.request("ping").0, "ok pong");
+
+    // Oversized line: capped, reported, and the stream resyncs.
+    let oversized = format!("{}\n", "x".repeat(500));
+    client.send(oversized.as_bytes());
+    let (status, _) = client.read_response();
+    assert_eq!(status, "err request too long (max 64 bytes)");
+    assert_eq!(client.request("ping").0, "ok pong");
+
+    // Mid-request disconnect: a partial line with no newline, then gone.
+    let mut rude = server.connect();
+    rude.send(b"suite kil");
+    drop(rude);
+
+    // The server still answers a fresh connection.
+    let mut after = server.connect();
+    assert_eq!(after.request("ping").0, "ok pong");
+    server.shutdown();
+}
+
+#[test]
+fn handler_panics_are_isolated_and_counted() {
+    let _guard = CHAOS_LOCK.lock().unwrap();
+    let server = TestServer::start(ServeOptions {
+        drain: Duration::from_millis(300),
+        ..ServeOptions::default()
+    });
+    let mut client = server.connect();
+    chaos::arm("service.answer:first1:0").expect("valid spec");
+    let (status, _) = client.request("ping");
+    chaos::disarm();
+    assert!(
+        status.starts_with("err internal: request panicked"),
+        "got: {status}"
+    );
+    assert!(status.contains(chaos::CHAOS_TAG));
+    // Same connection, next request: alive, and the counters saw it all.
+    assert_eq!(client.request("ping").0, "ok pong");
+    let (status, _) = client.request("status");
+    assert!(status.starts_with("ok uptime_ms="), "got: {status}");
+    assert!(status.contains("panics=1"), "got: {status}");
+    assert!(status.contains("errors=1"), "got: {status}");
+    server.shutdown();
+}
+
+#[test]
+fn slow_requests_time_out_with_an_err_response() {
+    let _guard = CHAOS_LOCK.lock().unwrap();
+    let server = TestServer::start(ServeOptions {
+        deadline: Some(Duration::from_millis(50)),
+        drain: Duration::from_millis(300),
+        ..ServeOptions::default()
+    });
+    let mut client = server.connect();
+    // The injected stall sleeps 250 ms, far past the 50 ms deadline.
+    chaos::arm("service.stall:first1:0").expect("valid spec");
+    let (status, _) = client.request("ping");
+    chaos::disarm();
+    assert!(status.starts_with("err timeout"), "got: {status}");
+    assert_eq!(client.request("ping").0, "ok pong");
+    server.shutdown();
+}
+
+#[test]
+fn shutdown_drains_and_the_accept_loop_exits() {
+    let _guard = CHAOS_LOCK.lock().unwrap();
+    let server = TestServer::start(ServeOptions {
+        drain: Duration::from_millis(500),
+        ..ServeOptions::default()
+    });
+    // An idle keep-alive connection must not block the drain forever.
+    let _idle = server.connect();
+    let addr = server.addr;
+    server.shutdown();
+    // The listener is gone: a fresh connect must fail (the OS may accept
+    // into a dead backlog on some platforms, so accept either outcome of
+    // connect, but a request must never be answered).
+    if let Ok(stream) = TcpStream::connect(addr) {
+        stream
+            .set_read_timeout(Some(Duration::from_millis(200)))
+            .unwrap();
+        let mut reader = BufReader::new(stream);
+        let _ = reader.get_mut().write_all(b"ping\n");
+        let mut line = String::new();
+        assert!(
+            reader.read_line(&mut line).is_err() || line.is_empty(),
+            "a drained server must not answer: {line:?}"
+        );
+    }
+}

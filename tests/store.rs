@@ -16,6 +16,7 @@ use std::path::PathBuf;
 use std::sync::Mutex;
 
 use dkip::model::key_digest;
+use dkip::sim::chaos;
 use dkip::sim::runner::results_to_kv;
 use dkip::sim::store::{ResultStore, CACHE_SALT_ENV};
 use dkip::sim::{golden, suites, SweepRunner};
@@ -147,6 +148,81 @@ fn interrupted_sweeps_resume_from_the_store() {
     assert_eq!((resumed.hits, resumed.misses), (2, 1));
     assert_eq!(results_to_kv(&resumed.results), reference);
     let _ = std::fs::remove_dir_all(store.root());
+}
+
+/// A store whose writes all fail (injected `ENOSPC`, the moral equivalent
+/// of a cache directory turned read-only mid-sweep) degrades to uncached
+/// operation: results stay byte-identical to the uncached reference, no
+/// partial entry is ever left behind to be served later, and the store
+/// heals on the next fault-free open.
+#[test]
+fn enospc_writes_degrade_to_uncached_and_never_leave_partial_entries() {
+    let _guard = ENV_LOCK.lock().unwrap();
+    let jobs = suites::golden_suite_jobs("kilo", Some(1_300)).unwrap();
+    let reference = results_to_kv(&SweepRunner::serial().run(&jobs));
+    let dir = scratch("enospc");
+    let store = ResultStore::open(&dir).unwrap();
+    chaos::arm("store.write:1:3").expect("valid fault spec");
+    let faulted = SweepRunner::serial()
+        .with_store(store.clone())
+        .run_report(&jobs);
+    chaos::disarm();
+    assert!(
+        faulted.failures.is_empty(),
+        "write failures degrade caching, they never fail jobs"
+    );
+    assert_eq!(faulted.misses, jobs.len() as u64);
+    assert_eq!(
+        results_to_kv(&faulted.results),
+        reference,
+        "degraded-to-uncached results are byte-identical to the reference"
+    );
+    assert_eq!(
+        store.write_errors(),
+        1,
+        "degrade trips on the first exhausted write"
+    );
+    assert!(store.degraded());
+    // Nothing partial on disk: a fresh open sees a completely cold store.
+    let entries: Vec<PathBuf> = walk_files(&dir);
+    assert!(
+        entries.iter().all(|p| {
+            let name = p.file_name().unwrap().to_string_lossy();
+            !name.ends_with(".entry") && !name.contains(".tmp")
+        }),
+        "no entry or temp files may survive a failed write: {entries:?}"
+    );
+    let reopened = ResultStore::open(&dir).unwrap();
+    let cold = SweepRunner::serial()
+        .with_store(reopened.clone())
+        .run_report(&jobs);
+    assert_eq!(
+        (cold.hits, cold.misses),
+        (0, jobs.len() as u64),
+        "a partial entry must never be served as a hit"
+    );
+    assert_eq!(results_to_kv(&cold.results), reference);
+    // The healed store is fully warm now.
+    let warm = SweepRunner::serial().with_store(reopened).run_report(&jobs);
+    assert_eq!((warm.hits, warm.misses), (jobs.len() as u64, 0));
+    let _ = std::fs::remove_dir_all(&dir);
+}
+
+/// Every regular file under `dir`, recursively.
+fn walk_files(dir: &PathBuf) -> Vec<PathBuf> {
+    let mut files = Vec::new();
+    let Ok(entries) = std::fs::read_dir(dir) else {
+        return files;
+    };
+    for entry in entries.flatten() {
+        let path = entry.path();
+        if path.is_dir() {
+            files.extend(walk_files(&path));
+        } else {
+            files.push(path);
+        }
+    }
+    files
 }
 
 /// A truncated entry is recovered from: logged, treated as a miss,
